@@ -1,0 +1,303 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p xsb-bench --bin harness --release [experiment]
+//! ```
+//!
+//! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
+//! append hilog dynamic-vs-static bulkload wfs all` (default `all`).
+
+use xsb_bench::runners::*;
+use xsb_bench::workloads::{cycle_edges, fanout_edges};
+use xsb_wfs::{Truth, Wfs};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let quick = std::env::args().any(|a| a == "--quick");
+    match arg.as_str() {
+        "table2" => table2(quick),
+        "fig2" => fig2(),
+        "fig5-cycle" => fig5(true, quick),
+        "fig5-fanout" => fig5(false, quick),
+        "table3" => table3(quick),
+        "slg-vs-sld" => slg_vs_sld(quick),
+        "append" => append(quick),
+        "hilog" => hilog(quick),
+        "dynamic-vs-static" => dynamic_vs_static(quick),
+        "bulkload" => bulkload(quick),
+        "wfs" => wfs(),
+        "ablation-tables" => ablation_tables(quick),
+        "ablation-seminaive" => ablation_seminaive(quick),
+        "all" => {
+            table2(quick);
+            fig2();
+            fig5(true, quick);
+            fig5(false, quick);
+            table3(quick);
+            slg_vs_sld(quick);
+            append(quick);
+            hilog(quick);
+            dynamic_vs_static(quick);
+            bulkload(quick);
+            ablation_tables(quick);
+            ablation_seminaive(quick);
+            wfs();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+fn table2(quick: bool) {
+    header("E1 / Table 2 — win/1 on complete binary trees (times ÷ E-Neg time)");
+    println!("paper:   height      6     7     8     9    10    11");
+    println!("paper:   SLG       4.5  4.25   7.6   8.2  15.4  15.7");
+    println!("paper:   SLDNF      .3   .24   .22   .24   .24   .23");
+    println!("paper:   E-Neg       1     1     1     1     1     1");
+    let heights: &[u32] = if quick { &[6, 7, 8] } else { &[6, 7, 8, 9, 10, 11] };
+    let reps = if quick { 2 } else { 3 };
+    let rows = run_table2(heights, reps);
+    print!("{:18}", "measured: height");
+    for r in &rows {
+        print!("{:>8}", r.height);
+    }
+    println!();
+    print!("{:18}", "measured: SLG");
+    for r in &rows {
+        print!("{:>8.2}", r.slg_ratio);
+    }
+    println!();
+    print!("{:18}", "measured: SLDNF");
+    for r in &rows {
+        print!("{:>8.2}", r.sldnf_ratio);
+    }
+    println!();
+    print!("{:18}", "measured: E-Neg");
+    for _ in &rows {
+        print!("{:>8.2}", 1.0);
+    }
+    println!();
+    print!("{:18}", "E-Neg secs");
+    for r in &rows {
+        print!("{:>8.4}", r.eneg_secs);
+    }
+    println!();
+}
+
+fn fig2() {
+    header("E2 / Figure 2 — subgoals evaluated for win(1) over binary trees");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "height", "SLDNF calls", "G(n)", "E-Neg subg", "SLG subg", "2^(h+1)-1"
+    );
+    for r in run_fig2(&[2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]) {
+        println!(
+            "{:>7} {:>12} {:>12.1} {:>12} {:>10} {:>10}",
+            r.height, r.sldnf_calls, r.g_formula, r.eneg_subgoals, r.slg_subgoals, r.all_nodes
+        );
+    }
+    println!("(paper: height 4 evaluates 13 of 31 subgoals under SLDNF; SLG all 31)");
+}
+
+fn fig5(cycle: bool, quick: bool) {
+    let (name, shape): (&str, fn(i64) -> Vec<(i64, i64)>) = if cycle {
+        ("E3 / Figure 5 left — path/2 over cycles", cycle_edges)
+    } else {
+        ("E4 / Figure 5 right — path/2 over fanout", fanout_edges)
+    };
+    header(name);
+    let sizes: &[i64] = if quick {
+        &[8, 64, 256]
+    } else {
+        &[8, 32, 128, 512, 1024, 2048]
+    };
+    let reps = if quick { 2 } else { 3 };
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>10} {:>10}",
+        "n", "xsb (s)", "coral-def (s)", "coral-fac (s)", "def/xsb", "fac/xsb"
+    );
+    for r in run_fig5(sizes, shape, reps) {
+        println!(
+            "{:>6} {:>12.6} {:>14.6} {:>14.6} {:>10.1} {:>10.1}",
+            r.n,
+            r.xsb_secs,
+            r.coral_def_secs,
+            r.coral_fac_secs,
+            r.coral_def_secs / r.xsb_secs,
+            r.coral_fac_secs / r.xsb_secs
+        );
+    }
+    println!("(paper: XSB about an order of magnitude faster than CORAL)");
+}
+
+fn table3(quick: bool) {
+    header("E5 / Table 3 — approximate relative indexed-join speeds");
+    println!("paper:  Quintus 1 | XSB 3 | LDL 8 | CORAL 24 | Sybase 100");
+    let n = if quick { 2_000 } else { 10_000 };
+    let reps = if quick { 2 } else { 3 };
+    println!("join of |R| = |S| = {n}:");
+    for r in run_table3(n, reps) {
+        println!("{:32} {:>12.6}s  relative {:>8.1}", r.system, r.secs, r.relative);
+    }
+}
+
+fn slg_vs_sld(quick: bool) {
+    header("E6 / §5 — tabled left-recursion vs SLD right-recursion (chains & trees)");
+    println!("paper: SLG left recursion takes ~20-25% longer than SLD right recursion");
+    let chains: &[i64] = if quick { &[256, 1024] } else { &[128, 512, 2048, 4096] };
+    let trees: &[u32] = if quick { &[8] } else { &[8, 10, 12] };
+    let reps = if quick { 2 } else { 3 };
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "workload", "SLD (s)", "SLG (s)", "ratio"
+    );
+    for r in run_slg_vs_sld(chains, trees, reps) {
+        println!(
+            "{:>12} {:>12.6} {:>12.6} {:>8.2}",
+            r.workload, r.sld_secs, r.slg_secs, r.ratio
+        );
+    }
+}
+
+fn append(quick: bool) {
+    header("E7 / §5 — append/3: SLD linear, SLG quadratic (no ground-copy optimization)");
+    let lens: &[i64] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512, 1024] };
+    let reps = if quick { 2 } else { 3 };
+    println!("{:>6} {:>12} {:>12} {:>10}", "len", "SLD (s)", "SLG (s)", "slg/sld");
+    for r in run_append(lens, reps) {
+        println!(
+            "{:>6} {:>12.6} {:>12.6} {:>10.1}",
+            r.len,
+            r.sld_secs,
+            r.slg_secs,
+            r.slg_secs / r.sld_secs
+        );
+    }
+}
+
+fn hilog(quick: bool) {
+    header("E8 / §3.2, §4.7 — HiLog overhead on chain traversal");
+    println!("paper: compiled HiLog executes only marginally slower than first-order");
+    let sizes: &[i64] = if quick { &[256] } else { &[256, 1024, 4096] };
+    let reps = if quick { 2 } else { 3 };
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "n", "first-order", "specialized", "generic", "spec/fo", "gen/fo"
+    );
+    for r in run_hilog(sizes, reps) {
+        println!(
+            "{:>6} {:>14.6} {:>14.6} {:>14.6} {:>10.2} {:>10.2}",
+            r.n,
+            r.first_order_secs,
+            r.specialized_secs,
+            r.generic_secs,
+            r.specialized_secs / r.first_order_secs,
+            r.generic_secs / r.first_order_secs
+        );
+    }
+}
+
+fn dynamic_vs_static(quick: bool) {
+    header("E9 / §4.2 — dynamic (asserted) facts vs compiled facts");
+    println!("paper: dynamic facts execute at essentially the same speed as compiled");
+    let n = if quick { 5_000 } else { 20_000 };
+    let reps = if quick { 2 } else { 3 };
+    let r = run_dynamic_vs_static(n, reps);
+    println!(
+        "n = {}: static {:.6}s   dynamic {:.6}s   dynamic/static = {:.2}",
+        r.n, r.static_secs, r.dynamic_secs, r.ratio
+    );
+}
+
+fn bulkload(quick: bool) {
+    header("E10 / §4.6 — bulk load: general reader vs formatted read vs object file");
+    println!("paper: object file load ≈ 12x faster than formatted read + assert");
+    let n = if quick { 10_000 } else { 100_000 };
+    let reps = if quick { 1 } else { 2 };
+    let r = run_bulkload(n, reps);
+    println!(
+        "n = {}: general {:.4}s   formatted {:.4}s   object {:.4}s",
+        r.n, r.general_secs, r.formatted_secs, r.object_secs
+    );
+    println!(
+        "ratios: general/formatted = {:.1}   formatted/object = {:.1}",
+        r.general_secs / r.formatted_secs,
+        r.formatted_secs / r.object_secs
+    );
+}
+
+fn ablation_tables(quick: bool) {
+    header("Ablation / §4.5 — hash vs trie table indexing (path over full cycle closure)");
+    println!("paper: trie indexing \"will both decrease the space and the time necessary for saving answers\"");
+    let sizes: &[i64] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let reps = if quick { 2 } else { 3 };
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "n", "hash (s)", "trie (s)", "t/h", "hash cells", "trie cells", "space"
+    );
+    for r in run_table_index_ablation(sizes, reps) {
+        println!(
+            "{:>6} {:>12.6} {:>12.6} {:>8.2} {:>12} {:>12} {:>8.2}",
+            r.n,
+            r.hash_secs,
+            r.trie_secs,
+            r.trie_secs / r.hash_secs,
+            r.hash_cells,
+            r.trie_cells,
+            r.trie_cells as f64 / r.hash_cells as f64
+        );
+    }
+}
+
+fn ablation_seminaive(quick: bool) {
+    header("Ablation — naive vs semi-naive bottom-up fixpoint (chain closure)");
+    let sizes: &[i64] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    let reps = if quick { 2 } else { 3 };
+    println!(
+        "{:>6} {:>12} {:>14} {:>8} {:>14} {:>14}",
+        "n", "naive (s)", "seminaive (s)", "speedup", "naive tuples", "semi tuples"
+    );
+    for r in run_seminaive_ablation(sizes, reps) {
+        println!(
+            "{:>6} {:>12.6} {:>14.6} {:>8.1} {:>14} {:>14}",
+            r.n,
+            r.naive_secs,
+            r.seminaive_secs,
+            r.naive_secs / r.seminaive_secs,
+            r.naive_tuples,
+            r.seminaive_tuples
+        );
+    }
+}
+
+fn wfs() {
+    header("E12 — well-founded semantics on the non-stratified win/1 game");
+    let mut w = Wfs::new(
+        "win(X) :- move(X,Y), tnot win(Y).\n\
+         move(1,2). move(2,1).\n\
+         move(3,4). move(4,5).\n\
+         move(6,7). move(7,6). move(7,8).",
+    )
+    .unwrap();
+    for node in 1..=8 {
+        let atom = format!("win({node})");
+        let t = w.truth(&atom).unwrap();
+        println!(
+            "{atom:>8}: {}",
+            match t {
+                Truth::True => "true",
+                Truth::False => "false",
+                Truth::Undefined => "undefined (drawn position)",
+            }
+        );
+    }
+    let (t, u) = w.model_size();
+    println!("model: {t} true atoms, {u} undefined atoms");
+}

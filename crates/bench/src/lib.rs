@@ -1,0 +1,9 @@
+//! # xsb-bench — benchmark harness for the paper's evaluation
+//!
+//! Workload generators ([`workloads`]) and experiment runners
+//! ([`runners`]), shared by the `harness` binary (which prints the paper's
+//! tables/figures) and the criterion benches. See DESIGN.md §3 for the
+//! experiment ↔ paper mapping.
+
+pub mod runners;
+pub mod workloads;

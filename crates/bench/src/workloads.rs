@@ -1,0 +1,155 @@
+//! Workload generators for the paper's evaluation section.
+
+use xsb_core::Engine;
+use xsb_datalog::ast::Value;
+use xsb_datalog::Datalog;
+use xsb_syntax::Term;
+
+/// `edge(1,2). edge(2,3). … edge(N,1).` — the cycle of §5 / Figure 5 left.
+pub fn cycle_edges(n: i64) -> Vec<(i64, i64)> {
+    (1..=n).map(|i| (i, if i == n { 1 } else { i + 1 })).collect()
+}
+
+/// `edge(1,1). edge(1,2). … edge(1,N).` — the fanout of Figure 5 right.
+pub fn fanout_edges(n: i64) -> Vec<(i64, i64)> {
+    (1..=n).map(|i| (1, i)).collect()
+}
+
+/// `edge(1,2). … edge(N-1,N).` — an acyclic chain.
+pub fn chain_edges(n: i64) -> Vec<(i64, i64)> {
+    (1..n).map(|i| (i, i + 1)).collect()
+}
+
+/// Moves of a complete binary tree of height `h` (nodes 1..2^(h+1)-1).
+pub fn binary_tree_moves(h: u32) -> Vec<(i64, i64)> {
+    let internal = (1i64 << h) - 1;
+    let mut out = Vec::with_capacity(2 * internal as usize);
+    for n in 1..=internal {
+        out.push((n, 2 * n));
+        out.push((n, 2 * n + 1));
+    }
+    out
+}
+
+/// The G(n) formula from the paper's footnote 9: the number of subgoals
+/// SLDNF evaluates for `win(1)` over a complete binary tree of height `n`:
+/// `G(n) = 2^(⌊n/2⌋+2) - 3 + 2(n/2 - ⌊n/2⌋)`.
+pub fn g_formula(n: u32) -> f64 {
+    let half = (n / 2) as f64;
+    let frac = n as f64 / 2.0 - half;
+    2f64.powf(half + 2.0) - 3.0 + 2.0 * frac
+}
+
+/// The paper's left-recursive path program (tabled), §5.
+pub const PATH_LEFT_TABLED: &str = "
+    :- table path/2.
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+";
+
+/// Right-recursive SLD path (plain Prolog), §5's comparison point.
+pub const PATH_RIGHT_SLD: &str = "
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- edge(X,Z), path(Z,Y).
+";
+
+/// Bottom-up source for the same program (rules only; facts added
+/// programmatically).
+pub const PATH_DATALOG: &str = "
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+";
+
+/// Builds an engine with `rules` consulted and `edge/2` facts asserted
+/// through the fast programmatic path.
+pub fn engine_with_edges(rules: &str, edges: &[(i64, i64)]) -> Engine {
+    let mut e = Engine::new();
+    e.declare_dynamic("edge", 2).expect("declare edge");
+    e.consult(rules).expect("rules consult");
+    let edge = e.syms.intern("edge");
+    for &(a, b) in edges {
+        e.assert_term(&Term::Compound(edge, vec![Term::Int(a), Term::Int(b)]))
+            .expect("assert edge");
+    }
+    e
+}
+
+/// Builds a bottom-up engine with the same rules and facts.
+pub fn datalog_with_edges(rules: &str, edges: &[(i64, i64)]) -> Datalog {
+    let mut d = Datalog::new(rules).expect("rules lower");
+    for &(a, b) in edges {
+        d.add_fact("edge", &[Value::Int(a), Value::Int(b)]);
+    }
+    d
+}
+
+/// Builds the win/1 game for a given negation operator (`tnot`, `e_tnot`)
+/// or SLDNF (`\\+`, untabled).
+pub fn win_engine(neg: &str, moves: &[(i64, i64)]) -> Engine {
+    let tabled = neg != "\\+";
+    let rules = if tabled {
+        format!(":- table win/1.\nwin(X) :- move(X, Y), {neg} win(Y).\n")
+    } else {
+        format!("win(X) :- move(X, Y), {neg} win(Y).\n")
+    };
+    let mut e = Engine::new();
+    e.declare_dynamic("move", 2).expect("declare move");
+    e.consult(&rules).expect("win rules");
+    let mv = e.syms.intern("move");
+    for &(a, b) in moves {
+        e.assert_term(&Term::Compound(mv, vec![Term::Int(a), Term::Int(b)]))
+            .expect("assert move");
+    }
+    e
+}
+
+/// Two join relations: `r(i, i % m)` and `s(j, j*2)` for an indexed
+/// equijoin `r(X,Y), s(Y,Z)` with |r| = |s| = n.
+pub fn join_relations(n: i64, m: i64) -> (Vec<(i64, i64)>, Vec<(i64, i64)>) {
+    let r = (0..n).map(|i| (i, i % m)).collect();
+    let s = (0..n).map(|j| (j, j * 2)).collect();
+    (r, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_have_expected_sizes() {
+        assert_eq!(cycle_edges(8).len(), 8);
+        assert_eq!(cycle_edges(8)[7], (8, 1));
+        assert_eq!(fanout_edges(5), vec![(1, 1), (1, 2), (1, 3), (1, 4), (1, 5)]);
+        assert_eq!(chain_edges(4), vec![(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(binary_tree_moves(2).len(), 6);
+    }
+
+    #[test]
+    fn g_formula_matches_paper_example() {
+        // paper: height 4 → 13 of 31 subgoals
+        assert_eq!(g_formula(4), 13.0);
+    }
+
+    #[test]
+    fn engine_and_datalog_agree_on_cycle() {
+        let edges = cycle_edges(16);
+        let mut e = engine_with_edges(PATH_LEFT_TABLED, &edges);
+        let n_top = e.count("path(1, X)").unwrap();
+        let mut d = datalog_with_edges(PATH_DATALOG, &edges);
+        let rows = d
+            .query("path(1, Y)", xsb_datalog::Strategy::Magic)
+            .unwrap();
+        assert_eq!(n_top, 16);
+        assert_eq!(rows.len(), 16);
+    }
+
+    #[test]
+    fn win_engines_agree_across_strategies() {
+        let moves = binary_tree_moves(5); // odd height: root wins
+        for neg in ["tnot", "e_tnot", "\\+"] {
+            let mut e = win_engine(neg, &moves);
+            assert!(e.holds("win(1)").unwrap(), "strategy {neg}");
+            assert!(!e.holds("win(2)").unwrap(), "strategy {neg}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Tagged machine words.
+//!
+//! The WAM represents every runtime object as a tagged word. The original
+//! SLG-WAM uses untagged-union pointer tricks in C; here a [`Cell`] is a
+//! `u64` with a 3-bit low tag and the payload in the upper 61 bits, and all
+//! "pointers" are indices into the machine's arenas — the same flat-word
+//! performance model without `unsafe`.
+//!
+//! | tag | name | payload |
+//! |-----|------|---------|
+//! | 0 | `REF` | heap index; a cell at `a` holding `REF a` is an unbound variable |
+//! | 1 | `STR` | heap index of a `FUN` cell followed by the arguments |
+//! | 2 | `LIS` | heap index of two consecutive cells (head, tail) |
+//! | 3 | `CON` | atom symbol id |
+//! | 4 | `INT` | 61-bit signed integer |
+//! | 5 | `FUN` | functor: symbol id (low 32 bits of payload) and arity (next 16) |
+//! | 6 | `TVAR`| canonical table variable number (table space / canonical forms only) |
+
+use xsb_syntax::Sym;
+
+/// A tagged 64-bit machine word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell(pub u64);
+
+/// Cell tag values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Tag {
+    Ref = 0,
+    Str = 1,
+    Lis = 2,
+    Con = 3,
+    Int = 4,
+    Fun = 5,
+    TVar = 6,
+}
+
+const TAG_BITS: u32 = 3;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+impl Cell {
+    #[inline]
+    pub fn tag(self) -> Tag {
+        match self.0 & TAG_MASK {
+            0 => Tag::Ref,
+            1 => Tag::Str,
+            2 => Tag::Lis,
+            3 => Tag::Con,
+            4 => Tag::Int,
+            5 => Tag::Fun,
+            6 => Tag::TVar,
+            _ => unreachable!("invalid cell tag"),
+        }
+    }
+
+    #[inline]
+    fn make(tag: Tag, payload: u64) -> Cell {
+        debug_assert!(payload < (1 << (64 - TAG_BITS)), "cell payload overflow");
+        Cell((payload << TAG_BITS) | tag as u64)
+    }
+
+    #[inline]
+    fn payload(self) -> u64 {
+        self.0 >> TAG_BITS
+    }
+
+    /// A (possibly unbound) variable reference to heap index `a`.
+    #[inline]
+    pub fn r#ref(a: usize) -> Cell {
+        Cell::make(Tag::Ref, a as u64)
+    }
+
+    /// A structure pointer to the `FUN` cell at heap index `a`.
+    #[inline]
+    pub fn str(a: usize) -> Cell {
+        Cell::make(Tag::Str, a as u64)
+    }
+
+    /// A list pointer to the cons pair at heap index `a`.
+    #[inline]
+    pub fn lis(a: usize) -> Cell {
+        Cell::make(Tag::Lis, a as u64)
+    }
+
+    /// An atom.
+    #[inline]
+    pub fn con(s: Sym) -> Cell {
+        Cell::make(Tag::Con, s.0 as u64)
+    }
+
+    /// A small integer (61-bit signed).
+    #[inline]
+    pub fn int(i: i64) -> Cell {
+        debug_assert!(
+            (-(1i64 << 60)..(1i64 << 60)).contains(&i),
+            "integer out of 61-bit cell range"
+        );
+        Cell::make(Tag::Int, (i as u64) & ((1 << (64 - TAG_BITS)) - 1))
+    }
+
+    /// A functor cell `f/n`.
+    #[inline]
+    pub fn fun(f: Sym, arity: usize) -> Cell {
+        debug_assert!(arity <= u16::MAX as usize);
+        Cell::make(Tag::Fun, (f.0 as u64) | ((arity as u64) << 32))
+    }
+
+    /// A canonical table variable.
+    #[inline]
+    pub fn tvar(n: usize) -> Cell {
+        Cell::make(Tag::TVar, n as u64)
+    }
+
+    /// Heap index payload of `REF`/`STR`/`LIS`.
+    #[inline]
+    pub fn addr(self) -> usize {
+        debug_assert!(matches!(self.tag(), Tag::Ref | Tag::Str | Tag::Lis));
+        self.payload() as usize
+    }
+
+    /// Atom symbol of a `CON` cell.
+    #[inline]
+    pub fn sym(self) -> Sym {
+        debug_assert_eq!(self.tag(), Tag::Con);
+        Sym(self.payload() as u32)
+    }
+
+    /// Integer value of an `INT` cell (sign-extended).
+    #[inline]
+    pub fn int_value(self) -> i64 {
+        debug_assert_eq!(self.tag(), Tag::Int);
+        // arithmetic shift sign-extends the 61-bit payload
+        (self.0 as i64) >> TAG_BITS
+    }
+
+    /// Functor symbol and arity of a `FUN` cell.
+    #[inline]
+    pub fn functor(self) -> (Sym, usize) {
+        debug_assert_eq!(self.tag(), Tag::Fun);
+        let p = self.payload();
+        (Sym((p & 0xFFFF_FFFF) as u32), ((p >> 32) & 0xFFFF) as usize)
+    }
+
+    /// Canonical variable number of a `TVAR` cell.
+    #[inline]
+    pub fn tvar_index(self) -> usize {
+        debug_assert_eq!(self.tag(), Tag::TVar);
+        self.payload() as usize
+    }
+
+    /// True when the cell is atomic (constant or integer).
+    #[inline]
+    pub fn is_atomic(self) -> bool {
+        matches!(self.tag(), Tag::Con | Tag::Int)
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.tag() {
+            Tag::Ref => write!(f, "REF({})", self.addr()),
+            Tag::Str => write!(f, "STR({})", self.addr()),
+            Tag::Lis => write!(f, "LIS({})", self.addr()),
+            Tag::Con => write!(f, "CON({})", self.sym().0),
+            Tag::Int => write!(f, "INT({})", self.int_value()),
+            Tag::Fun => {
+                let (s, n) = self.functor();
+                write!(f, "FUN({}/{n})", s.0)
+            }
+            Tag::TVar => write!(f, "TVAR({})", self.tvar_index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ref_str_lis() {
+        for a in [0usize, 1, 17, 1 << 20, (1 << 32) + 5] {
+            assert_eq!(Cell::r#ref(a).tag(), Tag::Ref);
+            assert_eq!(Cell::r#ref(a).addr(), a);
+            assert_eq!(Cell::str(a).addr(), a);
+            assert_eq!(Cell::lis(a).addr(), a);
+        }
+    }
+
+    #[test]
+    fn roundtrip_int_including_negative() {
+        for i in [0i64, 1, -1, 42, -42, i64::from(i32::MAX), -(1 << 59), (1 << 59)] {
+            assert_eq!(Cell::int(i).int_value(), i, "value {i}");
+            assert_eq!(Cell::int(i).tag(), Tag::Int);
+        }
+    }
+
+    #[test]
+    fn roundtrip_fun() {
+        let c = Cell::fun(Sym(77), 3);
+        assert_eq!(c.functor(), (Sym(77), 3));
+        assert_eq!(c.tag(), Tag::Fun);
+    }
+
+    #[test]
+    fn roundtrip_con_and_tvar() {
+        assert_eq!(Cell::con(Sym(9)).sym(), Sym(9));
+        assert_eq!(Cell::tvar(12).tvar_index(), 12);
+    }
+
+    #[test]
+    fn distinct_tags_distinct_cells() {
+        assert_ne!(Cell::r#ref(5), Cell::str(5));
+        assert_ne!(Cell::con(Sym(5)), Cell::int(5));
+    }
+}

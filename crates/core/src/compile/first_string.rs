@@ -1,0 +1,285 @@
+//! First-string indexing (paper §4.5, Example 4.2; Chen–Ramakrishnan–Ramesh).
+//!
+//! A discrimination trie over the *first string* of each clause head: the
+//! pre-order traversal of the head's arguments, truncated at the first
+//! variable. At call time the trie is walked in lockstep with the call's
+//! arguments; a variable in the call matches every subtree, and a clause
+//! whose string ended (it had a variable there) matches any remaining call.
+//! The result is the candidate clause chain, tried in source order.
+
+use crate::cell::{Cell, Tag};
+use xsb_syntax::{well_known, Term};
+
+/// Trie node: children keyed by token cell (CON / INT / FUN), kept sorted
+/// for binary-search dispatch, plus the clauses whose first string *ends*
+/// at this node.
+#[derive(Debug, Default, Clone)]
+pub struct TrieNode {
+    pub children: Vec<(Cell, u32)>,
+    pub ends: Vec<u32>,
+}
+
+/// A first-string discrimination trie for one predicate.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    pub nodes: Vec<TrieNode>,
+    pub arity: u16,
+    /// code address of each clause, filled in by the compiler so the
+    /// dispatch instruction can map matched clause indices to code
+    pub clause_addrs: Vec<crate::instr::CodePtr>,
+}
+
+impl Trie {
+    /// Builds the trie from clause heads (each given as its argument list).
+    pub fn build(heads: &[&[Term]], arity: u16) -> Trie {
+        let mut t = Trie {
+            nodes: vec![TrieNode::default()],
+            arity,
+            clause_addrs: Vec::new(),
+        };
+        for (ci, head_args) in heads.iter().enumerate() {
+            let s = first_string(head_args);
+            let mut node = 0u32;
+            for tok in s {
+                node = t.child(node, tok);
+            }
+            t.nodes[node as usize].ends.push(ci as u32);
+        }
+        t
+    }
+
+    fn child(&mut self, node: u32, tok: Cell) -> u32 {
+        match self.nodes[node as usize]
+            .children
+            .binary_search_by_key(&tok.0, |(c, _)| c.0)
+        {
+            Ok(i) => self.nodes[node as usize].children[i].1,
+            Err(i) => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(TrieNode::default());
+                self.nodes[node as usize].children.insert(i, (tok, id));
+                id
+            }
+        }
+    }
+
+    /// Clause indices in the subtree rooted at `node` (inclusive).
+    fn subtree_ends(&self, node: u32, out: &mut Vec<u32>) {
+        let n = &self.nodes[node as usize];
+        out.extend(n.ends.iter().copied());
+        for &(_, c) in &n.children {
+            self.subtree_ends(c, out);
+        }
+    }
+
+    /// Matches the trie against a call: `args` are the dereferenced
+    /// argument roots, `heap` resolves structure cells. Returns candidate
+    /// clause indices in source order.
+    pub fn lookup(&self, args: &[Cell], heap: &[Cell], deref: impl Fn(Cell) -> Cell) -> Vec<u32> {
+        let mut out = Vec::new();
+        // pre-order token stream of the call, lazily via an explicit stack
+        let mut stack: Vec<Cell> = args.iter().rev().copied().collect();
+        let mut node = 0u32;
+        loop {
+            // clauses whose string ends here match whatever remains
+            out.extend(self.nodes[node as usize].ends.iter().copied());
+            let Some(c) = stack.pop() else {
+                break; // call stream exhausted: only `ends` along the path match
+            };
+            let c = deref(c);
+            let tok = match c.tag() {
+                Tag::Ref => {
+                    // variable in the call: everything below matches
+                    let mut subtree = Vec::new();
+                    for &(_, child) in &self.nodes[node as usize].children {
+                        self.subtree_ends(child, &mut subtree);
+                    }
+                    out.extend(subtree);
+                    break;
+                }
+                Tag::Con | Tag::Int => c,
+                Tag::Str => {
+                    let pa = c.addr();
+                    let (_, n) = heap[pa].functor();
+                    for i in (1..=n).rev() {
+                        stack.push(heap[pa + i]);
+                    }
+                    heap[pa]
+                }
+                Tag::Lis => {
+                    let pa = c.addr();
+                    stack.push(heap[pa + 1]);
+                    stack.push(heap[pa]);
+                    Cell::fun(well_known::DOT, 2)
+                }
+                _ => unreachable!(),
+            };
+            match self.nodes[node as usize]
+                .children
+                .binary_search_by_key(&tok.0, |(c, _)| c.0)
+            {
+                Ok(i) => node = self.nodes[node as usize].children[i].1,
+                Err(_) => break,
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The pre-order token string of a clause head's arguments, truncated at
+/// the first variable (paper: "the traversal terminates as soon as a
+/// variable is encountered").
+pub fn first_string(args: &[Term]) -> Vec<Cell> {
+    let mut out = Vec::new();
+    let mut stack: Vec<&Term> = args.iter().rev().collect();
+    while let Some(t) = stack.pop() {
+        match t {
+            Term::Var(_) => break,
+            Term::Atom(s) => out.push(Cell::con(*s)),
+            Term::Int(i) => out.push(Cell::int(*i)),
+            Term::Compound(f, kids) => {
+                out.push(Cell::fun(*f, kids.len()));
+                for k in kids.iter().rev() {
+                    stack.push(k);
+                }
+            }
+            Term::HiLog(..) => unreachable!("HiLog encoded before compilation"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsb_syntax::{SymbolTable, Term};
+
+    /// Builds the paper's Example 4.2 predicate:
+    /// p(g(a),f(X)). p(g(a),f(a)). p(g(b),f(1)). p(g(X),Y).
+    fn example_4_2() -> (Trie, SymbolTable) {
+        let mut s = SymbolTable::new();
+        let g = s.intern("g");
+        let f = s.intern("f");
+        let a = s.intern("a");
+        let b = s.intern("b");
+        let heads: Vec<Vec<Term>> = vec![
+            vec![
+                Term::Compound(g, vec![Term::Atom(a)]),
+                Term::Compound(f, vec![Term::Var(0)]),
+            ],
+            vec![
+                Term::Compound(g, vec![Term::Atom(a)]),
+                Term::Compound(f, vec![Term::Atom(a)]),
+            ],
+            vec![
+                Term::Compound(g, vec![Term::Atom(b)]),
+                Term::Compound(f, vec![Term::Int(1)]),
+            ],
+            vec![Term::Compound(g, vec![Term::Var(0)]), Term::Var(1)],
+        ];
+        let refs: Vec<&[Term]> = heads.iter().map(|h| h.as_slice()).collect();
+        let t = Trie::build(&refs, 2);
+        // heads drop out of scope; trie owns everything it needs
+        (t, s)
+    }
+
+    #[test]
+    fn first_string_truncates_at_variable() {
+        let mut s = SymbolTable::new();
+        let g = s.intern("g");
+        let f = s.intern("f");
+        let a = s.intern("a");
+        // p(g(a), f(X)) → g/1 a f/1   (stops at X)
+        let args = vec![
+            Term::Compound(g, vec![Term::Atom(a)]),
+            Term::Compound(f, vec![Term::Var(0)]),
+        ];
+        assert_eq!(
+            first_string(&args),
+            vec![Cell::fun(g, 1), Cell::con(a), Cell::fun(f, 1)]
+        );
+    }
+
+    #[test]
+    fn ground_call_selects_exact_clauses() {
+        let (t, mut s) = example_4_2();
+        let g = s.intern("g");
+        let f = s.intern("f");
+        let a = s.intern("a");
+        // call p(g(a), f(a)): heap for g(a) and f(a)
+        let heap = vec![
+            Cell::fun(g, 1),
+            Cell::con(a),
+            Cell::fun(f, 1),
+            Cell::con(a),
+        ];
+        let hits = t.lookup(&[Cell::str(0), Cell::str(2)], &heap, |c| c);
+        // clause 0 (f(X) — string ends inside), clause 1 (exact), clause 3 (g(X))
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn call_with_variable_matches_subtree() {
+        let (t, mut s) = example_4_2();
+        let g = s.intern("g");
+        let b = s.intern("b");
+        // call p(g(b), Y): Y unbound
+        let mut heap = vec![Cell::fun(g, 1), Cell::con(b)];
+        let y = Cell::r#ref(heap.len());
+        heap.push(y);
+        let hits = t.lookup(&[Cell::str(0), y], &heap, |c| c);
+        // clause 2 (g(b),f(1)) and clause 3 (g(X),Y)
+        assert_eq!(hits, vec![2, 3]);
+    }
+
+    #[test]
+    fn all_variable_call_matches_everything() {
+        let (t, _s) = example_4_2();
+        let mut heap = Vec::new();
+        let x = Cell::r#ref(0);
+        heap.push(x);
+        let y = Cell::r#ref(1);
+        heap.push(y);
+        let hits = t.lookup(&[x, y], &heap, |c| c);
+        assert_eq!(hits, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unmatched_constant_selects_only_var_clauses() {
+        let (t, mut s) = example_4_2();
+        let g = s.intern("g");
+        let c = s.intern("zzz");
+        let heap = vec![Cell::fun(g, 1), Cell::con(c)];
+        let hits = t.lookup(&[Cell::str(0), Cell::con(c)], &heap, |cl| cl);
+        assert_eq!(hits, vec![3], "only p(g(X),Y) matches p(g(zzz),…)");
+    }
+
+    #[test]
+    fn hilog_discrimination_union_shape() {
+        // Figure 4: apply/3 facts for two different inner functors share one
+        // trie whose first level discriminates the functor argument.
+        let mut s = SymbolTable::new();
+        let p = s.intern("p");
+        let path = s.intern("path");
+        let heads: Vec<Vec<Term>> = vec![
+            vec![Term::Atom(p), Term::Var(0), Term::Var(1)],
+            vec![
+                Term::Compound(path, vec![Term::Var(0)]),
+                Term::Var(1),
+                Term::Var(2),
+            ],
+        ];
+        let refs: Vec<&[Term]> = heads.iter().map(|h| h.as_slice()).collect();
+        let t = Trie::build(&refs, 3);
+        // call apply(p, A, B)
+        let mut heap = Vec::new();
+        let a = Cell::r#ref(0);
+        heap.push(a);
+        let b = Cell::r#ref(1);
+        heap.push(b);
+        let hits = t.lookup(&[Cell::con(p), a, b], &heap, |c| c);
+        assert_eq!(hits, vec![0]);
+    }
+}

@@ -1,0 +1,1104 @@
+//! Clause compiler: AST clauses → SLG-WAM code.
+//!
+//! Standard WAM compilation — head *get* instructions, body argument *put*
+//! instructions, permanent/temporary variable classification by chunk,
+//! last-call optimization — plus:
+//!
+//! * **first-argument hash indexing** (switch_on_term/constant/structure
+//!   with compile-time hash tables) or **first-string indexing**
+//!   ([`first_string`]) per predicate (paper §4.5);
+//! * **tabled-clause endings**: tabled rules allocate an extra permanent
+//!   slot for the executing generator ([`Instr::SaveGenerator`]) and end in
+//!   [`Instr::NewAnswer`]; tabled facts end in [`Instr::NewAnswerDirect`];
+//! * **disjunction / if-then-else extraction** into auxiliary predicates
+//!   (the classic transformation; the if-then-else auxiliary is the paper's
+//!   own cut-based conditional idiom from §4.4);
+//! * the paper's compile-time check: a cut inside a tabled predicate is a
+//!   compile error, since it could close a partially computed table.
+
+pub mod first_string;
+
+use crate::cell::Cell;
+use crate::instr::{CodePtr, ConstTable, Instr, PredId, StructTable};
+use crate::program::{PredKind, Program, StaticIndex};
+use std::collections::HashMap;
+use std::rc::Rc;
+use xsb_syntax::{well_known, Clause, Sym, SymbolTable, Term};
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: m.into() })
+}
+
+/// Compiles one predicate's clauses and installs its entry point.
+/// Disjunctions are extracted into auxiliary predicates compiled alongside.
+pub fn compile_predicate(
+    db: &mut Program,
+    syms: &mut SymbolTable,
+    name: Sym,
+    arity: u16,
+    clauses: &[Clause],
+) -> Result<(), CompileError> {
+    let pred = db.ensure_pred(name, arity);
+    if matches!(db.pred(pred).kind, PredKind::Builtin(_)) {
+        return err(format!(
+            "cannot redefine builtin {}/{arity}",
+            syms.name(name)
+        ));
+    }
+    if matches!(db.pred(pred).kind, PredKind::Dynamic { .. }) {
+        return err(format!(
+            "{}/{arity} is dynamic; use assert",
+            syms.name(name)
+        ));
+    }
+    let tabled = db.pred(pred).tabled;
+
+    // 1. extract disjunctions into auxiliary predicates
+    let mut aux: Vec<(Sym, u16, Vec<Clause>)> = Vec::new();
+    let mut normd: Vec<Clause> = Vec::new();
+    for c in clauses {
+        let mut c = c.clone();
+        normalize_body(&mut c, name, syms, &mut aux)?;
+        normd.push(c);
+    }
+
+    // 2. compile each clause
+    let mut addrs: Vec<CodePtr> = Vec::with_capacity(normd.len());
+    for c in &normd {
+        let a = compile_clause(db, syms, c, arity, tabled)?;
+        addrs.push(a);
+    }
+
+    // 3. dispatch block
+    let index = db.pred(pred).static_index;
+    let entry = emit_dispatch(db, pred, arity, &normd, &addrs, tabled, index)?;
+    db.preds[pred as usize].kind = PredKind::Static {
+        entry,
+        clauses: Rc::from(addrs.into_boxed_slice()),
+    };
+
+    // 4. auxiliary predicates
+    for (aname, aarity, aclauses) in aux {
+        compile_predicate(db, syms, aname, aarity, &aclauses)?;
+    }
+    Ok(())
+}
+
+/// Compiles a query `?- G1,…,Gn` as a hidden predicate `'$query'(V0..Vk)`
+/// over the query's variables. Returns the predicate id.
+pub fn compile_query(
+    db: &mut Program,
+    syms: &mut SymbolTable,
+    goals: &[Term],
+    nvars: u32,
+) -> Result<PredId, CompileError> {
+    let qsym = syms.gensym("$query");
+    let arity = nvars as u16;
+    let head_args: Vec<Term> = (0..nvars).map(Term::Var).collect();
+    // flatten any `,`-structured goals (meta-calls pass whole conjunctions)
+    let body: Vec<Term> = goals
+        .iter()
+        .flat_map(|g| g.conjuncts().into_iter().cloned().collect::<Vec<_>>())
+        .collect();
+    let clause = Clause {
+        head: Term::compound(qsym, head_args),
+        body,
+        var_names: (0..nvars).map(|i| format!("_Q{i}")).collect(),
+    };
+    compile_predicate(db, syms, qsym, arity, &[clause])?;
+    Ok(db.lookup_pred(qsym, arity).expect("just compiled"))
+}
+
+// ---------------------------------------------------------------------
+// normalization
+// ---------------------------------------------------------------------
+
+/// Replaces `;`/`->` body goals with calls to generated auxiliary
+/// predicates, and wraps variable goals in `call/1`.
+fn normalize_body(
+    c: &mut Clause,
+    owner: Sym,
+    syms: &mut SymbolTable,
+    aux: &mut Vec<(Sym, u16, Vec<Clause>)>,
+) -> Result<(), CompileError> {
+    let mut new_body = Vec::with_capacity(c.body.len());
+    let body = std::mem::take(&mut c.body);
+    for g in body {
+        new_body.push(normalize_goal(g, owner, syms, aux)?);
+    }
+    c.body = new_body;
+    Ok(())
+}
+
+fn normalize_goal(
+    g: Term,
+    owner: Sym,
+    syms: &mut SymbolTable,
+    aux: &mut Vec<(Sym, u16, Vec<Clause>)>,
+) -> Result<Term, CompileError> {
+    match &g {
+        Term::Var(_) => Ok(Term::Compound(well_known::CALL, vec![g])),
+        Term::Int(_) => err("integer used as a goal"),
+        Term::Compound(f, args) if *f == well_known::SEMICOLON && args.len() == 2 => {
+            // collect arms of the (possibly nested) disjunction
+            let mut arms: Vec<Vec<Term>> = Vec::new();
+            collect_arms(&g, &mut arms);
+            // variables shared with the disjunction become aux arguments
+            let mut vars = Vec::new();
+            g.variables(&mut vars);
+            let aux_name = syms.gensym(&format!("{}$disj", syms.name(owner)));
+            let head_args: Vec<Term> = vars.iter().map(|&v| Term::Var(v)).collect();
+            let head = Term::compound(aux_name, head_args.clone());
+            let mut aclauses = Vec::with_capacity(arms.len());
+            for arm in arms {
+                let mut arm_norm = Vec::with_capacity(arm.len());
+                for ag in arm {
+                    arm_norm.push(normalize_goal(ag, owner, syms, aux)?);
+                }
+                aclauses.push(Clause {
+                    head: head.clone(),
+                    body: arm_norm,
+                    var_names: c_var_names(&vars),
+                });
+            }
+            aux.push((aux_name, vars.len() as u16, aclauses));
+            Ok(Term::compound(aux_name, head_args))
+        }
+        Term::Compound(f, args) if *f == well_known::ARROW && args.len() == 2 => {
+            // bare if-then == (C -> T ; fail)
+            let wrapped = Term::Compound(
+                well_known::SEMICOLON,
+                vec![g.clone(), Term::Atom(well_known::FAIL)],
+            );
+            let _ = args;
+            normalize_goal(wrapped, owner, syms, aux)
+        }
+        _ => Ok(g),
+    }
+}
+
+fn c_var_names(vars: &[u32]) -> Vec<String> {
+    let max = vars.iter().copied().max().map_or(0, |m| m + 1);
+    (0..max).map(|i| format!("_A{i}")).collect()
+}
+
+/// Flattens `(A ; B ; C)` into arms; an `->` in an arm head becomes
+/// `[Cond, !, Then]` — the paper §4.4 conditional idiom.
+fn collect_arms(g: &Term, arms: &mut Vec<Vec<Term>>) {
+    match g {
+        Term::Compound(f, args) if *f == well_known::SEMICOLON && args.len() == 2 => {
+            collect_arms(&args[0], arms);
+            collect_arms(&args[1], arms);
+        }
+        Term::Compound(f, args) if *f == well_known::ARROW && args.len() == 2 => {
+            let mut arm: Vec<Term> = args[0].conjuncts().into_iter().cloned().collect();
+            arm.push(Term::Atom(well_known::CUT));
+            arm.extend(args[1].conjuncts().into_iter().cloned());
+            arms.push(arm);
+        }
+        other => arms.push(other.conjuncts().into_iter().cloned().collect()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// clause compilation
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum VarHome {
+    Temp(u16),
+    Perm(u16),
+}
+
+struct ClauseCtx {
+    home: HashMap<u32, VarHome>,
+    /// vars whose home already holds a value
+    seen: HashMap<u32, bool>,
+    next_x: u16,
+    gen_y: Option<u16>,
+    cut_y: Option<u16>,
+    nperms: u16,
+    has_env: bool,
+}
+
+/// Is this goal a chunk boundary (clobbers X registers / continuation)?
+/// User predicates and meta-builtins clobber the continuation; CP-creating
+/// builtins (`between`, `retract`) clobber X registers on retry.
+fn goal_boundary(db: &Program, g: &Term) -> (bool, bool) {
+    // returns (is_boundary, clobbers_cont)
+    match g {
+        Term::Atom(s) if *s == well_known::TRUE || *s == well_known::FAIL => (false, false),
+        Term::Atom(s) if *s == well_known::CUT => (false, false),
+        _ => {
+            let (f, n) = match g.functor() {
+                Some(x) => x,
+                None => return (true, true),
+            };
+            match db.lookup_pred(f, n as u16).map(|p| &db.pred(p).kind) {
+                Some(PredKind::Builtin(b)) => {
+                    if b.clobbers_cont() {
+                        (true, true)
+                    } else if b.creates_cp() {
+                        (true, false)
+                    } else {
+                        (false, false)
+                    }
+                }
+                // user (or not-yet-defined) predicate: full call
+                _ => (true, true),
+            }
+        }
+    }
+}
+
+fn compile_clause(
+    db: &mut Program,
+    syms: &mut SymbolTable,
+    c: &Clause,
+    arity: u16,
+    tabled: bool,
+) -> Result<CodePtr, CompileError> {
+    // ---- analysis ----
+    let head_args: Vec<Term> = match &c.head {
+        Term::Atom(_) => vec![],
+        Term::Compound(_, args) => args.clone(),
+        _ => return err("clause head must be an atom or compound"),
+    };
+    if head_args.len() != arity as usize {
+        return err("clause arity mismatch");
+    }
+
+    let has_cut = c.body.iter().any(|g| matches!(g, Term::Atom(s) if *s == well_known::CUT));
+    if has_cut && tabled {
+        // paper §4.4: the compiler errors when a cut might close a
+        // partially computed table
+        return err(format!(
+            "cut in tabled predicate {} would cut over its own table",
+            c.head
+                .functor()
+                .map(|(f, _)| syms.name(f).to_string())
+                .unwrap_or_default()
+        ));
+    }
+
+    // chunk assignment
+    let mut chunk_of_goal: Vec<u32> = Vec::with_capacity(c.body.len());
+    let mut cur_chunk = 0u32;
+    let mut boundary_count = 0u32;
+    let mut cont_clobber_count = 0u32;
+    let mut last_cont_clobber_idx: Option<usize> = None;
+    for (i, g) in c.body.iter().enumerate() {
+        chunk_of_goal.push(cur_chunk);
+        let (boundary, clobbers) = goal_boundary(db, g);
+        if boundary {
+            cur_chunk += 1;
+            boundary_count += 1;
+        }
+        if clobbers {
+            cont_clobber_count += 1;
+            last_cont_clobber_idx = Some(i);
+        }
+    }
+
+    // variable chunk occurrence
+    let mut var_chunks: HashMap<u32, Vec<u32>> = HashMap::new();
+    {
+        let mut hv = Vec::new();
+        c.head.variables(&mut hv);
+        for v in hv {
+            var_chunks.entry(v).or_default().push(0);
+        }
+        for (i, g) in c.body.iter().enumerate() {
+            let mut gv = Vec::new();
+            g.variables(&mut gv);
+            for v in gv {
+                let ch = chunk_of_goal[i];
+                let e = var_chunks.entry(v).or_default();
+                if e.last() != Some(&ch) {
+                    e.push(ch);
+                }
+            }
+        }
+    }
+
+    let tabled_rule = tabled && boundary_count > 0;
+    // environment needed?
+    let lco_possible = !tabled
+        && cont_clobber_count > 0
+        && !c.body.is_empty()
+        && last_cont_clobber_idx == Some(c.body.len() - 1);
+    let mut nperms = 0u16;
+    let gen_y = if tabled_rule {
+        let y = nperms;
+        nperms += 1;
+        Some(y)
+    } else {
+        None
+    };
+    let cut_y = if has_cut {
+        let y = nperms;
+        nperms += 1;
+        Some(y)
+    } else {
+        None
+    };
+    let mut home: HashMap<u32, VarHome> = HashMap::new();
+    for (&v, chunks) in &var_chunks {
+        if chunks.len() > 1 {
+            home.insert(v, VarHome::Perm(nperms));
+            nperms += 1;
+        }
+    }
+
+    let needs_env = nperms > 0
+        || (cont_clobber_count > 1)
+        || (cont_clobber_count == 1 && !lco_possible && !tabled_rule)
+        || tabled_rule;
+    // note: a single trailing call with no perms runs with LCO, no env
+
+    let max_areg = {
+        let mut m = arity;
+        for g in &c.body {
+            if let Some((_, n)) = g.functor() {
+                m = m.max(n as u16);
+            }
+        }
+        m
+    };
+
+    let mut ctx = ClauseCtx {
+        home,
+        seen: HashMap::new(),
+        next_x: max_areg,
+        gen_y,
+        cut_y,
+        nperms,
+        has_env: needs_env,
+    };
+
+    // ---- emission ----
+    let entry = db.code.here();
+    if ctx.has_env {
+        db.code.emit(Instr::Allocate { nperms: ctx.nperms });
+        if let Some(y) = ctx.gen_y {
+            db.code.emit(Instr::SaveGenerator { y });
+        }
+        if let Some(y) = ctx.cut_y {
+            db.code.emit(Instr::GetLevel { y });
+        }
+    }
+
+    // head
+    for (i, t) in head_args.iter().enumerate() {
+        compile_get(db, &mut ctx, t, i as u16)?;
+    }
+
+    // body
+    let nb = c.body.len();
+    let mut clause_closed = false;
+    for (i, g) in c.body.iter().enumerate() {
+        match g {
+            Term::Atom(s) if *s == well_known::TRUE => continue,
+            Term::Atom(s) if *s == well_known::FAIL => {
+                db.code.emit(Instr::Fail);
+                clause_closed = true;
+                break;
+            }
+            Term::Atom(s) if *s == well_known::CUT => {
+                let y = ctx.cut_y.expect("cut implies cut slot");
+                db.code.emit(Instr::CutY { y });
+                continue;
+            }
+            _ => {}
+        }
+        let (f, n) = g
+            .functor()
+            .ok_or_else(|| CompileError {
+                message: "goal is not callable".into(),
+            })?;
+        let pred = db.ensure_pred(f, n as u16);
+        // put arguments
+        for (ai, at) in g.args().iter().enumerate() {
+            compile_put(db, &mut ctx, at, ai as u16)?;
+        }
+        let is_last = i == nb - 1;
+        if is_last && lco_possible && !ctx.has_env {
+            db.code.emit(Instr::Execute { pred });
+            clause_closed = true;
+        } else if is_last && lco_possible && ctx.has_env {
+            db.code.emit(Instr::Deallocate);
+            db.code.emit(Instr::Execute { pred });
+            clause_closed = true;
+        } else {
+            db.code.emit(Instr::Call { pred });
+        }
+    }
+
+    if !clause_closed {
+        if tabled {
+            if let Some(y) = ctx.gen_y {
+                db.code.emit(Instr::NewAnswer { y });
+                db.code.emit(Instr::Deallocate);
+                db.code.emit(Instr::Proceed);
+            } else {
+                db.code.emit(Instr::NewAnswerDirect);
+            }
+        } else if ctx.has_env {
+            db.code.emit(Instr::Deallocate);
+            db.code.emit(Instr::Proceed);
+        } else {
+            db.code.emit(Instr::Proceed);
+        }
+    }
+    let _ = syms;
+    Ok(entry)
+}
+
+fn fresh_x(ctx: &mut ClauseCtx) -> Result<u16, CompileError> {
+    let x = ctx.next_x;
+    // deep ground structures (e.g. long list facts) use one temporary per
+    // nested cell; the machine provides MAX_X registers
+    if x as usize >= crate::machine::MAX_X {
+        return err("clause too large: X register overflow");
+    }
+    ctx.next_x += 1;
+    Ok(x)
+}
+
+fn var_home(ctx: &mut ClauseCtx, v: u32) -> Result<VarHome, CompileError> {
+    if let Some(&h) = ctx.home.get(&v) {
+        return Ok(h);
+    }
+    let x = fresh_x(ctx)?;
+    let h = VarHome::Temp(x);
+    ctx.home.insert(v, h);
+    Ok(h)
+}
+
+fn const_cell(t: &Term) -> Option<Cell> {
+    match t {
+        Term::Atom(s) => Some(Cell::con(*s)),
+        Term::Int(i) => Some(Cell::int(*i)),
+        _ => None,
+    }
+}
+
+/// Head argument compilation (get/unify instructions).
+fn compile_get(
+    db: &mut Program,
+    ctx: &mut ClauseCtx,
+    t: &Term,
+    a: u16,
+) -> Result<(), CompileError> {
+    match t {
+        Term::Var(v) => {
+            let h = var_home(ctx, *v)?;
+            let first = !ctx.seen.contains_key(v);
+            ctx.seen.insert(*v, true);
+            match (h, first) {
+                (VarHome::Temp(x), true) => db.code.emit(Instr::GetVariableX { x, a }),
+                (VarHome::Perm(y), true) => db.code.emit(Instr::GetVariableY { y, a }),
+                (VarHome::Temp(x), false) => db.code.emit(Instr::GetValueX { x, a }),
+                (VarHome::Perm(y), false) => db.code.emit(Instr::GetValueY { y, a }),
+            };
+        }
+        Term::Atom(_) | Term::Int(_) => {
+            let c = const_cell(t).expect("constant");
+            db.code.emit(Instr::GetConstant { c, a });
+        }
+        Term::Compound(f, args) if *f == well_known::DOT && args.len() == 2 => {
+            db.code.emit(Instr::GetList { a });
+            let pending = emit_unify_args(db, ctx, args)?;
+            resolve_pending(db, ctx, pending)?;
+        }
+        Term::Compound(f, args) => {
+            db.code.emit(Instr::GetStructure {
+                f: *f,
+                n: args.len() as u16,
+                a,
+            });
+            let pending = emit_unify_args(db, ctx, args)?;
+            resolve_pending(db, ctx, pending)?;
+        }
+        Term::HiLog(..) => unreachable!("HiLog encoded before compilation"),
+    }
+    Ok(())
+}
+
+/// Emits unify instructions for a structure's arguments, returning nested
+/// compounds to process afterwards (breadth-first, as in the WAM).
+fn emit_unify_args(
+    db: &mut Program,
+    ctx: &mut ClauseCtx,
+    args: &[Term],
+) -> Result<Vec<(u16, Term)>, CompileError> {
+    let mut pending = Vec::new();
+    for sub in args {
+        match sub {
+            Term::Var(v) => {
+                let h = var_home(ctx, *v)?;
+                let first = !ctx.seen.contains_key(v);
+                ctx.seen.insert(*v, true);
+                match (h, first) {
+                    (VarHome::Temp(x), true) => db.code.emit(Instr::UnifyVariableX { x }),
+                    (VarHome::Perm(y), true) => db.code.emit(Instr::UnifyVariableY { y }),
+                    (VarHome::Temp(x), false) => db.code.emit(Instr::UnifyValueX { x }),
+                    (VarHome::Perm(y), false) => db.code.emit(Instr::UnifyValueY { y }),
+                };
+            }
+            Term::Atom(_) | Term::Int(_) => {
+                let c = const_cell(sub).expect("constant");
+                db.code.emit(Instr::UnifyConstant { c });
+            }
+            compound => {
+                let x = fresh_x(ctx)?;
+                db.code.emit(Instr::UnifyVariableX { x });
+                pending.push((x, compound.clone()));
+            }
+        }
+    }
+    Ok(pending)
+}
+
+fn resolve_pending(
+    db: &mut Program,
+    ctx: &mut ClauseCtx,
+    pending: Vec<(u16, Term)>,
+) -> Result<(), CompileError> {
+    for (x, t) in pending {
+        compile_get(db, ctx, &t, x)?;
+    }
+    Ok(())
+}
+
+/// Body argument compilation (put instructions). Builds term `t` into
+/// argument register `a`.
+fn compile_put(
+    db: &mut Program,
+    ctx: &mut ClauseCtx,
+    t: &Term,
+    a: u16,
+) -> Result<(), CompileError> {
+    match t {
+        Term::Var(v) => {
+            let h = var_home(ctx, *v)?;
+            let first = !ctx.seen.contains_key(v);
+            ctx.seen.insert(*v, true);
+            match (h, first) {
+                (VarHome::Temp(x), true) => db.code.emit(Instr::PutVariableX { x, a }),
+                (VarHome::Perm(y), true) => db.code.emit(Instr::PutVariableY { y, a }),
+                (VarHome::Temp(x), false) => db.code.emit(Instr::PutValueX { x, a }),
+                (VarHome::Perm(y), false) => db.code.emit(Instr::PutValueY { y, a }),
+            };
+        }
+        Term::Atom(_) | Term::Int(_) => {
+            let c = const_cell(t).expect("constant");
+            db.code.emit(Instr::PutConstant { c, a });
+        }
+        Term::Compound(f, args) => {
+            // build nested compounds into temporaries first (post-order)
+            let mut built: Vec<Option<u16>> = Vec::with_capacity(args.len());
+            for sub in args {
+                match sub {
+                    Term::Compound(..) => {
+                        let x = fresh_x(ctx)?;
+                        compile_put(db, ctx, sub, x)?;
+                        built.push(Some(x));
+                    }
+                    _ => built.push(None),
+                }
+            }
+            if *f == well_known::DOT && args.len() == 2 {
+                db.code.emit(Instr::PutList { a });
+            } else {
+                db.code.emit(Instr::PutStructure {
+                    f: *f,
+                    n: args.len() as u16,
+                    a,
+                });
+            }
+            for (sub, b) in args.iter().zip(built) {
+                match (sub, b) {
+                    (_, Some(x)) => {
+                        db.code.emit(Instr::UnifyValueX { x });
+                    }
+                    (Term::Var(v), None) => {
+                        let h = var_home(ctx, *v)?;
+                        let first = !ctx.seen.contains_key(v);
+                        ctx.seen.insert(*v, true);
+                        match (h, first) {
+                            (VarHome::Temp(x), true) => {
+                                db.code.emit(Instr::UnifyVariableX { x })
+                            }
+                            (VarHome::Perm(y), true) => {
+                                db.code.emit(Instr::UnifyVariableY { y })
+                            }
+                            (VarHome::Temp(x), false) => {
+                                db.code.emit(Instr::UnifyValueX { x })
+                            }
+                            (VarHome::Perm(y), false) => {
+                                db.code.emit(Instr::UnifyValueY { y })
+                            }
+                        };
+                    }
+                    (konst, None) => {
+                        let c = const_cell(konst).expect("constant");
+                        db.code.emit(Instr::UnifyConstant { c });
+                    }
+                }
+            }
+        }
+        Term::HiLog(..) => unreachable!("HiLog encoded before compilation"),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// dispatch / indexing
+// ---------------------------------------------------------------------
+
+/// First-argument pattern of a clause head, for hash indexing.
+#[derive(Clone, Debug, PartialEq)]
+enum Arg0 {
+    Var,
+    Const(Cell),
+    List,
+    Struct(Sym, u16),
+}
+
+fn arg0_of(c: &Clause) -> Arg0 {
+    match c.head.args().first() {
+        None | Some(Term::Var(_)) => Arg0::Var,
+        Some(Term::Atom(s)) => Arg0::Const(Cell::con(*s)),
+        Some(Term::Int(i)) => Arg0::Const(Cell::int(*i)),
+        Some(Term::Compound(f, args)) if *f == well_known::DOT && args.len() == 2 => Arg0::List,
+        Some(Term::Compound(f, args)) => Arg0::Struct(*f, args.len() as u16),
+        Some(Term::HiLog(..)) => unreachable!(),
+    }
+}
+
+fn emit_dispatch(
+    db: &mut Program,
+    pred: PredId,
+    arity: u16,
+    clauses: &[Clause],
+    addrs: &[CodePtr],
+    tabled: bool,
+    index: StaticIndex,
+) -> Result<CodePtr, CompileError> {
+    if tabled {
+        return Ok(db.code.emit(Instr::TableCall { pred, arity }));
+    }
+    match addrs.len() {
+        0 => Ok(db.snippets.fail),
+        1 => Ok(addrs[0]),
+        _ => match index {
+            StaticIndex::FirstString => {
+                let heads: Vec<&[Term]> = clauses.iter().map(|c| c.head.args()).collect();
+                let mut trie = first_string::Trie::build(&heads, arity);
+                trie.clause_addrs = addrs.to_vec();
+                let tid = db.code.add_trie(trie);
+                Ok(db.code.emit(Instr::TrieDispatch { trie: tid, arity }))
+            }
+            StaticIndex::Hash => {
+                if arity == 0 {
+                    return Ok(emit_chain(db, addrs, arity));
+                }
+                emit_hash_dispatch(db, arity, clauses, addrs)
+            }
+        },
+    }
+}
+
+/// Emits a try/retry/trust chain over `addrs`; single clause jumps direct.
+fn emit_chain(db: &mut Program, addrs: &[CodePtr], arity: u16) -> CodePtr {
+    match addrs.len() {
+        0 => db.snippets.fail,
+        1 => addrs[0],
+        _ => {
+            let start = db.code.here();
+            db.code.emit(Instr::Try {
+                target: addrs[0],
+                arity,
+            });
+            for &a in &addrs[1..addrs.len() - 1] {
+                db.code.emit(Instr::Retry { target: a });
+            }
+            db.code.emit(Instr::Trust {
+                target: addrs[addrs.len() - 1],
+            });
+            start
+        }
+    }
+}
+
+fn emit_hash_dispatch(
+    db: &mut Program,
+    arity: u16,
+    clauses: &[Clause],
+    addrs: &[CodePtr],
+) -> Result<CodePtr, CompileError> {
+    let pats: Vec<Arg0> = clauses.iter().map(arg0_of).collect();
+
+    let all: Vec<CodePtr> = addrs.to_vec();
+    let var_only: Vec<CodePtr> = pats
+        .iter()
+        .zip(addrs)
+        .filter(|(p, _)| **p == Arg0::Var)
+        .map(|(_, &a)| a)
+        .collect();
+
+    let var_chain = emit_chain(db, &all, arity);
+    let miss_chain = emit_chain(db, &var_only, arity);
+
+    // constants
+    let mut const_keys: Vec<Cell> = Vec::new();
+    for p in &pats {
+        if let Arg0::Const(c) = p {
+            if !const_keys.contains(c) {
+                const_keys.push(*c);
+            }
+        }
+    }
+    let mut con_table = ConstTable {
+        map: HashMap::with_capacity(const_keys.len()),
+        miss: miss_chain,
+    };
+    for key in const_keys {
+        let bucket: Vec<CodePtr> = pats
+            .iter()
+            .zip(addrs)
+            .filter(|(p, _)| matches!(p, Arg0::Const(c) if *c == key) || **p == Arg0::Var)
+            .map(|(_, &a)| a)
+            .collect();
+        con_table.map.insert(key, emit_chain(db, &bucket, arity));
+    }
+    let con = db.code.add_const_table(con_table);
+
+    // structures
+    let mut str_keys: Vec<(Sym, u16)> = Vec::new();
+    for p in &pats {
+        if let Arg0::Struct(f, n) = p {
+            if !str_keys.contains(&(*f, *n)) {
+                str_keys.push((*f, *n));
+            }
+        }
+    }
+    let mut str_table = StructTable {
+        map: HashMap::with_capacity(str_keys.len()),
+        miss: miss_chain,
+    };
+    for key in str_keys {
+        let bucket: Vec<CodePtr> = pats
+            .iter()
+            .zip(addrs)
+            .filter(|(p, _)| matches!(p, Arg0::Struct(f, n) if (*f, *n) == key) || **p == Arg0::Var)
+            .map(|(_, &a)| a)
+            .collect();
+        str_table.map.insert(key, emit_chain(db, &bucket, arity));
+    }
+    let strt = db.code.add_struct_table(str_table);
+
+    // lists
+    let lis_bucket: Vec<CodePtr> = pats
+        .iter()
+        .zip(addrs)
+        .filter(|(p, _)| **p == Arg0::List || **p == Arg0::Var)
+        .map(|(_, &a)| a)
+        .collect();
+    let lis = emit_chain(db, &lis_bucket, arity);
+
+    Ok(db.code.emit(Instr::SwitchOnTerm {
+        var: var_chain,
+        con,
+        lis,
+        str: strt,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsb_syntax::{parse_program, Item, OpTable};
+
+    fn compile_src(src: &str) -> (Program, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let mut groups: HashMap<(Sym, u16), Vec<Clause>> = HashMap::new();
+        let mut order: Vec<(Sym, u16)> = Vec::new();
+        for it in items {
+            match it {
+                Item::Clause(c) => {
+                    let (f, n) = c.head.functor().unwrap();
+                    let k = (f, n as u16);
+                    if !groups.contains_key(&k) {
+                        order.push(k);
+                    }
+                    groups.entry(k).or_default().push(c);
+                }
+                Item::Directive(d) => {
+                    // handle `table p/n` for tests
+                    if let Term::Compound(f, args) = &d {
+                        if *f == well_known::TABLE {
+                            let (s, n) =
+                                crate::program::pred_indicator(&args[0]).unwrap();
+                            db.declare_tabled(s, n).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        for k in order {
+            let cs = groups.remove(&k).unwrap();
+            compile_predicate(&mut db, &mut syms, k.0, k.1, &cs).unwrap();
+        }
+        (db, syms)
+    }
+
+    fn entry_of(db: &Program, syms: &SymbolTable, name: &str, arity: u16) -> CodePtr {
+        let s = syms.lookup(name).unwrap();
+        let id = db.lookup_pred(s, arity).unwrap();
+        match &db.pred(id).kind {
+            PredKind::Static { entry, .. } => *entry,
+            other => panic!("expected static pred, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fact_compiles_to_gets_and_proceed() {
+        let (db, syms) = compile_src("edge(1,2).");
+        let e = entry_of(&db, &syms, "edge", 2);
+        assert_eq!(
+            db.code.code[e as usize],
+            Instr::GetConstant {
+                c: Cell::int(1),
+                a: 0
+            }
+        );
+        assert_eq!(
+            db.code.code[e as usize + 1],
+            Instr::GetConstant {
+                c: Cell::int(2),
+                a: 1
+            }
+        );
+        assert_eq!(db.code.code[e as usize + 2], Instr::Proceed);
+    }
+
+    #[test]
+    fn chain_rule_uses_lco_without_env() {
+        let (db, syms) = compile_src("p(X) :- q(X).\nq(1).");
+        let e = entry_of(&db, &syms, "p", 1) as usize;
+        // GetVariableX, PutValueX, Execute — no Allocate
+        assert!(matches!(db.code.code[e], Instr::GetVariableX { .. }));
+        assert!(matches!(db.code.code[e + 1], Instr::PutValueX { .. }));
+        assert!(matches!(db.code.code[e + 2], Instr::Execute { .. }));
+    }
+
+    #[test]
+    fn two_calls_need_environment_and_perm_var() {
+        let (db, syms) = compile_src("p(X,Y) :- q(X,Z), r(Z,Y).\nq(1,2).\nr(2,3).");
+        let e = entry_of(&db, &syms, "p", 2) as usize;
+        match db.code.code[e] {
+            Instr::Allocate { nperms } => {
+                // Z and Y cross the first call: both permanent
+                assert_eq!(nperms, 2);
+            }
+            ref other => panic!("expected Allocate, got {other:?}"),
+        }
+        // ends with Deallocate+Execute (LCO on last call)
+        let has_dealloc_exec = db.code.code[e..]
+            .windows(2)
+            .any(|w| matches!(w, [Instr::Deallocate, Instr::Execute { .. }]));
+        assert!(has_dealloc_exec);
+    }
+
+    #[test]
+    fn multiple_clauses_get_switch_on_term() {
+        let (db, syms) = compile_src("t(a). t(b). t(c).");
+        let e = entry_of(&db, &syms, "t", 1) as usize;
+        match db.code.code[e] {
+            Instr::SwitchOnTerm { con, .. } => {
+                let table = &db.code.const_tables[con as usize];
+                assert_eq!(table.map.len(), 3);
+                // each constant bucket is deterministic: direct clause addr
+                for &addr in table.map.values() {
+                    assert!(
+                        !matches!(db.code.code[addr as usize], Instr::Try { .. }),
+                        "single-clause buckets must not push choice points"
+                    );
+                }
+            }
+            ref other => panic!("expected SwitchOnTerm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_headed_clause_appears_in_const_buckets() {
+        let (db, syms) = compile_src("t(a). t(X) :- q(X).\nq(1).");
+        let e = entry_of(&db, &syms, "t", 1) as usize;
+        match db.code.code[e] {
+            Instr::SwitchOnTerm { con, .. } => {
+                let table = &db.code.const_tables[con as usize];
+                // bucket for 'a' has two candidates → chain
+                let a = syms.lookup("a").unwrap();
+                let baddr = table.map[&Cell::con(a)];
+                assert!(matches!(db.code.code[baddr as usize], Instr::Try { .. }));
+                // miss chain exists (the var clause)
+                assert!(
+                    !matches!(db.code.code[table.miss as usize], Instr::Fail),
+                    "unknown constants still try the var-headed clause"
+                );
+            }
+            ref other => panic!("expected SwitchOnTerm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tabled_predicate_entry_is_tablecall() {
+        let (db, syms) = compile_src(
+            ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\nedge(1,2).",
+        );
+        let e = entry_of(&db, &syms, "path", 2) as usize;
+        assert!(matches!(db.code.code[e], Instr::TableCall { .. }));
+        let s = syms.lookup("path").unwrap();
+        let id = db.lookup_pred(s, 2).unwrap();
+        match &db.pred(id).kind {
+            PredKind::Static { clauses, .. } => assert_eq!(clauses.len(), 2),
+            _ => panic!(),
+        }
+        // rule clauses contain SaveGenerator and NewAnswer
+        let code_str = format!("{:?}", db.code.code);
+        assert!(code_str.contains("SaveGenerator"));
+        assert!(code_str.contains("NewAnswer"));
+    }
+
+    #[test]
+    fn tabled_fact_uses_new_answer_direct() {
+        let (db, _syms) = compile_src(":- table e/2.\ne(1,2). e(2,3).");
+        let code_str = format!("{:?}", db.code.code);
+        assert!(code_str.contains("NewAnswerDirect"));
+    }
+
+    #[test]
+    fn cut_in_tabled_predicate_is_a_compile_error() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        let ops = OpTable::standard();
+        let items = parse_program("p(X) :- q(X), !.", &mut syms, &ops).unwrap();
+        let c = match &items[0] {
+            Item::Clause(c) => c.clone(),
+            _ => panic!(),
+        };
+        let p = syms.lookup("p").unwrap();
+        db.declare_tabled(p, 1).unwrap();
+        assert!(compile_predicate(&mut db, &mut syms, p, 1, &[c]).is_err());
+    }
+
+    #[test]
+    fn cut_allocates_level_slot() {
+        let (db, syms) =
+            compile_src("transform_null(null, unknown) :- !.\ntransform_null(X,X).");
+        let e = entry_of(&db, &syms, "transform_null", 2);
+        // entry is a switch; find the first clause: Allocate + GetLevel
+        let code_str = format!("{:?}", &db.code.code[..]);
+        assert!(code_str.contains("GetLevel"));
+        assert!(code_str.contains("CutY"));
+        let _ = e;
+    }
+
+    #[test]
+    fn disjunction_extracted_to_aux_predicate() {
+        let (db, syms) = compile_src("p(X) :- (X = 1 ; X = 2).");
+        // an aux predicate was created and compiled
+        let found = db
+            .pred_map
+            .keys()
+            .any(|(s, _)| syms.name(*s).contains("$disj"));
+        assert!(found, "expected a $disj auxiliary predicate");
+    }
+
+    #[test]
+    fn if_then_else_compiles_with_cut_arm() {
+        let (db, syms) = compile_src("max(X,Y,Z) :- (X >= Y -> Z = X ; Z = Y).");
+        let found = db
+            .pred_map
+            .keys()
+            .any(|(s, _)| syms.name(*s).contains("$disj"));
+        assert!(found);
+        let code_str = format!("{:?}", db.code.code);
+        assert!(code_str.contains("CutY"), "if-then-else arm uses cut");
+    }
+
+    #[test]
+    fn first_string_index_emits_trie_dispatch() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        let ops = OpTable::standard();
+        let items =
+            parse_program("p(g(a),f(X)). p(g(a),f(a)). p(g(b),f(1)). p(g(X),Y).", &mut syms, &ops)
+                .unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .map(|i| match i {
+                Item::Clause(c) => c,
+                _ => panic!(),
+            })
+            .collect();
+        let p = syms.lookup("p").unwrap();
+        let id = db.ensure_pred(p, 2);
+        db.preds[id as usize].static_index = StaticIndex::FirstString;
+        compile_predicate(&mut db, &mut syms, p, 2, &clauses).unwrap();
+        let e = entry_of(&db, &syms, "p", 2) as usize;
+        assert!(matches!(db.code.code[e], Instr::TrieDispatch { .. }));
+        assert_eq!(db.code.tries.len(), 1);
+    }
+
+    #[test]
+    fn variable_goal_wrapped_in_call() {
+        let (db, syms) = compile_src("do(G) :- G.");
+        let e = entry_of(&db, &syms, "do", 1) as usize;
+        let end = (e + 4).min(db.code.code.len());
+        let code = &db.code.code[e..end];
+        let has_call_pred = code.iter().any(|i| {
+            if let Instr::Execute { pred } | Instr::Call { pred } = i {
+                syms.name(db.pred(*pred).name) == "call"
+            } else {
+                false
+            }
+        });
+        assert!(has_call_pred, "variable goal compiles to call/1: {code:?}");
+    }
+
+    #[test]
+    fn query_compilation() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        let ops = OpTable::standard();
+        let items = parse_program("edge(1,2).", &mut syms, &ops).unwrap();
+        if let Item::Clause(c) = &items[0] {
+            let (f, n) = c.head.functor().unwrap();
+            compile_predicate(&mut db, &mut syms, f, n as u16, &[c.clone()]).unwrap();
+        }
+        let q = xsb_syntax::parse_query("edge(X, Y)", &mut syms, &ops).unwrap();
+        let pid = compile_query(&mut db, &mut syms, &q.goals, 2).unwrap();
+        assert!(matches!(db.pred(pid).kind, PredKind::Static { .. }));
+        assert_eq!(db.pred(pid).arity, 2);
+    }
+}

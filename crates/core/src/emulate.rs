@@ -1,0 +1,1642 @@
+//! The SLG-WAM emulator (paper §3.2).
+//!
+//! [`Machine::run`] is the instruction loop; [`Machine::backtrack`] is the
+//! failure path, which doubles as the SLG scheduler: generator choice
+//! points step through program clauses and then *check completion*;
+//! consumer choice points return unconsumed answers or suspend; a leader
+//! whose fixpoint check finds no unconsumed answers completes its whole
+//! SCC, schedules negation/`tfindall` suspensions, and releases the freeze
+//! registers. Scheduling is *batched*: `new_answer` returns answers to the
+//! caller eagerly, and suspended consumers are resumed from the completing
+//! leader via [`Machine::switch_environments`].
+
+use crate::builtins::{exec_builtin, BAction};
+use crate::cell::{Cell, Tag};
+use crate::compile::compile_query;
+use crate::error::EngineError;
+use crate::instr::{CodePtr, Instr, PredId};
+use crate::machine::{Alt, Machine, NONE};
+use crate::program::PredKind;
+use crate::table::{GenMode, NegMode, NegSusp, SubgoalState};
+use std::rc::Rc;
+use xsb_syntax::{well_known, SymbolTable};
+
+/// Result of running the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// the query succeeded; bindings are live in the machine
+    Solution,
+    /// no (more) solutions
+    Exhausted,
+}
+
+/// Result of the backtracking scheduler.
+enum Bt {
+    /// execution resumed; continue the instruction loop
+    Resumed,
+    /// every choice point is exhausted
+    NoMore,
+}
+
+/// What a dispatch did.
+enum Disp {
+    Ok,
+    Failed,
+}
+
+impl Machine<'_> {
+    /// Prepares the machine to run query predicate `qpred` (compiled by
+    /// [`compile_query`]) with `nvars` fresh variables, returning their
+    /// heap cells in order.
+    pub fn setup_query(&mut self, qpred: PredId, nvars: u32) -> Vec<Cell> {
+        let mut vars = Vec::with_capacity(nvars as usize);
+        for i in 0..nvars {
+            let v = self.new_var();
+            self.x[i as usize] = v;
+            vars.push(v);
+        }
+        self.push_cp(nvars as u16, Alt::Query);
+        self.cont = self.db.snippets.halt;
+        self.b0 = self.b;
+        let entry = match &self.db.pred(qpred).kind {
+            PredKind::Static { entry, .. } => *entry,
+            _ => unreachable!("query predicate is compiled static code"),
+        };
+        self.p = entry;
+        vars
+    }
+
+    /// Resumes after a reported solution: backtrack into the remaining
+    /// alternatives, then continue running.
+    pub fn next_solution(&mut self, syms: &mut SymbolTable) -> Result<Outcome, EngineError> {
+        match self.backtrack(syms)? {
+            Bt::NoMore => Ok(Outcome::Exhausted),
+            Bt::Resumed => self.run(syms),
+        }
+    }
+
+    /// The instruction loop.
+    pub fn run(&mut self, syms: &mut SymbolTable) -> Result<Outcome, EngineError> {
+        macro_rules! fail {
+            () => {
+                match self.backtrack(syms)? {
+                    Bt::Resumed => continue,
+                    Bt::NoMore => return Ok(Outcome::Exhausted),
+                }
+            };
+        }
+        loop {
+            self.stats.instrs += 1;
+            if let Some(limit) = self.step_limit {
+                if self.stats.instrs > limit {
+                    return Err(EngineError::StepLimit);
+                }
+            }
+            let instr = self.db.code.code[self.p as usize].clone();
+            self.p += 1;
+            match instr {
+                // ---- get ----
+                Instr::GetVariableX { x, a } => self.x[x as usize] = self.x[a as usize],
+                Instr::GetVariableY { y, a } => {
+                    let v = self.x[a as usize];
+                    self.set_y(y, v);
+                }
+                Instr::GetValueX { x, a } => {
+                    let (u, v) = (self.x[x as usize], self.x[a as usize]);
+                    if !self.unify(u, v) {
+                        fail!();
+                    }
+                }
+                Instr::GetValueY { y, a } => {
+                    let (u, v) = (self.get_y(y), self.x[a as usize]);
+                    if !self.unify(u, v) {
+                        fail!();
+                    }
+                }
+                Instr::GetConstant { c, a } => {
+                    let d = self.deref(self.x[a as usize]);
+                    match d.tag() {
+                        Tag::Ref => self.bind(d.addr(), c),
+                        _ if d == c => {}
+                        _ => fail!(),
+                    }
+                }
+                Instr::GetStructure { f, n, a } => {
+                    let d = self.deref(self.x[a as usize]);
+                    match d.tag() {
+                        Tag::Ref => {
+                            let base = self.heap.len();
+                            self.heap.push(Cell::fun(f, n as usize));
+                            self.bind(d.addr(), Cell::str(base));
+                            self.write_mode = true;
+                        }
+                        Tag::Str => {
+                            let pa = d.addr();
+                            if self.heap[pa] != Cell::fun(f, n as usize) {
+                                fail!();
+                            }
+                            self.s = pa + 1;
+                            self.write_mode = false;
+                        }
+                        Tag::Lis if f == well_known::DOT && n == 2 => {
+                            self.s = d.addr();
+                            self.write_mode = false;
+                        }
+                        _ => fail!(),
+                    }
+                }
+                Instr::GetList { a } => {
+                    let d = self.deref(self.x[a as usize]);
+                    match d.tag() {
+                        Tag::Ref => {
+                            let base = self.heap.len();
+                            self.bind(d.addr(), Cell::lis(base));
+                            self.write_mode = true;
+                        }
+                        Tag::Lis => {
+                            self.s = d.addr();
+                            self.write_mode = false;
+                        }
+                        Tag::Str => {
+                            let pa = d.addr();
+                            if self.heap[pa] != Cell::fun(well_known::DOT, 2) {
+                                fail!();
+                            }
+                            self.s = pa + 1;
+                            self.write_mode = false;
+                        }
+                        _ => fail!(),
+                    }
+                }
+
+                // ---- unify ----
+                Instr::UnifyVariableX { x } => {
+                    if self.write_mode {
+                        let v = self.new_var();
+                        self.x[x as usize] = v;
+                    } else {
+                        self.x[x as usize] = self.heap[self.s];
+                        self.s += 1;
+                    }
+                }
+                Instr::UnifyVariableY { y } => {
+                    if self.write_mode {
+                        let v = self.new_var();
+                        self.set_y(y, v);
+                    } else {
+                        let v = self.heap[self.s];
+                        self.s += 1;
+                        self.set_y(y, v);
+                    }
+                }
+                Instr::UnifyValueX { x } => {
+                    if self.write_mode {
+                        let v = self.x[x as usize];
+                        self.heap.push(v);
+                    } else {
+                        let (u, v) = (self.x[x as usize], self.heap[self.s]);
+                        self.s += 1;
+                        if !self.unify(u, v) {
+                            fail!();
+                        }
+                    }
+                }
+                Instr::UnifyValueY { y } => {
+                    if self.write_mode {
+                        let v = self.get_y(y);
+                        self.heap.push(v);
+                    } else {
+                        let (u, v) = (self.get_y(y), self.heap[self.s]);
+                        self.s += 1;
+                        if !self.unify(u, v) {
+                            fail!();
+                        }
+                    }
+                }
+                Instr::UnifyConstant { c } => {
+                    if self.write_mode {
+                        self.heap.push(c);
+                    } else {
+                        let d = self.deref(self.heap[self.s]);
+                        self.s += 1;
+                        match d.tag() {
+                            Tag::Ref => self.bind(d.addr(), c),
+                            _ if d == c => {}
+                            _ => fail!(),
+                        }
+                    }
+                }
+                Instr::UnifyVoid { n } => {
+                    if self.write_mode {
+                        for _ in 0..n {
+                            self.new_var();
+                        }
+                    } else {
+                        self.s += n as usize;
+                    }
+                }
+
+                // ---- put ----
+                Instr::PutVariableX { x, a } => {
+                    let v = self.new_var();
+                    self.x[x as usize] = v;
+                    self.x[a as usize] = v;
+                }
+                Instr::PutVariableY { y, a } => {
+                    let v = self.new_var();
+                    self.set_y(y, v);
+                    self.x[a as usize] = v;
+                }
+                Instr::PutValueX { x, a } => self.x[a as usize] = self.x[x as usize],
+                Instr::PutValueY { y, a } => self.x[a as usize] = self.get_y(y),
+                Instr::PutConstant { c, a } => self.x[a as usize] = c,
+                Instr::PutStructure { f, n, a } => {
+                    let base = self.heap.len();
+                    self.heap.push(Cell::fun(f, n as usize));
+                    self.x[a as usize] = Cell::str(base);
+                    self.write_mode = true;
+                }
+                Instr::PutList { a } => {
+                    let base = self.heap.len();
+                    self.x[a as usize] = Cell::lis(base);
+                    self.write_mode = true;
+                }
+
+                // ---- control ----
+                Instr::Allocate { nperms } => self.allocate(nperms),
+                Instr::Deallocate => self.deallocate(),
+                Instr::Call { pred } => match self.dispatch(pred, syms, false)? {
+                    Disp::Ok => {}
+                    Disp::Failed => fail!(),
+                },
+                Instr::Execute { pred } => match self.dispatch(pred, syms, true)? {
+                    Disp::Ok => {}
+                    Disp::Failed => fail!(),
+                },
+                Instr::Proceed => self.p = self.cont,
+                Instr::Fail => fail!(),
+
+                // ---- choice ----
+                Instr::Try { target, arity } => {
+                    let next = self.p; // the following Retry/Trust
+                    self.push_cp(arity, Alt::Code(next));
+                    self.p = target;
+                }
+                Instr::Retry { target } => {
+                    // reached only via backtracking: Alt::Code pointed here
+                    let next = self.p;
+                    self.cps[self.b as usize].alt = Alt::Code(next);
+                    self.p = target;
+                }
+                Instr::Trust { target } => {
+                    let prev = self.cps[self.b as usize].prev;
+                    self.b = prev;
+                    self.p = target;
+                }
+                Instr::TryMeElse { .. } | Instr::RetryMeElse { .. } | Instr::TrustMe => {
+                    unreachable!("sequential chain instructions are not emitted")
+                }
+
+                // ---- indexing ----
+                Instr::SwitchOnTerm { var, con, lis, str } => {
+                    let d = self.deref(self.x[0]);
+                    self.p = match d.tag() {
+                        Tag::Ref => var,
+                        Tag::Con | Tag::Int => {
+                            let t = &self.db.code.const_tables[con as usize];
+                            t.map.get(&d).copied().unwrap_or(t.miss)
+                        }
+                        Tag::Lis => lis,
+                        Tag::Str => {
+                            let (f, n) = self.functor_of(d);
+                            if f == well_known::DOT && n == 2 {
+                                lis
+                            } else {
+                                let t = &self.db.code.struct_tables[str as usize];
+                                t.map.get(&(f, n as u16)).copied().unwrap_or(t.miss)
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    if matches!(self.db.code.code[self.p as usize], Instr::Fail) {
+                        fail!();
+                    }
+                }
+                Instr::TrieDispatch { trie, arity } => {
+                    let args = &self.x[..arity as usize];
+                    let t = &self.db.code.tries[trie as usize];
+                    // manual deref closure over the heap
+                    let heap = &self.heap;
+                    let cands = t.lookup(args, heap, |mut c| loop {
+                        if c.tag() != Tag::Ref {
+                            return c;
+                        }
+                        let v = heap[c.addr()];
+                        if v == c {
+                            return c;
+                        }
+                        c = v;
+                    });
+                    let addrs: Vec<CodePtr> =
+                        cands.iter().map(|&i| t.clause_addrs[i as usize]).collect();
+                    match addrs.len() {
+                        0 => fail!(),
+                        1 => self.p = addrs[0],
+                        _ => {
+                            let first = addrs[0];
+                            self.push_cp(
+                                arity,
+                                Alt::StaticList {
+                                    list: Rc::from(&addrs[1..]),
+                                    idx: 0,
+                                },
+                            );
+                            self.p = first;
+                        }
+                    }
+                }
+
+                // ---- cut ----
+                Instr::GetLevel { y } => {
+                    let b0 = self.b0;
+                    self.set_y(y, Cell::int(b0 as i64));
+                }
+                Instr::CutY { y } => {
+                    let target = self.get_y(y).int_value() as u32;
+                    self.cut_to(target, syms)?;
+                }
+
+                // ---- tabling ----
+                Instr::TableCall { pred, arity } => {
+                    match self.table_call(pred, arity, syms)? {
+                        Disp::Ok => {}
+                        Disp::Failed => fail!(),
+                    }
+                }
+                Instr::SaveGenerator { y } => {
+                    let g = self.executing_gen;
+                    self.set_y(y, Cell::int(g as i64));
+                }
+                Instr::NewAnswer { y } => {
+                    let gen = self.get_y(y).int_value() as u32;
+                    match self.new_answer(gen, syms)? {
+                        Disp::Ok => {} // falls through to Deallocate; Proceed
+                        Disp::Failed => fail!(),
+                    }
+                }
+                Instr::NewAnswerDirect => {
+                    let gen = self.executing_gen;
+                    match self.new_answer(gen, syms)? {
+                        Disp::Ok => self.p = self.cont,
+                        Disp::Failed => fail!(),
+                    }
+                }
+
+                // ---- snippets ----
+                Instr::FindallCollect => {
+                    let rec = self.findalls.last().expect("active findall");
+                    let template = rec.template;
+                    let mut vars = Vec::new();
+                    let canon = self.canonicalize(&[template], &mut vars);
+                    self.findalls
+                        .last_mut()
+                        .expect("active findall")
+                        .solutions
+                        .push(canon);
+                    // next instruction is Fail: search for more solutions
+                }
+                Instr::NafCutFail => {
+                    // the \+ goal succeeded: cut back to the barrier and fail
+                    let mut i = self.b;
+                    loop {
+                        if i == NONE {
+                            return Err(EngineError::Other(
+                                "naf barrier missing".into(),
+                            ));
+                        }
+                        if matches!(self.cps[i as usize].alt, Alt::NafBarrier { .. }) {
+                            break;
+                        }
+                        i = self.cps[i as usize].prev;
+                    }
+                    self.check_cut_safety(self.b, i, syms)?;
+                    self.b = self.cps[i as usize].prev;
+                    fail!();
+                }
+                Instr::HaltSolution => return Ok(Outcome::Solution),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(
+        &mut self,
+        pred: PredId,
+        syms: &mut SymbolTable,
+        is_tail: bool,
+    ) -> Result<Disp, EngineError> {
+        self.stats.count_call(pred);
+        let kind = self.db.pred(pred).kind.clone();
+        match kind {
+            PredKind::Static { entry, .. } => {
+                if !is_tail {
+                    self.cont = self.p;
+                }
+                self.b0 = self.b;
+                self.p = entry;
+                Ok(Disp::Ok)
+            }
+            PredKind::Dynamic { .. } => {
+                if !is_tail {
+                    self.cont = self.p;
+                }
+                self.b0 = self.b;
+                self.dyn_call(pred, syms)
+            }
+            PredKind::Builtin(b) => {
+                let resume = if is_tail { self.cont } else { self.p };
+                match exec_builtin(self, syms, b, resume, is_tail)? {
+                    BAction::Continue => {
+                        if is_tail {
+                            self.p = self.cont;
+                        }
+                        Ok(Disp::Ok)
+                    }
+                    BAction::Fail => Ok(Disp::Failed),
+                    BAction::Jumped => Ok(Disp::Ok),
+                }
+            }
+            PredKind::Undefined => {
+                let p = self.db.pred(pred);
+                Err(EngineError::UndefinedPredicate(format!(
+                    "{}/{}",
+                    syms.name(p.name),
+                    p.arity
+                )))
+            }
+        }
+    }
+
+    /// Calls a goal given as a heap term (used by `call/N`, `findall`,
+    /// `\+`, dynamic rule bodies). Tail semantics: the caller has already
+    /// arranged the continuation.
+    pub fn dispatch_goal(
+        &mut self,
+        goal: Cell,
+        syms: &mut SymbolTable,
+    ) -> Result<(), EngineError> {
+        let g = self.deref(goal);
+        let (f, n) = match g.tag() {
+            Tag::Con => (g.sym(), 0usize),
+            Tag::Str => self.functor_of(g),
+            Tag::Lis => (well_known::DOT, 2),
+            Tag::Ref => return Err(EngineError::Instantiation("call/1")),
+            _ => {
+                return Err(EngineError::Type {
+                    expected: "callable",
+                    found: format!("{g:?}"),
+                })
+            }
+        };
+        // control constructs are compiled on the fly (they have no predicate
+        // entry): (A,B), (A;B), (A->B)
+        if (f == well_known::COMMA || f == well_known::SEMICOLON || f == well_known::ARROW)
+            && n == 2
+        {
+            return self.meta_compile_call(g, syms);
+        }
+        for i in 0..n {
+            self.x[i] = self.arg_of(g, i);
+        }
+        let Some(pred) = self.db.lookup_pred(f, n as u16) else {
+            return Err(EngineError::UndefinedPredicate(format!(
+                "{}/{n}",
+                syms.name(f)
+            )));
+        };
+        match self.dispatch(pred, syms, true)? {
+            Disp::Ok => Ok(()),
+            Disp::Failed => {
+                // make the failure visible to the instruction loop
+                self.p = self.db.snippets.fail;
+                Ok(())
+            }
+        }
+    }
+
+    /// Runtime compilation of a control-construct goal: decode to AST,
+    /// compile as a one-off predicate over its free variables, call it.
+    fn meta_compile_call(
+        &mut self,
+        goal: Cell,
+        syms: &mut SymbolTable,
+    ) -> Result<(), EngineError> {
+        let mut var_addrs: Vec<u32> = Vec::new();
+        let ast = self.heap_to_ast(goal, &mut var_addrs);
+        let nvars = var_addrs.len() as u32;
+        let qpred = compile_query(self.db, syms, &[ast], nvars)?;
+        for (i, &a) in var_addrs.iter().enumerate() {
+            self.x[i] = Cell::r#ref(a as usize);
+        }
+        match self.dispatch(qpred, syms, true)? {
+            Disp::Ok => Ok(()),
+            Disp::Failed => {
+                self.p = self.db.snippets.fail;
+                Ok(())
+            }
+        }
+    }
+
+    fn dyn_call(&mut self, pred: PredId, syms: &mut SymbolTable) -> Result<Disp, EngineError> {
+        let arity = self.db.pred(pred).arity as usize;
+        let mut tokens = std::mem::take(&mut self.scratch_tokens);
+        tokens.clear();
+        for i in 0..arity {
+            tokens.push(crate::dynamic::outer_token(self.deref(self.x[i]), &self.heap));
+        }
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        self.db
+            .dyn_of(pred)
+            .expect("dynamic predicate")
+            .candidates_into(&tokens, &mut cands);
+        self.scratch_tokens = tokens;
+        let r = self.dyn_dispatch_cands(pred, &cands, syms);
+        self.scratch_cands = cands;
+        r
+    }
+
+    fn dyn_dispatch_cands(
+        &mut self,
+        pred: PredId,
+        cands: &[u32],
+        syms: &mut SymbolTable,
+    ) -> Result<Disp, EngineError> {
+        let arity = self.db.pred(pred).arity as usize;
+        match cands.len() {
+            0 => Ok(Disp::Failed),
+            1 => {
+                if self.try_dyn_clause(pred, cands[0], syms)? {
+                    Ok(Disp::Ok)
+                } else {
+                    Ok(Disp::Failed)
+                }
+            }
+            _ => {
+                let first = cands[0];
+                self.push_cp(
+                    arity as u16,
+                    Alt::DynClauses {
+                        pred,
+                        list: Rc::from(&cands[1..]),
+                        idx: 0,
+                    },
+                );
+                if self.try_dyn_clause(pred, first, syms)? {
+                    Ok(Disp::Ok)
+                } else {
+                    Ok(Disp::Failed)
+                }
+            }
+        }
+    }
+
+    /// Decodes and runs one dynamic clause: unify head, then either proceed
+    /// (fact) or tail-call the body goal.
+    fn try_dyn_clause(
+        &mut self,
+        pred: PredId,
+        id: u32,
+        syms: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        let arity = self.db.pred(pred).arity as usize;
+        let (canon, has_body) = {
+            let c = self.db.dyn_of(pred).expect("dynamic").clause(id);
+            (c.canon.clone(), c.has_body)
+        };
+        // unify the head directly against the stored canonical cells —
+        // no term materialization for matched structure (paper §4.2)
+        let mut tvars: Vec<Option<Cell>> = Vec::new();
+        let mut pos = 0usize;
+        for i in 0..arity {
+            let target = self.x[i];
+            if !self.unify_canon_one(&canon, &mut pos, &mut tvars, target) {
+                return Ok(false);
+            }
+        }
+        if has_body {
+            let body = self.decode_one(&canon, &mut pos, &mut tvars);
+            self.dispatch_goal(body, syms)?;
+        } else {
+            self.p = self.cont;
+        }
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // cut
+    // ------------------------------------------------------------------
+
+    /// Errors if cutting from `from` back to `target` would discard a
+    /// generator or consumer of an incomplete table (paper §4.4).
+    fn check_cut_safety(
+        &self,
+        from: u32,
+        target: u32,
+        syms: &SymbolTable,
+    ) -> Result<(), EngineError> {
+        let mut i = from;
+        while i != target && i != NONE {
+            match self.cps[i as usize].alt {
+                Alt::Generator { sub } | Alt::Consumer { cons: sub } => {
+                    // for consumers, `sub` is the consumer id; resolve it
+                    let subgoal = match self.cps[i as usize].alt {
+                        Alt::Generator { sub } => sub,
+                        Alt::Consumer { cons } => self.tables.consumers[cons as usize].sub,
+                        _ => unreachable!(),
+                    };
+                    let f = self.tables.frame(subgoal);
+                    if f.state == SubgoalState::Incomplete && !f.deleted {
+                        let p = self.db.pred(f.pred);
+                        return Err(EngineError::CutOverTable(format!(
+                            "{}/{}",
+                            syms.name(p.name),
+                            p.arity
+                        )));
+                    }
+                    let _ = sub;
+                }
+                _ => {}
+            }
+            i = self.cps[i as usize].prev;
+        }
+        Ok(())
+    }
+
+    fn cut_to(&mut self, target: u32, syms: &SymbolTable) -> Result<(), EngineError> {
+        if self.b == target || self.b == NONE {
+            return Ok(());
+        }
+        self.check_cut_safety(self.b, target, syms)?;
+        self.b = target;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // tabling operations
+    // ------------------------------------------------------------------
+
+    fn table_call(
+        &mut self,
+        pred: PredId,
+        arity: u16,
+        syms: &mut SymbolTable,
+    ) -> Result<Disp, EngineError> {
+        let args: Vec<Cell> = self.x[..arity as usize].to_vec();
+        let mut var_addrs = Vec::new();
+        let mut canon = std::mem::take(&mut self.scratch_canon);
+        self.canonicalize_into(&args, &mut var_addrs, &mut canon);
+        let found = self.tables.find(pred, &canon);
+        let r = match found {
+            None => {
+                let owned: Box<[Cell]> = canon.as_slice().into();
+                self.new_generator(
+                    pred,
+                    arity,
+                    owned,
+                    var_addrs,
+                    GenMode::Positive,
+                    NONE,
+                    None,
+                    syms,
+                )
+            }
+            Some(sub) => {
+                if self.tables.frame(sub).state == SubgoalState::Complete {
+                    self.completed_call(sub, var_addrs)
+                } else {
+                    self.new_consumer(sub, var_addrs, syms)
+                }
+            }
+        };
+        self.scratch_canon = canon;
+        r
+    }
+
+    /// `register_neg`: a suspension id to attach to the new subgoal frame
+    /// *before* its first clause runs, so that an immediately-completing
+    /// generator still schedules it.
+    #[allow(clippy::too_many_arguments)]
+    fn new_generator(
+        &mut self,
+        pred: PredId,
+        arity: u16,
+        canon: Box<[Cell]>,
+        subst: Vec<u32>,
+        mode: GenMode,
+        exist_cut_b: u32,
+        register_neg: Option<u32>,
+        syms: &mut SymbolTable,
+    ) -> Result<Disp, EngineError> {
+        let clauses = match &self.db.pred(pred).kind {
+            PredKind::Static { clauses, .. } => clauses.clone(),
+            _ => {
+                return Err(EngineError::Other(format!(
+                    "tabled predicate {}/{} is not static",
+                    syms.name(self.db.pred(pred).name),
+                    self.db.pred(pred).arity
+                )))
+            }
+        };
+        let saved_freeze = self.freeze_state();
+        let sub = self.tables.new_subgoal(
+            pred,
+            Rc::from(canon),
+            subst,
+            clauses,
+            mode,
+            saved_freeze,
+            exist_cut_b,
+        );
+        self.stats.subgoals_created += 1;
+        if let Some(neg) = register_neg {
+            self.tables.negs[neg as usize].sub = sub;
+            self.tables.frame_mut(sub).negs.push(neg);
+        }
+        let cp = self.push_cp(arity, Alt::Generator { sub });
+        self.tables.frame_mut(sub).gen_cp = cp;
+        if self.generator_step(sub, syms)? {
+            Ok(Disp::Ok)
+        } else {
+            Ok(Disp::Failed)
+        }
+    }
+
+    /// Runs the generator's next program clause, or enters completion.
+    /// Returns false if execution could not be resumed (caller backtracks).
+    fn generator_step(
+        &mut self,
+        sub: u32,
+        syms: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        loop {
+            let f = self.tables.frame(sub);
+            if f.deleted {
+                // table was freed by an existential cut; fall through
+                let prev = self.cps[self.tables.frame(sub).gen_cp as usize].prev;
+                self.b = prev;
+                return Ok(false);
+            }
+            match f.state {
+                SubgoalState::Incomplete => {
+                    let cursor = f.clause_cursor as usize;
+                    if cursor < f.clauses.len() {
+                        let addr = f.clauses[cursor];
+                        self.tables.frame_mut(sub).clause_cursor += 1;
+                        self.executing_gen = sub;
+                        self.b0 = self.b;
+                        self.p = addr;
+                        return Ok(true);
+                    }
+                    // clauses exhausted: completion check
+                    if !self.tables.is_leader(sub) {
+                        self.tables.propagate_dir_link(sub);
+                        self.freeze_now();
+                        let prev = self.cps[self.tables.frame(sub).gen_cp as usize].prev;
+                        self.b = prev;
+                        return Ok(false);
+                    }
+                    // leader: fixpoint over unconsumed answers
+                    if let Some(cons) = self.find_unconsumed_consumer(sub) {
+                        return self.schedule_consumer(sub, cons, syms);
+                    }
+                    // fixpoint reached: complete the whole SCC
+                    let members = self.tables.complete_scc(sub);
+                    let mut queue: Vec<u32> = Vec::new();
+                    for &m in &members {
+                        let negs = self.tables.frame(m).negs.clone();
+                        queue.extend(negs);
+                        // consumers that have drained a now-complete table
+                        // will never receive more answers
+                        let nanswers = self.tables.frame(m).answers.len();
+                        let conss = self.tables.frame(m).consumers.clone();
+                        for cid in conss {
+                            if self.tables.consumers[cid as usize].cursor as usize >= nanswers {
+                                self.tables.consumers[cid as usize].dead = true;
+                            }
+                        }
+                    }
+                    self.tables.frame_mut(sub).pending_negs = queue;
+                    // loop back into the Complete branch to schedule them
+                }
+                SubgoalState::Complete => {
+                    // post-completion: schedule suspensions one at a time
+                    while let Some(neg) = self.tables.frame_mut(sub).pending_negs.pop() {
+                        if self.tables.negs[neg as usize].done {
+                            continue;
+                        }
+                        if self.resume_suspension(sub, neg, syms)? {
+                            return Ok(true);
+                        }
+                    }
+                    // all scheduled: release frozen space, fail onward
+                    let f = self.tables.frame(sub);
+                    self.freeze = f.saved_freeze;
+                    let prev = self.cps[f.gen_cp as usize].prev;
+                    self.b = prev;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    fn find_unconsumed_consumer(&self, leader: u32) -> Option<u32> {
+        for &m in self.tables.scc_members(leader).iter() {
+            let f = self.tables.frame(m);
+            for &cid in &f.consumers {
+                let c = &self.tables.consumers[cid as usize];
+                if !c.dead && (c.cursor as usize) < f.answers.len() {
+                    return Some(cid);
+                }
+            }
+        }
+        None
+    }
+
+    /// Switches to a suspended consumer and feeds it its next answer.
+    fn schedule_consumer(
+        &mut self,
+        leader: u32,
+        cons: u32,
+        syms: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        let cp_idx = self.tables.consumers[cons as usize].cp;
+        let cp = self.cps[cp_idx as usize].clone();
+        self.switch_environments(cp.tip);
+        self.e = cp.e;
+        self.cont = cp.cont;
+        self.b = cp_idx;
+        self.tables.consumers[cons as usize].scheduled_by = leader;
+        self.consumer_step(cons, syms)
+    }
+
+    /// Resumes a completed-table suspension (`tnot` succeeds on an empty
+    /// table; `tfindall` builds its list). Returns true if execution
+    /// resumed.
+    fn resume_suspension(
+        &mut self,
+        leader: u32,
+        neg: u32,
+        syms: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        let (sub, cp_idx, mode, resume) = {
+            let n = &self.tables.negs[neg as usize];
+            (n.sub, n.cp, n.mode, n.resume)
+        };
+        self.tables.negs[neg as usize].done = true;
+        // The resumed branch will fail back into this leader's scheduling
+        // loop (Alt::NegScheduled → return_to_leader), so the leader's
+        // generator CP — and everything else currently on the stacks —
+        // must survive until the drain finishes; the drain-empty branch
+        // restores the saved freeze registers.
+        self.freeze_now();
+        match mode {
+            NegMode::Tnot => {
+                if self.tables.frame(sub).has_answers() {
+                    return Ok(false); // negation fails: never resumed
+                }
+                let cp = self.cps[cp_idx as usize].clone();
+                self.switch_environments(cp.tip);
+                self.e = cp.e;
+                self.cont = cp.cont;
+                self.b = cp_idx;
+                self.cps[cp_idx as usize].alt = Alt::NegScheduled { leader };
+                self.p = resume;
+                let _ = syms;
+                Ok(true)
+            }
+            NegMode::Tfindall { template, result } => {
+                let cp = self.cps[cp_idx as usize].clone();
+                self.switch_environments(cp.tip);
+                self.e = cp.e;
+                self.cont = cp.cont;
+                self.b = cp_idx;
+                self.cps[cp_idx as usize].alt = Alt::NegScheduled { leader };
+                // instantiate the template for each answer
+                let subst = self.tables.negs[neg as usize].subst.clone();
+                let answers: Vec<Rc<[Cell]>> =
+                    self.tables.frame(sub).answers.to_vec();
+                let nvars = self.tables.frame(sub).nvars as usize;
+                let mut collected: Vec<Box<[Cell]>> = Vec::with_capacity(answers.len());
+                for ans in answers {
+                    let mark = self.tip;
+                    let roots = self.decode_canon(&ans, nvars);
+                    let mut ok = true;
+                    for (i, r) in roots.iter().enumerate() {
+                        if !self.unify(Cell::r#ref(subst[i] as usize), *r) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let mut vs = Vec::new();
+                        collected.push(self.canonicalize(&[template], &mut vs));
+                    }
+                    self.unwind_to(mark);
+                }
+                let items: Vec<Cell> = collected
+                    .iter()
+                    .map(|c| self.decode_canon(c, 1)[0])
+                    .collect();
+                let list = self.make_list(&items);
+                if self.unify(result, list) {
+                    self.p = resume;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    fn new_consumer(
+        &mut self,
+        sub: u32,
+        subst: Vec<u32>,
+        syms: &mut SymbolTable,
+    ) -> Result<Disp, EngineError> {
+        self.tables.note_dependency(sub);
+        let cons = self.tables.consumers.len() as u32;
+        let cp = self.push_cp(0, Alt::Consumer { cons });
+        self.tables.consumers.push(crate::table::Consumer {
+            sub,
+            cp,
+            subst,
+            cursor: 0,
+            scheduled_by: NONE,
+            dead: false,
+        });
+        self.tables.frame_mut(sub).consumers.push(cons);
+        if self.consumer_step(cons, syms)? {
+            Ok(Disp::Ok)
+        } else {
+            Ok(Disp::Failed)
+        }
+    }
+
+    /// Feeds the consumer its next unconsumed answer, or suspends.
+    /// Returns true if execution resumed with an answer.
+    fn consumer_step(
+        &mut self,
+        cons: u32,
+        syms: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        loop {
+            let (sub, cursor) = {
+                let c = &self.tables.consumers[cons as usize];
+                (c.sub, c.cursor as usize)
+            };
+            let f = self.tables.frame(sub);
+            if cursor < f.answers.len() {
+                let ans = f.answers[cursor].clone();
+                let nvars = f.nvars as usize;
+                self.tables.consumers[cons as usize].cursor += 1;
+                let subst = self.tables.consumers[cons as usize].subst.clone();
+                // unify the answer directly against the canonical cells:
+                // atomic bindings never materialize table terms on the heap
+                let mut tvars: Vec<Option<Cell>> = Vec::new();
+                let mut pos = 0usize;
+                let mut ok = true;
+                for i in 0..nvars {
+                    if !self.unify_canon_one(
+                        &ans,
+                        &mut pos,
+                        &mut tvars,
+                        Cell::r#ref(subst[i] as usize),
+                    ) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.p = self.cont;
+                    return Ok(true);
+                }
+                // answer did not apply (cannot normally happen for variant
+                // calls); undo and try the next one
+                let tip = self.cps[self.tables.consumers[cons as usize].cp as usize].tip;
+                self.unwind_to(tip);
+                continue;
+            }
+            if f.state == SubgoalState::Complete || f.deleted {
+                // exhausted a completed table: this consumer is dead
+                self.tables.consumers[cons as usize].dead = true;
+                let cp = self.tables.consumers[cons as usize].cp;
+                self.b = self.cps[cp as usize].prev;
+                return Ok(false);
+            }
+            // suspend: freeze the stacks and give control back
+            self.freeze_now();
+            let scheduled_by = self.tables.consumers[cons as usize].scheduled_by;
+            if scheduled_by != NONE {
+                self.tables.consumers[cons as usize].scheduled_by = NONE;
+                return self.return_to_leader(scheduled_by, syms);
+            }
+            let cp = self.tables.consumers[cons as usize].cp;
+            self.b = self.cps[cp as usize].prev;
+            return Ok(false);
+        }
+    }
+
+    /// Restores the leader's completion context and continues its
+    /// scheduling loop.
+    fn return_to_leader(
+        &mut self,
+        leader: u32,
+        syms: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        let gen_cp = self.tables.frame(leader).gen_cp;
+        let tip = self.cps[gen_cp as usize].tip;
+        self.switch_environments(tip);
+        self.restore_cp(gen_cp);
+        self.generator_step(leader, syms)
+    }
+
+    /// Answer return from a completed table (no generator involved).
+    fn completed_call(&mut self, sub: u32, subst: Vec<u32>) -> Result<Disp, EngineError> {
+        let f = self.tables.frame(sub);
+        match f.answers.len() {
+            0 => Ok(Disp::Failed),
+            n => {
+                let subst: Rc<[u32]> = Rc::from(subst.into_boxed_slice());
+                if n > 1 {
+                    self.push_cp(
+                        0,
+                        Alt::CompletedAnswers {
+                            sub,
+                            idx: 1,
+                            subst: subst.clone(),
+                        },
+                    );
+                }
+                if self.completed_answer(sub, 0, &subst) {
+                    Ok(Disp::Ok)
+                } else {
+                    Ok(Disp::Failed)
+                }
+            }
+        }
+    }
+
+    fn completed_answer(&mut self, sub: u32, idx: usize, subst: &[u32]) -> bool {
+        let f = self.tables.frame(sub);
+        let ans = f.answers[idx].clone();
+        let nvars = f.nvars as usize;
+        let mut tvars: Vec<Option<Cell>> = Vec::new();
+        let mut pos = 0usize;
+        for (i, &addr) in subst.iter().enumerate().take(nvars) {
+            let _ = i;
+            if !self.unify_canon_one(&ans, &mut pos, &mut tvars, Cell::r#ref(addr as usize)) {
+                return false;
+            }
+        }
+        self.p = self.cont;
+        true
+    }
+
+    /// Records an answer for `gen` from the current bindings of its
+    /// substitution factor. Returns `Ok` to continue (batched scheduling
+    /// returns the answer to the caller), `Failed` on duplicates or when
+    /// the generator runs in negation mode.
+    fn new_answer(&mut self, gen: u32, syms: &mut SymbolTable) -> Result<Disp, EngineError> {
+        let (mode, state) = {
+            let f = self.tables.frame(gen);
+            (f.mode, f.state)
+        };
+        if state == SubgoalState::Complete {
+            let f = self.tables.frame(gen);
+            let p = self.db.pred(f.pred);
+            return Err(EngineError::NotStratified(format!(
+                "{}/{}",
+                syms.name(p.name),
+                p.arity
+            )));
+        }
+        let subst = self.tables.frame(gen).subst.clone();
+        let roots: Vec<Cell> = subst
+            .iter()
+            .map(|&a| Cell::r#ref(a as usize))
+            .collect();
+        let mut vs = Vec::new();
+        let mut canon = std::mem::take(&mut self.scratch_canon);
+        self.canonicalize_into(&roots, &mut vs, &mut canon);
+        if self.tables.has_answer(gen, &canon) {
+            self.scratch_canon = canon;
+            return Ok(Disp::Failed);
+        }
+        let is_new = self.tables.add_answer(gen, Rc::from(canon.as_slice()));
+        self.scratch_canon = canon;
+        debug_assert!(is_new);
+        self.stats.answers_recorded += 1;
+        match mode {
+            GenMode::Positive => Ok(Disp::Ok),
+            GenMode::Negation => Ok(Disp::Failed),
+            GenMode::Existential => {
+                // first answer: the negation is false — abort the
+                // subgoal's evaluation and free its tables if safe
+                // (paper §4.4: tcut). The e_tnot's own suspension (the one
+                // sitting at the cut-back choice point) is not an "other
+                // user".
+                let f = self.tables.frame(gen);
+                let own_cut = f.exist_cut_b;
+                let has_other = f
+                    .consumers
+                    .iter()
+                    .any(|&c| !self.tables.consumers[c as usize].dead)
+                    || f.negs.iter().any(|&n| {
+                        let ns = &self.tables.negs[n as usize];
+                        !ns.done && ns.cp != own_cut
+                    });
+                let safe = self.tables.is_leader(gen) && !has_other;
+                if safe {
+                    let cut_b = f.exist_cut_b;
+                    let saved = f.saved_freeze;
+                    let removed = self.tables.delete_from(gen);
+                    for m in removed {
+                        let conss = self.tables.frame(m).consumers.clone();
+                        for c in conss {
+                            self.tables.consumers[c as usize].dead = true;
+                        }
+                        let negs = self.tables.frame(m).negs.clone();
+                        for n in negs {
+                            self.tables.negs[n as usize].done = true;
+                        }
+                    }
+                    self.freeze = saved;
+                    self.b = cut_b;
+                }
+                Ok(Disp::Failed)
+            }
+        }
+    }
+
+    /// `tnot/1` and `e_tnot/1` (paper §4.4).
+    pub fn slg_negation(
+        &mut self,
+        syms: &mut SymbolTable,
+        resume: CodePtr,
+        is_tail: bool,
+        existential: bool,
+    ) -> Result<BAction, EngineError> {
+        let goal = self.deref(self.x[0]);
+        let (f, n) = match goal.tag() {
+            Tag::Con => (goal.sym(), 0usize),
+            Tag::Str => self.functor_of(goal),
+            Tag::Ref => return Err(EngineError::Instantiation("tnot/1")),
+            _ => {
+                return Err(EngineError::Type {
+                    expected: "callable",
+                    found: format!("{goal:?}"),
+                })
+            }
+        };
+        let Some(pred) = self.db.lookup_pred(f, n as u16) else {
+            return Err(EngineError::UndefinedPredicate(format!(
+                "{}/{n}",
+                syms.name(f)
+            )));
+        };
+        if !self.db.pred(pred).tabled {
+            return Err(EngineError::Other(format!(
+                "tnot/1 requires a tabled predicate, {}/{n} is not tabled",
+                syms.name(f)
+            )));
+        }
+        let args: Vec<Cell> = (0..n).map(|i| self.arg_of(goal, i)).collect();
+        let mut var_addrs = Vec::new();
+        let canon = self.canonicalize(&args, &mut var_addrs);
+        if !var_addrs.is_empty() {
+            // a non-ground negative call flounders
+            return Err(EngineError::Other(format!(
+                "floundering: tnot of non-ground goal {}/{n}",
+                syms.name(f)
+            )));
+        }
+
+        if let Some(sub) = self.tables.find(pred, &canon) {
+            if self.tables.frame(sub).state == SubgoalState::Complete {
+                return Ok(if self.tables.frame(sub).has_answers() {
+                    BAction::Fail
+                } else {
+                    BAction::Continue
+                });
+            }
+            // incomplete: suspend until its SCC completes
+            self.tables.note_dependency(sub);
+            let neg = self.tables.negs.len() as u32;
+            let cp = self.push_cp(1, Alt::NegSuspend { neg });
+            let _ = is_tail;
+            self.tables.negs.push(NegSusp {
+                sub,
+                cp,
+                mode: NegMode::Tnot,
+                subst: Vec::new(),
+                resume,
+                done: false,
+            });
+            self.tables.frame_mut(sub).negs.push(neg);
+            self.freeze_now();
+            return Ok(BAction::Fail);
+        }
+
+        // new subgoal: evaluate it under a negation-mode generator with a
+        // suspension waiting for the empty-table case. The suspension is
+        // registered before the generator's first clause runs, so even an
+        // immediately-completing generator schedules it.
+        let neg = self.tables.negs.len() as u32;
+        let cp = self.push_cp(1, Alt::NegSuspend { neg });
+        self.tables.negs.push(NegSusp {
+            sub: NONE, // fixed up by new_generator
+            cp,
+            mode: NegMode::Tnot,
+            subst: Vec::new(),
+            resume,
+            done: false,
+        });
+        self.freeze_now();
+        let mode = if existential {
+            GenMode::Existential
+        } else {
+            GenMode::Negation
+        };
+        // copy goal args into registers for the generator's clause code
+        for (i, a) in args.iter().enumerate() {
+            self.x[i] = *a;
+        }
+        match self.new_generator(pred, n as u16, canon, var_addrs, mode, cp, Some(neg), syms)? {
+            Disp::Ok => Ok(BAction::Jumped),
+            Disp::Failed => Ok(BAction::Fail),
+        }
+    }
+
+    /// `tfindall/3`: suspends until the goal's table is complete, then
+    /// builds the full answer list (paper §4.7).
+    pub fn tfindall(
+        &mut self,
+        syms: &mut SymbolTable,
+        resume: CodePtr,
+        is_tail: bool,
+    ) -> Result<BAction, EngineError> {
+        let template = self.x[0];
+        let goal = self.deref(self.x[1]);
+        let result = self.x[2];
+        let _ = is_tail;
+        let (f, n) = match goal.tag() {
+            Tag::Con => (goal.sym(), 0usize),
+            Tag::Str => self.functor_of(goal),
+            _ => return Err(EngineError::Instantiation("tfindall/3")),
+        };
+        let Some(pred) = self.db.lookup_pred(f, n as u16) else {
+            return Err(EngineError::UndefinedPredicate(format!(
+                "{}/{n}",
+                syms.name(f)
+            )));
+        };
+        if !self.db.pred(pred).tabled {
+            return Err(EngineError::Other(
+                "tfindall/3 requires a tabled predicate".into(),
+            ));
+        }
+        let args: Vec<Cell> = (0..n).map(|i| self.arg_of(goal, i)).collect();
+        let mut var_addrs = Vec::new();
+        let canon = self.canonicalize(&args, &mut var_addrs);
+
+        // already complete: build immediately
+        if let Some(sub) = self.tables.find(pred, &canon) {
+            if self.tables.frame(sub).state == SubgoalState::Complete {
+                return self.tfindall_build_now(sub, template, result, &var_addrs);
+            }
+            // incomplete: suspend
+            self.tables.note_dependency(sub);
+            let neg = self.tables.negs.len() as u32;
+            let cp = self.push_cp(3, Alt::NegSuspend { neg });
+            self.tables.negs.push(NegSusp {
+                sub,
+                cp,
+                mode: NegMode::Tfindall { template, result },
+                subst: var_addrs,
+                resume,
+                done: false,
+            });
+            self.tables.frame_mut(sub).negs.push(neg);
+            self.freeze_now();
+            return Ok(BAction::Fail);
+        }
+
+        // new: evaluate exhaustively under a negation-mode generator
+        let neg = self.tables.negs.len() as u32;
+        let cp = self.push_cp(3, Alt::NegSuspend { neg });
+        self.tables.negs.push(NegSusp {
+            sub: NONE, // fixed up by new_generator
+            cp,
+            mode: NegMode::Tfindall { template, result },
+            subst: var_addrs.clone(),
+            resume,
+            done: false,
+        });
+        self.freeze_now();
+        for (i, a) in args.iter().enumerate() {
+            self.x[i] = *a;
+        }
+        match self.new_generator(
+            pred,
+            n as u16,
+            canon,
+            var_addrs,
+            GenMode::Negation,
+            NONE,
+            Some(neg),
+            syms,
+        )? {
+            Disp::Ok => Ok(BAction::Jumped),
+            Disp::Failed => Ok(BAction::Fail),
+        }
+    }
+
+    fn tfindall_build_now(
+        &mut self,
+        sub: u32,
+        template: Cell,
+        result: Cell,
+        subst: &[u32],
+    ) -> Result<BAction, EngineError> {
+        let answers: Vec<Rc<[Cell]>> = self.tables.frame(sub).answers.to_vec();
+        let nvars = self.tables.frame(sub).nvars as usize;
+        let mut collected: Vec<Box<[Cell]>> = Vec::with_capacity(answers.len());
+        for ans in answers {
+            let mark = self.tip;
+            let roots = self.decode_canon(&ans, nvars);
+            let mut ok = true;
+            for (i, r) in roots.iter().enumerate() {
+                if !self.unify(Cell::r#ref(subst[i] as usize), *r) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let mut vs = Vec::new();
+                collected.push(self.canonicalize(&[template], &mut vs));
+            }
+            self.unwind_to(mark);
+        }
+        let items: Vec<Cell> = collected
+            .iter()
+            .map(|c| self.decode_canon(c, 1)[0])
+            .collect();
+        let list = self.make_list(&items);
+        Ok(if self.unify(result, list) {
+            BAction::Continue
+        } else {
+            BAction::Fail
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // backtracking (the SLG scheduler)
+    // ------------------------------------------------------------------
+
+    fn backtrack(&mut self, syms: &mut SymbolTable) -> Result<Bt, EngineError> {
+        loop {
+            if self.b == NONE {
+                return Ok(Bt::NoMore);
+            }
+            let i = self.b;
+            self.restore_cp(i);
+            let alt = self.cps[i as usize].alt.clone();
+            match alt {
+                Alt::Code(ptr) => {
+                    self.p = ptr;
+                    return Ok(Bt::Resumed);
+                }
+                Alt::StaticList { list, idx } => {
+                    let idx = idx as usize;
+                    if idx + 1 >= list.len() {
+                        self.b = self.cps[i as usize].prev; // trust
+                    } else {
+                        self.cps[i as usize].alt = Alt::StaticList {
+                            list: list.clone(),
+                            idx: idx as u32 + 1,
+                        };
+                    }
+                    self.p = list[idx];
+                    return Ok(Bt::Resumed);
+                }
+                Alt::DynClauses { pred, list, idx } => {
+                    let idx = idx as usize;
+                    if idx + 1 >= list.len() {
+                        self.b = self.cps[i as usize].prev;
+                    } else {
+                        self.cps[i as usize].alt = Alt::DynClauses {
+                            pred,
+                            list: list.clone(),
+                            idx: idx as u32 + 1,
+                        };
+                    }
+                    if self.try_dyn_clause(pred, list[idx], syms)? {
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::Generator { sub } => {
+                    if self.generator_step(sub, syms)? {
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::Consumer { cons } => {
+                    if self.consumer_step(cons, syms)? {
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::CompletedAnswers { sub, idx, subst } => {
+                    let idx = idx as usize;
+                    let n = self.tables.frame(sub).answers.len();
+                    if idx + 1 >= n {
+                        self.b = self.cps[i as usize].prev;
+                    } else {
+                        self.cps[i as usize].alt = Alt::CompletedAnswers {
+                            sub,
+                            idx: idx as u32 + 1,
+                            subst: subst.clone(),
+                        };
+                    }
+                    if self.completed_answer(sub, idx, &subst) {
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::NegSuspend { .. } => {
+                    // plain failure through a suspension: it stays
+                    // registered for completion-time scheduling
+                    self.b = self.cps[i as usize].prev;
+                    continue;
+                }
+                Alt::NegScheduled { leader } => {
+                    // a scheduled suspension returns control to its leader
+                    // exactly once; afterwards the barrier is spent
+                    self.cps[i as usize].alt = Alt::Dead;
+                    if self.return_to_leader(leader, syms)? {
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::FindallFinish { rec, resume } => {
+                    self.b = self.cps[i as usize].prev;
+                    let r = self
+                        .findalls
+                        .pop()
+                        .expect("findall record for its barrier");
+                    debug_assert_eq!(self.findalls.len(), rec as usize);
+                    let mut items: Vec<Cell> = r
+                        .solutions
+                        .iter()
+                        .map(|c| self.decode_canon(c, 1)[0])
+                        .collect();
+                    if r.sort_dedup_fail_empty {
+                        if items.is_empty() {
+                            continue;
+                        }
+                        items.sort_by(|&a, &b| self.compare(a, b, syms));
+                        items.dedup_by(|&mut a, &mut b| {
+                            self.compare(a, b, syms) == std::cmp::Ordering::Equal
+                        });
+                    }
+                    let list = self.make_list(&items);
+                    if self.unify(r.result, list) {
+                        self.p = resume;
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::NafBarrier { resume } => {
+                    // the goal failed exhaustively: \+ succeeds
+                    self.b = self.cps[i as usize].prev;
+                    self.p = resume;
+                    return Ok(Bt::Resumed);
+                }
+                Alt::Between { cur, hi, resume } => {
+                    if cur > hi {
+                        self.b = self.cps[i as usize].prev;
+                        continue;
+                    }
+                    if cur == hi {
+                        self.b = self.cps[i as usize].prev;
+                    } else {
+                        self.cps[i as usize].alt = Alt::Between {
+                            cur: cur + 1,
+                            hi,
+                            resume,
+                        };
+                    }
+                    let x = self.deref(self.x[2]);
+                    debug_assert_eq!(x.tag(), Tag::Ref, "between variable restored");
+                    self.bind(x.addr(), Cell::int(cur));
+                    self.p = resume;
+                    return Ok(Bt::Resumed);
+                }
+                Alt::Retract {
+                    pred,
+                    list,
+                    idx,
+                    resume,
+                } => {
+                    let idx = idx as usize;
+                    if idx >= list.len() {
+                        self.b = self.cps[i as usize].prev;
+                        continue;
+                    }
+                    self.cps[i as usize].alt = Alt::Retract {
+                        pred,
+                        list: list.clone(),
+                        idx: idx as u32 + 1,
+                        resume,
+                    };
+                    let id = list[idx];
+                    if !self.db.dyn_of(pred).expect("dynamic").clause(id).live {
+                        continue;
+                    }
+                    if self.retract_match(pred, id)? {
+                        self.db.dyn_of_mut(pred).expect("dynamic").remove(id);
+                        self.p = resume;
+                        return Ok(Bt::Resumed);
+                    }
+                    continue;
+                }
+                Alt::Query => {
+                    self.b = self.cps[i as usize].prev;
+                    return Ok(Bt::NoMore);
+                }
+                Alt::Dead => {
+                    self.b = self.cps[i as usize].prev;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Unifies the retract pattern in `x[0]` against stored clause `id`.
+    fn retract_match(&mut self, pred: PredId, id: u32) -> Result<bool, EngineError> {
+        let arity = self.db.pred(pred).arity as usize;
+        let (canon, has_body) = {
+            let c = self.db.dyn_of(pred).expect("dynamic").clause(id);
+            (c.canon.clone(), c.has_body)
+        };
+        let roots = self.decode_canon(&canon, arity + has_body as usize);
+        // rebuild the clause term: Head or (Head :- Body)
+        let head = if arity == 0 {
+            Cell::con(self.db.pred(pred).name)
+        } else {
+            let base = self.heap.len();
+            self.heap.push(Cell::fun(self.db.pred(pred).name, arity));
+            for r in &roots[..arity] {
+                self.heap.push(*r);
+            }
+            Cell::str(base)
+        };
+        let clause_term = if has_body {
+            let base = self.heap.len();
+            self.heap.push(Cell::fun(well_known::NECK, 2));
+            self.heap.push(head);
+            self.heap.push(roots[arity]);
+            Cell::str(base)
+        } else {
+            head
+        };
+        // pattern may itself be (H :- B) or just H
+        let pattern = self.x[0];
+        let pat = self.deref(pattern);
+        let target = if has_body {
+            clause_term
+        } else {
+            // allow retract((H :- true))
+            if pat.tag() == Tag::Str {
+                let (f, n) = self.functor_of(pat);
+                if f == well_known::NECK && n == 2 {
+                    let base = self.heap.len();
+                    self.heap.push(Cell::fun(well_known::NECK, 2));
+                    self.heap.push(clause_term);
+                    self.heap.push(Cell::con(well_known::TRUE));
+                    Cell::str(base)
+                } else {
+                    clause_term
+                }
+            } else {
+                clause_term
+            }
+        };
+        Ok(self.unify(pattern, target))
+    }
+}

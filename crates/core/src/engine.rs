@@ -1,0 +1,595 @@
+//! The public engine API.
+//!
+//! [`Engine`] owns the symbol table, the program database, and the table
+//! space; each query runs a fresh [`Machine`] over them. Completed tables
+//! persist across queries (call [`Engine::abolish_all_tables`] to reset);
+//! incomplete tables are purged when a query ends early.
+
+use crate::cell::Cell;
+use crate::compile::{compile_predicate, compile_query};
+use crate::dynamic::IndexSpec;
+use crate::emulate::Outcome;
+use crate::error::EngineError;
+use crate::machine::{Machine, Stats};
+use crate::program::{pred_indicator, table_all_analysis, Program, StaticIndex};
+use crate::table::TableSpace;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xsb_syntax::{
+    parse_query, well_known, Clause, ProgramReader, ReadItem, Sym, SymbolTable, Term,
+};
+
+/// One solution: bindings of the query's named variables, decoded to AST
+/// terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    pub bindings: Vec<(String, Term)>,
+}
+
+impl Solution {
+    /// The binding of variable `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Library predicates consulted into every engine at startup.
+const PRELUDE: &str = r#"
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+length([], 0).
+length([_|T], N) :- length(T, M), N is M + 1.
+reverse(L, R) :- xsb_rev_(L, [], R).
+xsb_rev_([], A, A).
+xsb_rev_([H|T], A, R) :- xsb_rev_(T, [H|A], R).
+last([X], X).
+last([_|T], X) :- last(T, X).
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+numlist(L, H, [L]) :- L =:= H.
+numlist(L, H, [L|T]) :- L < H, L1 is L + 1, numlist(L1, H, T).
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+"#;
+
+/// The XSB-style deductive database engine.
+pub struct Engine {
+    pub syms: SymbolTable,
+    pub reader: ProgramReader,
+    pub db: Program,
+    pub tables: TableSpace,
+    step_limit: Option<u64>,
+    /// apply the compile-time specialization of known HiLog calls
+    /// (paper §4.7); on by default, disabled for the E8 ablation
+    pub hilog_specialization: bool,
+    /// statistics of the most recent query
+    pub last_stats: Stats,
+}
+
+impl Engine {
+    /// A fresh engine with builtins and the library prelude loaded.
+    pub fn new() -> Engine {
+        let mut syms = SymbolTable::new();
+        let db = Program::new(&mut syms);
+        let mut e = Engine {
+            syms,
+            reader: ProgramReader::new(),
+            db,
+            tables: TableSpace::new(),
+            step_limit: None,
+            hilog_specialization: true,
+            last_stats: Stats::default(),
+        };
+        e.consult(PRELUDE).expect("prelude compiles");
+        e
+    }
+
+    /// Limits each query to at most `limit` abstract machine steps
+    /// (`None` = unlimited). Useful to demonstrate non-termination of SLD
+    /// where SLG terminates.
+    pub fn set_step_limit(&mut self, limit: Option<u64>) {
+        self.step_limit = limit;
+    }
+
+    /// Consults program text: handles directives, compiles static
+    /// predicates, asserts clauses of dynamic predicates.
+    pub fn consult(&mut self, src: &str) -> Result<(), EngineError> {
+        let items = self.reader.read(src, &mut self.syms)?;
+        let mut clauses: Vec<Clause> = Vec::new();
+        let mut directives: Vec<Term> = Vec::new();
+        let mut table_all = false;
+        for item in items {
+            match item {
+                ReadItem::Directive(d) => {
+                    if d == Term::Atom(well_known::TABLE_ALL) {
+                        table_all = true;
+                    } else {
+                        directives.push(d);
+                    }
+                }
+                ReadItem::Clause(c) => clauses.push(c),
+            }
+        }
+        for d in &directives {
+            self.apply_directive(d)?;
+        }
+        // compile-time specialization of known HiLog calls (paper §4.7)
+        if self.hilog_specialization
+            && clauses
+                .iter()
+                .any(|c| c.head.functor().map(|(f, _)| f) == Some(well_known::APPLY))
+        {
+            clauses = xsb_syntax::hilog::specialize(&clauses, &mut self.syms);
+        }
+
+        let mut groups: HashMap<(Sym, u16), Vec<Clause>> = HashMap::new();
+        let mut order: Vec<(Sym, u16)> = Vec::new();
+        for c in clauses {
+            let (f, n) = c.head.functor().ok_or_else(|| {
+                EngineError::Other("clause head must be callable".into())
+            })?;
+            let key = (f, n as u16);
+            if !groups.contains_key(&key) {
+                order.push(key);
+            }
+            groups.entry(key).or_default().push(c);
+        }
+
+        if table_all {
+            for (name, arity) in table_all_analysis(&groups) {
+                self.db
+                    .declare_tabled(name, arity)
+                    .map_err(EngineError::Other)?;
+            }
+        }
+
+        for key in order {
+            let clauses = groups.remove(&key).expect("group recorded");
+            let pred = self.db.ensure_pred(key.0, key.1);
+            if self.db.dyn_of(pred).is_some() {
+                for c in &clauses {
+                    self.assert_clause(c, false)?;
+                }
+            } else {
+                compile_predicate(&mut self.db, &mut self.syms, key.0, key.1, &clauses)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_directive(&mut self, d: &Term) -> Result<(), EngineError> {
+        match d {
+            // table p/2  /  table (p/2, q/3)
+            Term::Compound(f, args) if *f == well_known::TABLE && args.len() == 1 => {
+                for spec in flatten_commas(&args[0]) {
+                    let (name, arity) = pred_indicator(spec).ok_or_else(|| {
+                        EngineError::Other("table directive expects p/N".into())
+                    })?;
+                    self.db
+                        .declare_tabled(name, arity)
+                        .map_err(EngineError::Other)?;
+                }
+                Ok(())
+            }
+            Term::Compound(f, args) if *f == well_known::DYNAMIC && args.len() == 1 => {
+                for spec in flatten_commas(&args[0]) {
+                    let (name, arity) = pred_indicator(spec).ok_or_else(|| {
+                        EngineError::Other("dynamic directive expects p/N".into())
+                    })?;
+                    self.db
+                        .declare_dynamic(name, arity)
+                        .map_err(EngineError::Other)?;
+                }
+                Ok(())
+            }
+            Term::Compound(f, _) if *f == well_known::INDEX => {
+                self.db.apply_index_directive(d).map_err(EngineError::Other)
+            }
+            Term::Compound(f, args) if *f == well_known::FIRST_STRING && args.len() == 1 => {
+                for spec in flatten_commas(&args[0]) {
+                    let (name, arity) = pred_indicator(spec).ok_or_else(|| {
+                        EngineError::Other("first_string_index expects p/N".into())
+                    })?;
+                    let id = self.db.ensure_pred(name, arity);
+                    self.db.preds[id as usize].static_index = StaticIndex::FirstString;
+                }
+                Ok(())
+            }
+            // hilog/op: already applied by the reader
+            Term::Compound(f, _) if *f == well_known::HILOG || *f == well_known::OP => Ok(()),
+            Term::Atom(s) if *s == well_known::HILOG => Ok(()),
+            other => Err(EngineError::Other(format!(
+                "unknown directive: {}",
+                other.display(&self.syms)
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // queries
+    // ------------------------------------------------------------------
+
+    /// Runs a query, invoking `f` for each solution; `f` returns `false`
+    /// to stop early.
+    pub fn run_query(
+        &mut self,
+        q: &str,
+        mut f: impl FnMut(&Solution) -> bool,
+    ) -> Result<(), EngineError> {
+        let query = parse_query(q, &mut self.syms, &self.reader.ops)?;
+        let goals: Vec<Term> = query
+            .goals
+            .iter()
+            .map(|g| self.reader.hilog.encode(g))
+            .collect();
+        let nvars = query.var_names.len() as u32;
+        let qpred = compile_query(&mut self.db, &mut self.syms, &goals, nvars)?;
+
+        let mut machine = Machine::new(&mut self.db, &mut self.tables);
+        machine.step_limit = self.step_limit;
+        let vars = machine.setup_query(qpred, nvars);
+
+        let result = (|| -> Result<(), EngineError> {
+            let mut outcome = machine.run(&mut self.syms)?;
+            while outcome == Outcome::Solution {
+                let mut bindings = Vec::new();
+                for (i, name) in query.var_names.iter().enumerate() {
+                    if name == "_" {
+                        continue;
+                    }
+                    let mut var_out = Vec::new();
+                    bindings.push((
+                        name.clone(),
+                        machine.heap_to_ast(vars[i], &mut var_out),
+                    ));
+                }
+                if !f(&Solution { bindings }) {
+                    break;
+                }
+                outcome = machine.next_solution(&mut self.syms)?;
+            }
+            Ok(())
+        })();
+
+        self.last_stats = machine.stats.clone();
+        drop(machine);
+        self.tables.end_query();
+        result
+    }
+
+    /// All solutions of a query.
+    pub fn query(&mut self, q: &str) -> Result<Vec<Solution>, EngineError> {
+        let mut out = Vec::new();
+        self.run_query(q, |s| {
+            out.push(s.clone());
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// True iff the query has at least one solution.
+    pub fn holds(&mut self, q: &str) -> Result<bool, EngineError> {
+        Ok(self.run_counting(q, true)? > 0)
+    }
+
+    /// Number of solutions (driving the query to exhaustion, like the
+    /// paper's `?- path(1,X), fail.` timing harness). Does not decode
+    /// bindings — this is the tuple-at-a-time fail-loop fast path.
+    pub fn count(&mut self, q: &str) -> Result<usize, EngineError> {
+        self.run_counting(q, false)
+    }
+
+    /// Shared driver for [`Engine::holds`] / [`Engine::count`]: runs the
+    /// query without constructing [`Solution`] values.
+    fn run_counting(&mut self, q: &str, stop_at_first: bool) -> Result<usize, EngineError> {
+        let query = parse_query(q, &mut self.syms, &self.reader.ops)?;
+        let goals: Vec<Term> = query
+            .goals
+            .iter()
+            .map(|g| self.reader.hilog.encode(g))
+            .collect();
+        let nvars = query.var_names.len() as u32;
+        let qpred = compile_query(&mut self.db, &mut self.syms, &goals, nvars)?;
+
+        let mut machine = Machine::new(&mut self.db, &mut self.tables);
+        machine.step_limit = self.step_limit;
+        machine.setup_query(qpred, nvars);
+
+        let result = (|| -> Result<usize, EngineError> {
+            let mut n = 0usize;
+            let mut outcome = machine.run(&mut self.syms)?;
+            while outcome == Outcome::Solution {
+                n += 1;
+                if stop_at_first {
+                    break;
+                }
+                outcome = machine.next_solution(&mut self.syms)?;
+            }
+            Ok(n)
+        })();
+
+        self.last_stats = machine.stats.clone();
+        drop(machine);
+        self.tables.end_query();
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // programmatic EDB access (fast paths for workload generators)
+    // ------------------------------------------------------------------
+
+    /// Asserts a clause (fact or rule) built as an AST term, without going
+    /// through the parser. The head predicate is auto-declared dynamic.
+    pub fn assert_term(&mut self, t: &Term) -> Result<(), EngineError> {
+        let (head, body) = match t {
+            Term::Compound(f, args) if *f == well_known::NECK && args.len() == 2 => {
+                (args[0].clone(), Some(args[1].clone()))
+            }
+            other => (other.clone(), None),
+        };
+        let head = self.reader.hilog.encode(&head);
+        let body = body.map(|b| self.reader.hilog.encode(&b));
+        let c = Clause {
+            head,
+            body: body.into_iter().collect(),
+            var_names: Vec::new(),
+        };
+        self.assert_clause(&c, false)
+    }
+
+    fn assert_clause(&mut self, c: &Clause, at_front: bool) -> Result<(), EngineError> {
+        let (f, n) = c
+            .head
+            .functor()
+            .ok_or_else(|| EngineError::Other("assert: head must be callable".into()))?;
+        let pred = self
+            .db
+            .declare_dynamic(f, n as u16)
+            .map_err(EngineError::Other)?;
+        if c.body.len() > 1 {
+            return Err(EngineError::Other(
+                "dynamic clauses support a single body goal (XSB compiles each dynamic \
+                 clause as a rule with one literal); conjoin goals with ','"
+                    .into(),
+            ));
+        }
+        let (tokens, canon, has_body) = ast_clause_to_canon(&c.head, c.body.first());
+        self.db
+            .dyn_of_mut(pred)
+            .expect("declared dynamic")
+            .insert(tokens, canon, has_body, at_front);
+        Ok(())
+    }
+
+    /// Declares `name/arity` tabled (programmatic `:- table`).
+    pub fn declare_table(&mut self, name: &str, arity: u16) -> Result<(), EngineError> {
+        let s = self.syms.intern(name);
+        self.db.declare_tabled(s, arity).map_err(EngineError::Other)
+    }
+
+    /// Declares `name/arity` dynamic.
+    pub fn declare_dynamic(&mut self, name: &str, arity: u16) -> Result<(), EngineError> {
+        let s = self.syms.intern(name);
+        self.db
+            .declare_dynamic(s, arity)
+            .map(|_| ())
+            .map_err(EngineError::Other)
+    }
+
+    /// Sets the index specs of a dynamic predicate (0-based fields).
+    pub fn set_indexes(&mut self, name: &str, arity: u16, specs: Vec<IndexSpec>) -> Result<(), EngineError> {
+        let s = self.syms.intern(name);
+        let pred = self
+            .db
+            .declare_dynamic(s, arity)
+            .map_err(EngineError::Other)?;
+        self.db
+            .dyn_of_mut(pred)
+            .expect("dynamic")
+            .set_indexes(specs)
+            .map_err(EngineError::Other)
+    }
+
+    /// Number of live tables (for tests and the harness).
+    pub fn table_count(&self) -> usize {
+        self.tables.live_tables()
+    }
+
+    /// Forgets every table.
+    pub fn abolish_all_tables(&mut self) {
+        self.tables.abolish_all();
+    }
+
+    /// Switches the table-space index representation (paper §4.5: hash
+    /// indexes, or the in-development trie indexing integrated with answer
+    /// storage). Clears existing tables.
+    pub fn set_table_index(&mut self, index: crate::table::TableIndex) {
+        self.tables = TableSpace::with_index(index);
+    }
+
+    /// Calls dispatched to `name/arity` in the most recent query — the
+    /// instrumentation behind the Figure 2 reproduction.
+    pub fn call_count(&self, name: &str, arity: u16) -> u64 {
+        let Some(s) = self.syms.lookup(name) else {
+            return 0;
+        };
+        let Some(id) = self.db.lookup_pred(s, arity) else {
+            return 0;
+        };
+        self.last_stats
+            .pred_calls
+            .get(id as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serializes the facts of a dynamic predicate as an object file.
+    pub fn save_object(&self, name: &str, arity: u16) -> Result<Vec<u8>, EngineError> {
+        let s = self
+            .syms
+            .lookup(name)
+            .ok_or_else(|| EngineError::Other(format!("unknown predicate {name}")))?;
+        crate::objfile::encode(&self.db, &self.syms, s, arity)
+    }
+
+    /// Loads an object file produced by [`Engine::save_object`].
+    pub fn load_object(&mut self, data: &[u8]) -> Result<usize, EngineError> {
+        let (_, _, n) = crate::objfile::decode(&mut self.db, &mut self.syms, data)?;
+        Ok(n)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn flatten_commas(t: &Term) -> Vec<&Term> {
+    t.conjuncts()
+}
+
+/// Converts an AST clause directly to its canonical cell run plus index
+/// tokens — the machinery behind `Engine::assert_term` and consult-time
+/// asserts (no WAM heap needed).
+fn ast_clause_to_canon(
+    head: &Term,
+    body: Option<&Term>,
+) -> (Vec<Option<Cell>>, Rc<[Cell]>, bool) {
+    let mut canon: Vec<Cell> = Vec::new();
+    let mut varmap: Vec<u32> = Vec::new();
+    let args = head.args();
+    for a in args {
+        ast_to_canon(a, &mut canon, &mut varmap);
+    }
+    let has_body = body.is_some();
+    if let Some(b) = body {
+        ast_to_canon(b, &mut canon, &mut varmap);
+    }
+    let tokens: Vec<Option<Cell>> = args.iter().map(ast_token).collect();
+    (tokens, Rc::from(canon.into_boxed_slice()), has_body)
+}
+
+fn ast_to_canon(t: &Term, out: &mut Vec<Cell>, varmap: &mut Vec<u32>) {
+    match t {
+        Term::Var(v) => {
+            let idx = match varmap.iter().position(|&x| x == *v) {
+                Some(i) => i,
+                None => {
+                    varmap.push(*v);
+                    varmap.len() - 1
+                }
+            };
+            out.push(Cell::tvar(idx));
+        }
+        Term::Atom(s) => out.push(Cell::con(*s)),
+        Term::Int(i) => out.push(Cell::int(*i)),
+        Term::Compound(f, args) => {
+            out.push(Cell::fun(*f, args.len()));
+            for a in args {
+                ast_to_canon(a, out, varmap);
+            }
+        }
+        Term::HiLog(..) => unreachable!("HiLog encoded before assert"),
+    }
+}
+
+fn ast_token(t: &Term) -> Option<Cell> {
+    match t {
+        Term::Var(_) => None,
+        Term::Atom(s) => Some(Cell::con(*s)),
+        Term::Int(i) => Some(Cell::int(*i)),
+        Term::Compound(f, args) => Some(Cell::fun(*f, args.len())),
+        Term::HiLog(..) => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_and_simple_query() {
+        let mut e = Engine::new();
+        e.consult("edge(1,2). edge(2,3). edge(1,3).").unwrap();
+        let sols = e.query("edge(1, X)").unwrap();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols[0].get("X"), Some(&Term::Int(2)));
+        assert_eq!(sols[1].get("X"), Some(&Term::Int(3)));
+    }
+
+    #[test]
+    fn conjunction_and_join() {
+        let mut e = Engine::new();
+        e.consult("edge(1,2). edge(2,3). edge(3,4).").unwrap();
+        let sols = e.query("edge(X, Y), edge(Y, Z)").unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn rule_evaluation() {
+        let mut e = Engine::new();
+        e.consult(
+            "parent(tom, bob). parent(bob, ann).\n\
+             grandparent(X, Z) :- parent(X, Y), parent(Y, Z).",
+        )
+        .unwrap();
+        let sols = e.query("grandparent(tom, W)").unwrap();
+        assert_eq!(sols.len(), 1);
+        let ann = Term::Atom(e.syms.lookup("ann").unwrap());
+        assert_eq!(sols[0].get("W"), Some(&ann));
+    }
+
+    #[test]
+    fn arithmetic_and_prelude() {
+        let mut e = Engine::new();
+        let sols = e.query("X is 3 * 4 + 1").unwrap();
+        assert_eq!(sols[0].get("X"), Some(&Term::Int(13)));
+        let sols = e.query("append([1,2], [3], L)").unwrap();
+        assert_eq!(sols.len(), 1);
+        let sols = e.query("length([a,b,c], N)").unwrap();
+        assert_eq!(sols[0].get("N"), Some(&Term::Int(3)));
+    }
+
+    #[test]
+    fn tabled_transitive_closure_on_cycle() {
+        let mut e = Engine::new();
+        e.consult(
+            ":- table path/2.\n\
+             path(X,Y) :- edge(X,Y).\n\
+             path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3). edge(3,1).",
+        )
+        .unwrap();
+        // SLD would loop forever on the cycle; SLG terminates with all 9 pairs
+        let n = e.count("path(X, Y)").unwrap();
+        assert_eq!(n, 9);
+        // goal-directed variant
+        let n = e.count("path(1, X)").unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn sld_on_cycle_hits_step_limit_but_slg_does_not() {
+        let mut e = Engine::new();
+        e.consult(
+            "path2(X,Y) :- edge(X,Y).\n\
+             path2(X,Y) :- edge(X,Z), path2(Z,Y).\n\
+             edge(1,2). edge(2,3). edge(3,1).",
+        )
+        .unwrap();
+        e.set_step_limit(Some(200_000));
+        let r = e.count("path2(1, X), fail");
+        assert_eq!(r, Err(EngineError::StepLimit), "SLD loops on the cycle");
+        e.set_step_limit(None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Engine errors.
+
+use crate::compile::CompileError;
+use std::fmt;
+use xsb_syntax::ParseError;
+
+/// Any error the engine can report to its caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// source text failed to parse
+    Parse(ParseError),
+    /// a predicate failed to compile
+    Compile(CompileError),
+    /// an argument was insufficiently instantiated
+    Instantiation(&'static str),
+    /// an argument had the wrong type
+    Type { expected: &'static str, found: String },
+    /// a goal called a predicate with no definition
+    UndefinedPredicate(String),
+    /// negation through an incomplete table in the same SCC — the program
+    /// is not (modularly) stratified under the fixed evaluation order
+    NotStratified(String),
+    /// a cut would discard a partially computed table (paper §4.4)
+    CutOverTable(String),
+    /// the configured step limit was exceeded (useful to demonstrate that
+    /// SLD loops where SLG terminates)
+    StepLimit,
+    /// anything else
+    Other(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Instantiation(w) => {
+                write!(f, "instantiation error: {w} requires a bound argument")
+            }
+            EngineError::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            EngineError::UndefinedPredicate(p) => write!(f, "undefined predicate {p}"),
+            EngineError::NotStratified(p) => write!(
+                f,
+                "negation loop through incomplete table {p}: program is not modularly stratified"
+            ),
+            EngineError::CutOverTable(p) => {
+                write!(f, "cut would discard the incomplete table of {p}")
+            }
+            EngineError::StepLimit => write!(f, "step limit exceeded"),
+            EngineError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}

@@ -1,0 +1,203 @@
+//! SLG-WAM instruction set.
+//!
+//! Programs compile to a flat code area of decoded instructions (the Rust
+//! analogue of byte-code; [`crate::objfile`] provides the serialized form).
+//! The set is the classic WAM — get/put/unify, control, try/retry/trust and
+//! switch indexing — extended with the tabling instructions of the SLG-WAM:
+//! [`Instr::TableCall`], [`Instr::SaveGenerator`], [`Instr::NewAnswer`] /
+//! [`Instr::NewAnswerDirect`], plus the first-string-indexing dispatch
+//! [`Instr::TrieDispatch`] (paper §4.5).
+
+use crate::cell::Cell;
+use xsb_syntax::Sym;
+
+/// Index into the code area.
+pub type CodePtr = u32;
+/// Index into the program's predicate vector.
+pub type PredId = u32;
+
+/// One decoded SLG-WAM instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    // ----- head (get) instructions -----
+    /// `Xn := Ai`
+    GetVariableX { x: u16, a: u16 },
+    /// `Yn := Ai`
+    GetVariableY { y: u16, a: u16 },
+    /// unify `Xn` with `Ai`
+    GetValueX { x: u16, a: u16 },
+    /// unify `Yn` with `Ai`
+    GetValueY { y: u16, a: u16 },
+    /// unify constant (CON/INT cell) with `Ai`
+    GetConstant { c: Cell, a: u16 },
+    /// unify structure `f/n` with `Ai`, entering read or write mode
+    GetStructure { f: Sym, n: u16, a: u16 },
+    /// unify a list cell with `Ai`
+    GetList { a: u16 },
+
+    // ----- unify instructions (read/write mode) -----
+    UnifyVariableX { x: u16 },
+    UnifyVariableY { y: u16 },
+    UnifyValueX { x: u16 },
+    UnifyValueY { y: u16 },
+    UnifyConstant { c: Cell },
+    UnifyVoid { n: u16 },
+
+    // ----- body (put) instructions -----
+    /// fresh heap variable into both `Xn` and `Ai`
+    PutVariableX { x: u16, a: u16 },
+    /// fresh heap variable into `Yn` and `Ai`
+    PutVariableY { y: u16, a: u16 },
+    PutValueX { x: u16, a: u16 },
+    PutValueY { y: u16, a: u16 },
+    PutConstant { c: Cell, a: u16 },
+    PutStructure { f: Sym, n: u16, a: u16 },
+    PutList { a: u16 },
+
+    // ----- control -----
+    Allocate { nperms: u16 },
+    Deallocate,
+    Call { pred: PredId },
+    Execute { pred: PredId },
+    Proceed,
+    /// explicit failure (used in internal snippets)
+    Fail,
+
+    // ----- choice instructions -----
+    /// first clause of a sequential chain; `next` is the alternative
+    TryMeElse { next: CodePtr, arity: u16 },
+    RetryMeElse { next: CodePtr },
+    TrustMe,
+    /// first clause of an indexing bucket: push CP (alternative = following
+    /// instruction) and jump to `target`
+    Try { target: CodePtr, arity: u16 },
+    Retry { target: CodePtr },
+    Trust { target: CodePtr },
+
+    // ----- indexing -----
+    /// four-way dispatch on the dereferenced tag of `A1`; `con`/`str` are
+    /// indices into the code area's hash tables; `u32::MAX` means "no
+    /// table, fall through to `var`".
+    SwitchOnTerm {
+        var: CodePtr,
+        con: u32,
+        lis: CodePtr,
+        str: u32,
+    },
+    /// first-string indexing: walk discrimination trie `trie` against the
+    /// call's arguments, then try the matching clause chain (paper §4.5)
+    TrieDispatch { trie: u32, arity: u16 },
+
+    // ----- cut -----
+    /// store the current choice point into `Yn` at clause entry
+    GetLevel { y: u16 },
+    /// cut back to the level stored in `Yn`
+    CutY { y: u16 },
+
+    // ----- tabling (SLG) -----
+    /// entry point of a tabled predicate: subgoal lookup, then generator /
+    /// consumer / completed-table dispatch
+    TableCall { pred: PredId, arity: u16 },
+    /// store the executing generator's id into `Yn` (first instruction of a
+    /// tabled rule, immediately after `Allocate`)
+    SaveGenerator { y: u16 },
+    /// end of a tabled rule body: record the answer held in the current
+    /// bindings of the generator's substitution factor; fail on duplicates,
+    /// else continue (batched scheduling returns answers eagerly)
+    NewAnswer { y: u16 },
+    /// `NewAnswer` for tabled facts — uses the machine's executing-generator
+    /// register directly (no environment needed)
+    NewAnswerDirect,
+
+    // ----- internal snippets -----
+    /// collect one findall solution then fail to search for more
+    FindallCollect,
+    /// negation-as-failure: the wrapped goal succeeded — cut back to the
+    /// barrier and fail
+    NafCutFail,
+    /// top-level query success
+    HaltSolution,
+}
+
+/// A static hash table for `switch_on_constant` (keys are CON/INT cells).
+/// `miss` is where unmatched constants go (the variable-headed clause
+/// chain, or the fail snippet).
+#[derive(Debug, Default)]
+pub struct ConstTable {
+    pub map: std::collections::HashMap<Cell, CodePtr>,
+    pub miss: CodePtr,
+}
+
+/// A static hash table for `switch_on_structure` (keys are functor/arity).
+#[derive(Debug, Default)]
+pub struct StructTable {
+    pub map: std::collections::HashMap<(Sym, u16), CodePtr>,
+    pub miss: CodePtr,
+}
+
+/// The program code area: instructions plus the compile-time hash tables
+/// and discrimination tries they reference.
+#[derive(Default, Debug)]
+pub struct CodeArea {
+    pub code: Vec<Instr>,
+    pub const_tables: Vec<ConstTable>,
+    pub struct_tables: Vec<StructTable>,
+    pub tries: Vec<crate::compile::first_string::Trie>,
+}
+
+impl CodeArea {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current end of code (where the next instruction will land).
+    pub fn here(&self) -> CodePtr {
+        self.code.len() as CodePtr
+    }
+
+    /// Appends one instruction, returning its address.
+    pub fn emit(&mut self, i: Instr) -> CodePtr {
+        let at = self.here();
+        self.code.push(i);
+        at
+    }
+
+    /// Registers a constant table, returning its id.
+    pub fn add_const_table(&mut self, t: ConstTable) -> u32 {
+        self.const_tables.push(t);
+        (self.const_tables.len() - 1) as u32
+    }
+
+    /// Registers a structure table, returning its id.
+    pub fn add_struct_table(&mut self, t: StructTable) -> u32 {
+        self.struct_tables.push(t);
+        (self.struct_tables.len() - 1) as u32
+    }
+
+    /// Registers a first-string trie, returning its id.
+    pub fn add_trie(&mut self, t: crate::compile::first_string::Trie) -> u32 {
+        self.tries.push(t);
+        (self.tries.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_returns_addresses_in_order() {
+        let mut c = CodeArea::new();
+        assert_eq!(c.emit(Instr::Proceed), 0);
+        assert_eq!(c.emit(Instr::Fail), 1);
+        assert_eq!(c.here(), 2);
+    }
+
+    #[test]
+    fn tables_get_sequential_ids() {
+        let mut c = CodeArea::new();
+        assert_eq!(c.add_const_table(ConstTable::default()), 0);
+        assert_eq!(c.add_const_table(ConstTable::default()), 1);
+        assert_eq!(c.add_struct_table(StructTable::default()), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Object files for bulk fact loading (paper §4.6).
+//!
+//! XSB compiles static code into byte-code object files; "loading an object
+//! file is about 12x faster than loading through the formatted read and
+//! assert". This module provides the dynamic-code analogue the paper lists
+//! as future work: a predicate's facts serialized in their canonical cell
+//! form, so loading is a symbol-remap plus bulk insert — no tokenizing, no
+//! parsing, no per-fact term construction.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "XSBO" | version u16 | name len+bytes | arity u16
+//! nsyms u32 | (len u32, utf8 bytes)*          local symbol table
+//! nclauses u32 | (ncells u32, cells u64*)*    canonical cell runs
+//! ```
+//!
+//! CON and FUN cells store *local* symbol ids on disk and are remapped on
+//! load.
+
+use crate::cell::{Cell, Tag};
+use crate::dynamic::IndexSpec;
+use crate::error::EngineError;
+use crate::program::Program;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::rc::Rc;
+use xsb_syntax::{Sym, SymbolTable};
+
+const MAGIC: &[u8; 4] = b"XSBO";
+const VERSION: u16 = 1;
+
+fn err<T>(m: impl Into<String>) -> Result<T, EngineError> {
+    Err(EngineError::Other(m.into()))
+}
+
+/// Serializes the facts of dynamic predicate `name/arity`.
+pub fn encode(
+    db: &Program,
+    syms: &SymbolTable,
+    name: Sym,
+    arity: u16,
+) -> Result<Vec<u8>, EngineError> {
+    let Some(pred) = db.lookup_pred(name, arity) else {
+        return err(format!("no predicate {}/{arity}", syms.name(name)));
+    };
+    let Some(dp) = db.dyn_of(pred) else {
+        return err(format!("{}/{arity} is not dynamic", syms.name(name)));
+    };
+
+    let mut local: HashMap<Sym, u32> = HashMap::new();
+    let mut local_names: Vec<String> = Vec::new();
+    fn localize(
+        syms: &SymbolTable,
+        s: Sym,
+        names: &mut Vec<String>,
+        map: &mut HashMap<Sym, u32>,
+    ) -> u32 {
+        *map.entry(s).or_insert_with(|| {
+            names.push(syms.name(s).to_string());
+            (names.len() - 1) as u32
+        })
+    }
+
+    // first pass: collect symbols and re-encode cells with local ids
+    let ids = dp.all_live();
+    let mut clause_runs: Vec<Vec<u64>> = Vec::with_capacity(ids.len());
+    for id in &ids {
+        let c = dp.clause(*id);
+        if c.has_body {
+            return err("object files support fact-only predicates");
+        }
+        let mut run = Vec::with_capacity(c.canon.len());
+        for &cell in c.canon.iter() {
+            let enc = match cell.tag() {
+                Tag::Con => {
+                    let l = localize(syms, cell.sym(), &mut local_names, &mut local);
+                    Cell::con(Sym(l)).0
+                }
+                Tag::Fun => {
+                    let (s, n) = cell.functor();
+                    let l = localize(syms, s, &mut local_names, &mut local);
+                    Cell::fun(Sym(l), n).0
+                }
+                _ => cell.0,
+            };
+            run.push(enc);
+        }
+        clause_runs.push(run);
+    }
+
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let pname = syms.name(name);
+    buf.put_u32_le(pname.len() as u32);
+    buf.put_slice(pname.as_bytes());
+    buf.put_u16_le(arity);
+    buf.put_u32_le(local_names.len() as u32);
+    for n in &local_names {
+        buf.put_u32_le(n.len() as u32);
+        buf.put_slice(n.as_bytes());
+    }
+    buf.put_u32_le(clause_runs.len() as u32);
+    for run in &clause_runs {
+        buf.put_u32_le(run.len() as u32);
+        for &w in run {
+            buf.put_u64_le(w);
+        }
+    }
+    Ok(buf.to_vec())
+}
+
+/// Loads an object file into the program, declaring the predicate dynamic
+/// if needed. Returns (name, arity, clause count).
+pub fn decode(
+    db: &mut Program,
+    syms: &mut SymbolTable,
+    data: &[u8],
+) -> Result<(Sym, u16, usize), EngineError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return err("bad object file magic");
+    }
+    if buf.get_u16_le() != VERSION {
+        return err("unsupported object file version");
+    }
+    let nlen = buf.get_u32_le() as usize;
+    let name_bytes = buf.copy_to_bytes(nlen);
+    let name_str = std::str::from_utf8(&name_bytes).map_err(|_| EngineError::Other(
+        "object file predicate name is not utf-8".into(),
+    ))?;
+    let name = syms.intern(name_str);
+    let arity = buf.get_u16_le();
+
+    let nsyms = buf.get_u32_le() as usize;
+    let mut remap: Vec<Sym> = Vec::with_capacity(nsyms);
+    for _ in 0..nsyms {
+        let l = buf.get_u32_le() as usize;
+        let b = buf.copy_to_bytes(l);
+        let s = std::str::from_utf8(&b)
+            .map_err(|_| EngineError::Other("object file symbol is not utf-8".into()))?;
+        remap.push(syms.intern(s));
+    }
+
+    let pred = db
+        .declare_dynamic(name, arity)
+        .map_err(EngineError::Other)?;
+
+    let nclauses = buf.get_u32_le() as usize;
+    let dp = db.dyn_of_mut(pred).expect("just declared dynamic");
+    for _ in 0..nclauses {
+        let ncells = buf.get_u32_le() as usize;
+        let mut canon: Vec<Cell> = Vec::with_capacity(ncells);
+        for _ in 0..ncells {
+            let raw = Cell(buf.get_u64_le());
+            let cell = match raw.tag() {
+                Tag::Con => Cell::con(remap[raw.sym().0 as usize]),
+                Tag::Fun => {
+                    let (s, n) = raw.functor();
+                    Cell::fun(remap[s.0 as usize], n)
+                }
+                _ => raw,
+            };
+            canon.push(cell);
+        }
+        // head-arg tokens: walk the canonical run, taking the outer cell of
+        // each of the `arity` roots
+        let tokens = canon_tokens(&canon, arity as usize);
+        dp.insert(tokens, Rc::from(canon.into_boxed_slice()), false, false);
+    }
+    Ok((name, arity, nclauses))
+}
+
+/// Outer token of each root in a canonical run (for index maintenance).
+pub fn canon_tokens(canon: &[Cell], arity: usize) -> Vec<Option<Cell>> {
+    let mut tokens = Vec::with_capacity(arity);
+    let mut pos = 0usize;
+    for _ in 0..arity {
+        let c = canon[pos];
+        tokens.push(match c.tag() {
+            Tag::TVar => None,
+            Tag::Con | Tag::Int => Some(c),
+            Tag::Fun => Some(c),
+            _ => unreachable!("invalid canonical cell"),
+        });
+        pos += canon_subterm_len(canon, pos);
+    }
+    tokens
+}
+
+/// Length (in cells) of the canonical subterm starting at `pos`.
+pub fn canon_subterm_len(canon: &[Cell], pos: usize) -> usize {
+    let mut need = 1usize; // terms still to read
+    let mut i = pos;
+    while need > 0 {
+        let c = canon[i];
+        need -= 1;
+        if c.tag() == Tag::Fun {
+            let (_, n) = c.functor();
+            need += n;
+        }
+        i += 1;
+    }
+    i - pos
+}
+
+/// Applies the default index set after a bulk load (callers may override
+/// with `set_indexes`).
+pub fn default_indexes(arity: u16) -> Vec<IndexSpec> {
+    if arity > 0 {
+        vec![IndexSpec { fields: vec![0] }]
+    } else {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_subterm_len_handles_nesting() {
+        // f(g(a), 1) = [FUN f/2, FUN g/1, CON a, INT 1]
+        let canon = [
+            Cell::fun(Sym(10), 2),
+            Cell::fun(Sym(11), 1),
+            Cell::con(Sym(12)),
+            Cell::int(1),
+        ];
+        assert_eq!(canon_subterm_len(&canon, 0), 4);
+        assert_eq!(canon_subterm_len(&canon, 1), 2);
+        assert_eq!(canon_subterm_len(&canon, 3), 1);
+    }
+
+    #[test]
+    fn tokens_of_multi_root_run() {
+        // roots: a, f(X), 3
+        let canon = [
+            Cell::con(Sym(5)),
+            Cell::fun(Sym(6), 1),
+            Cell::tvar(0),
+            Cell::int(3),
+        ];
+        let toks = canon_tokens(&canon, 3);
+        assert_eq!(toks[0], Some(Cell::con(Sym(5))));
+        assert_eq!(toks[1], Some(Cell::fun(Sym(6), 1)));
+        assert_eq!(toks[2], Some(Cell::int(3)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        let e = syms.intern("edge");
+        let pred = db.declare_dynamic(e, 2).unwrap();
+        {
+            let dp = db.dyn_of_mut(pred).unwrap();
+            for i in 0..100i64 {
+                let canon: Vec<Cell> = vec![Cell::int(i), Cell::int(i + 1)];
+                let toks = vec![Some(Cell::int(i)), Some(Cell::int(i + 1))];
+                dp.insert(toks, Rc::from(canon.into_boxed_slice()), false, false);
+            }
+        }
+        let bytes = encode(&db, &syms, e, 2).unwrap();
+
+        // load into a fresh program with a fresh symbol table
+        let mut syms2 = SymbolTable::new();
+        let mut db2 = Program::new(&mut syms2);
+        let (name, arity, n) = decode(&mut db2, &mut syms2, &bytes).unwrap();
+        assert_eq!(syms2.name(name), "edge");
+        assert_eq!(arity, 2);
+        assert_eq!(n, 100);
+        let pred2 = db2.lookup_pred(name, 2).unwrap();
+        let dp2 = db2.dyn_of(pred2).unwrap();
+        assert_eq!(dp2.len(), 100);
+        // indexed retrieval works on the loaded data
+        assert_eq!(dp2.candidates(&[Some(Cell::int(5)), None]).len(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        assert!(decode(&mut db, &mut syms, b"not an object file").is_err());
+    }
+
+    #[test]
+    fn atoms_are_remapped_across_symbol_tables() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        let p = syms.intern("person");
+        let alice = syms.intern("alice");
+        let pred = db.declare_dynamic(p, 1).unwrap();
+        db.dyn_of_mut(pred).unwrap().insert(
+            vec![Some(Cell::con(alice))],
+            Rc::from(vec![Cell::con(alice)].into_boxed_slice()),
+            false,
+            false,
+        );
+        let bytes = encode(&db, &syms, p, 1).unwrap();
+
+        let mut syms2 = SymbolTable::new();
+        // shift the symbol table so ids cannot accidentally line up
+        for i in 0..57 {
+            syms2.intern(&format!("pad{i}"));
+        }
+        let mut db2 = Program::new(&mut syms2);
+        let (name, _, _) = decode(&mut db2, &mut syms2, &bytes).unwrap();
+        let pred2 = db2.lookup_pred(name, 1).unwrap();
+        let alice2 = syms2.lookup("alice").unwrap();
+        let dp2 = db2.dyn_of(pred2).unwrap();
+        let c = dp2.clause(dp2.all_live()[0]);
+        assert_eq!(c.canon[0], Cell::con(alice2));
+    }
+}

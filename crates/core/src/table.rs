@@ -1,0 +1,530 @@
+//! Table space (paper §3, §4.5).
+//!
+//! A separate memory area holding, per tabled subgoal: the canonicalized
+//! call (the *variant* key), the answer list with a full-argument hash index
+//! for duplicate elimination, the SLG bookkeeping for incremental completion
+//! (depth-first number and `dir_link`), the suspended consumers, and any
+//! negation suspensions waiting on the subgoal's completion.
+//!
+//! Subgoal lookup is a hash on the canonical call; answer lookup hashes all
+//! arguments of the canonical answer — exactly the two table indexes §4.5
+//! describes.
+
+use crate::cell::Cell;
+use crate::instr::{CodePtr, PredId};
+use crate::machine::{Freeze, NONE};
+use crate::table_trie::TermTrie;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// How subgoal and answer tables are indexed. `Hash` is XSB v1.3's design
+/// (§4.5: hash on the canonical call; hash on all answer arguments);
+/// `Trie` is the paper's in-development trie indexing, where the index is
+/// integrated with the storage (see [`crate::table_trie`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TableIndex {
+    #[default]
+    Hash,
+    Trie,
+}
+
+pub type SubgoalId = u32;
+
+/// Completion state of a tabled subgoal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubgoalState {
+    Incomplete,
+    Complete,
+}
+
+/// How the generator treats a newly derived answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GenMode {
+    /// batched scheduling: record and *proceed* (return the answer eagerly)
+    Positive,
+    /// called from `tnot`: record and fail (exhaustive search to completion)
+    Negation,
+    /// called from `e_tnot`: the first answer aborts the evaluation and
+    /// frees the table if no one else uses it (paper §4.4)
+    Existential,
+}
+
+/// One tabled subgoal.
+#[derive(Debug)]
+pub struct SubgoalFrame {
+    pub pred: PredId,
+    /// canonical call-argument tuple (variant key)
+    pub canon: Rc<[Cell]>,
+    /// number of distinct variables in the call (answer tuple width)
+    pub nvars: u32,
+    /// answers in derivation order (canonical tuples)
+    pub answers: Vec<Rc<[Cell]>>,
+    /// full-argument hash index for duplicate checking
+    pub answer_set: HashSet<Rc<[Cell]>>,
+    pub state: SubgoalState,
+    pub mode: GenMode,
+    /// generator's substitution factor: heap addresses of the call's
+    /// distinct variables (valid only while the generator is live)
+    pub subst: Vec<u32>,
+    /// generator choice point index (machine-local)
+    pub gen_cp: u32,
+    /// SLG incremental-completion bookkeeping
+    pub dfn: u32,
+    pub dir_link: u32,
+    /// next program clause to run (cursor into `clauses`)
+    pub clause_cursor: u32,
+    pub clauses: Rc<[CodePtr]>,
+    /// consumer ids suspended on this subgoal
+    pub consumers: Vec<u32>,
+    /// negation/tfindall suspension ids waiting on completion
+    pub negs: Vec<u32>,
+    /// freeze registers at generator creation (restored at completion)
+    pub saved_freeze: Freeze,
+    /// position in the completion stack while incomplete
+    pub compl_pos: u32,
+    /// for `Existential` mode: the choice point to cut back to when the
+    /// first answer arrives
+    pub exist_cut_b: u32,
+    /// true when the table was freed (`tcut` / existential negation)
+    pub deleted: bool,
+    /// suspensions queued for scheduling after this (leader) subgoal's SCC
+    /// completed; drained by the generator choice point's handler
+    pub pending_negs: Vec<u32>,
+    /// trie-integrated answer store (when [`TableIndex::Trie`] is active);
+    /// `answer_set` stays empty in that mode
+    pub answer_trie: Option<TermTrie>,
+}
+
+impl SubgoalFrame {
+    pub fn has_answers(&self) -> bool {
+        !self.answers.is_empty()
+    }
+}
+
+/// A suspended consumer of an incomplete table.
+#[derive(Debug)]
+pub struct Consumer {
+    pub sub: SubgoalId,
+    /// its choice point index
+    pub cp: u32,
+    /// the consumer call's substitution factor (heap addresses)
+    pub subst: Vec<u32>,
+    /// how many answers it has consumed
+    pub cursor: u32,
+    /// subgoal id of the leader currently scheduling this consumer
+    /// (`NONE` when not scheduled)
+    pub scheduled_by: u32,
+    pub dead: bool,
+}
+
+/// What a completion-time suspension does when its subgoal completes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NegMode {
+    /// `tnot`/`e_tnot`: resume (succeed) iff the completed table is empty
+    Tnot,
+    /// `tfindall/3`: resume unconditionally and build the answer list
+    Tfindall { template: Cell, result: Cell },
+}
+
+/// A suspension waiting on subgoal completion (negation or tfindall).
+#[derive(Debug)]
+pub struct NegSusp {
+    pub sub: SubgoalId,
+    pub cp: u32,
+    pub mode: NegMode,
+    /// substitution factor of the suspended call (for tfindall decoding)
+    pub subst: Vec<u32>,
+    /// where execution continues if the suspension succeeds
+    pub resume: crate::instr::CodePtr,
+    pub done: bool,
+}
+
+/// The global table space. Completed tables persist across queries;
+/// consumers, suspensions and the completion stack are per-query.
+#[derive(Default, Debug)]
+pub struct TableSpace {
+    pub subgoals: Vec<SubgoalFrame>,
+    lookup: HashMap<PredId, HashMap<Rc<[Cell]>, SubgoalId>>,
+    /// per-predicate subgoal tries (when `index == Trie`); the vector maps
+    /// trie entry ids to subgoal ids (refreshed when a freed table's
+    /// variant is re-created)
+    subgoal_tries: HashMap<PredId, (TermTrie, Vec<SubgoalId>)>,
+    pub consumers: Vec<Consumer>,
+    pub negs: Vec<NegSusp>,
+    /// incomplete generators, oldest first (DFN order)
+    pub completion_stack: Vec<SubgoalId>,
+    dfn_counter: u32,
+    pub index: TableIndex,
+}
+
+impl TableSpace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table space using the given index representation.
+    pub fn with_index(index: TableIndex) -> Self {
+        TableSpace {
+            index,
+            ..Self::default()
+        }
+    }
+
+    /// Finds an existing (non-deleted) table for this variant call.
+    /// (`Rc<[Cell]>: Borrow<[Cell]>`, so no allocation per probe.)
+    pub fn find(&self, pred: PredId, canon: &[Cell]) -> Option<SubgoalId> {
+        match self.index {
+            TableIndex::Hash => self
+                .lookup
+                .get(&pred)
+                .and_then(|m| m.get(canon))
+                .copied()
+                .filter(|&id| !self.subgoals[id as usize].deleted),
+            TableIndex::Trie => self
+                .subgoal_tries
+                .get(&pred)
+                .and_then(|(t, ids)| t.find(canon).map(|tid| ids[tid as usize]))
+                .filter(|&id| !self.subgoals[id as usize].deleted),
+        }
+    }
+
+    /// Creates a new subgoal table (generator side) and pushes it on the
+    /// completion stack.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_subgoal(
+        &mut self,
+        pred: PredId,
+        canon: Rc<[Cell]>,
+        subst: Vec<u32>,
+        clauses: Rc<[CodePtr]>,
+        mode: GenMode,
+        saved_freeze: Freeze,
+        exist_cut_b: u32,
+    ) -> SubgoalId {
+        let id = self.subgoals.len() as SubgoalId;
+        self.dfn_counter += 1;
+        let dfn = self.dfn_counter;
+        let compl_pos = self.completion_stack.len() as u32;
+        self.subgoals.push(SubgoalFrame {
+            pred,
+            canon: canon.clone(),
+            nvars: subst.len() as u32,
+            answers: Vec::new(),
+            answer_set: HashSet::new(),
+            state: SubgoalState::Incomplete,
+            mode,
+            subst,
+            gen_cp: NONE,
+            dfn,
+            dir_link: dfn,
+            clause_cursor: 0,
+            clauses,
+            consumers: Vec::new(),
+            negs: Vec::new(),
+            saved_freeze,
+            compl_pos,
+            exist_cut_b,
+            deleted: false,
+            pending_negs: Vec::new(),
+            answer_trie: matches!(self.index, TableIndex::Trie).then(TermTrie::new),
+        });
+        match self.index {
+            TableIndex::Hash => {
+                self.lookup.entry(pred).or_default().insert(canon, id);
+            }
+            TableIndex::Trie => {
+                let (trie, ids) = self
+                    .subgoal_tries
+                    .entry(pred)
+                    .or_insert_with(|| (TermTrie::new(), Vec::new()));
+                let (tid, fresh) = trie.insert(&canon);
+                if fresh {
+                    debug_assert_eq!(tid as usize, ids.len());
+                    ids.push(id);
+                } else {
+                    // a freed table's variant re-created: remap the entry
+                    ids[tid as usize] = id;
+                }
+            }
+        }
+        self.completion_stack.push(id);
+        id
+    }
+
+    /// Records an answer; returns `true` if it is new.
+    pub fn add_answer(&mut self, sub: SubgoalId, canon: Rc<[Cell]>) -> bool {
+        let f = &mut self.subgoals[sub as usize];
+        if let Some(trie) = &mut f.answer_trie {
+            let (_, fresh) = trie.insert(&canon);
+            if fresh {
+                f.answers.push(canon);
+            }
+            fresh
+        } else if f.answer_set.insert(canon.clone()) {
+            f.answers.push(canon);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Duplicate check without allocating (the common case on recursive
+    /// workloads; paper §4.5's full-argument answer index).
+    pub fn has_answer(&self, sub: SubgoalId, canon: &[Cell]) -> bool {
+        let f = &self.subgoals[sub as usize];
+        match &f.answer_trie {
+            Some(trie) => trie.find(canon).is_some(),
+            None => f.answer_set.contains(canon),
+        }
+    }
+
+    pub fn frame(&self, sub: SubgoalId) -> &SubgoalFrame {
+        &self.subgoals[sub as usize]
+    }
+
+    pub fn frame_mut(&mut self, sub: SubgoalId) -> &mut SubgoalFrame {
+        &mut self.subgoals[sub as usize]
+    }
+
+    /// The youngest incomplete generator (top of the completion stack) —
+    /// the frame whose `dir_link` absorbs new dependencies.
+    pub fn youngest(&self) -> Option<SubgoalId> {
+        self.completion_stack.last().copied()
+    }
+
+    /// Registers a positive dependency of the current computation on `sub`
+    /// (a consumer call or negation suspension on an incomplete table).
+    pub fn note_dependency(&mut self, on: SubgoalId) {
+        let dfn = self.subgoals[on as usize].dfn;
+        if let Some(top) = self.youngest() {
+            let f = &mut self.subgoals[top as usize];
+            if dfn < f.dir_link {
+                f.dir_link = dfn;
+            }
+        }
+    }
+
+    /// True iff `sub` is the leader of its SCC (its region can complete).
+    pub fn is_leader(&self, sub: SubgoalId) -> bool {
+        let f = &self.subgoals[sub as usize];
+        f.dir_link == f.dfn
+    }
+
+    /// Propagates a non-leader's `dir_link` to the generator below it on
+    /// the completion stack.
+    pub fn propagate_dir_link(&mut self, sub: SubgoalId) {
+        let f = &self.subgoals[sub as usize];
+        let pos = f.compl_pos as usize;
+        let dl = f.dir_link;
+        if pos > 0 {
+            let below = self.completion_stack[pos - 1];
+            let g = &mut self.subgoals[below as usize];
+            if dl < g.dir_link {
+                g.dir_link = dl;
+            }
+        }
+    }
+
+    /// Subgoals of the SCC led by `leader`: the completion-stack segment
+    /// from the leader to the top.
+    pub fn scc_members(&self, leader: SubgoalId) -> Vec<SubgoalId> {
+        let pos = self.subgoals[leader as usize].compl_pos as usize;
+        self.completion_stack[pos..].to_vec()
+    }
+
+    /// Marks the SCC led by `leader` complete, pops it from the completion
+    /// stack, and returns its members.
+    pub fn complete_scc(&mut self, leader: SubgoalId) -> Vec<SubgoalId> {
+        let members = self.scc_members(leader);
+        for &m in &members {
+            let f = &mut self.subgoals[m as usize];
+            f.state = SubgoalState::Complete;
+            f.subst.clear();
+            // gen_cp stays: the generator choice point schedules this
+            // frame's suspensions post-completion; end_query clears it
+        }
+        let pos = self.subgoals[leader as usize].compl_pos as usize;
+        self.completion_stack.truncate(pos);
+        members
+    }
+
+    /// Deletes the completion-stack segment from `sub` upward — the
+    /// `tcut`/existential-negation table-freeing operation (paper §4.4).
+    /// Completed inner tables are kept; incomplete ones are removed so
+    /// later calls recompute them.
+    pub fn delete_from(&mut self, sub: SubgoalId) -> Vec<SubgoalId> {
+        let pos = self.subgoals[sub as usize].compl_pos as usize;
+        let removed: Vec<SubgoalId> = self.completion_stack[pos..].to_vec();
+        for &m in &removed {
+            let f = &mut self.subgoals[m as usize];
+            if f.state == SubgoalState::Incomplete {
+                f.deleted = true;
+                if let Some(m) = self.lookup.get_mut(&f.pred) {
+                    m.remove(&f.canon);
+                }
+                // trie mode: `find` filters on `deleted`, and re-creation
+                // remaps the trie entry, so no trie surgery is needed
+            }
+        }
+        self.completion_stack.truncate(pos);
+        removed
+    }
+
+    /// True when `sub` has users other than the excluded consumer/neg —
+    /// the `tcut` safety check ("are there other users of the table?").
+    pub fn has_other_users(&self, sub: SubgoalId, excluded_neg: u32) -> bool {
+        let f = &self.subgoals[sub as usize];
+        f.consumers
+            .iter()
+            .any(|&c| !self.consumers[c as usize].dead)
+            || f.negs
+                .iter()
+                .any(|&n| n != excluded_neg && !self.negs[n as usize].done)
+    }
+
+    /// Clears per-query state: consumers, suspensions, completion stack,
+    /// and any tables left incomplete (e.g. the user stopped after the
+    /// first solution).
+    pub fn end_query(&mut self) {
+        self.consumers.clear();
+        self.negs.clear();
+        self.completion_stack.clear();
+        for f in &mut self.subgoals {
+            if f.state == SubgoalState::Incomplete && !f.deleted {
+                f.deleted = true;
+                if let Some(m) = self.lookup.get_mut(&f.pred) {
+                    m.remove(&f.canon);
+                }
+            }
+            f.subst.clear();
+            f.consumers.clear();
+            f.negs.clear();
+            f.gen_cp = NONE;
+        }
+    }
+
+    /// Removes every table (the `abolish_all_tables/0` builtin).
+    pub fn abolish_all(&mut self) {
+        self.subgoals.clear();
+        self.lookup.clear();
+        self.subgoal_tries.clear();
+        self.consumers.clear();
+        self.negs.clear();
+        self.completion_stack.clear();
+        self.dfn_counter = 0;
+    }
+
+    /// Total cells held by the answer stores — tries share prefixes, so in
+    /// trie mode this is at most (and usually below) the flat total.
+    pub fn answer_store_cells(&self) -> u64 {
+        self.subgoals
+            .iter()
+            .map(|f| match &f.answer_trie {
+                Some(t) => t.stored_cells(),
+                None => f.answers.iter().map(|a| a.len() as u64).sum(),
+            })
+            .sum()
+    }
+
+    /// Number of live (non-deleted) tables.
+    pub fn live_tables(&self) -> usize {
+        self.subgoals.iter().filter(|f| !f.deleted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(cells: &[Cell]) -> Rc<[Cell]> {
+        Rc::from(cells)
+    }
+
+    fn mk(ts: &mut TableSpace, pred: PredId, key: &[Cell]) -> SubgoalId {
+        ts.new_subgoal(
+            pred,
+            canon(key),
+            vec![],
+            Rc::from(&[][..]),
+            GenMode::Positive,
+            Freeze::default(),
+            NONE,
+        )
+    }
+
+    #[test]
+    fn subgoal_variant_lookup() {
+        let mut ts = TableSpace::new();
+        let key = [Cell::tvar(0), Cell::int(1)];
+        let id = mk(&mut ts, 3, &key);
+        assert_eq!(ts.find(3, &key), Some(id));
+        assert_eq!(ts.find(4, &key), None);
+        assert_eq!(ts.find(3, &[Cell::int(1), Cell::tvar(0)]), None);
+    }
+
+    #[test]
+    fn answer_dedup() {
+        let mut ts = TableSpace::new();
+        let id = mk(&mut ts, 0, &[Cell::tvar(0)]);
+        assert!(ts.add_answer(id, canon(&[Cell::int(1)])));
+        assert!(ts.add_answer(id, canon(&[Cell::int(2)])));
+        assert!(!ts.add_answer(id, canon(&[Cell::int(1)])), "duplicate");
+        assert_eq!(ts.frame(id).answers.len(), 2);
+    }
+
+    #[test]
+    fn dfn_and_leader_detection() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::int(1)]);
+        let b = mk(&mut ts, 0, &[Cell::int(2)]);
+        assert!(ts.is_leader(a));
+        assert!(ts.is_leader(b));
+        // b consumes a → b's SCC merges downward
+        // youngest is b; note dependency on a
+        ts.note_dependency(a);
+        assert!(!ts.is_leader(b));
+        ts.propagate_dir_link(b);
+        assert!(ts.is_leader(a), "a still its own leader");
+        assert_eq!(ts.scc_members(a), vec![a, b]);
+    }
+
+    #[test]
+    fn completion_marks_and_pops() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::int(1)]);
+        let b = mk(&mut ts, 0, &[Cell::int(2)]);
+        ts.note_dependency(a);
+        let done = ts.complete_scc(a);
+        assert_eq!(done, vec![a, b]);
+        assert_eq!(ts.frame(a).state, SubgoalState::Complete);
+        assert_eq!(ts.frame(b).state, SubgoalState::Complete);
+        assert!(ts.completion_stack.is_empty());
+    }
+
+    #[test]
+    fn delete_from_removes_incomplete_only() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::int(1)]);
+        let b = mk(&mut ts, 0, &[Cell::int(2)]);
+        // complete b first (inner SCC)
+        ts.complete_scc(b);
+        let removed = ts.delete_from(a);
+        assert_eq!(removed, vec![a]);
+        assert!(ts.frame(a).deleted);
+        assert!(!ts.frame(b).deleted, "completed table survives tcut");
+        assert_eq!(ts.find(0, &[Cell::int(2)]), Some(b));
+        assert_eq!(ts.find(0, &[Cell::int(1)]), None);
+    }
+
+    #[test]
+    fn end_query_purges_incomplete() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::int(1)]);
+        let b = mk(&mut ts, 0, &[Cell::int(2)]);
+        ts.complete_scc(b);
+        ts.end_query();
+        assert!(ts.frame(a).deleted);
+        assert!(!ts.frame(b).deleted);
+        assert_eq!(ts.live_tables(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Trie-based table indexing (paper §4.5, closing paragraph).
+//!
+//! "Also, trie-based indexing is currently being developed for answer
+//! clauses in the tables. The index is being integrated with the actual
+//! storing of the answers, which will both decrease the space and the time
+//! necessary for saving answers." — this module is that future-work
+//! feature: a term trie over canonical cell sequences that *is* the store
+//! (shared prefixes stored once) and *is* the index (insertion discovers
+//! duplicates as it walks).
+//!
+//! The engine can run its table space on either the hash indexes (XSB
+//! v1.3's design, the default) or these tries — see
+//! [`crate::table::TableIndex`]; the `table_index` ablation bench compares
+//! them.
+
+use crate::cell::Cell;
+use std::collections::HashMap;
+
+/// One trie node: children keyed by canonical cell. Small fan-outs use a
+/// sorted vector (cache-friendly binary search); large fan-outs spill into
+/// a hash map, which matters for EDB-style predicates with thousands of
+/// distinct constants at one position.
+#[derive(Debug)]
+struct Node {
+    small: Vec<(Cell, u32)>,
+    big: Option<HashMap<Cell, u32>>,
+    /// id of the sequence that ends here (`u32::MAX` = none)
+    leaf: u32,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            small: Vec::new(),
+            big: None,
+            leaf: NO_LEAF,
+        }
+    }
+}
+
+const NO_LEAF: u32 = u32::MAX;
+/// fan-out at which a node trades its sorted vector for a hash map
+const SPILL: usize = 16;
+
+impl Node {
+    fn get(&self, c: Cell) -> Option<u32> {
+        match &self.big {
+            Some(m) => m.get(&c).copied(),
+            None => self
+                .small
+                .binary_search_by_key(&c.0, |(k, _)| k.0)
+                .ok()
+                .map(|i| self.small[i].1),
+        }
+    }
+
+    fn insert_child(&mut self, c: Cell, id: u32) {
+        match &mut self.big {
+            Some(m) => {
+                m.insert(c, id);
+            }
+            None => {
+                match self.small.binary_search_by_key(&c.0, |(k, _)| k.0) {
+                    Ok(_) => unreachable!("child exists"),
+                    Err(i) => self.small.insert(i, (c, id)),
+                }
+                if self.small.len() > SPILL {
+                    self.big = Some(self.small.drain(..).collect());
+                }
+            }
+        }
+    }
+}
+
+/// A trie over canonical cell sequences. Each inserted sequence gets a
+/// dense id (its insertion order), so callers can keep parallel per-entry
+/// data in plain vectors.
+#[derive(Debug)]
+pub struct TermTrie {
+    nodes: Vec<Node>,
+    len: u32,
+    /// total cells stored across all nodes (space accounting)
+    cells: u64,
+}
+
+impl Default for TermTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TermTrie {
+    pub fn new() -> TermTrie {
+        TermTrie {
+            nodes: vec![Node::default()],
+            len: 0,
+            cells: 0,
+        }
+    }
+
+    /// Inserts a canonical sequence. Returns `(id, true)` for a new entry
+    /// or `(existing_id, false)` for a duplicate — the duplicate check and
+    /// the store are the same walk.
+    pub fn insert(&mut self, seq: &[Cell]) -> (u32, bool) {
+        let mut node = 0usize;
+        for &c in seq {
+            match self.nodes[node].get(c) {
+                Some(next) => node = next as usize,
+                None => {
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[node].insert_child(c, id);
+                    self.cells += 1;
+                    node = id as usize;
+                }
+            }
+        }
+        if self.nodes[node].leaf != NO_LEAF {
+            (self.nodes[node].leaf, false)
+        } else {
+            let id = self.len;
+            self.nodes[node].leaf = id;
+            self.len += 1;
+            (id, true)
+        }
+    }
+
+    /// Looks up an exact sequence.
+    pub fn find(&self, seq: &[Cell]) -> Option<u32> {
+        let mut node = 0usize;
+        for &c in seq {
+            node = self.nodes[node].get(c)? as usize;
+        }
+        let leaf = self.nodes[node].leaf;
+        (leaf != NO_LEAF).then_some(leaf)
+    }
+
+    /// Number of stored sequences.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cells stored in the trie — with shared prefixes this is less than
+    /// the sum of sequence lengths, the space saving §4.5 anticipates.
+    pub fn stored_cells(&self) -> u64 {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsb_syntax::Sym;
+
+    fn seq(xs: &[i64]) -> Vec<Cell> {
+        xs.iter().map(|&i| Cell::int(i)).collect()
+    }
+
+    #[test]
+    fn insert_assigns_dense_ids() {
+        let mut t = TermTrie::new();
+        assert_eq!(t.insert(&seq(&[1, 2])), (0, true));
+        assert_eq!(t.insert(&seq(&[1, 3])), (1, true));
+        assert_eq!(t.insert(&seq(&[2])), (2, true));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_detected_on_the_walk() {
+        let mut t = TermTrie::new();
+        t.insert(&seq(&[1, 2, 3]));
+        assert_eq!(t.insert(&seq(&[1, 2, 3])), (0, false));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn prefix_sequences_are_distinct_entries() {
+        let mut t = TermTrie::new();
+        let (a, _) = t.insert(&seq(&[1, 2]));
+        let (b, _) = t.insert(&seq(&[1]));
+        let (c, _) = t.insert(&seq(&[1, 2, 3]));
+        assert_eq!(t.find(&seq(&[1, 2])), Some(a));
+        assert_eq!(t.find(&seq(&[1])), Some(b));
+        assert_eq!(t.find(&seq(&[1, 2, 3])), Some(c));
+        assert_eq!(t.find(&seq(&[2])), None);
+        assert_eq!(t.find(&seq(&[1, 2, 3, 4])), None);
+    }
+
+    #[test]
+    fn shared_prefixes_share_storage() {
+        let mut t = TermTrie::new();
+        // 100 sequences sharing a 3-cell prefix
+        for i in 0..100 {
+            let mut s = seq(&[7, 8, 9]);
+            s.push(Cell::int(i));
+            t.insert(&s);
+        }
+        assert_eq!(t.len(), 100);
+        // 3 prefix cells + 100 leaves, not 400 cells
+        assert_eq!(t.stored_cells(), 103);
+    }
+
+    #[test]
+    fn spills_to_hashmap_on_wide_fanout() {
+        let mut t = TermTrie::new();
+        for i in 0..1000 {
+            t.insert(&seq(&[i]));
+        }
+        assert_eq!(t.len(), 1000);
+        for i in (0..1000).step_by(97) {
+            assert!(t.find(&seq(&[i])).is_some());
+        }
+    }
+
+    #[test]
+    fn mixed_cell_kinds() {
+        let mut t = TermTrie::new();
+        let s1 = vec![Cell::fun(Sym(5), 2), Cell::con(Sym(6)), Cell::tvar(0)];
+        let s2 = vec![Cell::fun(Sym(5), 2), Cell::con(Sym(6)), Cell::tvar(1)];
+        let (a, new1) = t.insert(&s1);
+        let (b, new2) = t.insert(&s2);
+        assert!(new1 && new2);
+        assert_ne!(a, b);
+        assert_eq!(t.find(&s1), Some(a));
+    }
+}

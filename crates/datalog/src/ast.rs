@@ -1,0 +1,305 @@
+//! Datalog program representation, lowered from the shared syntax AST.
+//!
+//! The bottom-up baseline is deliberately a classic *interpretive,
+//! set-at-a-time* evaluator (the architecture of CORAL/LDL that §5 of the
+//! paper compares against): constants are interned to dense ids, literals
+//! are flat, and rules are evaluated relation-at-a-time.
+
+use std::collections::HashMap;
+use xsb_syntax::{well_known, Clause, Sym, SymbolTable, Term};
+
+/// Interned constant id.
+pub type ConstId = u32;
+/// Predicate key: name and arity.
+pub type PredKey = (Sym, u16);
+
+/// A constant value (no function symbols — this is datalog).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Value {
+    Int(i64),
+    Atom(Sym),
+}
+
+impl Value {
+    pub fn display(self, syms: &SymbolTable) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Atom(s) => syms.name(s).to_string(),
+        }
+    }
+}
+
+/// Interning table for constants.
+#[derive(Default, Debug)]
+pub struct ConstTable {
+    values: Vec<Value>,
+    map: HashMap<Value, ConstId>,
+}
+
+impl ConstTable {
+    pub fn intern(&mut self, v: Value) -> ConstId {
+        if let Some(&id) = self.map.get(&v) {
+            return id;
+        }
+        let id = self.values.len() as ConstId;
+        self.values.push(v);
+        self.map.insert(v, id);
+        id
+    }
+
+    pub fn value(&self, id: ConstId) -> Value {
+        self.values[id as usize]
+    }
+
+    pub fn lookup(&self, v: Value) -> Option<ConstId> {
+        self.map.get(&v).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A literal argument.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arg {
+    Var(u32),
+    Const(ConstId),
+}
+
+/// A body or head literal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Literal {
+    pub pred: PredKey,
+    pub args: Vec<Arg>,
+    pub negated: bool,
+}
+
+impl Literal {
+    pub fn arity(&self) -> u16 {
+        self.args.len() as u16
+    }
+}
+
+/// A datalog rule `head :- body`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    pub head: Literal,
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Range restriction (safety): every head variable and every variable
+    /// in a negated literal must occur in a positive body literal.
+    pub fn is_safe(&self) -> bool {
+        let mut positive_vars = Vec::new();
+        for l in &self.body {
+            if !l.negated {
+                for a in &l.args {
+                    if let Arg::Var(v) = a {
+                        if !positive_vars.contains(v) {
+                            positive_vars.push(*v);
+                        }
+                    }
+                }
+            }
+        }
+        let check = |l: &Literal| {
+            l.args.iter().all(|a| match a {
+                Arg::Var(v) => positive_vars.contains(v),
+                Arg::Const(_) => true,
+            })
+        };
+        check(&self.head) && self.body.iter().filter(|l| l.negated).all(check)
+    }
+}
+
+/// A lowered datalog program: facts (ground atoms) plus rules.
+#[derive(Default, Debug)]
+pub struct DatalogProgram {
+    pub consts: ConstTable,
+    pub facts: Vec<(PredKey, Vec<ConstId>)>,
+    pub rules: Vec<Rule>,
+}
+
+/// Lowering error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError(pub String);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "datalog lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl DatalogProgram {
+    /// Lowers syntax-level clauses into the datalog representation.
+    /// Negation markers accepted: `\+`, `tnot`, `e_tnot`, `not`.
+    pub fn from_clauses(clauses: &[Clause]) -> Result<DatalogProgram, LowerError> {
+        let mut p = DatalogProgram::default();
+        for c in clauses {
+            p.add_clause(c)?;
+        }
+        Ok(p)
+    }
+
+    pub fn add_clause(&mut self, c: &Clause) -> Result<(), LowerError> {
+        if c.body.is_empty() {
+            let (pred, args) = self.lower_atom(&c.head)?;
+            let ground: Result<Vec<ConstId>, LowerError> = args
+                .into_iter()
+                .map(|a| match a {
+                    Arg::Const(id) => Ok(id),
+                    Arg::Var(_) => Err(LowerError("facts must be ground".into())),
+                })
+                .collect();
+            self.facts.push((pred, ground?));
+        } else {
+            let head = {
+                let (pred, args) = self.lower_atom(&c.head)?;
+                Literal {
+                    pred,
+                    args,
+                    negated: false,
+                }
+            };
+            let mut body = Vec::with_capacity(c.body.len());
+            for g in &c.body {
+                body.push(self.lower_literal(g)?);
+            }
+            let rule = Rule { head, body };
+            if !rule.is_safe() {
+                return Err(LowerError(format!(
+                    "unsafe rule (range restriction violated) for {:?}",
+                    rule.head.pred
+                )));
+            }
+            self.rules.push(rule);
+        }
+        Ok(())
+    }
+
+    fn lower_literal(&mut self, g: &Term) -> Result<Literal, LowerError> {
+        match g {
+            Term::Compound(f, args)
+                if args.len() == 1
+                    && (*f == well_known::NAF
+                        || *f == well_known::TNOT
+                        || *f == well_known::E_TNOT
+                        || *f == well_known::NOT) =>
+            {
+                let (pred, args) = self.lower_atom(&args[0])?;
+                Ok(Literal {
+                    pred,
+                    args,
+                    negated: true,
+                })
+            }
+            other => {
+                let (pred, args) = self.lower_atom(other)?;
+                Ok(Literal {
+                    pred,
+                    args,
+                    negated: false,
+                })
+            }
+        }
+    }
+
+    fn lower_atom(&mut self, t: &Term) -> Result<(PredKey, Vec<Arg>), LowerError> {
+        let (f, n) = t
+            .functor()
+            .ok_or_else(|| LowerError(format!("not an atom: {t:?}")))?;
+        let mut args = Vec::with_capacity(n);
+        for a in t.args() {
+            args.push(match a {
+                Term::Var(v) => Arg::Var(*v),
+                Term::Int(i) => Arg::Const(self.consts.intern(Value::Int(*i))),
+                Term::Atom(s) => Arg::Const(self.consts.intern(Value::Atom(*s))),
+                other => {
+                    return Err(LowerError(format!(
+                        "function symbols are not datalog: {other:?}"
+                    )))
+                }
+            });
+        }
+        Ok(((f, n as u16), args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsb_syntax::{parse_program, Item, OpTable};
+
+    fn lower(src: &str) -> (DatalogProgram, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        (DatalogProgram::from_clauses(&clauses).unwrap(), syms)
+    }
+
+    #[test]
+    fn lowers_facts_and_rules() {
+        let (p, syms) = lower("edge(1,2). path(X,Y) :- edge(X,Y).");
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.rules.len(), 1);
+        let edge = syms.lookup("edge").unwrap();
+        assert_eq!(p.facts[0].0, (edge, 2));
+    }
+
+    #[test]
+    fn lowers_negation_markers() {
+        let (p, _) = lower("win(X) :- move(X,Y), tnot win(Y).\nmove(1,2).");
+        assert!(p.rules[0].body[1].negated);
+    }
+
+    #[test]
+    fn rejects_function_symbols() {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program("p(f(X)) :- q(X).", &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(DatalogProgram::from_clauses(&clauses).is_err());
+    }
+
+    #[test]
+    fn rejects_unsafe_rules() {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program("p(X, Y) :- q(X).", &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(DatalogProgram::from_clauses(&clauses).is_err());
+    }
+
+    #[test]
+    fn safety_allows_negated_bound_vars() {
+        let (p, _) = lower("unreach(X) :- node(X), tnot reach(X).\nnode(1).");
+        assert_eq!(p.rules.len(), 1);
+    }
+}

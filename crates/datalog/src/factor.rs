@@ -1,0 +1,222 @@
+//! The factoring optimization (Naughton, Ramakrishnan, Sagiv & Ullman,
+//! "Argument reduction through factoring", VLDB'89) — the `CORAL-fac` line
+//! in the paper's Figure 5.
+//!
+//! For left- or right-linear transitive-closure-shaped programs queried
+//! with the first argument bound, the bound argument can be *factored out*
+//! entirely: instead of magic-set tuples `path_bf(c, Y)` carrying `c`
+//! everywhere, a unary relation of reachable nodes is computed.
+
+use crate::ast::{Arg, ConstId, DatalogProgram, Literal, PredKey, Rule};
+use xsb_syntax::SymbolTable;
+
+/// A successfully factored program.
+pub struct FactoredProgram {
+    pub program: DatalogProgram,
+    /// the unary answer predicate: `f(Y)` ⇔ `p(c, Y)`
+    pub answer_pred: PredKey,
+}
+
+/// Attempts to factor `program` for the query `p(c, Y)`. Returns `None`
+/// when the program does not match the (left- or right-) linear pattern —
+/// callers fall back to plain magic sets, as CORAL did.
+pub fn try_factor(
+    program: &DatalogProgram,
+    query_pred: PredKey,
+    bound_const: ConstId,
+    syms: &mut SymbolTable,
+) -> Option<FactoredProgram> {
+    let rules: Vec<&Rule> = program
+        .rules
+        .iter()
+        .filter(|r| r.head.pred == query_pred)
+        .collect();
+    // no other derived predicate may feed the pattern
+    if rules.len() != 2 || program.rules.len() != 2 {
+        return None;
+    }
+    // identify base and recursive rule
+    let (base, rec) = {
+        let r0_rec = rules[0].body.iter().any(|l| l.pred == query_pred);
+        let r1_rec = rules[1].body.iter().any(|l| l.pred == query_pred);
+        match (r0_rec, r1_rec) {
+            (false, true) => (rules[0], rules[1]),
+            (true, false) => (rules[1], rules[0]),
+            _ => return None,
+        }
+    };
+    // base: p(X,Y) :- e(X,Y).
+    let e = match base.body.as_slice() {
+        [l]
+            if !l.negated
+                && l.pred != query_pred
+                && base.head.args.len() == 2
+                && l.args == base.head.args =>
+        {
+            l.pred
+        }
+        _ => return None,
+    };
+    let (hx, hy) = match (&base.head.args[0], &base.head.args[1]) {
+        (Arg::Var(x), Arg::Var(y)) if x != y => (*x, *y),
+        _ => return None,
+    };
+
+    // recursive: left-linear  p(X,Y) :- p(X,Z), e(Z,Y)
+    //         or right-linear p(X,Y) :- e(X,Z), p(Z,Y)
+    if rec.body.len() != 2 || rec.head.args.len() != 2 {
+        return None;
+    }
+    let (rx, ry) = match (&rec.head.args[0], &rec.head.args[1]) {
+        (Arg::Var(x), Arg::Var(y)) if x != y => (*x, *y),
+        _ => return None,
+    };
+    let matches_left = {
+        // p(X,Z), e(Z,Y)
+        let l0 = &rec.body[0];
+        let l1 = &rec.body[1];
+        l0.pred == query_pred
+            && l1.pred == e
+            && !l0.negated
+            && !l1.negated
+            && l0.args[0] == Arg::Var(rx)
+            && l0.args[1] == l1.args[0]
+            && l1.args[1] == Arg::Var(ry)
+    };
+    let matches_right = {
+        // e(X,Z), p(Z,Y)
+        let l0 = &rec.body[0];
+        let l1 = &rec.body[1];
+        l0.pred == e
+            && l1.pred == query_pred
+            && !l0.negated
+            && !l1.negated
+            && l0.args[0] == Arg::Var(rx)
+            && l0.args[1] == l1.args[0]
+            && l1.args[1] == Arg::Var(ry)
+    };
+    if !matches_left && !matches_right {
+        return None;
+    }
+    let _ = (hx, hy);
+
+    // factored program:
+    //   f(Y) :- e(c, Y).
+    //   f(Y) :- f(Z), e(Z, Y).
+    // (for both linearities the answer set is the set of nodes reachable
+    //  from c, computed without carrying c in any tuple)
+    let f = syms.intern(&format!("f_{}", syms.name(query_pred.0)));
+    let fkey = (f, 1);
+    let mut out = DatalogProgram::default();
+    out.consts = crate::magic::clone_consts(program);
+    out.facts = program.facts.clone();
+    out.rules.push(Rule {
+        head: Literal {
+            pred: fkey,
+            args: vec![Arg::Var(0)],
+            negated: false,
+        },
+        body: vec![Literal {
+            pred: e,
+            args: vec![Arg::Const(bound_const), Arg::Var(0)],
+            negated: false,
+        }],
+    });
+    out.rules.push(Rule {
+        head: Literal {
+            pred: fkey,
+            args: vec![Arg::Var(1)],
+            negated: false,
+        },
+        body: vec![
+            Literal {
+                pred: fkey,
+                args: vec![Arg::Var(0)],
+                negated: false,
+            },
+            Literal {
+                pred: e,
+                args: vec![Arg::Var(0), Arg::Var(1)],
+                negated: false,
+            },
+        ],
+    });
+    Some(FactoredProgram {
+        program: out,
+        answer_pred: fkey,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DatalogProgram, Value};
+    use crate::seminaive::Evaluator;
+    use crate::stratify::stratify;
+    use xsb_syntax::{parse_program, Clause, Item, OpTable};
+
+    fn setup(src: &str) -> (DatalogProgram, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        (DatalogProgram::from_clauses(&clauses).unwrap(), syms)
+    }
+
+    #[test]
+    fn factors_left_linear_path() {
+        let (mut p, mut syms) = setup(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3). edge(3,1).",
+        );
+        let path = syms.lookup("path").unwrap();
+        let one = p.consts.intern(Value::Int(1));
+        let f = try_factor(&p, (path, 2), one, &mut syms).expect("factorable");
+        let strata = stratify(&f.program).unwrap();
+        let mut ev = Evaluator::from_facts(&f.program);
+        ev.evaluate(&strata, true);
+        assert_eq!(ev.answers(f.answer_pred, &[None]).len(), 3);
+    }
+
+    #[test]
+    fn factors_right_linear_path() {
+        let (mut p, mut syms) = setup(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n\
+             edge(1,2). edge(2,3).",
+        );
+        let path = syms.lookup("path").unwrap();
+        let one = p.consts.intern(Value::Int(1));
+        let f = try_factor(&p, (path, 2), one, &mut syms).expect("factorable");
+        let strata = stratify(&f.program).unwrap();
+        let mut ev = Evaluator::from_facts(&f.program);
+        ev.evaluate(&strata, true);
+        assert_eq!(ev.answers(f.answer_pred, &[None]).len(), 2);
+    }
+
+    #[test]
+    fn rejects_nonlinear_rules() {
+        let (mut p, mut syms) = setup(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\nedge(1,2).",
+        );
+        let path = syms.lookup("path").unwrap();
+        let one = p.consts.intern(Value::Int(1));
+        assert!(try_factor(&p, (path, 2), one, &mut syms).is_none());
+    }
+
+    #[test]
+    fn rejects_extra_rules() {
+        let (mut p, mut syms) = setup(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             other(X) :- edge(X, X).\nedge(1,2).",
+        );
+        let path = syms.lookup("path").unwrap();
+        let one = p.consts.intern(Value::Int(1));
+        assert!(try_factor(&p, (path, 2), one, &mut syms).is_none());
+    }
+}

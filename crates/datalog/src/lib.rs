@@ -1,0 +1,294 @@
+//! # xsb-datalog — the bottom-up baseline (CORAL/LDL stand-in)
+//!
+//! The paper's §5 compares XSB's compiled, tuple-at-a-time SLG engine
+//! against interpretive, set-at-a-time bottom-up systems. This crate is
+//! that comparator, built the way those systems were: magic-sets rewriting
+//! for goal direction ("CORAL-def" in Figure 5), optional factoring
+//! ("CORAL-fac"), and naive/semi-naive fixpoint evaluation with stratified
+//! negation.
+//!
+//! ```
+//! use xsb_datalog::{Datalog, Strategy};
+//!
+//! let mut d = Datalog::new(r#"
+//!     path(X,Y) :- edge(X,Y).
+//!     path(X,Y) :- path(X,Z), edge(Z,Y).
+//!     edge(1,2). edge(2,3). edge(3,1).
+//! "#).unwrap();
+//! assert_eq!(d.query("path(1, Y)", Strategy::Magic).unwrap().len(), 3);
+//! ```
+
+pub mod ast;
+pub mod factor;
+pub mod magic;
+pub mod relation;
+pub mod seminaive;
+pub mod stratify;
+
+use ast::{Arg, DatalogProgram, Literal, Value};
+pub use seminaive::{EvalStats, Evaluator};
+use stratify::stratify;
+use xsb_syntax::{parse_query, Item, OpTable, SymbolTable, Term};
+
+/// Evaluation strategy for [`Datalog::query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// naive fixpoint (ablation baseline)
+    Naive,
+    /// semi-naive fixpoint over the whole program
+    SemiNaive,
+    /// magic-sets rewriting + semi-naive ("CORAL-def")
+    Magic,
+    /// factoring when the program matches, else magic ("CORAL-fac")
+    MagicFactored,
+}
+
+/// Errors from the datalog front end.
+#[derive(Debug)]
+pub enum DatalogError {
+    Parse(xsb_syntax::ParseError),
+    Lower(ast::LowerError),
+    NotStratified(stratify::NotStratified),
+    Magic(magic::MagicError),
+    Other(String),
+}
+
+impl std::fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatalogError::Parse(e) => write!(f, "{e}"),
+            DatalogError::Lower(e) => write!(f, "{e}"),
+            DatalogError::NotStratified(e) => write!(f, "{e}"),
+            DatalogError::Magic(e) => write!(f, "{e}"),
+            DatalogError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// A loaded datalog database with a query interface.
+pub struct Datalog {
+    pub syms: SymbolTable,
+    ops: OpTable,
+    pub program: DatalogProgram,
+    /// statistics of the last evaluation
+    pub last_stats: EvalStats,
+}
+
+impl Datalog {
+    /// Parses and lowers a program.
+    pub fn new(src: &str) -> Result<Datalog, DatalogError> {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items =
+            xsb_syntax::parse_program(src, &mut syms, &ops).map_err(DatalogError::Parse)?;
+        let clauses: Vec<xsb_syntax::Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                Item::Directive(_) => None, // table decls are meaningless bottom-up
+            })
+            .collect();
+        let program =
+            DatalogProgram::from_clauses(&clauses).map_err(DatalogError::Lower)?;
+        Ok(Datalog {
+            syms,
+            ops,
+            program,
+            last_stats: EvalStats::default(),
+        })
+    }
+
+    /// Fast programmatic fact insertion (workload generators).
+    pub fn add_fact(&mut self, pred: &str, args: &[Value]) {
+        let s = self.syms.intern(pred);
+        let tuple: Vec<_> = args.iter().map(|v| self.program.consts.intern(*v)).collect();
+        self.program.facts.push(((s, args.len() as u16), tuple));
+    }
+
+    /// Runs `query_src` (e.g. `"path(1, X)"`) under `strategy`, returning
+    /// the matching tuples as [`Value`]s.
+    pub fn query(
+        &mut self,
+        query_src: &str,
+        strategy: Strategy,
+    ) -> Result<Vec<Vec<Value>>, DatalogError> {
+        let q = parse_query(query_src, &mut self.syms, &self.ops)
+            .map_err(DatalogError::Parse)?;
+        if q.goals.len() != 1 {
+            return Err(DatalogError::Other(
+                "datalog queries are single goals".into(),
+            ));
+        }
+        let goal = &q.goals[0];
+        let (f, n) = goal
+            .functor()
+            .ok_or_else(|| DatalogError::Other("query must be an atom".into()))?;
+        let pred = (f, n as u16);
+        let mut args: Vec<Arg> = Vec::with_capacity(n);
+        for a in goal.args() {
+            args.push(match a {
+                Term::Var(v) => Arg::Var(*v),
+                Term::Int(i) => Arg::Const(self.program.consts.intern(Value::Int(*i))),
+                Term::Atom(s) => Arg::Const(self.program.consts.intern(Value::Atom(*s))),
+                _ => return Err(DatalogError::Other("query args must be datalog".into())),
+            });
+        }
+        let pattern: Vec<Option<u32>> = args
+            .iter()
+            .map(|a| match a {
+                Arg::Const(c) => Some(*c),
+                Arg::Var(_) => None,
+            })
+            .collect();
+
+        let (ev, answer_pred, consts) = match strategy {
+            Strategy::Naive | Strategy::SemiNaive => {
+                let strata = stratify(&self.program).map_err(DatalogError::NotStratified)?;
+                let mut ev = Evaluator::from_facts(&self.program);
+                ev.evaluate(&strata, strategy == Strategy::SemiNaive);
+                (ev, pred, &self.program.consts)
+            }
+            Strategy::Magic => {
+                let lit = Literal {
+                    pred,
+                    args: args.clone(),
+                    negated: false,
+                };
+                let m = magic::magic_rewrite(&self.program, &lit, &mut self.syms)
+                    .map_err(DatalogError::Magic)?;
+                let strata = stratify(&m.program).map_err(DatalogError::NotStratified)?;
+                let mut ev = Evaluator::from_facts(&m.program);
+                ev.evaluate(&strata, true);
+                self.last_stats = ev.stats;
+                let answers = ev.answers(m.answer_pred, &pattern);
+                return Ok(self.decode(&m.program, answers));
+            }
+            Strategy::MagicFactored => {
+                // factoring applies to p(c, X) queries on linear programs
+                let bound_first = matches!(args.first(), Some(Arg::Const(_)));
+                let free_second = matches!(args.get(1), Some(Arg::Var(_)));
+                if bound_first && free_second && n == 2 {
+                    let c = match args[0] {
+                        Arg::Const(c) => c,
+                        _ => unreachable!(),
+                    };
+                    if let Some(fp) =
+                        factor::try_factor(&self.program, pred, c, &mut self.syms)
+                    {
+                        let strata =
+                            stratify(&fp.program).map_err(DatalogError::NotStratified)?;
+                        let mut ev = Evaluator::from_facts(&fp.program);
+                        ev.evaluate(&strata, true);
+                        self.last_stats = ev.stats;
+                        let ys = ev.answers(fp.answer_pred, &[None]);
+                        // f(Y) ⇔ p(c, Y)
+                        let out = ys
+                            .into_iter()
+                            .map(|t| {
+                                vec![
+                                    fp.program.consts.value(match args[0] {
+                                        Arg::Const(c) => c,
+                                        _ => unreachable!(),
+                                    }),
+                                    fp.program.consts.value(t[0]),
+                                ]
+                            })
+                            .collect();
+                        return Ok(out);
+                    }
+                }
+                return self.query(query_src, Strategy::Magic);
+            }
+        };
+        self.last_stats = ev.stats;
+        let answers = ev.answers(answer_pred, &pattern);
+        let decoded = answers
+            .into_iter()
+            .map(|t| t.into_iter().map(|c| consts.value(c)).collect())
+            .collect();
+        Ok(decoded)
+    }
+
+    fn decode(&self, program: &DatalogProgram, answers: Vec<Vec<u32>>) -> Vec<Vec<Value>> {
+        answers
+            .into_iter()
+            .map(|t| t.into_iter().map(|c| program.consts.value(c)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLE: &str = "
+        path(X,Y) :- edge(X,Y).
+        path(X,Y) :- path(X,Z), edge(Z,Y).
+        edge(1,2). edge(2,3). edge(3,1).
+    ";
+
+    #[test]
+    fn all_strategies_agree_on_cycle() {
+        for strat in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::Magic,
+            Strategy::MagicFactored,
+        ] {
+            let mut d = Datalog::new(CYCLE).unwrap();
+            let mut rows = d.query("path(1, Y)", strat).unwrap();
+            rows.sort();
+            assert_eq!(rows.len(), 3, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn fanout_first_iteration_saturates() {
+        let mut d = Datalog::new(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).",
+        )
+        .unwrap();
+        for i in 1..=64 {
+            d.add_fact("edge", &[Value::Int(1), Value::Int(i)]);
+        }
+        let rows = d.query("path(1, Y)", Strategy::Magic).unwrap();
+        assert_eq!(rows.len(), 64);
+    }
+
+    #[test]
+    fn add_fact_then_query() {
+        let mut d = Datalog::new("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- tc(X,Z), e(Z,Y).").unwrap();
+        d.add_fact("e", &[Value::Int(5), Value::Int(6)]);
+        d.add_fact("e", &[Value::Int(6), Value::Int(7)]);
+        assert_eq!(d.query("tc(5, Y)", Strategy::SemiNaive).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ground_query() {
+        let mut d = Datalog::new(CYCLE).unwrap();
+        assert_eq!(d.query("path(1, 3)", Strategy::Magic).unwrap().len(), 1);
+        assert_eq!(d.query("path(1, 9)", Strategy::Magic).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stratified_negation_via_seminaive() {
+        let mut d = Datalog::new(
+            "reach(1).\nreach(Y) :- reach(X), edge(X,Y).\n\
+             unreach(X) :- node(X), tnot reach(X).\n\
+             edge(1,2). node(1). node(2). node(3).",
+        )
+        .unwrap();
+        let rows = d.query("unreach(X)", Strategy::SemiNaive).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn atoms_as_constants() {
+        let mut d = Datalog::new("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\npar(tom,bob). par(bob,ann).").unwrap();
+        let rows = d.query("anc(tom, Y)", Strategy::Magic).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! Magic-sets rewriting (the goal-directed transformation the systems in
+//! paper Table 1 rely on: Aditi, LDL "Magic Sets", CORAL "Magic
+//! Templates").
+//!
+//! Given a query with some arguments bound, the program is *adorned*
+//! (left-to-right sideways information passing) and for every adorned
+//! derived predicate a *magic* predicate is introduced that computes the
+//! relevant calls; each rule is guarded by the magic predicate of its head.
+//! The paper (§2) observes "the magic facts of the magic template method
+//! appear to correspond to the tabled subgoals of an SLG evaluation".
+
+use crate::ast::{Arg, DatalogProgram, Literal, PredKey, Rule};
+use std::collections::{HashMap, HashSet, VecDeque};
+use xsb_syntax::SymbolTable;
+
+/// Adornment: per argument, bound (`true`) or free.
+pub type Adornment = Vec<bool>;
+
+/// Rewrite error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MagicError(pub String);
+
+impl std::fmt::Display for MagicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "magic rewrite error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MagicError {}
+
+/// Result of the rewriting: the transformed program (sharing the constant
+/// table), plus the adorned answer predicate for the query.
+pub struct MagicProgram {
+    pub program: DatalogProgram,
+    pub answer_pred: PredKey,
+}
+
+fn adorn_suffix(a: &Adornment) -> String {
+    a.iter().map(|&b| if b { 'b' } else { 'f' }).collect()
+}
+
+/// Rewrites `program` for `query` (constants = bound arguments).
+/// Supports positive derived predicates; negation is allowed only on base
+/// predicates (CORAL similarly restricted magic through negation).
+pub fn magic_rewrite(
+    program: &DatalogProgram,
+    query: &Literal,
+    syms: &mut SymbolTable,
+) -> Result<MagicProgram, MagicError> {
+    let derived: HashSet<PredKey> = program.rules.iter().map(|r| r.head.pred).collect();
+    for r in &program.rules {
+        for l in &r.body {
+            if l.negated && derived.contains(&l.pred) {
+                return Err(MagicError(
+                    "negation on derived predicates is not supported by this magic rewrite"
+                        .into(),
+                ));
+            }
+        }
+    }
+    if !derived.contains(&query.pred) {
+        return Err(MagicError("query predicate has no rules".into()));
+    }
+
+    // group rules by head pred
+    let mut rules_of: HashMap<PredKey, Vec<&Rule>> = HashMap::new();
+    for r in &program.rules {
+        rules_of.entry(r.head.pred).or_default().push(r);
+    }
+
+    let query_adornment: Adornment = query
+        .args
+        .iter()
+        .map(|a| matches!(a, Arg::Const(_)))
+        .collect();
+
+    // allocate adorned + magic predicate names on demand
+    let mut adorned_name: HashMap<(PredKey, Adornment), PredKey> = HashMap::new();
+    let mut magic_name: HashMap<(PredKey, Adornment), PredKey> = HashMap::new();
+    let name_of = |map: &mut HashMap<(PredKey, Adornment), PredKey>,
+                       prefix: &str,
+                       pred: PredKey,
+                       a: &Adornment,
+                       arity: u16,
+                       syms: &mut SymbolTable|
+     -> PredKey {
+        if let Some(&k) = map.get(&(pred, a.clone())) {
+            return k;
+        }
+        let base = syms.name(pred.0).to_string();
+        let s = syms.intern(&format!("{prefix}{base}_{}", adorn_suffix(a)));
+        let k = (s, arity);
+        map.insert((pred, a.clone()), k);
+        k
+    };
+
+    let mut out = DatalogProgram::default();
+    // the rewritten program shares constants with the source
+    out.consts = clone_consts(program);
+    out.facts = program.facts.clone();
+
+    let mut seen: HashSet<(PredKey, Adornment)> = HashSet::new();
+    let mut work: VecDeque<(PredKey, Adornment)> = VecDeque::new();
+    work.push_back((query.pred, query_adornment.clone()));
+    seen.insert((query.pred, query_adornment.clone()));
+
+    while let Some((pred, adornment)) = work.pop_front() {
+        let bound_count = adornment.iter().filter(|&&b| b).count() as u16;
+        let p_ad = name_of(&mut adorned_name, "", pred, &adornment, pred.1, syms);
+        let m_p = name_of(
+            &mut magic_name,
+            "m_",
+            pred,
+            &adornment,
+            bound_count,
+            syms,
+        );
+
+        for rule in rules_of.get(&pred).cloned().unwrap_or_default() {
+            // bound head variables seed the SIP
+            let mut bound_vars: HashSet<u32> = HashSet::new();
+            let mut magic_head_args: Vec<Arg> = Vec::new();
+            for (arg, &is_bound) in rule.head.args.iter().zip(&adornment) {
+                if is_bound {
+                    magic_head_args.push(*arg);
+                    if let Arg::Var(v) = arg {
+                        bound_vars.insert(*v);
+                    }
+                }
+            }
+            let magic_guard = Literal {
+                pred: m_p,
+                args: magic_head_args,
+                negated: false,
+            };
+
+            let mut new_body: Vec<Literal> = vec![magic_guard.clone()];
+            for lit in &rule.body {
+                if !lit.negated && derived.contains(&lit.pred) {
+                    // adorn this call site
+                    let a: Adornment = lit
+                        .args
+                        .iter()
+                        .map(|arg| match arg {
+                            Arg::Const(_) => true,
+                            Arg::Var(v) => bound_vars.contains(v),
+                        })
+                        .collect();
+                    let bc = a.iter().filter(|&&b| b).count() as u16;
+                    let q_ad = name_of(&mut adorned_name, "", lit.pred, &a, lit.pred.1, syms);
+                    let m_q = name_of(&mut magic_name, "m_", lit.pred, &a, bc, syms);
+                    // magic rule: m_q(bound args) :- <prefix so far>
+                    let m_args: Vec<Arg> = lit
+                        .args
+                        .iter()
+                        .zip(&a)
+                        .filter(|(_, &b)| b)
+                        .map(|(arg, _)| *arg)
+                        .collect();
+                    out.rules.push(Rule {
+                        head: Literal {
+                            pred: m_q,
+                            args: m_args,
+                            negated: false,
+                        },
+                        body: new_body.clone(),
+                    });
+                    if seen.insert((lit.pred, a.clone())) {
+                        work.push_back((lit.pred, a));
+                    }
+                    new_body.push(Literal {
+                        pred: q_ad,
+                        args: lit.args.clone(),
+                        negated: false,
+                    });
+                } else {
+                    new_body.push(lit.clone());
+                }
+                // every variable of a positive literal is bound after it
+                if !lit.negated {
+                    for arg in &lit.args {
+                        if let Arg::Var(v) = arg {
+                            bound_vars.insert(*v);
+                        }
+                    }
+                }
+            }
+            out.rules.push(Rule {
+                head: Literal {
+                    pred: p_ad,
+                    args: rule.head.args.clone(),
+                    negated: false,
+                },
+                body: new_body,
+            });
+        }
+    }
+
+    // the magic seed for the query
+    let seed: Vec<_> = query
+        .args
+        .iter()
+        .filter_map(|a| match a {
+            Arg::Const(c) => Some(*c),
+            Arg::Var(_) => None,
+        })
+        .collect();
+    let m_query = magic_name[&(query.pred, query_adornment.clone())];
+    out.facts.push((m_query, seed));
+
+    let answer_pred = adorned_name[&(query.pred, query_adornment)];
+    Ok(MagicProgram {
+        program: out,
+        answer_pred,
+    })
+}
+
+pub(crate) fn clone_consts(p: &DatalogProgram) -> crate::ast::ConstTable {
+    // rebuild the table (ids preserved because interning order replays)
+    let mut t = crate::ast::ConstTable::default();
+    for i in 0..p.consts.len() {
+        let v = p.consts.value(i as u32);
+        let id = t.intern(v);
+        debug_assert_eq!(id, i as u32);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DatalogProgram, Value};
+    use crate::seminaive::Evaluator;
+    use crate::stratify::stratify;
+    use xsb_syntax::{parse_program, Clause, Item, OpTable};
+
+    fn setup(src: &str) -> (DatalogProgram, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        (DatalogProgram::from_clauses(&clauses).unwrap(), syms)
+    }
+
+    const LONG_CHAIN: &str = "
+        path(X,Y) :- edge(X,Y).
+        path(X,Y) :- path(X,Z), edge(Z,Y).
+        edge(1,2). edge(2,3). edge(3,4). edge(4,5).
+        edge(10,11). edge(11,12). edge(12,13).
+    ";
+
+    #[test]
+    fn magic_computes_only_relevant_facts() {
+        let (mut p, mut syms) = setup(LONG_CHAIN);
+        let path = syms.lookup("path").unwrap();
+        let one = p.consts.intern(Value::Int(1));
+        let query = Literal {
+            pred: (path, 2),
+            args: vec![Arg::Const(one), Arg::Var(0)],
+            negated: false,
+        };
+        let m = magic_rewrite(&p, &query, &mut syms).unwrap();
+        let strata = stratify(&m.program).unwrap();
+        let mut ev = Evaluator::from_facts(&m.program);
+        ev.evaluate(&strata, true);
+        let answers = ev.answers(m.answer_pred, &[Some(one), None]);
+        assert_eq!(answers.len(), 4, "path(1, _) reaches 2,3,4,5");
+        // the disconnected component 10..13 was never touched
+        let all = ev.answers(m.answer_pred, &[None, None]);
+        assert_eq!(all.len(), 4, "goal direction prunes the other component");
+    }
+
+    #[test]
+    fn magic_agrees_with_full_seminaive() {
+        let (mut p, mut syms) = setup(LONG_CHAIN);
+        let path = syms.lookup("path").unwrap();
+        let one = p.consts.intern(Value::Int(1));
+        // full bottom-up
+        let strata = stratify(&p).unwrap();
+        let mut full = Evaluator::from_facts(&p);
+        full.evaluate(&strata, true);
+        let mut expect = full.answers((path, 2), &[Some(one), None]);
+        // magic
+        let query = Literal {
+            pred: (path, 2),
+            args: vec![Arg::Const(one), Arg::Var(0)],
+            negated: false,
+        };
+        let m = magic_rewrite(&p, &query, &mut syms).unwrap();
+        let mstrata = stratify(&m.program).unwrap();
+        let mut ev = Evaluator::from_facts(&m.program);
+        ev.evaluate(&mstrata, true);
+        let mut got = ev.answers(m.answer_pred, &[Some(one), None]);
+        expect.sort();
+        got.sort();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn free_query_adornment_degenerates_gracefully() {
+        let (p, mut syms) = setup(LONG_CHAIN);
+        let path = syms.lookup("path").unwrap();
+        let query = Literal {
+            pred: (path, 2),
+            args: vec![Arg::Var(0), Arg::Var(1)],
+            negated: false,
+        };
+        let m = magic_rewrite(&p, &query, &mut syms).unwrap();
+        let strata = stratify(&m.program).unwrap();
+        let mut ev = Evaluator::from_facts(&m.program);
+        ev.evaluate(&strata, true);
+        // ff adornment: all 4+3+2+1 + 3+2+1 = 16 path facts
+        assert_eq!(ev.answers(m.answer_pred, &[None, None]).len(), 16);
+    }
+
+    #[test]
+    fn same_generation_with_bound_first_arg() {
+        let (mut p, mut syms) = setup(
+            "sg(X,Y) :- flat(X,Y).
+             sg(X,Y) :- up(X,XP), sg(XP,YP), down(YP,Y).
+             up(a,p). up(b,p). flat(p,p). down(p,a). down(p,b).",
+        );
+        let sg = syms.lookup("sg").unwrap();
+        let a = syms.lookup("a").unwrap();
+        let ca = p.consts.intern(Value::Atom(a));
+        let query = Literal {
+            pred: (sg, 2),
+            args: vec![Arg::Const(ca), Arg::Var(0)],
+            negated: false,
+        };
+        let m = magic_rewrite(&p, &query, &mut syms).unwrap();
+        let strata = stratify(&m.program).unwrap();
+        let mut ev = Evaluator::from_facts(&m.program);
+        ev.evaluate(&strata, true);
+        // sg(a,a) and sg(a,b)
+        assert_eq!(ev.answers(m.answer_pred, &[Some(ca), None]).len(), 2);
+    }
+
+    #[test]
+    fn rejects_negation_on_derived() {
+        let (p, mut syms) = setup(
+            "q(X) :- base(X), tnot r(X).\nr(X) :- base2(X).\nbase(1). base2(2).",
+        );
+        let q = syms.lookup("q").unwrap();
+        let query = Literal {
+            pred: (q, 1),
+            args: vec![Arg::Var(0)],
+            negated: false,
+        };
+        assert!(magic_rewrite(&p, &query, &mut syms).is_err());
+    }
+}

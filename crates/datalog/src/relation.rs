@@ -1,0 +1,130 @@
+//! Relations for the set-at-a-time evaluator.
+//!
+//! A relation is a deduplicated set of tuples with hash indexes built on
+//! demand for whatever bound-position pattern a join needs — the generic,
+//! interpretive machinery of a bottom-up deductive database engine.
+
+use crate::ast::ConstId;
+use std::collections::{HashMap, HashSet};
+
+/// A set of tuples with lazily built join indexes.
+#[derive(Default, Debug)]
+pub struct Relation {
+    pub arity: u16,
+    pub tuples: Vec<Vec<ConstId>>,
+    set: HashSet<Vec<ConstId>>,
+    /// indexes keyed by the sorted positions they cover; each maps the key
+    /// values at those positions to row numbers. Rebuilt when stale.
+    indexes: HashMap<Vec<u16>, BuiltIndex>,
+}
+
+#[derive(Debug)]
+struct BuiltIndex {
+    /// number of tuples when the index was built
+    upto: usize,
+    map: HashMap<Vec<ConstId>, Vec<u32>>,
+}
+
+impl Relation {
+    pub fn new(arity: u16) -> Relation {
+        Relation {
+            arity,
+            ..Default::default()
+        }
+    }
+
+    /// Inserts a tuple; returns true when new.
+    pub fn insert(&mut self, t: Vec<ConstId>) -> bool {
+        debug_assert_eq!(t.len(), self.arity as usize);
+        if self.set.insert(t.clone()) {
+            self.tuples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, t: &[ConstId]) -> bool {
+        self.set.contains(t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Row numbers whose values at `positions` equal `key`. Builds or
+    /// refreshes the index for `positions` if needed.
+    pub fn select(&mut self, positions: &[u16], key: &[ConstId]) -> &[u32] {
+        debug_assert_eq!(positions.len(), key.len());
+        let needs_build = match self.indexes.get(positions) {
+            Some(ix) => ix.upto != self.tuples.len(),
+            None => true,
+        };
+        if needs_build {
+            let mut map: HashMap<Vec<ConstId>, Vec<u32>> = HashMap::new();
+            for (row, t) in self.tuples.iter().enumerate() {
+                let k: Vec<ConstId> = positions.iter().map(|&p| t[p as usize]).collect();
+                map.entry(k).or_default().push(row as u32);
+            }
+            self.indexes.insert(
+                positions.to_vec(),
+                BuiltIndex {
+                    upto: self.tuples.len(),
+                    map,
+                },
+            );
+        }
+        self.indexes
+            .get(positions)
+            .and_then(|ix| ix.map.get(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn tuple(&self, row: u32) -> &[ConstId] {
+        &self.tuples[row as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![1, 2]));
+        assert!(!r.insert(vec![1, 2]));
+        assert!(r.insert(vec![2, 1]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn select_by_position() {
+        let mut r = Relation::new(2);
+        r.insert(vec![1, 10]);
+        r.insert(vec![1, 11]);
+        r.insert(vec![2, 10]);
+        let rows = r.select(&[0], &[1]).to_vec();
+        assert_eq!(rows.len(), 2);
+        let rows = r.select(&[1], &[10]).to_vec();
+        assert_eq!(rows.len(), 2);
+        let rows = r.select(&[0, 1], &[2, 10]).to_vec();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn index_refreshes_after_insert() {
+        let mut r = Relation::new(1);
+        r.insert(vec![1]);
+        assert_eq!(r.select(&[0], &[1]).len(), 1);
+        r.insert(vec![1]); // dup, no change
+        r.insert(vec![2]);
+        assert_eq!(r.select(&[0], &[2]).len(), 1);
+        assert_eq!(r.select(&[0], &[1]).len(), 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! Naive and semi-naive bottom-up evaluation with stratified negation.
+//!
+//! This is the classic set-at-a-time fixpoint: per stratum, rules are
+//! applied relation-at-a-time until no new tuples appear. Semi-naive
+//! evaluation differentiates rules on each recursive body occurrence so
+//! every derivation uses at least one *delta* tuple from the previous
+//! iteration; naive evaluation (kept for the ablation benchmarks) rejoins
+//! the full relations every round.
+
+use crate::ast::{Arg, ConstId, DatalogProgram, Literal, PredKey, Rule};
+use crate::relation::Relation;
+use crate::stratify::Strata;
+use std::collections::{HashMap, HashSet};
+
+/// Evaluation statistics (reported by the ablation benches).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct EvalStats {
+    pub rounds: u64,
+    pub rule_applications: u64,
+    pub tuples_considered: u64,
+    pub tuples_derived: u64,
+}
+
+/// The bottom-up evaluator: a store of relations plus the fixpoint loop.
+#[derive(Default)]
+pub struct Evaluator {
+    pub relations: HashMap<PredKey, Relation>,
+    pub stats: EvalStats,
+}
+
+impl Evaluator {
+    /// Loads the program's facts as the extensional database.
+    pub fn from_facts(program: &DatalogProgram) -> Evaluator {
+        let mut ev = Evaluator::default();
+        for (pred, tuple) in &program.facts {
+            ev.relations
+                .entry(*pred)
+                .or_insert_with(|| Relation::new(pred.1))
+                .insert(tuple.clone());
+        }
+        ev
+    }
+
+    fn relation_mut(&mut self, pred: PredKey) -> &mut Relation {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(pred.1))
+    }
+
+    /// Runs the stratified fixpoint. `seminaive` selects differential
+    /// evaluation; `false` is the naive ablation.
+    pub fn evaluate(&mut self, strata: &Strata, seminaive: bool) {
+        for rules in &strata.rules_by_stratum {
+            if !rules.is_empty() {
+                self.eval_stratum(rules, seminaive);
+            }
+        }
+    }
+
+    fn eval_stratum(&mut self, rules: &[Rule], seminaive: bool) {
+        let derived: HashSet<PredKey> = rules.iter().map(|r| r.head.pred).collect();
+        for &p in &derived {
+            self.relation_mut(p);
+        }
+
+        // round 0: all-full evaluation seeds the deltas
+        let mut delta: HashMap<PredKey, Relation> = HashMap::new();
+        for r in rules {
+            let derivations = self.eval_rule(r, None, &delta);
+            for t in derivations {
+                if self.relation_mut(r.head.pred).insert(t.clone()) {
+                    self.stats.tuples_derived += 1;
+                    delta
+                        .entry(r.head.pred)
+                        .or_insert_with(|| Relation::new(r.head.pred.1))
+                        .insert(t);
+                }
+            }
+        }
+        self.stats.rounds += 1;
+
+        loop {
+            if delta.values().all(|d| d.is_empty()) {
+                break;
+            }
+            let mut next_delta: HashMap<PredKey, Relation> = HashMap::new();
+            for r in rules {
+                if seminaive {
+                    // differentiate on every recursive occurrence
+                    let rec_positions: Vec<usize> = r
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| !l.negated && derived.contains(&l.pred))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if rec_positions.is_empty() {
+                        continue; // non-recursive rule is saturated after round 0
+                    }
+                    for &occ in &rec_positions {
+                        let derivations = self.eval_rule(r, Some(occ), &delta);
+                        for t in derivations {
+                            if self.relation_mut(r.head.pred).insert(t.clone()) {
+                                self.stats.tuples_derived += 1;
+                                next_delta
+                                    .entry(r.head.pred)
+                                    .or_insert_with(|| Relation::new(r.head.pred.1))
+                                    .insert(t);
+                            }
+                        }
+                    }
+                } else {
+                    let derivations = self.eval_rule(r, None, &delta);
+                    for t in derivations {
+                        if self.relation_mut(r.head.pred).insert(t.clone()) {
+                            self.stats.tuples_derived += 1;
+                            next_delta
+                                .entry(r.head.pred)
+                                .or_insert_with(|| Relation::new(r.head.pred.1))
+                                .insert(t);
+                        }
+                    }
+                }
+            }
+            self.stats.rounds += 1;
+            delta = next_delta;
+        }
+    }
+
+    /// Evaluates one rule, optionally constraining body occurrence
+    /// `delta_occ` to the delta relation. Returns derived head tuples.
+    fn eval_rule(
+        &mut self,
+        rule: &Rule,
+        delta_occ: Option<usize>,
+        delta: &HashMap<PredKey, Relation>,
+    ) -> Vec<Vec<ConstId>> {
+        self.stats.rule_applications += 1;
+        let nvars = rule_var_count(rule);
+        let mut env: Vec<Option<ConstId>> = vec![None; nvars];
+        let mut out = Vec::new();
+        self.join(rule, 0, delta_occ, delta, &mut env, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &mut self,
+        rule: &Rule,
+        i: usize,
+        delta_occ: Option<usize>,
+        delta: &HashMap<PredKey, Relation>,
+        env: &mut Vec<Option<ConstId>>,
+        out: &mut Vec<Vec<ConstId>>,
+    ) {
+        if i == rule.body.len() {
+            let tuple: Vec<ConstId> = rule
+                .head
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Const(c) => *c,
+                    Arg::Var(v) => env[*v as usize].expect("safe rule binds head vars"),
+                })
+                .collect();
+            out.push(tuple);
+            return;
+        }
+        let lit = &rule.body[i];
+        if lit.negated {
+            // stratified: the relation is fully computed; safe rules bind
+            // all arguments by now
+            let key: Vec<ConstId> = lit
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Const(c) => *c,
+                    Arg::Var(v) => env[*v as usize].expect("safe negation is ground"),
+                })
+                .collect();
+            let present = self
+                .relations
+                .get(&lit.pred)
+                .map(|r| r.contains(&key))
+                .unwrap_or(false);
+            if !present {
+                self.join(rule, i + 1, delta_occ, delta, env, out);
+            }
+            return;
+        }
+
+        // positive literal: index lookup on bound positions
+        let mut positions: Vec<u16> = Vec::new();
+        let mut key: Vec<ConstId> = Vec::new();
+        for (p, a) in lit.args.iter().enumerate() {
+            match a {
+                Arg::Const(c) => {
+                    positions.push(p as u16);
+                    key.push(*c);
+                }
+                Arg::Var(v) => {
+                    if let Some(c) = env[*v as usize] {
+                        positions.push(p as u16);
+                        key.push(c);
+                    }
+                }
+            }
+        }
+
+        let use_delta = delta_occ == Some(i);
+        let rows: Vec<Vec<ConstId>> = {
+            let rel_opt: Option<&mut Relation> = if use_delta {
+                // deltas are read-only here but `select` needs &mut for
+                // index building; clone-select on a local handle
+                None
+            } else {
+                self.relations.get_mut(&lit.pred)
+            };
+            match (use_delta, rel_opt) {
+                (false, Some(rel)) => {
+                    let row_ids: Vec<u32> = if positions.is_empty() {
+                        (0..rel.len() as u32).collect()
+                    } else {
+                        rel.select(&positions, &key).to_vec()
+                    };
+                    row_ids.iter().map(|&r| rel.tuple(r).to_vec()).collect()
+                }
+                (false, None) => Vec::new(),
+                (true, _) => match delta.get(&lit.pred) {
+                    // deltas are small: scan with the bound-position filter
+                    Some(d) => d
+                        .tuples
+                        .iter()
+                        .filter(|t| {
+                            positions
+                                .iter()
+                                .zip(&key)
+                                .all(|(&p, &k)| t[p as usize] == k)
+                        })
+                        .cloned()
+                        .collect(),
+                    None => Vec::new(),
+                },
+            }
+        };
+
+        for t in rows {
+            self.stats.tuples_considered += 1;
+            // bind unbound vars, checking repeated-variable consistency
+            let mut bound_here: Vec<u32> = Vec::new();
+            let mut ok = true;
+            for (p, a) in lit.args.iter().enumerate() {
+                if let Arg::Var(v) = a {
+                    match env[*v as usize] {
+                        Some(c) => {
+                            if c != t[p] {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            env[*v as usize] = Some(t[p]);
+                            bound_here.push(*v);
+                        }
+                    }
+                }
+            }
+            if ok {
+                self.join(rule, i + 1, delta_occ, delta, env, out);
+            }
+            for v in bound_here {
+                env[v as usize] = None;
+            }
+        }
+    }
+
+    /// Reads answers: tuples of `pred` matching the partially bound
+    /// `pattern`.
+    pub fn answers(&self, pred: PredKey, pattern: &[Option<ConstId>]) -> Vec<Vec<ConstId>> {
+        match self.relations.get(&pred) {
+            None => Vec::new(),
+            Some(r) => r
+                .tuples
+                .iter()
+                .filter(|t| {
+                    pattern
+                        .iter()
+                        .zip(t.iter())
+                        .all(|(p, v)| p.is_none_or(|c| c == *v))
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+fn rule_var_count(rule: &Rule) -> usize {
+    let mut max = 0usize;
+    let mut visit = |l: &Literal| {
+        for a in &l.args {
+            if let Arg::Var(v) = a {
+                max = max.max(*v as usize + 1);
+            }
+        }
+    };
+    visit(&rule.head);
+    for l in &rule.body {
+        visit(l);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DatalogProgram;
+    use crate::stratify::stratify;
+    use xsb_syntax::{parse_program, Clause, Item, OpTable, SymbolTable};
+
+    fn setup(src: &str) -> (DatalogProgram, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        (DatalogProgram::from_clauses(&clauses).unwrap(), syms)
+    }
+
+    fn eval(src: &str, seminaive: bool) -> (Evaluator, SymbolTable) {
+        let (p, syms) = setup(src);
+        let strata = stratify(&p).unwrap();
+        let mut ev = Evaluator::from_facts(&p);
+        ev.evaluate(&strata, seminaive);
+        (ev, syms)
+    }
+
+    const PATH_CYCLE: &str = "
+        path(X,Y) :- edge(X,Y).
+        path(X,Y) :- path(X,Z), edge(Z,Y).
+        edge(1,2). edge(2,3). edge(3,1).
+    ";
+
+    #[test]
+    fn transitive_closure_on_cycle() {
+        let (ev, syms) = eval(PATH_CYCLE, true);
+        let path = syms.lookup("path").unwrap();
+        assert_eq!(ev.relations[&(path, 2)].len(), 9);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let (e1, syms) = eval(PATH_CYCLE, true);
+        let (e2, _) = eval(PATH_CYCLE, false);
+        let path = syms.lookup("path").unwrap();
+        let mut a: Vec<_> = e1.relations[&(path, 2)].tuples.clone();
+        let mut b: Vec<_> = e2.relations[&(path, 2)].tuples.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seminaive_considers_fewer_tuples() {
+        let mut chain = String::from(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n",
+        );
+        for i in 0..30 {
+            chain.push_str(&format!("edge({i},{}).\n", i + 1));
+        }
+        let (e1, _) = eval(&chain, true);
+        let (e2, _) = eval(&chain, false);
+        assert!(
+            e1.stats.tuples_considered * 2 < e2.stats.tuples_considered,
+            "semi-naive {} vs naive {}",
+            e1.stats.tuples_considered,
+            e2.stats.tuples_considered
+        );
+    }
+
+    #[test]
+    fn stratified_negation_evaluates_lower_stratum_first() {
+        let (ev, syms) = eval(
+            "reach(1).\nreach(Y) :- reach(X), edge(X,Y).\n\
+             unreach(X) :- node(X), tnot reach(X).\n\
+             edge(1,2). edge(2,3).\n\
+             node(1). node(2). node(3). node(4).",
+            true,
+        );
+        let unreach = syms.lookup("unreach").unwrap();
+        assert_eq!(ev.relations[&(unreach, 1)].len(), 1); // node 4
+    }
+
+    #[test]
+    fn repeated_variable_join() {
+        let (ev, syms) = eval("loop(X) :- edge(X, X).\nedge(1,1). edge(1,2). edge(3,3).", true);
+        let l = syms.lookup("loop").unwrap();
+        assert_eq!(ev.relations[&(l, 1)].len(), 2);
+    }
+
+    #[test]
+    fn answers_pattern_filter() {
+        let (ev, syms) = eval(PATH_CYCLE, true);
+        let path = syms.lookup("path").unwrap();
+        // bind first arg to const id of 1
+        let one = ev
+            .relations
+            .keys()
+            .find(|_| true)
+            .map(|_| ())
+            .map(|_| ());
+        let _ = one;
+        // const ids: look up via program consts is gone; select by scanning
+        let all = ev.answers((path, 2), &[None, None]);
+        assert_eq!(all.len(), 9);
+        let c = all[0][0];
+        let filtered = ev.answers((path, 2), &[Some(c), None]);
+        assert_eq!(filtered.len(), 3);
+    }
+
+    #[test]
+    fn same_generation_bottom_up() {
+        let (ev, syms) = eval(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,XP), sg(XP,YP), down(YP,Y).\n\
+             up(a,p). up(b,p). flat(p,p). down(p,a). down(p,b).",
+            true,
+        );
+        let sg = syms.lookup("sg").unwrap();
+        // sg(a,a), sg(a,b), sg(b,a), sg(b,b), sg(p,p)
+        assert_eq!(ev.relations[&(sg, 2)].len(), 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Predicate stratification.
+//!
+//! Builds the predicate dependency graph and assigns strata so that every
+//! negative dependency crosses strictly downward. Programs with a negative
+//! edge inside an SCC are rejected (not stratified) — the bottom-up
+//! baseline supports stratified negation, as CORAL/LDL did (paper Table 1).
+
+use crate::ast::{DatalogProgram, PredKey, Rule};
+use std::collections::HashMap;
+
+/// Stratification result: stratum per derived predicate, and rules grouped
+/// by the stratum of their head.
+#[derive(Debug)]
+pub struct Strata {
+    pub stratum_of: HashMap<PredKey, usize>,
+    pub rules_by_stratum: Vec<Vec<Rule>>,
+}
+
+/// Error: the program is not stratified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotStratified(pub String);
+
+impl std::fmt::Display for NotStratified {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "program is not stratified: {}", self.0)
+    }
+}
+
+impl std::error::Error for NotStratified {}
+
+/// Computes strata by iterating the standard constraint system:
+/// `stratum(p) ≥ stratum(q)` for positive deps, `stratum(p) > stratum(q)`
+/// for negative deps. Diverges beyond `n` strata ⇒ a negative cycle.
+pub fn stratify(program: &DatalogProgram) -> Result<Strata, NotStratified> {
+    let mut stratum: HashMap<PredKey, usize> = HashMap::new();
+    let preds: Vec<PredKey> = {
+        let mut v: Vec<PredKey> = Vec::new();
+        for r in &program.rules {
+            if !v.contains(&r.head.pred) {
+                v.push(r.head.pred);
+            }
+            for l in &r.body {
+                if !v.contains(&l.pred) {
+                    v.push(l.pred);
+                }
+            }
+        }
+        for (p, _) in &program.facts {
+            if !v.contains(p) {
+                v.push(*p);
+            }
+        }
+        v
+    };
+    for p in &preds {
+        stratum.insert(*p, 0);
+    }
+    let n = preds.len().max(1);
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > n + 1 {
+            return Err(NotStratified(
+                "negative dependency cycle detected".into(),
+            ));
+        }
+        for r in &program.rules {
+            let h = stratum[&r.head.pred];
+            let mut need = h;
+            for l in &r.body {
+                let s = stratum[&l.pred];
+                need = need.max(if l.negated { s + 1 } else { s });
+            }
+            if need > h {
+                stratum.insert(r.head.pred, need);
+                changed = true;
+            }
+        }
+    }
+
+    let max = stratum.values().copied().max().unwrap_or(0);
+    let mut rules_by_stratum: Vec<Vec<Rule>> = vec![Vec::new(); max + 1];
+    for r in &program.rules {
+        rules_by_stratum[stratum[&r.head.pred]].push(r.clone());
+    }
+    Ok(Strata {
+        stratum_of: stratum,
+        rules_by_stratum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DatalogProgram;
+    use xsb_syntax::{parse_program, Clause, Item, OpTable, SymbolTable};
+
+    fn prog(src: &str) -> DatalogProgram {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        DatalogProgram::from_clauses(&clauses).unwrap()
+    }
+
+    #[test]
+    fn positive_program_is_one_stratum() {
+        let p = prog("path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\nedge(1,2).");
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.rules_by_stratum.len(), 1);
+    }
+
+    #[test]
+    fn negation_creates_second_stratum() {
+        let p = prog(
+            "reach(1).\nreach(Y) :- reach(X), edge(X,Y).\n\
+             unreach(X) :- node(X), tnot reach(X).\nedge(1,2). node(1).",
+        );
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.rules_by_stratum.len(), 2);
+        assert_eq!(s.rules_by_stratum[1].len(), 1);
+    }
+
+    #[test]
+    fn win_program_is_not_stratified() {
+        let p = prog("win(X) :- move(X,Y), tnot win(Y).\nmove(1,2).");
+        assert!(stratify(&p).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # xsb-storage — persistent-store substrate
+//!
+//! Two roles from the paper:
+//!
+//! * **§4.6 (Interface with Persistent Store):** the bulk-load paths —
+//!   general reader, formatted read, and object files ([`bulkload`]).
+//! * **§5 Table 3 (the Sybase column):** a page/buffer-pool relational
+//!   executor whose every tuple access pays buffer-management and latching
+//!   costs ([`page`], [`buffer`], [`heap`], [`hashindex`], [`executor`]) —
+//!   the substitution for the unavailable commercial RDBMS, exercising the
+//!   same per-access overheads the paper attributes the ~100× factor to.
+
+pub mod buffer;
+pub mod bulkload;
+pub mod executor;
+pub mod hashindex;
+pub mod heap;
+pub mod page;
+
+pub use buffer::{BufferPool, Disk, PageId};
+pub use executor::{client_server_join, index_nested_loop_join, Table};
+pub use heap::{Field, HeapFile, Rid};

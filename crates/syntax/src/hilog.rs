@@ -1,0 +1,348 @@
+//! HiLog → first-order encoding and compile-time specialization.
+//!
+//! Paper §4.1/§4.7: a HiLog term `T(t1,…,tn)` is encoded as
+//! `apply(T', t1',…,tn')`; atoms declared `:- hilog h.` are also wrapped when
+//! they appear in functor position (`h(a)` ⇒ `apply(h,a)`).
+//!
+//! The *specialization* optimization then rewrites `apply` clauses whose
+//! functor argument has a known outer symbol — e.g. the paper's
+//!
+//! ```text
+//! apply(path(G),X,Y) :- apply(G,X,Y).
+//! ```
+//!
+//! becomes a bridge clause plus a specialized predicate:
+//!
+//! ```text
+//! apply(path(G),X,Y)  :- 'apply$path'(G,X,Y).
+//! 'apply$path'(G,X,Y) :- apply(G,X,Y).
+//! ```
+//!
+//! and every *call* `apply(path(E),A,B)` with the known outer symbol is
+//! rewritten to call `'apply$path'(E,A,B)` directly, so a HiLog predicate
+//! runs "not much less efficient than if it were written in first-order
+//! syntax".
+
+use crate::sym::{well_known, Sym, SymbolTable};
+use crate::term::{Clause, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Tracks `:- hilog h.` declarations and performs the encoding.
+#[derive(Default, Clone, Debug)]
+pub struct HilogEncoder {
+    hilog_atoms: HashSet<Sym>,
+}
+
+impl HilogEncoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an atom declared with `:- hilog h.`
+    pub fn declare(&mut self, s: Sym) {
+        self.hilog_atoms.insert(s);
+    }
+
+    /// True if `s` was declared a HiLog symbol.
+    pub fn is_hilog(&self, s: Sym) -> bool {
+        self.hilog_atoms.contains(&s)
+    }
+
+    /// Encodes one term into first-order form. Idempotent on first-order
+    /// terms that involve no HiLog syntax.
+    pub fn encode(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(_) | Term::Int(_) | Term::Atom(_) => t.clone(),
+            Term::Compound(f, args) => {
+                let enc_args: Vec<Term> = args.iter().map(|a| self.encode(a)).collect();
+                if self.is_hilog(*f) {
+                    let mut v = Vec::with_capacity(enc_args.len() + 1);
+                    v.push(Term::Atom(*f));
+                    v.extend(enc_args);
+                    Term::Compound(well_known::APPLY, v)
+                } else {
+                    Term::Compound(*f, enc_args)
+                }
+            }
+            Term::HiLog(fun, args) => {
+                let mut v = Vec::with_capacity(args.len() + 1);
+                v.push(self.encode(fun));
+                v.extend(args.iter().map(|a| self.encode(a)));
+                Term::Compound(well_known::APPLY, v)
+            }
+        }
+    }
+
+    /// Encodes a clause: head and every body goal. Control constructs
+    /// (`,`, `;`, `->`, `\+`, `tnot`, `e_tnot`, `call`, `findall`…) keep
+    /// their outer functor — they are never HiLog applications themselves —
+    /// while their goal arguments are encoded recursively, which
+    /// [`Self::encode`] already guarantees since control functors are not
+    /// declared hilog.
+    pub fn encode_clause(&self, c: &Clause) -> Clause {
+        Clause {
+            head: self.encode(&c.head),
+            body: c.body.iter().map(|g| self.encode(g)).collect(),
+            var_names: c.var_names.clone(),
+        }
+    }
+}
+
+/// The specialization pass over an encoded program.
+///
+/// `clauses` is the full set of (already encoded) clauses of one module.
+/// Returns the transformed clause list. Only `apply/N` clauses whose functor
+/// argument is a compound with a constant outer symbol are specialized; the
+/// generic clauses (variable or atomic functor argument) stay on `apply/N`,
+/// preserving completeness for calls with unknown functors.
+pub fn specialize(clauses: &[Clause], syms: &mut SymbolTable) -> Vec<Clause> {
+    // 1. Find specializable groups: (outer symbol, inner arity, apply arity).
+    type Key = (Sym, usize, usize);
+    let mut groups: HashMap<Key, Vec<usize>> = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        if let Some(key) = specializable_key(&c.head) {
+            groups.entry(key).or_default().push(i);
+        }
+    }
+    // Only specialize groups where *every* apply/N clause with that outer
+    // symbol shape is specializable (they all are, by construction of the
+    // key) — and allocate the specialized predicate names.
+    let mut names: HashMap<Key, Sym> = HashMap::new();
+    for key in groups.keys() {
+        let base = format!("apply${}", syms.name(key.0));
+        let s = syms.intern(&base);
+        names.insert(*key, s);
+    }
+
+    let mut out: Vec<Clause> = Vec::with_capacity(clauses.len() + names.len());
+    let mut bridged: HashSet<Key> = HashSet::new();
+
+    for c in clauses.iter() {
+        let key = specializable_key(&c.head);
+        match key {
+            Some(k) if groups.contains_key(&k) => {
+                let spec_name = names[&k];
+                // Emit the bridge once per group, at first occurrence, so
+                // generic `apply` calls still reach the specialized code.
+                if bridged.insert(k) {
+                    out.push(make_bridge(k, spec_name, c));
+                }
+                // The specialized clause: flatten functor args ++ outer args.
+                let mut spec = c.clone();
+                spec.head = flatten_head(&c.head, spec_name);
+                spec.body = c.body.iter().map(|g| rewrite_calls(g, &names)).collect();
+                out.push(spec);
+            }
+            _ => {
+                let mut plain = c.clone();
+                plain.body = c.body.iter().map(|g| rewrite_calls(g, &names)).collect();
+                out.push(plain);
+            }
+        }
+    }
+    out
+}
+
+/// `apply(f(T1..Tk), A1..An)` → key (f, k, n); `None` otherwise.
+fn specializable_key(head: &Term) -> Option<(Sym, usize, usize)> {
+    match head {
+        Term::Compound(ap, args) if *ap == well_known::APPLY && !args.is_empty() => {
+            match &args[0] {
+                Term::Compound(f, inner) if *f != well_known::APPLY => {
+                    Some((*f, inner.len(), args.len() - 1))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Builds `apply(f(V1..Vk),W1..Wn) :- 'apply$f'(V1..Vk,W1..Wn).` with fresh
+/// variables (numbered from 0 since the bridge is its own clause).
+fn make_bridge((f, k, n): (Sym, usize, usize), spec: Sym, _template: &Clause) -> Clause {
+    let inner: Vec<Term> = (0..k as u32).map(Term::Var).collect();
+    let outer: Vec<Term> = (k as u32..(k + n) as u32).map(Term::Var).collect();
+    let mut head_args = Vec::with_capacity(n + 1);
+    head_args.push(Term::Compound(f, inner.clone()));
+    head_args.extend(outer.clone());
+    let mut body_args = inner;
+    body_args.extend(outer);
+    let var_names = (0..(k + n)).map(|i| format!("_B{i}")).collect();
+    Clause {
+        head: Term::Compound(well_known::APPLY, head_args),
+        body: vec![Term::Compound(spec, body_args)],
+        var_names,
+    }
+}
+
+/// `apply(f(T..), A..)` → `'apply$f'(T.., A..)`.
+fn flatten_head(head: &Term, spec: Sym) -> Term {
+    match head {
+        Term::Compound(ap, args) if *ap == well_known::APPLY => match &args[0] {
+            Term::Compound(_, inner) => {
+                let mut v = Vec::with_capacity(inner.len() + args.len() - 1);
+                v.extend(inner.iter().cloned());
+                v.extend(args[1..].iter().cloned());
+                Term::Compound(spec, v)
+            }
+            _ => head.clone(),
+        },
+        _ => head.clone(),
+    }
+}
+
+/// Rewrites call sites: any `apply(f(..),..)` subterm *in goal position*
+/// whose key has a specialization becomes a direct call. Applied recursively
+/// through control constructs.
+fn rewrite_calls(goal: &Term, names: &HashMap<(Sym, usize, usize), Sym>) -> Term {
+    match goal {
+        Term::Compound(f, args)
+            if (*f == well_known::COMMA
+                || *f == well_known::SEMICOLON
+                || *f == well_known::ARROW)
+                && args.len() == 2 =>
+        {
+            Term::Compound(
+                *f,
+                vec![
+                    rewrite_calls(&args[0], names),
+                    rewrite_calls(&args[1], names),
+                ],
+            )
+        }
+        Term::Compound(f, args)
+            if (*f == well_known::NAF || *f == well_known::TNOT || *f == well_known::E_TNOT)
+                && args.len() == 1 =>
+        {
+            Term::Compound(*f, vec![rewrite_calls(&args[0], names)])
+        }
+        Term::Compound(ap, args) if *ap == well_known::APPLY && !args.is_empty() => {
+            if let Term::Compound(f, inner) = &args[0] {
+                let key = (*f, inner.len(), args.len() - 1);
+                if let Some(&spec) = names.get(&key) {
+                    let mut v = Vec::with_capacity(inner.len() + args.len() - 1);
+                    v.extend(inner.iter().cloned());
+                    v.extend(args[1..].iter().cloned());
+                    return Term::Compound(spec, v);
+                }
+            }
+            goal.clone()
+        }
+        _ => goal.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpTable;
+    use crate::parser::{parse_program, parse_term_str};
+    use crate::term::Item;
+
+    fn enc(src: &str, hilog: &[&str]) -> (Term, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let mut e = HilogEncoder::new();
+        for h in hilog {
+            let s = syms.intern(h);
+            e.declare(s);
+        }
+        let t = parse_term_str(src, &mut syms, &ops).unwrap();
+        let t = e.encode(&t);
+        (t, syms)
+    }
+
+    #[test]
+    fn encodes_variable_functor() {
+        let (t, s) = enc("X(bob, Y)", &[]);
+        assert_eq!(format!("{}", t.display(&s)), "apply(_0,bob,_1)");
+    }
+
+    #[test]
+    fn encodes_declared_atom_functor() {
+        // paper: after `:- hilog h.`, h(a) reads as apply(h,a)
+        let (t, s) = enc("h(a)", &["h"]);
+        assert_eq!(format!("{}", t.display(&s)), "apply(h,a)");
+        // undeclared p stays first-order
+        let (t2, s2) = enc("p(a)", &[]);
+        assert_eq!(format!("{}", t2.display(&s2)), "p(a)");
+    }
+
+    #[test]
+    fn encodes_nested_application() {
+        let (t, s) = enc("path(G)(X, Y)", &[]);
+        assert_eq!(format!("{}", t.display(&s)), "apply(path(_0),_1,_2)");
+    }
+
+    #[test]
+    fn hilog_atom_in_argument_position_stays_constant() {
+        let (t, s) = enc("benefits('John', package1)", &["package1"]);
+        assert_eq!(
+            format!("{}", t.display(&s)),
+            "benefits('John',package1)"
+        );
+    }
+
+    #[test]
+    fn specialization_of_path_example() {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let e = HilogEncoder::new();
+        let src = r#"
+            path(Graph)(X, Y) :- Graph(X, Y).
+            path(Graph)(X, Y) :- path(Graph)(X,Z), Graph(Z, Y).
+        "#;
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .map(|i| match i {
+                Item::Clause(c) => e.encode_clause(&c),
+                _ => panic!(),
+            })
+            .collect();
+        let out = specialize(&clauses, &mut syms);
+        // bridge + 2 specialized clauses
+        assert_eq!(out.len(), 3);
+        let spec = syms.lookup("apply$path").unwrap();
+        // bridge: apply(path(V0),V1,V2) :- apply$path(V0,V1,V2)
+        assert_eq!(out[0].head.functor().unwrap().0, well_known::APPLY);
+        assert_eq!(out[0].body[0].functor().unwrap(), (spec, 3));
+        // specialized recursive clause's self-call is rewritten
+        assert_eq!(out[2].head.functor().unwrap(), (spec, 3));
+        assert_eq!(out[2].body[0].functor().unwrap(), (spec, 3));
+        // the Graph(Z,Y) call stays generic apply/3
+        assert_eq!(out[2].body[1].functor().unwrap().0, well_known::APPLY);
+    }
+
+    #[test]
+    fn generic_apply_clauses_not_specialized() {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let e = HilogEncoder::new();
+        let mut enc = e.clone();
+        let p = syms.intern("p");
+        enc.declare(p);
+        let src = "p(g(a),f(1)).\np(X,Y) :- q(X,Y).";
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .map(|i| match i {
+                Item::Clause(c) => enc.encode_clause(&c),
+                _ => panic!(),
+            })
+            .collect();
+        // heads are apply(p,...) with atomic functor arg -> not specializable
+        let out = specialize(&clauses, &mut syms);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|c| c.head.functor().unwrap().0 == well_known::APPLY));
+    }
+
+    #[test]
+    fn encoding_is_idempotent_on_first_order() {
+        let (t, s) = enc("foo(bar, baz(1), [a,b])", &[]);
+        assert_eq!(format!("{}", t.display(&s)), "foo(bar,baz(1),[a,b])");
+    }
+}

@@ -1,0 +1,535 @@
+//! Tokenizer for Prolog/HiLog source text.
+//!
+//! Follows ISO-Prolog lexical conventions closely enough for the programs in
+//! the paper: identifiers, quoted atoms, symbolic atoms, integers, `%` line
+//! comments, `/* */` block comments, and the clause terminator `.` (a dot
+//! followed by layout or end of input).
+//!
+//! One HiLog-relevant subtlety: an opening parenthesis that *immediately*
+//! follows a name or a closing bracket is an application paren
+//! ([`Token::FunctorParen`]), which is how `f(a)(b)` parses as an application
+//! chain rather than `f(a) (b)`.
+
+use std::fmt;
+
+/// A single token with its source position (byte offset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Lexical tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Unquoted or quoted atom / symbolic atom.
+    Atom(String),
+    /// Variable name (starts with uppercase or `_`).
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(` directly after a name or `)` / `]` — functor application.
+    FunctorParen,
+    /// `(` preceded by layout — grouping.
+    OpenParen,
+    CloseParen,
+    OpenBracket,
+    CloseBracket,
+    OpenBrace,
+    CloseBrace,
+    Comma,
+    Bar,
+    /// Clause-terminating dot.
+    End,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Atom(a) => write!(f, "{a}"),
+            Token::Var(v) => write!(f, "{v}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::FunctorParen | Token::OpenParen => write!(f, "("),
+            Token::CloseParen => write!(f, ")"),
+            Token::OpenBracket => write!(f, "["),
+            Token::CloseBracket => write!(f, "]"),
+            Token::OpenBrace => write!(f, "{{"),
+            Token::CloseBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Bar => write!(f, "|"),
+            Token::End => write!(f, "."),
+        }
+    }
+}
+
+/// Lexer error with byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const SYMBOLIC: &str = "+-*/\\^<>=~:.?@#&$";
+
+/// Tokenizes `src` completely.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    // True when the previous token could end a term, so a following `(`
+    // is an application paren.
+    let mut prev_ends_term = false;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+                prev_ends_term = false;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                prev_ends_term = false;
+            }
+            '(' => {
+                out.push(Spanned {
+                    token: if prev_ends_term {
+                        Token::FunctorParen
+                    } else {
+                        Token::OpenParen
+                    },
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = false;
+            }
+            ')' => {
+                out.push(Spanned {
+                    token: Token::CloseParen,
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = true;
+            }
+            '[' => {
+                // `[]` as a single atom token when immediately closed
+                if i + 1 < bytes.len() && bytes[i + 1] == b']' {
+                    out.push(Spanned {
+                        token: Token::Atom("[]".into()),
+                        offset: i,
+                    });
+                    i += 2;
+                    prev_ends_term = true;
+                } else {
+                    out.push(Spanned {
+                        token: Token::OpenBracket,
+                        offset: i,
+                    });
+                    i += 1;
+                    prev_ends_term = false;
+                }
+            }
+            ']' => {
+                out.push(Spanned {
+                    token: Token::CloseBracket,
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = true;
+            }
+            '{' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'}' {
+                    out.push(Spanned {
+                        token: Token::Atom("{}".into()),
+                        offset: i,
+                    });
+                    i += 2;
+                    prev_ends_term = true;
+                } else {
+                    out.push(Spanned {
+                        token: Token::OpenBrace,
+                        offset: i,
+                    });
+                    i += 1;
+                    prev_ends_term = false;
+                }
+            }
+            '}' => {
+                out.push(Spanned {
+                    token: Token::CloseBrace,
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = true;
+            }
+            ',' => {
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = false;
+            }
+            '|' => {
+                out.push(Spanned {
+                    token: Token::Bar,
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = false;
+            }
+            '!' => {
+                out.push(Spanned {
+                    token: Token::Atom("!".into()),
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = true;
+            }
+            ';' => {
+                out.push(Spanned {
+                    token: Token::Atom(";".into()),
+                    offset: i,
+                });
+                i += 1;
+                prev_ends_term = false;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut name = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated quoted atom".into(),
+                            offset: start,
+                        });
+                    }
+                    match bytes[i] {
+                        b'\'' => {
+                            // '' inside quotes is an escaped quote
+                            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                                name.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1] as char;
+                            name.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '\'' => '\'',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        b => {
+                            name.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Atom(name),
+                    offset: start,
+                });
+                prev_ends_term = true;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer overflow: {text}"),
+                    offset: start,
+                })?;
+                out.push(Spanned {
+                    token: Token::Int(value),
+                    offset: start,
+                });
+                prev_ends_term = true;
+            }
+            c if c.is_ascii_lowercase() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Atom(src[start..i].to_string()),
+                    offset: start,
+                });
+                prev_ends_term = true;
+            }
+            c if c.is_ascii_uppercase() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Var(src[start..i].to_string()),
+                    offset: start,
+                });
+                prev_ends_term = true;
+            }
+            c if SYMBOLIC.contains(c) => {
+                let start = i;
+                while i < bytes.len() && SYMBOLIC.contains(bytes[i] as char) {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // A solitary dot followed by layout/EOF terminates the clause.
+                if text == "." {
+                    let next_is_layout = i >= bytes.len()
+                        || (bytes[i] as char).is_ascii_whitespace()
+                        || bytes[i] == b'%';
+                    if next_is_layout {
+                        out.push(Spanned {
+                            token: Token::End,
+                            offset: start,
+                        });
+                        prev_ends_term = false;
+                        continue;
+                    }
+                }
+                // Handle `.` that ends the text: "a=b." lexes the `=` then
+                // later the dot; but "f(X).%c" also ends. A trailing run like
+                // "=." splits into "=" and End.
+                // a symbolic run ending in a single '.' before layout is an
+                // atom plus the clause terminator (e.g. "-."), but runs like
+                // "=.." stay whole
+                if text.len() > 1 && text.ends_with('.') && !text[..text.len() - 1].ends_with('.') {
+                    let next_is_layout = i >= bytes.len()
+                        || (bytes[i] as char).is_ascii_whitespace()
+                        || bytes[i] == b'%';
+                    if next_is_layout {
+                        out.push(Spanned {
+                            token: Token::Atom(text[..text.len() - 1].to_string()),
+                            offset: start,
+                        });
+                        out.push(Spanned {
+                            token: Token::End,
+                            offset: i - 1,
+                        });
+                        prev_ends_term = false;
+                        continue;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Atom(text.to_string()),
+                    offset: start,
+                });
+                prev_ends_term = true;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            toks("edge(1,2)."),
+            vec![
+                Token::Atom("edge".into()),
+                Token::FunctorParen,
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2),
+                Token::CloseParen,
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_atoms() {
+        assert_eq!(
+            toks("X _y foo 'Quoted Atom'"),
+            vec![
+                Token::Var("X".into()),
+                Token::Var("_y".into()),
+                Token::Atom("foo".into()),
+                Token::Atom("Quoted Atom".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hilog_application_parens() {
+        // `X(1)` and `f(a)(b)` use FunctorParen; `(a)` uses OpenParen.
+        assert_eq!(
+            toks("X(1) f(a)(b) (a)"),
+            vec![
+                Token::Var("X".into()),
+                Token::FunctorParen,
+                Token::Int(1),
+                Token::CloseParen,
+                Token::Atom("f".into()),
+                Token::FunctorParen,
+                Token::Atom("a".into()),
+                Token::CloseParen,
+                Token::FunctorParen,
+                Token::Atom("b".into()),
+                Token::CloseParen,
+                Token::OpenParen,
+                Token::Atom("a".into()),
+                Token::CloseParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn symbolic_atoms_and_end() {
+        assert_eq!(
+            toks(":- a = b."),
+            vec![
+                Token::Atom(":-".into()),
+                Token::Atom("a".into()),
+                Token::Atom("=".into()),
+                Token::Atom("b".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn end_dot_vs_infix_dot() {
+        // dot followed by layout is End even mid-line
+        assert_eq!(
+            toks("a. b."),
+            vec![
+                Token::Atom("a".into()),
+                Token::End,
+                Token::Atom("b".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a. % comment\n/* block\ncomment */ b."),
+            vec![
+                Token::Atom("a".into()),
+                Token::End,
+                Token::Atom("b".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_list_and_braces() {
+        assert_eq!(
+            toks("[] {}"),
+            vec![Token::Atom("[]".into()), Token::Atom("{}".into())]
+        );
+    }
+
+    #[test]
+    fn quoted_atom_with_escapes() {
+        assert_eq!(
+            toks(r"'don''t' 'a\nb'"),
+            vec![Token::Atom("don't".into()), Token::Atom("a\nb".into())]
+        );
+    }
+
+    #[test]
+    fn list_tokens() {
+        assert_eq!(
+            toks("[a|T]"),
+            vec![
+                Token::OpenBracket,
+                Token::Atom("a".into()),
+                Token::Bar,
+                Token::Var("T".into()),
+                Token::CloseBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn neck_then_end() {
+        assert_eq!(
+            toks("p :- q."),
+            vec![
+                Token::Atom("p".into()),
+                Token::Atom(":-".into()),
+                Token::Atom("q".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_symbolic_dot_split() {
+        // "X=a." with no space: '=' lexes alone because 'a' interrupts, then
+        // final '.' is End.
+        assert_eq!(
+            toks("X=a."),
+            vec![
+                Token::Var("X".into()),
+                Token::Atom("=".into()),
+                Token::Atom("a".into()),
+                Token::End
+            ]
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # xsb-syntax
+//!
+//! Source-level front end for the rusty-xsb deductive database engine:
+//! tokenizer, operator-precedence parser, HiLog syntax (paper §4.1), the
+//! HiLog → first-order `apply` encoding with compile-time specialization
+//! (§4.7), and the general / formatted readers (§4.6).
+//!
+//! The AST produced here is consumed by the SLG-WAM compiler in `xsb-core`,
+//! by the bottom-up evaluator in `xsb-datalog`, and by the well-founded
+//! semantics evaluator in `xsb-wfs`.
+
+pub mod hilog;
+pub mod lexer;
+pub mod ops;
+pub mod parser;
+pub mod reader;
+pub mod sym;
+pub mod term;
+
+pub use hilog::HilogEncoder;
+pub use ops::{OpDef, OpTable, OpType};
+pub use parser::{parse_program, parse_query, parse_term_str, ParseError, Query};
+pub use reader::{formatted_read, FieldKind, ProgramReader, ReadItem};
+pub use sym::{well_known, Sym, SymbolTable};
+pub use term::{Clause, Item, Term};

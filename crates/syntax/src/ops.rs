@@ -1,0 +1,191 @@
+//! Operator table.
+//!
+//! XSB "integrates Prolog's ability to define operators with the HiLog
+//! syntax" (paper §4.1). This module holds the standard operator table and
+//! supports `:- op(Priority, Type, Name)` updates.
+
+use std::collections::HashMap;
+
+/// Operator fixity/associativity class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpType {
+    Xfx,
+    Xfy,
+    Yfx,
+    Fy,
+    Fx,
+    Xf,
+    Yf,
+}
+
+impl OpType {
+    /// Parses the atom used in an `op/3` directive.
+    pub fn from_name(s: &str) -> Option<OpType> {
+        Some(match s {
+            "xfx" => OpType::Xfx,
+            "xfy" => OpType::Xfy,
+            "yfx" => OpType::Yfx,
+            "fy" => OpType::Fy,
+            "fx" => OpType::Fx,
+            "xf" => OpType::Xf,
+            "yf" => OpType::Yf,
+            _ => return None,
+        })
+    }
+}
+
+/// An operator definition: priority 1..=1200 plus type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpDef {
+    pub priority: u32,
+    pub ty: OpType,
+}
+
+/// The operator table: prefix and infix/postfix namespaces are separate, as
+/// in ISO Prolog (an atom may be both, e.g. `-`).
+#[derive(Clone, Debug)]
+pub struct OpTable {
+    prefix: HashMap<String, OpDef>,
+    infix: HashMap<String, OpDef>,
+    postfix: HashMap<String, OpDef>,
+}
+
+impl OpTable {
+    /// The standard table (ISO core plus the XSB additions `tnot`, `e_tnot`).
+    pub fn standard() -> OpTable {
+        let mut t = OpTable {
+            prefix: HashMap::new(),
+            infix: HashMap::new(),
+            postfix: HashMap::new(),
+        };
+        let defs: &[(u32, OpType, &str)] = &[
+            (1200, OpType::Xfx, ":-"),
+            (1200, OpType::Xfx, "-->"),
+            (1200, OpType::Fx, ":-"),
+            (1200, OpType::Fx, "?-"),
+            (1150, OpType::Fx, "table"),
+            (1150, OpType::Fx, "dynamic"),
+            (1150, OpType::Fx, "hilog"),
+            (1150, OpType::Fx, "import"),
+            (1150, OpType::Fx, "export"),
+            (1100, OpType::Xfy, ";"),
+            (1050, OpType::Xfy, "->"),
+            (1000, OpType::Xfy, ","),
+            (900, OpType::Fy, "\\+"),
+            (900, OpType::Fy, "tnot"),
+            (900, OpType::Fy, "e_tnot"),
+            (900, OpType::Fy, "not"),
+            (700, OpType::Xfx, "="),
+            (700, OpType::Xfx, "\\="),
+            (700, OpType::Xfx, "=="),
+            (700, OpType::Xfx, "\\=="),
+            (700, OpType::Xfx, "@<"),
+            (700, OpType::Xfx, "@>"),
+            (700, OpType::Xfx, "@=<"),
+            (700, OpType::Xfx, "@>="),
+            (700, OpType::Xfx, "is"),
+            (700, OpType::Xfx, "=:="),
+            (700, OpType::Xfx, "=\\="),
+            (700, OpType::Xfx, "<"),
+            (700, OpType::Xfx, ">"),
+            (700, OpType::Xfx, "=<"),
+            (700, OpType::Xfx, ">="),
+            (700, OpType::Xfx, "=.."),
+            (500, OpType::Yfx, "+"),
+            (500, OpType::Yfx, "-"),
+            (500, OpType::Yfx, "/\\"),
+            (500, OpType::Yfx, "\\/"),
+            (500, OpType::Yfx, "xor"),
+            (400, OpType::Yfx, "*"),
+            (400, OpType::Yfx, "/"),
+            (400, OpType::Yfx, "//"),
+            (400, OpType::Yfx, "mod"),
+            (400, OpType::Yfx, "rem"),
+            (400, OpType::Yfx, "<<"),
+            (400, OpType::Yfx, ">>"),
+            (200, OpType::Xfx, "**"),
+            (200, OpType::Xfy, "^"),
+            (200, OpType::Fy, "-"),
+            (200, OpType::Fy, "+"),
+            (200, OpType::Fy, "\\"),
+        ];
+        for &(p, ty, name) in defs {
+            t.define(p, ty, name);
+        }
+        t
+    }
+
+    /// Defines (or redefines) an operator; priority 0 removes it.
+    pub fn define(&mut self, priority: u32, ty: OpType, name: &str) {
+        let map = match ty {
+            OpType::Fy | OpType::Fx => &mut self.prefix,
+            OpType::Xfx | OpType::Xfy | OpType::Yfx => &mut self.infix,
+            OpType::Xf | OpType::Yf => &mut self.postfix,
+        };
+        if priority == 0 {
+            map.remove(name);
+        } else {
+            map.insert(name.to_string(), OpDef { priority, ty });
+        }
+    }
+
+    pub fn prefix(&self, name: &str) -> Option<OpDef> {
+        self.prefix.get(name).copied()
+    }
+
+    pub fn infix(&self, name: &str) -> Option<OpDef> {
+        self.infix.get(name).copied()
+    }
+
+    pub fn postfix(&self, name: &str) -> Option<OpDef> {
+        self.postfix.get(name).copied()
+    }
+
+    /// True if the atom is an operator in any namespace.
+    pub fn is_operator(&self, name: &str) -> bool {
+        self.prefix.contains_key(name)
+            || self.infix.contains_key(name)
+            || self.postfix.contains_key(name)
+    }
+}
+
+impl Default for OpTable {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_has_core_operators() {
+        let t = OpTable::standard();
+        assert_eq!(
+            t.infix(":-"),
+            Some(OpDef {
+                priority: 1200,
+                ty: OpType::Xfx
+            })
+        );
+        assert_eq!(
+            t.prefix("-"),
+            Some(OpDef {
+                priority: 200,
+                ty: OpType::Fy
+            })
+        );
+        assert!(t.infix("tnot").is_none());
+        assert!(t.prefix("tnot").is_some());
+    }
+
+    #[test]
+    fn define_and_remove() {
+        let mut t = OpTable::standard();
+        t.define(700, OpType::Xfx, "===");
+        assert!(t.infix("===").is_some());
+        t.define(0, OpType::Xfx, "===");
+        assert!(t.infix("===").is_none());
+    }
+}

@@ -1,0 +1,728 @@
+//! Operator-precedence parser for Prolog/HiLog clauses.
+//!
+//! Produces [`Term`]s; HiLog applications (`X(1)`, `f(a)(b,c)`) parse into
+//! [`Term::HiLog`] nodes. The HiLog → first-order `apply` encoding is a
+//! separate pass in [`crate::hilog`], so the AST here mirrors the source.
+
+use crate::lexer::{tokenize, LexError, Spanned, Token};
+use crate::ops::{OpTable, OpType};
+use crate::sym::{well_known, SymbolTable};
+use crate::term::{Clause, Item, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+struct Parser<'a, 't> {
+    tokens: &'t [Spanned],
+    pos: usize,
+    syms: &'a mut SymbolTable,
+    ops: &'a OpTable,
+    vars: HashMap<String, u32>,
+    var_names: Vec<String>,
+}
+
+impl<'a, 't> Parser<'a, 't> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(got) if got == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(self.err(format!("expected {t}, found {}", fmt_opt(got)))),
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
+    }
+
+    fn var_id(&mut self, name: &str) -> u32 {
+        if name == "_" {
+            let id = self.var_names.len() as u32;
+            self.var_names.push("_".to_string());
+            return id;
+        }
+        if let Some(&id) = self.vars.get(name) {
+            return id;
+        }
+        let id = self.var_names.len() as u32;
+        self.vars.insert(name.to_string(), id);
+        self.var_names.push(name.to_string());
+        id
+    }
+
+    fn reset_clause_vars(&mut self) {
+        self.vars.clear();
+        self.var_names.clear();
+    }
+
+    /// Parses one term with priority at most `max_prec`. Returns the term
+    /// and its priority (0 for non-operator terms).
+    fn term(&mut self, max_prec: u32) -> Result<(Term, u32), ParseError> {
+        let (mut left, mut lprec) = self.primary_or_prefix(max_prec)?;
+        loop {
+            let (name, is_comma, is_bar) = match self.peek() {
+                Some(Token::Atom(a)) => (a.clone(), false, false),
+                Some(Token::Comma) => (",".to_string(), true, false),
+                Some(Token::Bar) => ("|".to_string(), false, true),
+                _ => break,
+            };
+            // `|` used as an infix is read as `;` at priority 1100
+            let (lookup, render): (&str, &str) = if is_bar {
+                (";", ";")
+            } else {
+                (&name, &name)
+            };
+            let def = match self.ops.infix(lookup) {
+                Some(d) => d,
+                None => break,
+            };
+            if is_bar && max_prec < 1100 {
+                break;
+            }
+            if def.priority > max_prec {
+                break;
+            }
+            let (left_max, right_max) = match def.ty {
+                OpType::Xfx => (def.priority - 1, def.priority - 1),
+                OpType::Xfy => (def.priority - 1, def.priority),
+                OpType::Yfx => (def.priority, def.priority - 1),
+                _ => unreachable!("infix table holds only infix types"),
+            };
+            if lprec > left_max {
+                break;
+            }
+            self.pos += 1;
+            let (right, _) = self.term(right_max)?;
+            let sym = self.syms.intern(render);
+            let _ = is_comma;
+            left = Term::Compound(sym, vec![left, right]);
+            lprec = def.priority;
+        }
+        Ok((left, lprec))
+    }
+
+    /// True when the current token could begin a term (operand position).
+    fn at_term_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Atom(_)
+                    | Token::Var(_)
+                    | Token::Int(_)
+                    | Token::OpenParen
+                    | Token::FunctorParen
+                    | Token::OpenBracket
+                    | Token::OpenBrace
+            )
+        )
+    }
+
+    fn primary_or_prefix(&mut self, max_prec: u32) -> Result<(Term, u32), ParseError> {
+        if let Some(Token::Atom(name)) = self.peek() {
+            let name = name.clone();
+            // An atom immediately followed by `(` is a functor, never an op.
+            if self.peek2() != Some(&Token::FunctorParen) {
+                if let Some(def) = self.ops.prefix(&name) {
+                    // negative integer literal: `- 3` / `-3`
+                    if name == "-" {
+                        if let Some(Token::Int(i)) = self.peek2() {
+                            let i = *i;
+                            self.pos += 2;
+                            return self.apply_chain(Term::Int(-i)).map(|t| (t, 0));
+                        }
+                    }
+                    // Only treat as prefix op if an operand follows and
+                    // the operand token is not itself an infix operator
+                    // in operand-impossible position.
+                    let operand_follows = {
+                        let save = self.pos;
+                        self.pos += 1;
+                        let ok = self.at_term_start() && !self.next_is_infix_only();
+                        self.pos = save;
+                        ok
+                    };
+                    if operand_follows && def.priority <= max_prec {
+                        self.pos += 1;
+                        let arg_max = match def.ty {
+                            OpType::Fy => def.priority,
+                            OpType::Fx => def.priority - 1,
+                            _ => unreachable!(),
+                        };
+                        let (arg, _) = self.term(arg_max)?;
+                        let sym = self.syms.intern(&name);
+                        return Ok((Term::Compound(sym, vec![arg]), def.priority));
+                    }
+                }
+            }
+        }
+        let t = self.primary()?;
+        Ok((t, 0))
+    }
+
+    /// True when the next token is an atom that is *only* an infix/postfix
+    /// operator (so it cannot start a term).
+    fn next_is_infix_only(&self) -> bool {
+        if let Some(Token::Atom(a)) = self.peek() {
+            if self.peek2() == Some(&Token::FunctorParen) {
+                return false;
+            }
+            return (self.ops.infix(a).is_some() || self.ops.postfix(a).is_some())
+                && self.ops.prefix(a).is_none();
+        }
+        false
+    }
+
+    fn primary(&mut self) -> Result<Term, ParseError> {
+        let tok = self
+            .bump()
+            .ok_or_else(|| self.err("unexpected end of input".into()))?;
+        let base = match tok {
+            Token::Int(i) => Term::Int(i),
+            Token::Var(name) => Term::Var(self.var_id(&name)),
+            Token::Atom(name) => {
+                let sym = self.syms.intern(&name);
+                if self.peek() == Some(&Token::FunctorParen) {
+                    self.pos += 1;
+                    let args = self.arg_list()?;
+                    Term::compound(sym, args)
+                } else {
+                    Term::Atom(sym)
+                }
+            }
+            Token::OpenParen | Token::FunctorParen => {
+                let (t, _) = self.term(1200)?;
+                self.expect(&Token::CloseParen)?;
+                t
+            }
+            Token::OpenBracket => {
+                let mut items = Vec::new();
+                let (first, _) = self.term(999)?;
+                items.push(first);
+                loop {
+                    match self.peek() {
+                        Some(Token::Comma) => {
+                            self.pos += 1;
+                            let (t, _) = self.term(999)?;
+                            items.push(t);
+                        }
+                        Some(Token::Bar) => {
+                            self.pos += 1;
+                            let (tail, _) = self.term(999)?;
+                            self.expect(&Token::CloseBracket)?;
+                            return self.apply_chain(Term::list(items, tail));
+                        }
+                        Some(Token::CloseBracket) => {
+                            self.pos += 1;
+                            return self.apply_chain(Term::list(items, Term::nil()));
+                        }
+                        got => {
+                            let got = fmt_opt(got);
+                            return Err(self.err(format!("expected , | or ] in list, found {got}")));
+                        }
+                    }
+                }
+            }
+            Token::OpenBrace => {
+                let (t, _) = self.term(1200)?;
+                self.expect(&Token::CloseBrace)?;
+                Term::Compound(well_known::CURLY, vec![t])
+            }
+            other => return Err(self.err(format!("unexpected token {other}"))),
+        };
+        self.apply_chain(base)
+    }
+
+    /// Consumes any HiLog application chain after a complete term:
+    /// `f(a)(b)(c)` or `X(1,2)`.
+    fn apply_chain(&mut self, mut base: Term) -> Result<Term, ParseError> {
+        while self.peek() == Some(&Token::FunctorParen) {
+            self.pos += 1;
+            let args = self.arg_list()?;
+            base = match base {
+                // `f(a)` directly applied was already folded into Compound
+                // by `primary`; any further application is HiLog.
+                Term::Atom(s) => Term::compound(s, args),
+                other => Term::HiLog(Box::new(other), args),
+            };
+        }
+        Ok(base)
+    }
+
+    /// Parses `t1, …, tn )` — arguments at priority 999.
+    fn arg_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut args = Vec::new();
+        loop {
+            let (t, _) = self.term(999)?;
+            args.push(t);
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::CloseParen) => break,
+                got => {
+                    return Err(self.err(format!(
+                        "expected , or ) in argument list, found {}",
+                        got.map(|t| t.to_string()).unwrap_or_else(|| "eof".into())
+                    )))
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses a full clause up to `.` and classifies it.
+    fn item(&mut self) -> Result<Item, ParseError> {
+        self.reset_clause_vars();
+        let (t, _) = self.term(1200)?;
+        self.expect(&Token::End)?;
+        let var_names = std::mem::take(&mut self.var_names);
+        Ok(match t {
+            Term::Compound(s, mut args) if s == well_known::NECK && args.len() == 1 => {
+                Item::Directive(args.pop().expect("len checked"))
+            }
+            Term::Compound(s, mut args) if s == well_known::NECK && args.len() == 2 => {
+                let body = args.pop().expect("len checked");
+                let head = args.pop().expect("len checked");
+                let body = body.conjuncts().into_iter().cloned().collect();
+                Item::Clause(Clause {
+                    head,
+                    body,
+                    var_names,
+                })
+            }
+            head => Item::Clause(Clause {
+                head,
+                body: Vec::new(),
+                var_names,
+            }),
+        })
+    }
+}
+
+fn fmt_opt(t: Option<&Token>) -> String {
+    t.map(|t| t.to_string()).unwrap_or_else(|| "eof".into())
+}
+
+/// Parses a complete program (clauses and directives).
+pub fn parse_program(
+    src: &str,
+    syms: &mut SymbolTable,
+    ops: &OpTable,
+) -> Result<Vec<Item>, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        syms,
+        ops,
+        vars: HashMap::new(),
+        var_names: Vec::new(),
+    };
+    let mut items = Vec::new();
+    while p.peek().is_some() {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+/// Parses a single term (no trailing dot required).
+pub fn parse_term_str(
+    src: &str,
+    syms: &mut SymbolTable,
+    ops: &OpTable,
+) -> Result<Term, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        syms,
+        ops,
+        vars: HashMap::new(),
+        var_names: Vec::new(),
+    };
+    let (t, _) = p.term(1200)?;
+    match p.peek() {
+        None | Some(Token::End) => Ok(t),
+        got => {
+            let got = fmt_opt(got);
+            Err(p.err(format!("trailing input after term: {got}")))
+        }
+    }
+}
+
+/// A parsed query: goal list plus the source names of its variables, used by
+/// the engine's solution reporting.
+#[derive(Clone, Debug)]
+pub struct Query {
+    pub goals: Vec<Term>,
+    pub var_names: Vec<String>,
+}
+
+/// Parses a query such as `path(1,X), X > 3` (trailing `.` optional).
+pub fn parse_query(
+    src: &str,
+    syms: &mut SymbolTable,
+    ops: &OpTable,
+) -> Result<Query, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        syms,
+        ops,
+        vars: HashMap::new(),
+        var_names: Vec::new(),
+    };
+    let (t, _) = p.term(1200)?;
+    match p.peek() {
+        None | Some(Token::End) => {}
+        got => {
+            let got = fmt_opt(got);
+            return Err(p.err(format!("trailing input after query: {got}")));
+        }
+    }
+    Ok(Query {
+        goals: t.conjuncts().into_iter().cloned().collect(),
+        var_names: p.var_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::well_known as wk;
+
+    fn setup() -> (SymbolTable, OpTable) {
+        (SymbolTable::new(), OpTable::standard())
+    }
+
+    fn parse1(src: &str) -> (Term, SymbolTable) {
+        let (mut s, o) = setup();
+        let t = parse_term_str(src, &mut s, &o).unwrap();
+        (t, s)
+    }
+
+    #[test]
+    fn parses_fact_structure() {
+        let (t, s) = parse1("edge(1,2)");
+        assert_eq!(
+            t,
+            Term::Compound(s.lookup("edge").unwrap(), vec![Term::Int(1), Term::Int(2)])
+        );
+    }
+
+    #[test]
+    fn parses_rule_with_neck() {
+        let (mut s, o) = setup();
+        let items = parse_program("path(X,Y) :- edge(X,Y).", &mut s, &o).unwrap();
+        match &items[0] {
+            Item::Clause(c) => {
+                assert_eq!(c.body.len(), 1);
+                assert_eq!(c.var_names, vec!["X", "Y"]);
+            }
+            other => panic!("expected clause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_goal_body() {
+        let (mut s, o) = setup();
+        let items = parse_program("p(X,Y) :- q(X,Z), r(Z,Y), s.", &mut s, &o).unwrap();
+        match &items[0] {
+            Item::Clause(c) => assert_eq!(c.body.len(), 3),
+            other => panic!("expected clause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_directive() {
+        let (mut s, o) = setup();
+        let items = parse_program(":- table path/2.", &mut s, &o).unwrap();
+        match &items[0] {
+            Item::Directive(d) => {
+                let (f, n) = d.functor().unwrap();
+                assert_eq!((s.name(f), n), ("table", 1));
+            }
+            other => panic!("expected directive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_arithmetic() {
+        let (t, s) = parse1("X is 1 + 2 * 3");
+        // is(X, +(1, *(2,3)))
+        match t {
+            Term::Compound(is, args) => {
+                assert_eq!(s.name(is), "is");
+                match &args[1] {
+                    Term::Compound(plus, a2) => {
+                        assert_eq!(s.name(*plus), "+");
+                        assert!(matches!(&a2[1], Term::Compound(star, _) if s.name(*star) == "*"));
+                    }
+                    other => panic!("expected +, got {other:?}"),
+                }
+            }
+            other => panic!("expected is/2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity_of_minus() {
+        let (t, s) = parse1("1 - 2 - 3");
+        // (1-2)-3
+        match t {
+            Term::Compound(m, args) => {
+                assert_eq!(s.name(m), "-");
+                assert_eq!(args[1], Term::Int(3));
+                assert!(matches!(&args[0], Term::Compound(m2, a) if s.name(*m2)=="-" && a[0]==Term::Int(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn right_associativity_of_comma_and_semicolon() {
+        let (t, s) = parse1("(a ; b ; c)");
+        match t {
+            Term::Compound(sc, args) => {
+                assert_eq!(s.name(sc), ";");
+                assert!(matches!(&args[1], Term::Compound(sc2, _) if s.name(*sc2)==";"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hilog_variable_application() {
+        let (t, _s) = parse1("X(bob, Y)");
+        match t {
+            Term::HiLog(f, args) => {
+                assert_eq!(*f, Term::Var(0));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected hilog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hilog_compound_application() {
+        // r(X)(parent(X,'Mary')) from the paper
+        let (t, s) = parse1("r(X)(parent(X,'Mary'))");
+        match t {
+            Term::HiLog(f, args) => {
+                assert!(matches!(&*f, Term::Compound(r, _) if s.name(*r) == "r"));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected hilog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hilog_integer_functor() {
+        // 7(E) — integers may be HiLog functors
+        let (t, _) = parse1("7(E)");
+        match t {
+            Term::HiLog(f, args) => {
+                assert_eq!(*f, Term::Int(7));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected hilog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_integers() {
+        let (t, _) = parse1("-42");
+        assert_eq!(t, Term::Int(-42));
+        let (t2, s2) = parse1("3 - -1");
+        assert!(matches!(t2, Term::Compound(m, ref a) if s2.name(m)=="-" && a[1]==Term::Int(-1)));
+    }
+
+    #[test]
+    fn prefix_negation_operators() {
+        let (t, s) = parse1("tnot win(X)");
+        match t {
+            Term::Compound(tn, args) => {
+                assert_eq!(s.name(tn), "tnot");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        let (t2, s2) = parse1("\\+ p(X)");
+        assert!(matches!(t2, Term::Compound(np, _) if s2.name(np) == "\\+"));
+    }
+
+    #[test]
+    fn lists_and_tails() {
+        let (t, s) = parse1("[1,2|T]");
+        assert_eq!(format!("{}", t.display(&s)), "[1,2|_0]");
+    }
+
+    #[test]
+    fn curly_braces() {
+        let (t, _) = parse1("{a,b}");
+        assert!(matches!(t, Term::Compound(c, _) if c == wk::CURLY));
+    }
+
+    #[test]
+    fn parenthesized_comma_is_conjunction() {
+        let (t, _) = parse1("(a, b)");
+        assert!(matches!(t, Term::Compound(c, _) if c == wk::COMMA));
+    }
+
+    #[test]
+    fn atom_that_is_operator_in_arg_position() {
+        // `p(-)` — operator atom as plain argument
+        let (t, s) = parse1("p(-)");
+        match t {
+            Term::Compound(p, args) => {
+                assert_eq!(s.name(p), "p");
+                assert!(matches!(&args[0], Term::Atom(m) if s.name(*m) == "-"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_parsing_collects_var_names() {
+        let (mut s, o) = setup();
+        let q = parse_query("benefits('John', P), P(X, Y)", &mut s, &o).unwrap();
+        assert_eq!(q.goals.len(), 2);
+        assert_eq!(q.var_names, vec!["P", "X", "Y"]);
+    }
+
+    #[test]
+    fn if_then_else_shape() {
+        let (t, s) = parse1("(a -> b ; c)");
+        match t {
+            Term::Compound(sc, args) => {
+                assert_eq!(s.name(sc), ";");
+                assert!(matches!(&args[0], Term::Compound(ar, _) if s.name(*ar) == "->"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn underscore_vars_are_distinct() {
+        let (mut s, o) = setup();
+        let items = parse_program("p(_, _).", &mut s, &o).unwrap();
+        match &items[0] {
+            Item::Clause(c) => {
+                assert_eq!(c.head.args()[0], Term::Var(0));
+                assert_eq!(c.head.args()[1], Term::Var(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_missing_close_paren() {
+        let (mut s, o) = setup();
+        assert!(parse_program("p(a.", &mut s, &o).is_err());
+    }
+
+    #[test]
+    fn whole_program_roundtrip() {
+        let (mut s, o) = setup();
+        let src = r#"
+            :- table path/2.
+            path(X,Y) :- edge(X,Y).
+            path(X,Y) :- path(X,Z), edge(Z,Y).
+            edge(1,2). edge(2,3). edge(3,1).
+        "#;
+        let items = parse_program(src, &mut s, &o).unwrap();
+        assert_eq!(items.len(), 6);
+        assert!(matches!(items[0], Item::Directive(_)));
+        assert!(matches!(items[5], Item::Clause(_)));
+    }
+}
+
+/// Item-at-a-time parser, so that directives (e.g. `op/3`, `hilog/1`) can
+/// influence how the *rest* of the file parses. Used by
+/// [`crate::reader::ProgramReader`].
+pub struct ItemStream {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl ItemStream {
+    /// Tokenizes `src` for item-at-a-time parsing.
+    pub fn new(src: &str) -> Result<ItemStream, ParseError> {
+        Ok(ItemStream {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    /// Parses the next clause or directive, or `None` at end of input.
+    /// After an error the stream is exhausted (no resynchronization).
+    pub fn next_item(
+        &mut self,
+        syms: &mut SymbolTable,
+        ops: &OpTable,
+    ) -> Option<Result<Item, ParseError>> {
+        if self.pos >= self.tokens.len() {
+            return None;
+        }
+        let mut p = Parser {
+            tokens: &self.tokens,
+            pos: self.pos,
+            syms,
+            ops,
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+        };
+        let r = p.item();
+        self.pos = if r.is_ok() { p.pos } else { self.tokens.len() };
+        Some(r)
+    }
+}

@@ -1,0 +1,231 @@
+//! Symbol interning.
+//!
+//! Every atom and functor name in a program is interned once into a
+//! [`SymbolTable`], yielding a dense `u32` id ([`Sym`]). The engine, the
+//! bottom-up evaluator and the storage layer all share one table so that
+//! symbol identity is a single integer compare everywhere, as in the WAM's
+//! atom table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned symbol (atom or functor name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Raw index into the symbol table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+macro_rules! well_known {
+    ($($konst:ident = $idx:expr => $text:expr;)*) => {
+        /// Symbols interned at fixed indices in every table, so engine code
+        /// can refer to them without a lookup.
+        pub mod well_known {
+            use super::Sym;
+            $(pub const $konst: Sym = Sym($idx);)*
+            pub(super) const ALL: &[(&str, Sym)] = &[$(($text, $konst)),*];
+        }
+    };
+}
+
+well_known! {
+    NIL = 0 => "[]";
+    DOT = 1 => ".";
+    COMMA = 2 => ",";
+    NECK = 3 => ":-";
+    APPLY = 4 => "apply";
+    TRUE = 5 => "true";
+    FAIL = 6 => "fail";
+    CUT = 7 => "!";
+    SEMICOLON = 8 => ";";
+    ARROW = 9 => "->";
+    NAF = 10 => "\\+";
+    TNOT = 11 => "tnot";
+    E_TNOT = 12 => "e_tnot";
+    TCUT = 13 => "tcut";
+    EQ = 14 => "=";
+    IS = 15 => "is";
+    LT = 16 => "<";
+    GT = 17 => ">";
+    LE = 18 => "=<";
+    GE = 19 => ">=";
+    NE_ARITH = 20 => "=\\=";
+    EQ_ARITH = 21 => "=:=";
+    PLUS = 22 => "+";
+    MINUS = 23 => "-";
+    STAR = 24 => "*";
+    SLASH = 25 => "/";
+    MOD = 26 => "mod";
+    REM = 27 => "rem";
+    SLASH_SLASH = 28 => "//";
+    EQ_EQ = 29 => "==";
+    NOT_EQ_EQ = 30 => "\\==";
+    UNIV = 31 => "=..";
+    CALL = 32 => "call";
+    TABLE = 33 => "table";
+    TABLE_ALL = 34 => "table_all";
+    HILOG = 35 => "hilog";
+    INDEX = 36 => "index";
+    OP = 37 => "op";
+    DYNAMIC = 38 => "dynamic";
+    FINDALL = 39 => "findall";
+    TFINDALL = 40 => "tfindall";
+    BAGOF = 41 => "bagof";
+    SETOF = 42 => "setof";
+    ASSERT = 43 => "assert";
+    ASSERTZ = 44 => "assertz";
+    ASSERTA = 45 => "asserta";
+    RETRACT = 46 => "retract";
+    VAR = 47 => "var";
+    NONVAR = 48 => "nonvar";
+    ATOM = 49 => "atom";
+    NUMBER = 50 => "number";
+    ATOMIC = 51 => "atomic";
+    COMPOUND = 52 => "compound";
+    FUNCTOR = 53 => "functor";
+    ARG = 54 => "arg";
+    BETWEEN = 55 => "between";
+    FIRST_STRING = 56 => "first_string_index";
+    CMP_LT = 57 => "@<";
+    CMP_GT = 58 => "@>";
+    CMP_LE = 59 => "@=<";
+    CMP_GE = 60 => "@>=";
+    MIN = 61 => "min";
+    MAX = 62 => "max";
+    ABS = 63 => "abs";
+    WRITE = 64 => "write";
+    NL = 65 => "nl";
+    HALT = 66 => "halt";
+    CURLY = 67 => "{}";
+    EDB = 68 => "edb";
+    NOT = 69 => "not";
+    ABOLISH_TABLES = 70 => "abolish_all_tables";
+    LENGTH = 71 => "length";
+    APPEND = 72 => "append";
+    COPY_TERM = 73 => "copy_term";
+    VBAR = 74 => "|";
+}
+
+/// Interning table mapping strings to dense [`Sym`] ids.
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    map: HashMap<Box<str>, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates a table pre-populated with the [`well_known`] symbols.
+    pub fn new() -> Self {
+        let mut t = SymbolTable {
+            names: Vec::with_capacity(256),
+            map: HashMap::with_capacity(256),
+        };
+        for (i, (text, sym)) in well_known::ALL.iter().enumerate() {
+            debug_assert_eq!(sym.0 as usize, i, "well-known symbol order");
+            let interned = t.intern(text);
+            debug_assert_eq!(interned, *sym);
+        }
+        t
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.map.insert(boxed, s);
+        s
+    }
+
+    /// Looks up an already-interned symbol without inserting.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// The text of symbol `s`.
+    pub fn name(&self, s: Sym) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no symbols are interned (never the case in practice, since
+    /// well-known symbols are pre-interned).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `base_N` for a generated symbol, guaranteed unused so far.
+    pub fn gensym(&mut self, base: &str) -> Sym {
+        let mut n = self.names.len();
+        loop {
+            let candidate = format!("{base}${n}");
+            if self.map.contains_key(candidate.as_str()) {
+                n += 1;
+            } else {
+                return self.intern(&candidate);
+            }
+        }
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(t.name(a), "foo");
+    }
+
+    #[test]
+    fn well_known_symbols_have_fixed_ids() {
+        let t = SymbolTable::new();
+        assert_eq!(t.name(well_known::NIL), "[]");
+        assert_eq!(t.name(well_known::APPLY), "apply");
+        assert_eq!(t.name(well_known::NECK), ":-");
+        assert_eq!(t.lookup("tnot"), Some(well_known::TNOT));
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gensym_is_fresh() {
+        let mut t = SymbolTable::new();
+        let g1 = t.gensym("tmp");
+        let g2 = t.gensym("tmp");
+        assert_ne!(g1, g2);
+    }
+}

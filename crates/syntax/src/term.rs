@@ -1,0 +1,369 @@
+//! Source-level terms.
+//!
+//! The parser produces this AST; the clause compiler, the bottom-up
+//! evaluator, and the well-founded-semantics evaluator all consume it.
+//! Variables are numbered per clause (`Var(0)`, `Var(1)`, …) with names kept
+//! in a side table by the parser.
+//!
+//! HiLog generality (paper §4.1): a term may have *any* term as its functor.
+//! First-order terms use the compact [`Term::Compound`] form; terms whose
+//! functor is itself compound (e.g. `path(G)(X,Y)`) use [`Term::HiLog`].
+
+use crate::sym::{well_known, Sym, SymbolTable};
+use std::fmt;
+
+/// A source-level term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable, numbered within its clause.
+    Var(u32),
+    /// An atom (0-ary constant).
+    Atom(Sym),
+    /// An integer constant.
+    Int(i64),
+    /// A first-order compound `f(t1,…,tn)` with `n ≥ 1`.
+    Compound(Sym, Vec<Term>),
+    /// A HiLog application `T(t1,…,tn)` whose functor `T` is not an atom.
+    HiLog(Box<Term>, Vec<Term>),
+}
+
+impl Term {
+    /// Builds a compound, collapsing zero-argument compounds to atoms.
+    pub fn compound(f: Sym, args: Vec<Term>) -> Term {
+        if args.is_empty() {
+            Term::Atom(f)
+        } else {
+            Term::Compound(f, args)
+        }
+    }
+
+    /// Builds a proper list from `items`, terminated by `tail`.
+    pub fn list(items: Vec<Term>, tail: Term) -> Term {
+        items.into_iter().rev().fold(tail, |acc, x| {
+            Term::Compound(well_known::DOT, vec![x, acc])
+        })
+    }
+
+    /// `[]`.
+    pub fn nil() -> Term {
+        Term::Atom(well_known::NIL)
+    }
+
+    /// The functor symbol and arity if this is an atom or first-order
+    /// compound.
+    pub fn functor(&self) -> Option<(Sym, usize)> {
+        match self {
+            Term::Atom(s) => Some((*s, 0)),
+            Term::Compound(s, args) => Some((*s, args.len())),
+            _ => None,
+        }
+    }
+
+    /// Arguments of a compound / HiLog application; empty for constants.
+    pub fn args(&self) -> &[Term] {
+        match self {
+            Term::Compound(_, a) | Term::HiLog(_, a) => a,
+            _ => &[],
+        }
+    }
+
+    /// True when the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Atom(_) | Term::Int(_) => true,
+            Term::Compound(_, args) => args.iter().all(Term::is_ground),
+            Term::HiLog(f, args) => f.is_ground() && args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Collects variable ids in order of first occurrence.
+    pub fn variables(&self, out: &mut Vec<u32>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Atom(_) | Term::Int(_) => {}
+            Term::Compound(_, args) => args.iter().for_each(|a| a.variables(out)),
+            Term::HiLog(f, args) => {
+                f.variables(out);
+                args.iter().for_each(|a| a.variables(out));
+            }
+        }
+    }
+
+    /// The greatest variable id occurring in the term, if any.
+    pub fn max_var(&self) -> Option<u32> {
+        let mut vars = Vec::new();
+        self.variables(&mut vars);
+        vars.into_iter().max()
+    }
+
+    /// Renames every variable by adding `offset` — used when combining
+    /// clauses parsed separately.
+    pub fn shift_vars(&self, offset: u32) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(v + offset),
+            Term::Atom(_) | Term::Int(_) => self.clone(),
+            Term::Compound(f, args) => {
+                Term::Compound(*f, args.iter().map(|a| a.shift_vars(offset)).collect())
+            }
+            Term::HiLog(f, args) => Term::HiLog(
+                Box::new(f.shift_vars(offset)),
+                args.iter().map(|a| a.shift_vars(offset)).collect(),
+            ),
+        }
+    }
+
+    /// Flattens a `','`-chain into a goal list: `(a,(b,c))` → `[a,b,c]`.
+    pub fn conjuncts(&self) -> Vec<&Term> {
+        let mut out = Vec::new();
+        fn walk<'a>(t: &'a Term, out: &mut Vec<&'a Term>) {
+            match t {
+                Term::Compound(f, args) if *f == well_known::COMMA && args.len() == 2 => {
+                    walk(&args[0], out);
+                    walk(&args[1], out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Displays the term with variable names `_0`, `_1`, ….
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> TermDisplay<'a> {
+        TermDisplay { term: self, syms }
+    }
+}
+
+/// A clause `head :- body` (body empty for facts) plus variable names.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clause {
+    pub head: Term,
+    pub body: Vec<Term>,
+    /// Source names of `Var(i)`, indexed by `i`. Generated variables get
+    /// `"_Gn"` names.
+    pub var_names: Vec<String>,
+}
+
+impl Clause {
+    /// A fact (empty body).
+    pub fn fact(head: Term) -> Clause {
+        Clause {
+            head,
+            body: Vec::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    /// Number of distinct variables in the clause.
+    pub fn num_vars(&self) -> u32 {
+        let mut vars = Vec::new();
+        self.head.variables(&mut vars);
+        for g in &self.body {
+            g.variables(&mut vars);
+        }
+        vars.into_iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Allocates a fresh variable id above all existing ones.
+    pub fn fresh_var(&mut self) -> u32 {
+        let v = self.num_vars();
+        while self.var_names.len() <= v as usize {
+            self.var_names.push(format!("_G{}", self.var_names.len()));
+        }
+        v
+    }
+}
+
+/// One item of a consulted program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    Clause(Clause),
+    /// `:- Goal.` — directives are interpreted by the consumer (engine or
+    /// datalog front end).
+    Directive(Term),
+}
+
+/// Pretty-printer handle returned by [`Term::display`].
+pub struct TermDisplay<'a> {
+    term: &'a Term,
+    syms: &'a SymbolTable,
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self.term, self.syms)
+    }
+}
+
+fn atom_needs_quotes(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        None => true,
+        Some(c) if c.is_ascii_lowercase() => {
+            !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        Some(_) => {
+            // symbolic atoms and the solo atoms print bare
+            const SYMBOLIC: &str = "+-*/\\^<>=~:.?@#&$";
+            !(name.chars().all(|c| SYMBOLIC.contains(c))
+                || matches!(name, "[]" | "{}" | "!" | ";" | ","))
+        }
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, syms: &SymbolTable) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "_{v}"),
+        Term::Int(i) => write!(f, "{i}"),
+        Term::Atom(s) => {
+            let name = syms.name(*s);
+            if atom_needs_quotes(name) {
+                write!(f, "'{}'", name.replace('\'', "\\'"))
+            } else {
+                write!(f, "{name}")
+            }
+        }
+        Term::Compound(s, args) if *s == well_known::DOT && args.len() == 2 => {
+            // list notation
+            write!(f, "[")?;
+            write_term(f, &args[0], syms)?;
+            let mut tail = &args[1];
+            loop {
+                match tail {
+                    Term::Compound(s2, a2) if *s2 == well_known::DOT && a2.len() == 2 => {
+                        write!(f, ",")?;
+                        write_term(f, &a2[0], syms)?;
+                        tail = &a2[1];
+                    }
+                    Term::Atom(s2) if *s2 == well_known::NIL => break,
+                    other => {
+                        write!(f, "|")?;
+                        write_term(f, other, syms)?;
+                        break;
+                    }
+                }
+            }
+            write!(f, "]")
+        }
+        Term::Compound(s, args) => {
+            let name = syms.name(*s);
+            if atom_needs_quotes(name) {
+                write!(f, "'{}'(", name.replace('\'', "\\'"))?;
+            } else {
+                write!(f, "{name}(")?;
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write_term(f, a, syms)?;
+            }
+            write!(f, ")")
+        }
+        Term::HiLog(fun, args) => {
+            write_term(f, fun, syms)?;
+            write!(f, "(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write_term(f, a, syms)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn list_construction_and_display() {
+        let mut s = syms();
+        let a = Term::Atom(s.intern("a"));
+        let b = Term::Atom(s.intern("b"));
+        let l = Term::list(vec![a, b], Term::nil());
+        assert_eq!(format!("{}", l.display(&s)), "[a,b]");
+    }
+
+    #[test]
+    fn partial_list_display() {
+        let mut s = syms();
+        let a = Term::Atom(s.intern("a"));
+        let l = Term::list(vec![a], Term::Var(0));
+        assert_eq!(format!("{}", l.display(&s)), "[a|_0]");
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let mut s = syms();
+        let a = Term::Atom(s.intern("a"));
+        let b = Term::Atom(s.intern("b"));
+        let c = Term::Atom(s.intern("c"));
+        let conj = Term::Compound(
+            well_known::COMMA,
+            vec![
+                a.clone(),
+                Term::Compound(well_known::COMMA, vec![b.clone(), c.clone()]),
+            ],
+        );
+        let flat = conj.conjuncts();
+        assert_eq!(flat, vec![&a, &b, &c]);
+    }
+
+    #[test]
+    fn ground_and_variables() {
+        let mut s = syms();
+        let f = s.intern("f");
+        let t = Term::Compound(f, vec![Term::Var(1), Term::Int(3), Term::Var(0)]);
+        assert!(!t.is_ground());
+        let mut vars = Vec::new();
+        t.variables(&mut vars);
+        assert_eq!(vars, vec![1, 0]);
+        assert_eq!(t.max_var(), Some(1));
+    }
+
+    #[test]
+    fn hilog_term_display() {
+        let mut s = syms();
+        let path = s.intern("path");
+        let g = s.intern("g");
+        let t = Term::HiLog(
+            Box::new(Term::Compound(path, vec![Term::Atom(g)])),
+            vec![Term::Var(0), Term::Var(1)],
+        );
+        assert_eq!(format!("{}", t.display(&s)), "path(g)(_0,_1)");
+    }
+
+    #[test]
+    fn quoted_atom_display() {
+        let mut s = syms();
+        let j = s.intern("John");
+        assert_eq!(format!("{}", Term::Atom(j).display(&s)), "'John'");
+        let ops = s.intern("=..");
+        assert_eq!(format!("{}", Term::Atom(ops).display(&s)), "=..");
+    }
+
+    #[test]
+    fn clause_num_vars_and_fresh() {
+        let mut s = syms();
+        let p = s.intern("p");
+        let mut c = Clause {
+            head: Term::Compound(p, vec![Term::Var(0), Term::Var(1)]),
+            body: vec![],
+            var_names: vec!["X".into(), "Y".into()],
+        };
+        assert_eq!(c.num_vars(), 2);
+        assert_eq!(c.fresh_var(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Relevant grounding of a datalog¬ program.
+//!
+//! The alternating fixpoint works on a ground program. Grounding the rules
+//! over the full Herbrand base is exponential in arity, so we first compute
+//! a positive *over-approximation* (drop every negative literal and take
+//! the least model: everything possibly true is in it), then instantiate
+//! each rule only over substitutions whose positive body holds in the
+//! over-approximation. Negative literals whose atom is not even in the
+//! over-approximation are certainly true and are dropped.
+
+use std::collections::HashMap;
+use xsb_datalog::ast::{Arg, ConstId, DatalogProgram, PredKey, Rule};
+use xsb_datalog::seminaive::Evaluator;
+use xsb_datalog::stratify::Strata;
+
+/// A ground atom.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundAtom {
+    pub pred: PredKey,
+    pub args: Vec<ConstId>,
+}
+
+/// A ground rule over atom ids.
+#[derive(Clone, Debug)]
+pub struct GroundRule {
+    pub head: u32,
+    pub pos: Vec<u32>,
+    pub neg: Vec<u32>,
+}
+
+/// The ground program: interned atoms, ground facts, ground rules.
+#[derive(Default, Debug)]
+pub struct GroundProgram {
+    atoms: Vec<GroundAtom>,
+    map: HashMap<GroundAtom, u32>,
+    pub facts: Vec<u32>,
+    pub rules: Vec<GroundRule>,
+}
+
+impl GroundProgram {
+    fn intern(&mut self, a: GroundAtom) -> u32 {
+        if let Some(&id) = self.map.get(&a) {
+            return id;
+        }
+        let id = self.atoms.len() as u32;
+        self.atoms.push(a.clone());
+        self.map.insert(a, id);
+        id
+    }
+
+    pub fn atom_id(&self, a: &GroundAtom) -> Option<u32> {
+        self.map.get(a).copied()
+    }
+
+    /// Iterates (id, atom) pairs.
+    pub fn atoms(&self) -> impl Iterator<Item = (u32, &GroundAtom)> {
+        self.atoms.iter().enumerate().map(|(i, a)| (i as u32, a))
+    }
+
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+/// Grounds `program` over its relevant domain.
+pub fn ground_program(program: &DatalogProgram) -> GroundProgram {
+    // 1. positive over-approximation
+    let positive = DatalogProgram {
+        consts: crate::clone_consts(program),
+        facts: program.facts.clone(),
+        rules: program
+            .rules
+            .iter()
+            .map(|r| Rule {
+                head: r.head.clone(),
+                body: r.body.iter().filter(|l| !l.negated).cloned().collect(),
+            })
+            .collect(),
+    };
+    // a purely positive program always stratifies
+    let strata = xsb_datalog::stratify::stratify(&positive).expect("positive program");
+    let mut over = Evaluator::from_facts(&positive);
+    over.evaluate(&Strata { ..strata }, true);
+
+    // 2. instantiate rules over the over-approximation
+    let mut g = GroundProgram::default();
+    for (pred, tuple) in &program.facts {
+        let id = g.intern(GroundAtom {
+            pred: *pred,
+            args: tuple.clone(),
+        });
+        g.facts.push(id);
+    }
+    for rule in &program.rules {
+        let nvars = var_count(rule);
+        let mut env: Vec<Option<ConstId>> = vec![None; nvars];
+        instantiate(rule, 0, &mut over, &mut env, &mut g);
+    }
+    g
+}
+
+fn var_count(rule: &Rule) -> usize {
+    let mut max = 0usize;
+    let visit = |args: &[Arg], max: &mut usize| {
+        for a in args {
+            if let Arg::Var(v) = a {
+                *max = (*max).max(*v as usize + 1);
+            }
+        }
+    };
+    visit(&rule.head.args, &mut max);
+    for l in &rule.body {
+        visit(&l.args, &mut max);
+    }
+    max
+}
+
+/// Recursively enumerates substitutions over the positive body literals
+/// (indexes into the over-approximation), emitting one ground rule per
+/// complete substitution.
+fn instantiate(
+    rule: &Rule,
+    i: usize,
+    over: &mut Evaluator,
+    env: &mut Vec<Option<ConstId>>,
+    g: &mut GroundProgram,
+) {
+    // find the next positive literal; negatives are handled at the end
+    let next_pos = rule.body[i..]
+        .iter()
+        .position(|l| !l.negated)
+        .map(|off| i + off);
+    let Some(ip) = next_pos else {
+        emit_ground_rule(rule, over, env, g);
+        return;
+    };
+    // instantiate literals before ip (all negated) later; recurse over ip's
+    // matching tuples
+    let lit = &rule.body[ip];
+    let mut positions: Vec<u16> = Vec::new();
+    let mut key: Vec<ConstId> = Vec::new();
+    for (p, a) in lit.args.iter().enumerate() {
+        match a {
+            Arg::Const(c) => {
+                positions.push(p as u16);
+                key.push(*c);
+            }
+            Arg::Var(v) => {
+                if let Some(c) = env[*v as usize] {
+                    positions.push(p as u16);
+                    key.push(c);
+                }
+            }
+        }
+    }
+    let rows: Vec<Vec<ConstId>> = match over.relations.get_mut(&lit.pred) {
+        None => return,
+        Some(rel) => {
+            let ids: Vec<u32> = if positions.is_empty() {
+                (0..rel.len() as u32).collect()
+            } else {
+                rel.select(&positions, &key).to_vec()
+            };
+            ids.iter().map(|&r| rel.tuple(r).to_vec()).collect()
+        }
+    };
+    for t in rows {
+        let mut bound: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for (p, a) in lit.args.iter().enumerate() {
+            if let Arg::Var(v) = a {
+                match env[*v as usize] {
+                    Some(c) if c != t[p] => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        env[*v as usize] = Some(t[p]);
+                        bound.push(*v);
+                    }
+                }
+            }
+        }
+        if ok {
+            instantiate(rule, ip + 1, over, env, g);
+        }
+        for v in bound {
+            env[v as usize] = None;
+        }
+    }
+}
+
+fn emit_ground_rule(
+    rule: &Rule,
+    over: &Evaluator,
+    env: &[Option<ConstId>],
+    g: &mut GroundProgram,
+) {
+    let ground_args = |args: &[Arg]| -> Vec<ConstId> {
+        args.iter()
+            .map(|a| match a {
+                Arg::Const(c) => *c,
+                Arg::Var(v) => env[*v as usize].expect("safe rule fully bound"),
+            })
+            .collect()
+    };
+    let mut neg: Vec<u32> = Vec::new();
+    for l in rule.body.iter().filter(|l| l.negated) {
+        let atom = GroundAtom {
+            pred: l.pred,
+            args: ground_args(&l.args),
+        };
+        // if the atom is not even possibly true, its negation is true
+        let possibly = over
+            .relations
+            .get(&l.pred)
+            .map(|r| r.contains(&atom.args))
+            .unwrap_or(false);
+        if possibly {
+            neg.push(g.intern(atom));
+        }
+    }
+    let mut pos: Vec<u32> = Vec::new();
+    for l in rule.body.iter().filter(|l| !l.negated) {
+        pos.push(g.intern(GroundAtom {
+            pred: l.pred,
+            args: ground_args(&l.args),
+        }));
+    }
+    let head = g.intern(GroundAtom {
+        pred: rule.head.pred,
+        args: ground_args(&rule.head.args),
+    });
+    g.rules.push(GroundRule { head, pos, neg });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsb_syntax::{parse_program, Clause, Item, OpTable, SymbolTable};
+
+    fn prog(src: &str) -> (DatalogProgram, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).unwrap();
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        (DatalogProgram::from_clauses(&clauses).unwrap(), syms)
+    }
+
+    #[test]
+    fn grounds_only_relevant_instances() {
+        let (p, _) = prog(
+            "win(X) :- move(X,Y), tnot win(Y).\n\
+             move(1,2). move(2,3).",
+        );
+        let g = ground_program(&p);
+        // win(1), win(2), win(3) and the move atoms — not a 3x3 blowup
+        assert_eq!(g.rules.len(), 2); // one instance per move tuple
+        assert!(g.num_atoms() <= 7);
+    }
+
+    #[test]
+    fn certainly_false_negations_are_dropped() {
+        let (p, _) = prog(
+            "q(X) :- base(X), tnot impossible(X).\n\
+             base(1).",
+        );
+        let g = ground_program(&p);
+        assert_eq!(g.rules.len(), 1);
+        assert!(g.rules[0].neg.is_empty(), "impossible(1) can never hold");
+    }
+}

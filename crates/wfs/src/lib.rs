@@ -1,0 +1,360 @@
+//! # xsb-wfs — well-founded semantics evaluator
+//!
+//! XSB's engine evaluates modularly stratified programs; for general
+//! (non-stratified) programs "a meta-interpreter is provided that has the
+//! same properties" and computes the well-founded semantics [21], or
+//! equivalently the three-valued stable model semantics [11] (paper §1,
+//! §3.1). This crate is that component: it grounds a datalog¬ program over
+//! its relevant domain and computes the well-founded model by the
+//! alternating fixpoint, giving each atom a truth value of *true*, *false*
+//! or *undefined*.
+//!
+//! ```
+//! use xsb_wfs::{Truth, Wfs};
+//!
+//! // the stalemate game over a pure cycle: both positions are a draw —
+//! // undefined in the well-founded model
+//! let mut w = Wfs::new(r#"
+//!     win(X) :- move(X, Y), tnot win(Y).
+//!     move(1, 2). move(2, 1). move(3, 4).
+//! "#).unwrap();
+//! assert_eq!(w.truth("win(1)").unwrap(), Truth::Undefined);
+//! assert_eq!(w.truth("win(2)").unwrap(), Truth::Undefined);
+//! assert_eq!(w.truth("win(3)").unwrap(), Truth::True);
+//! assert_eq!(w.truth("win(4)").unwrap(), Truth::False);
+//! ```
+
+pub mod ground;
+pub mod stable;
+
+/// Rebuilds a constant table preserving ids (interning order replays).
+pub(crate) fn clone_consts(
+    p: &xsb_datalog::ast::DatalogProgram,
+) -> xsb_datalog::ast::ConstTable {
+    let mut t = xsb_datalog::ast::ConstTable::default();
+    for i in 0..p.consts.len() {
+        let id = t.intern(p.consts.value(i as u32));
+        debug_assert_eq!(id, i as u32);
+    }
+    t
+}
+
+use ground::{ground_program, GroundAtom, GroundProgram};
+use std::collections::HashSet;
+use xsb_datalog::ast::{DatalogProgram, LowerError, Value};
+use xsb_syntax::{parse_program, parse_query, Clause, Item, OpTable, SymbolTable, Term};
+
+/// Three-valued truth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Truth {
+    True,
+    False,
+    Undefined,
+}
+
+/// WFS evaluation errors.
+#[derive(Debug)]
+pub enum WfsError {
+    Parse(xsb_syntax::ParseError),
+    Lower(LowerError),
+    Other(String),
+}
+
+impl std::fmt::Display for WfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WfsError::Parse(e) => write!(f, "{e}"),
+            WfsError::Lower(e) => write!(f, "{e}"),
+            WfsError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WfsError {}
+
+/// The well-founded model of a program.
+pub struct Wfs {
+    pub syms: SymbolTable,
+    ops: OpTable,
+    program: DatalogProgram,
+    ground: GroundProgram,
+    /// well-founded true atoms
+    true_set: HashSet<u32>,
+    /// atoms possibly true (complement = well-founded false)
+    possible_set: HashSet<u32>,
+}
+
+impl Wfs {
+    /// Parses, grounds and solves the program.
+    pub fn new(src: &str) -> Result<Wfs, WfsError> {
+        let mut syms = SymbolTable::new();
+        let ops = OpTable::standard();
+        let items = parse_program(src, &mut syms, &ops).map_err(WfsError::Parse)?;
+        let clauses: Vec<Clause> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Clause(c) => Some(c),
+                Item::Directive(_) => None,
+            })
+            .collect();
+        let program = DatalogProgram::from_clauses(&clauses).map_err(WfsError::Lower)?;
+        let ground = ground_program(&program);
+        let (true_set, possible_set) = alternating_fixpoint(&ground);
+        Ok(Wfs {
+            syms,
+            ops,
+            program,
+            ground,
+            true_set,
+            possible_set,
+        })
+    }
+
+    /// Truth value of a ground atom such as `"win(1)"`.
+    pub fn truth(&mut self, atom_src: &str) -> Result<Truth, WfsError> {
+        let q = parse_query(atom_src, &mut self.syms, &self.ops).map_err(WfsError::Parse)?;
+        if q.goals.len() != 1 {
+            return Err(WfsError::Other("expected a single atom".into()));
+        }
+        let goal = &q.goals[0];
+        let (f, n) = goal
+            .functor()
+            .ok_or_else(|| WfsError::Other("expected an atom".into()))?;
+        let mut tuple = Vec::with_capacity(n);
+        for a in goal.args() {
+            let v = match a {
+                Term::Int(i) => Value::Int(*i),
+                Term::Atom(s) => Value::Atom(*s),
+                _ => return Err(WfsError::Other("atom must be ground datalog".into())),
+            };
+            match self.program.consts.lookup(v) {
+                Some(c) => tuple.push(c),
+                None => return Ok(Truth::False), // unknown constant
+            }
+        }
+        let atom = GroundAtom {
+            pred: (f, n as u16),
+            args: tuple,
+        };
+        Ok(match self.ground.atom_id(&atom) {
+            None => Truth::False,
+            Some(id) => {
+                if self.true_set.contains(&id) {
+                    Truth::True
+                } else if self.possible_set.contains(&id) {
+                    Truth::Undefined
+                } else {
+                    Truth::False
+                }
+            }
+        })
+    }
+
+    /// All atoms of `pred/arity` that are true (resp. undefined) in the
+    /// well-founded model, decoded to display strings.
+    pub fn extension(&self, pred: &str, arity: u16) -> (Vec<String>, Vec<String>) {
+        let Some(s) = self.syms.lookup(pred) else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut t = Vec::new();
+        let mut u = Vec::new();
+        for (id, atom) in self.ground.atoms() {
+            if atom.pred != (s, arity) {
+                continue;
+            }
+            let rendered = format!(
+                "{}({})",
+                pred,
+                atom.args
+                    .iter()
+                    .map(|&c| self.program.consts.value(c).display(&self.syms))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            if self.true_set.contains(&id) {
+                t.push(rendered);
+            } else if self.possible_set.contains(&id) {
+                u.push(rendered);
+            }
+        }
+        t.sort();
+        u.sort();
+        (t, u)
+    }
+
+    /// Enumerates the (two-valued) stable models by branching over the
+    /// well-founded-undefined residual (paper §3.1 / ref [5]); atoms come
+    /// back rendered and sorted. Returns `None` when more than `limit`
+    /// atoms are undefined (the search is `2^|undefined|`).
+    pub fn stable_models(&self, limit: usize) -> Option<Vec<Vec<String>>> {
+        let models = stable::stable_models(
+            &self.ground,
+            &self.true_set,
+            &self.possible_set,
+            limit,
+        )?;
+        // render each atom id once
+        let mut rendered: Vec<String> = Vec::with_capacity(self.ground.num_atoms());
+        for (_, atom) in self.ground.atoms() {
+            let args = atom
+                .args
+                .iter()
+                .map(|&c| self.program.consts.value(c).display(&self.syms))
+                .collect::<Vec<_>>()
+                .join(",");
+            let name = self.syms.name(atom.pred.0);
+            rendered.push(if args.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}({args})")
+            });
+        }
+        Some(
+            models
+                .into_iter()
+                .map(|m| {
+                    let mut v: Vec<String> =
+                        m.into_iter().map(|id| rendered[id as usize].clone()).collect();
+                    v.sort();
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// Counts of (true, undefined) atoms in the model.
+    pub fn model_size(&self) -> (usize, usize) {
+        (
+            self.true_set.len(),
+            self.possible_set.len() - self.true_set.len(),
+        )
+    }
+}
+
+/// The alternating fixpoint of Van Gelder: with
+/// `Γ(S)` = least model of the reduct of the ground program w.r.t. `S`,
+/// iterate `K ← Γ(U); U ← Γ(K)` from `K = ∅, U = Γ(∅)` until both are
+/// stable. `K` converges to the true atoms and `U` to the possible atoms
+/// (its complement is well-founded false).
+fn alternating_fixpoint(g: &GroundProgram) -> (HashSet<u32>, HashSet<u32>) {
+    let mut k: HashSet<u32> = HashSet::new();
+    let mut u: HashSet<u32> = gamma(g, &k);
+    loop {
+        let k2 = gamma(g, &u);
+        let u2 = gamma(g, &k2);
+        if k2 == k && u2 == u {
+            return (k, u);
+        }
+        k = k2;
+        u = u2;
+    }
+}
+
+use stable::gamma;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_program_is_two_valued() {
+        let mut w = Wfs::new(
+            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3). edge(3,1).",
+        )
+        .unwrap();
+        assert_eq!(w.truth("path(1,3)").unwrap(), Truth::True);
+        assert_eq!(w.truth("path(1,9)").unwrap(), Truth::False);
+        let (_, undef) = w.model_size();
+        assert_eq!(undef, 0);
+    }
+
+    #[test]
+    fn classic_mutual_negation_is_undefined() {
+        let mut w = Wfs::new("p(1) :- tnot q(1).\nq(1) :- tnot p(1).").unwrap();
+        assert_eq!(w.truth("p(1)").unwrap(), Truth::Undefined);
+        assert_eq!(w.truth("q(1)").unwrap(), Truth::Undefined);
+    }
+
+    #[test]
+    fn stratified_negation_is_two_valued() {
+        let mut w = Wfs::new(
+            "reach(1).\nreach(Y) :- reach(X), edge(X,Y).\n\
+             unreach(X) :- node(X), tnot reach(X).\n\
+             edge(1,2). node(1). node(2). node(3).",
+        )
+        .unwrap();
+        assert_eq!(w.truth("unreach(3)").unwrap(), Truth::True);
+        assert_eq!(w.truth("unreach(2)").unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn win_on_acyclic_graph_matches_game_theory() {
+        let mut w = Wfs::new(
+            "win(X) :- move(X,Y), tnot win(Y).\n\
+             move(1,2). move(2,3). move(3,4).",
+        )
+        .unwrap();
+        assert_eq!(w.truth("win(1)").unwrap(), Truth::True);
+        assert_eq!(w.truth("win(2)").unwrap(), Truth::False);
+        assert_eq!(w.truth("win(3)").unwrap(), Truth::True);
+        assert_eq!(w.truth("win(4)").unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn win_on_pure_cycle_is_undefined() {
+        let mut w = Wfs::new(
+            "win(X) :- move(X,Y), tnot win(Y).\n\
+             move(1,2). move(2,1).",
+        )
+        .unwrap();
+        // 1 and 2 chase each other forever: a draw, undefined in WFS
+        assert_eq!(w.truth("win(1)").unwrap(), Truth::Undefined);
+        assert_eq!(w.truth("win(2)").unwrap(), Truth::Undefined);
+    }
+
+    #[test]
+    fn escape_from_cycle_decides_the_game() {
+        // 2 can escape the cycle to losing node 3, so 2 wins and 1 loses
+        let mut w = Wfs::new(
+            "win(X) :- move(X,Y), tnot win(Y).\n\
+             move(1,2). move(2,1). move(2,3).",
+        )
+        .unwrap();
+        assert_eq!(w.truth("win(2)").unwrap(), Truth::True);
+        assert_eq!(w.truth("win(1)").unwrap(), Truth::False);
+        assert_eq!(w.truth("win(3)").unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn undefined_propagates_through_positive_rules() {
+        let mut w = Wfs::new(
+            "p(1) :- tnot q(1).\nq(1) :- tnot p(1).\nr(1) :- p(1).\ns(1) :- r(1), q(1).",
+        )
+        .unwrap();
+        assert_eq!(w.truth("r(1)").unwrap(), Truth::Undefined);
+        assert_eq!(w.truth("s(1)").unwrap(), Truth::Undefined);
+    }
+
+    #[test]
+    fn true_support_beats_undefined() {
+        // c has support from a definite source even though a is undefined
+        let mut w = Wfs::new(
+            "a(1) :- tnot b(1).\nb(1) :- tnot a(1).\nc(1) :- a(1).\nc(1) :- t(1).\nt(1).",
+        )
+        .unwrap();
+        assert_eq!(w.truth("c(1)").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn extension_lists_true_and_undefined() {
+        let w = Wfs::new(
+            "win(X) :- move(X,Y), tnot win(Y).\n\
+             move(1,2). move(2,1). move(3,4).",
+        )
+        .unwrap();
+        let (t, u) = w.extension("win", 1);
+        assert_eq!(t, vec!["win(3)"]);
+        assert_eq!(u, vec!["win(1)", "win(2)"]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Stable models from the well-founded residual (paper §3.1 / ref [5]).
+//!
+//! "In fact the answer clauses (answers conditioned by delays) can be seen
+//! as constituting a transformed program from which sets of 3-valued stable
+//! models can be computed." The well-founded model fixes the true and
+//! false atoms; only the *undefined* atoms are open. This module
+//! enumerates the (two-valued) stable models by branching over those
+//! residual atoms and checking the Gelfond–Lifschitz fixpoint
+//! `M = Γ(M)` — exactly the integration of stable-model computation with
+//! query processing that Chen & Warren's companion paper describes.
+
+use crate::ground::GroundProgram;
+use std::collections::HashSet;
+
+/// Least model of the reduct of `g` w.r.t. `assumed` (the Γ operator —
+/// shared with the alternating fixpoint).
+pub(crate) fn gamma(g: &GroundProgram, assumed: &HashSet<u32>) -> HashSet<u32> {
+    let mut out: HashSet<u32> = g.facts.iter().copied().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in &g.rules {
+            if out.contains(&r.head) {
+                continue;
+            }
+            if r.neg.iter().any(|a| assumed.contains(a)) {
+                continue;
+            }
+            if r.pos.iter().all(|a| out.contains(a)) {
+                out.insert(r.head);
+                changed = true;
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the stable models of the ground program, given the
+/// well-founded `true_set` and `possible_set` (its complement is false in
+/// every stable model). Branches only over the undefined atoms, so the
+/// search space is `2^|undefined|` — the well-founded model does the heavy
+/// pruning, as [5] intends. `limit` caps the number of undefined atoms
+/// (returns `None` when exceeded, rather than exploding).
+pub fn stable_models(
+    g: &GroundProgram,
+    true_set: &HashSet<u32>,
+    possible_set: &HashSet<u32>,
+    limit: usize,
+) -> Option<Vec<HashSet<u32>>> {
+    let undefined: Vec<u32> = possible_set
+        .iter()
+        .copied()
+        .filter(|a| !true_set.contains(a))
+        .collect();
+    if undefined.len() > limit {
+        return None;
+    }
+    let mut models = Vec::new();
+    // branch over subsets of the undefined atoms
+    for mask in 0u64..(1u64 << undefined.len()) {
+        let mut candidate: HashSet<u32> = true_set.clone();
+        for (i, &a) in undefined.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                candidate.insert(a);
+            }
+        }
+        if gamma(g, &candidate) == candidate {
+            models.push(candidate);
+        }
+    }
+    Some(models)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Wfs;
+
+    fn models_of(src: &str, pred: &str, arity: u16) -> Vec<Vec<String>> {
+        let w = Wfs::new(src).unwrap();
+        let mut out = w
+            .stable_models(16)
+            .expect("few undefined atoms")
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<String> = m
+                    .into_iter()
+                    .filter(|a| a.starts_with(pred))
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect::<Vec<_>>();
+        let _ = arity;
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn mutual_negation_has_two_stable_models() {
+        let models = models_of("p(1) :- tnot q(1).\nq(1) :- tnot p(1).", "", 0);
+        // two models: {p(1)} and {q(1)}
+        assert_eq!(models.len(), 2);
+        assert!(models.contains(&vec!["p(1)".to_string()]));
+        assert!(models.contains(&vec!["q(1)".to_string()]));
+    }
+
+    #[test]
+    fn odd_negative_loop_has_no_stable_model() {
+        let models = models_of("p(1) :- tnot p(1).", "", 0);
+        assert!(models.is_empty(), "p :- not p has no stable model");
+    }
+
+    #[test]
+    fn stratified_program_has_exactly_the_wf_model() {
+        let models = models_of(
+            "reach(1).\nreach(Y) :- reach(X), edge(X,Y).\n\
+             unreach(X) :- node(X), tnot reach(X).\n\
+             edge(1,2). node(1). node(2). node(3).",
+            "",
+            0,
+        );
+        assert_eq!(models.len(), 1, "stratified ⇒ unique stable model");
+        assert!(models[0].contains(&"unreach(3)".to_string()));
+        assert!(!models[0].contains(&"unreach(2)".to_string()));
+    }
+
+    #[test]
+    fn win_cycle_game_has_alternating_stable_models() {
+        let models = models_of(
+            "win(X) :- move(X,Y), tnot win(Y).\nmove(1,2). move(2,1).",
+            "win",
+            1,
+        );
+        // either 1 wins or 2 wins — each is a consistent stable world
+        let wins: Vec<Vec<String>> = models
+            .into_iter()
+            .map(|m| m.into_iter().filter(|a| a.starts_with("win")).collect())
+            .collect();
+        assert_eq!(wins.len(), 2);
+        assert!(wins.contains(&vec!["win(1)".to_string()]));
+        assert!(wins.contains(&vec!["win(2)".to_string()]));
+    }
+
+    #[test]
+    fn true_atoms_appear_in_every_stable_model() {
+        let w = Wfs::new(
+            "a(1).\nb(1) :- a(1).\np(1) :- tnot q(1).\nq(1) :- tnot p(1).",
+        )
+        .unwrap();
+        let models = w.stable_models(16).unwrap();
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            assert!(m.contains(&"a(1)".to_string()));
+            assert!(m.contains(&"b(1)".to_string()));
+        }
+    }
+
+    #[test]
+    fn limit_guards_exponential_blowup() {
+        // 20 independent 2-cycles → 2^20 models: refuse politely
+        let mut src = String::new();
+        for i in 0..20 {
+            src.push_str(&format!("p({i}) :- tnot q({i}).\nq({i}) :- tnot p({i}).\n"));
+        }
+        let w = Wfs::new(&src).unwrap();
+        assert!(w.stable_models(16).is_none());
+    }
+}

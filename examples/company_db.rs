@@ -1,0 +1,106 @@
+//! A deductive database session: an org chart with recursive views,
+//! multi-field indexing, updates, and aggregation.
+//!
+//! ```sh
+//! cargo run --example company_db
+//! ```
+//!
+//! Shows the engine as "an underlying query engine for deductive database
+//! systems" (paper abstract): the extensional database lives in dynamic
+//! predicates with `:- index` declarations (§4.5), the intensional layer
+//! is tabled rules, aggregation uses `findall`/`tfindall` (§4.7), and data
+//! changes through `assert`/`retract` (§4.6).
+
+use xsb::core::Engine;
+
+fn main() {
+    let mut db = Engine::new();
+
+    db.consult(
+        r#"
+        % ---- extensional database (dynamic, indexed) ----
+        :- dynamic emp/4.
+        :- index(emp/4, [1, 2, 3+4]).       % name; dept; joint(mgr, level)
+        :- dynamic dept/2.
+
+        % ---- intensional layer ----
+        :- table reports_to/2.
+        reports_to(E, M)  :- emp(E, _, M, _).
+        reports_to(E, M2) :- reports_to(E, M1), emp(M1, _, M2, _).
+
+        :- table same_dept_chain/2.
+        same_dept_chain(E, M) :- emp(E, D, M, _), emp(M, D, _, _).
+        same_dept_chain(E, M2) :- same_dept_chain(E, M1), emp(M1, D, M2, _), emp(M2, D, _, _).
+
+        dept_size(D, N) :- findall(E, emp(E, D, _, _), L), length(L, N).
+        org_below(M, L) :- tfindall(E, reports_to(E, M), L).
+    "#,
+    )
+    .expect("schema loads");
+
+    // bulk-insert the extensional data: emp(name, dept, manager, level)
+    let rows = [
+        ("ada", "eng", "grace", 3),
+        ("alan", "eng", "grace", 3),
+        ("grace", "eng", "linus", 2),
+        ("linus", "eng", "root", 1),
+        ("edgar", "db", "codd", 3),
+        ("codd", "db", "root", 1),
+        ("root", "board", "root0", 0),
+    ];
+    for (name, dept, mgr, lvl) in rows {
+        db.query(&format!("assert(emp({name}, {dept}, {mgr}, {lvl}))"))
+            .expect("insert");
+    }
+
+    println!("everyone (transitively) reporting to linus:");
+    for sol in db.query("reports_to(E, linus)").expect("query") {
+        println!("  {}", sol.get("E").unwrap().display(&db.syms));
+    }
+
+    println!("\ndepartment sizes:");
+    for sol in db
+        .query("dept_size(eng, N1), dept_size(db, N2)")
+        .expect("query")
+    {
+        println!(
+            "  eng: {}   db: {}",
+            sol.get("N1").unwrap().display(&db.syms),
+            sol.get("N2").unwrap().display(&db.syms)
+        );
+    }
+
+    // tfindall suspends until the reports_to table completes (paper §4.7)
+    println!("\ncomplete org below root (via tfindall):");
+    for sol in db.query("org_below(root, L)").expect("query") {
+        println!("  {}", sol.get("L").unwrap().display(&db.syms));
+    }
+
+    // joint-index retrieval: mgr+level bound uses the 3+4 index
+    println!("\ngrace's direct level-3 reports (joint index on mgr+level):");
+    for sol in db.query("emp(E, _, grace, 3)").expect("query") {
+        println!("  {}", sol.get("E").unwrap().display(&db.syms));
+    }
+
+    // an update: ada transfers to the db department
+    db.query("retract(emp(ada, eng, grace, 3))").expect("del");
+    db.query("assert(emp(ada, db, codd, 3))").expect("ins");
+    db.abolish_all_tables(); // views over updated data must recompute
+    println!("\nafter ada's transfer:");
+    for sol in db
+        .query("dept_size(eng, N1), dept_size(db, N2)")
+        .expect("query")
+    {
+        println!(
+            "  eng: {}   db: {}",
+            sol.get("N1").unwrap().display(&db.syms),
+            sol.get("N2").unwrap().display(&db.syms)
+        );
+    }
+    for sol in db.query("org_below(codd, L)").expect("query") {
+        println!(
+            "  codd's org is now: {}",
+            sol.get("L").unwrap().display(&db.syms)
+        );
+    }
+}

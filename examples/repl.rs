@@ -1,0 +1,169 @@
+//! An interactive read-eval-print loop, the way XSB is "normally invoked"
+//! (paper §4.2).
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Commands:
+//!   `?- Goal.`            run a query, print up to 10 solutions
+//!   `Head :- Body.` / `Fact.`   consult a clause into the session
+//!   `:- Directive.`       e.g. `:- table path/2.`
+//!   `:load FILE`          consult a file
+//!   `:tables`             show live table count
+//!   `:abolish`            forget all tables
+//!   `:quit`
+//!
+//! Example session:
+//! ```text
+//! ?- :- table path/2.
+//! ?- path(X,Y) :- edge(X,Y).
+//! ?- path(X,Y) :- path(X,Z), edge(Z,Y).
+//! ?- edge(1,2).
+//! ?- edge(2,1).
+//! ?- ?- path(1, X).
+//! X = 2 ;  X = 1 ;  no more solutions.
+//! ```
+
+use std::io::{BufRead, Write};
+use xsb::core::Engine;
+
+const MAX_SHOWN: usize = 10;
+
+fn main() {
+    let mut engine = Engine::new();
+    engine.set_step_limit(Some(50_000_000)); // guard against runaway SLD loops
+    // clauses typed at the prompt accumulate in a session program; each
+    // addition re-consults the whole buffer so multi-clause predicates
+    // grow instead of being redefined line by line
+    let mut session_src = String::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+
+    println!("rusty-xsb interactive shell — :quit to exit, :help for help");
+    loop {
+        print!("?- ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" | "halt." => break,
+            ":help" => {
+                println!(
+                    "  ?- Goal.       query\n  Fact. / Head :- Body.   consult\n  \
+                     :- Directive.  directive\n  :load FILE     consult file\n  \
+                     :tables        live table count\n  :abolish       clear tables\n  \
+                     :quit          exit"
+                );
+                continue;
+            }
+            ":tables" => {
+                println!("{} live tables", engine.table_count());
+                continue;
+            }
+            ":abolish" => {
+                engine.abolish_all_tables();
+                println!("tables cleared");
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(path) = line.strip_prefix(":load ") {
+            match std::fs::read_to_string(path.trim()) {
+                Ok(src) => {
+                    session_src.push_str(&src);
+                    session_src.push('\n');
+                    match reconsult(&session_src) {
+                        Ok(e2) => {
+                            engine = e2;
+                            println!("loaded {path}");
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Err(e) => println!("cannot read {path}: {e}"),
+            }
+            continue;
+        }
+        // a query?
+        if let Some(q) = line.strip_prefix("?-") {
+            let q = q.trim().trim_end_matches('.');
+            run_query(&mut engine, q);
+            continue;
+        }
+        // otherwise treat as program text (clause or directive)
+        let src = if line.ends_with('.') {
+            line.to_string()
+        } else {
+            format!("{line}.")
+        };
+        let mut candidate = session_src.clone();
+        candidate.push_str(&src);
+        candidate.push('\n');
+        match reconsult(&candidate) {
+            Ok(e2) => {
+                engine = e2;
+                session_src = candidate;
+                println!("ok");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye.");
+}
+
+/// Builds a fresh engine from the accumulated session program.
+fn reconsult(src: &str) -> Result<Engine, xsb::EngineError> {
+    let mut e = Engine::new();
+    e.set_step_limit(Some(50_000_000));
+    e.consult(src)?;
+    Ok(e)
+}
+
+fn run_query(engine: &mut Engine, q: &str) {
+    // collect solutions first (run_query borrows the engine mutably),
+    // render against the symbol table afterwards
+    let mut total = 0usize;
+    let mut kept: Vec<xsb::core::Solution> = Vec::new();
+    let result = engine.run_query(q, |sol| {
+        total += 1;
+        if kept.len() < MAX_SHOWN {
+            kept.push(sol.clone());
+        }
+        true
+    });
+    match result {
+        Ok(()) => {
+            for sol in &kept {
+                if sol.bindings.is_empty() {
+                    println!("yes");
+                } else {
+                    let line = sol
+                        .bindings
+                        .iter()
+                        .map(|(n, t)| format!("{n} = {}", t.display(&engine.syms)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    println!("{line}");
+                }
+            }
+            if total == 0 {
+                println!("no");
+            } else if total > kept.len() {
+                println!("... and {} more solutions", total - kept.len());
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

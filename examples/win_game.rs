@@ -1,0 +1,92 @@
+//! The stalemate game (paper Example 4.1): three negation strategies and
+//! the well-founded semantics.
+//!
+//! ```sh
+//! cargo run --example win_game
+//! ```
+//!
+//! `win(X) :- move(X, Y), NOT win(Y)` — a position wins iff it has a move
+//! to a losing position. On acyclic move graphs the program is modularly
+//! stratified and the engine evaluates it with `tnot` (exhaustive SLG) or
+//! `e_tnot` (existential negation, which stops a subgoal at its first
+//! answer and frees its table — the SLDNF-like √2ⁿ behaviour of Table 2).
+//! On cyclic graphs the program is not stratified: the engine reports it,
+//! and the WFS evaluator assigns *undefined* to drawn positions.
+
+use xsb::core::{Engine, EngineError};
+use xsb::wfs::{Truth, Wfs};
+use xsb_syntax::Term;
+
+fn game(neg: &str, moves: &[(i64, i64)]) -> Engine {
+    let mut e = Engine::new();
+    e.declare_dynamic("move", 2).unwrap();
+    e.consult(&format!(
+        ":- table win/1.\nwin(X) :- move(X, Y), {neg} win(Y).\n"
+    ))
+    .unwrap();
+    let mv = e.syms.intern("move");
+    for &(a, b) in moves {
+        e.assert_term(&Term::Compound(mv, vec![Term::Int(a), Term::Int(b)]))
+            .unwrap();
+    }
+    e
+}
+
+fn main() {
+    // a complete binary tree of height 4 (31 nodes): leaves lose
+    let mut moves = Vec::new();
+    for n in 1i64..=15 {
+        moves.push((n, 2 * n));
+        moves.push((n, 2 * n + 1));
+    }
+
+    println!("win/1 over a complete binary tree of height 4:");
+    for neg in ["tnot", "e_tnot"] {
+        let mut e = game(neg, &moves);
+        let win1 = e.holds("win(1)").unwrap();
+        println!(
+            "  {neg:6}  win(1) = {win1:5}   subgoals evaluated = {}",
+            e.last_stats.subgoals_created
+        );
+    }
+    println!("  (paper Fig. 2: SLDNF-like strategies evaluate 13 of 31 subgoals)");
+
+    // the same game over a cyclic graph is NOT stratified
+    println!("\nwin/1 over a cycle 1 → 2 → 1:");
+    let mut cyclic = game("tnot", &[(1, 2), (2, 1)]);
+    match cyclic.holds("win(1)") {
+        Err(EngineError::NotStratified(p)) => {
+            println!("  engine: not modularly stratified (loop through {p})")
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    // ... which is exactly what the WFS meta-evaluator is for (paper §1)
+    let mut w = Wfs::new(
+        "win(X) :- move(X,Y), tnot win(Y).\n\
+         move(1,2). move(2,1).\n\
+         move(3,4).",
+    )
+    .unwrap();
+    println!("\nwell-founded model of the cyclic game:");
+    for node in 1..=4 {
+        let atom = format!("win({node})");
+        let verdict = match w.truth(&atom).unwrap() {
+            Truth::True => "true   (winning position)",
+            Truth::False => "false  (losing position)",
+            Truth::Undefined => "undef  (drawn: infinite play)",
+        };
+        println!("  {atom}: {verdict}");
+    }
+
+    // §3.1: the undefined residual admits multiple stable models — each a
+    // consistent "world" in which one of the cycling players wins
+    println!("\nstable models of the cyclic game (wins only):");
+    for model in w.stable_models(16).expect("small residual") {
+        let wins: Vec<String> = model
+            .into_iter()
+            .filter(|a| a.starts_with("win"))
+            .collect();
+        println!("  {{ {} }}", wins.join(", "));
+    }
+}

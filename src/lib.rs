@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the rusty-xsb public API.
+//!
+//! See [`xsb_core::Engine`] for the main entry point.
+pub use xsb_core as core;
+pub use xsb_datalog as datalog;
+pub use xsb_storage as storage;
+pub use xsb_syntax as syntax;
+pub use xsb_wfs as wfs;
+
+pub use xsb_core::{Engine, EngineError, Solution};
