@@ -1,53 +1,130 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run -p xsb-bench --bin harness --release [experiment]
+//! cargo run -p xsb-bench --bin harness --release [experiment] [--quick] [--json PATH]
 //! ```
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
 //! append hilog dynamic-vs-static bulkload wfs all` (default `all`).
+//!
+//! `--json PATH` additionally writes a machine-readable report: per-
+//! experiment wall-clock seconds plus an engine-counter snapshot from an
+//! instrumented reference workload (win/1 height 4 + path/2 over a cycle).
 
+use std::time::Instant;
 use xsb_bench::runners::*;
 use xsb_bench::workloads::{cycle_edges, fanout_edges};
+use xsb_core::Engine;
+use xsb_obs::Json;
 use xsb_wfs::{Truth, Wfs};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let json_path = argv.iter().position(|a| a == "--json").map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json requires a path argument");
+            std::process::exit(2);
+        })
+    });
+    let arg = argv
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut run = |name: &str, f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        timings.push((name.to_string(), t0.elapsed().as_secs_f64()));
+    };
+
     match arg.as_str() {
-        "table2" => table2(quick),
-        "fig2" => fig2(),
-        "fig5-cycle" => fig5(true, quick),
-        "fig5-fanout" => fig5(false, quick),
-        "table3" => table3(quick),
-        "slg-vs-sld" => slg_vs_sld(quick),
-        "append" => append(quick),
-        "hilog" => hilog(quick),
-        "dynamic-vs-static" => dynamic_vs_static(quick),
-        "bulkload" => bulkload(quick),
-        "wfs" => wfs(),
-        "ablation-tables" => ablation_tables(quick),
-        "ablation-seminaive" => ablation_seminaive(quick),
+        "table2" => run("table2", &mut || table2(quick)),
+        "fig2" => run("fig2", &mut fig2),
+        "fig5-cycle" => run("fig5-cycle", &mut || fig5(true, quick)),
+        "fig5-fanout" => run("fig5-fanout", &mut || fig5(false, quick)),
+        "table3" => run("table3", &mut || table3(quick)),
+        "slg-vs-sld" => run("slg-vs-sld", &mut || slg_vs_sld(quick)),
+        "append" => run("append", &mut || append(quick)),
+        "hilog" => run("hilog", &mut || hilog(quick)),
+        "dynamic-vs-static" => run("dynamic-vs-static", &mut || dynamic_vs_static(quick)),
+        "bulkload" => run("bulkload", &mut || bulkload(quick)),
+        "wfs" => run("wfs", &mut wfs),
+        "ablation-tables" => run("ablation-tables", &mut || ablation_tables(quick)),
+        "ablation-seminaive" => run("ablation-seminaive", &mut || ablation_seminaive(quick)),
         "all" => {
-            table2(quick);
-            fig2();
-            fig5(true, quick);
-            fig5(false, quick);
-            table3(quick);
-            slg_vs_sld(quick);
-            append(quick);
-            hilog(quick);
-            dynamic_vs_static(quick);
-            bulkload(quick);
-            ablation_tables(quick);
-            ablation_seminaive(quick);
-            wfs();
+            run("table2", &mut || table2(quick));
+            run("fig2", &mut fig2);
+            run("fig5-cycle", &mut || fig5(true, quick));
+            run("fig5-fanout", &mut || fig5(false, quick));
+            run("table3", &mut || table3(quick));
+            run("slg-vs-sld", &mut || slg_vs_sld(quick));
+            run("append", &mut || append(quick));
+            run("hilog", &mut || hilog(quick));
+            run("dynamic-vs-static", &mut || dynamic_vs_static(quick));
+            run("bulkload", &mut || bulkload(quick));
+            run("ablation-tables", &mut || ablation_tables(quick));
+            run("ablation-seminaive", &mut || ablation_seminaive(quick));
+            run("wfs", &mut wfs);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);
         }
     }
+
+    if let Some(path) = json_path {
+        let report = json_report(&arg, quick, &timings);
+        if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote JSON report to {path}");
+    }
+}
+
+/// Builds the `--json` payload: per-experiment wall times plus an engine
+/// metrics snapshot from a small instrumented reference workload.
+fn json_report(experiment: &str, quick: bool, timings: &[(String, f64)]) -> Json {
+    let experiments = Json::Arr(
+        timings
+            .iter()
+            .map(|(name, secs)| {
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("wall_secs", Json::Num(*secs)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("schema", Json::Int(1)),
+        ("experiment", Json::str(experiment)),
+        ("quick", Json::Bool(quick)),
+        ("experiments", experiments),
+        ("engine_counters", reference_counters()),
+    ])
+}
+
+/// Runs win/1 on a height-4 binary tree and path/2 on a 64-node cycle with
+/// the metrics registry on, and snapshots every counter.
+fn reference_counters() -> Json {
+    let mut src = String::from(":- table win/1.\nwin(X) :- move(X,Y), tnot win(Y).\n");
+    for n in 1i64..=15 {
+        src.push_str(&format!("move({n},{}). move({n},{}).\n", 2 * n, 2 * n + 1));
+    }
+    src.push_str(":- table path/2.\npath(X,Y) :- path(X,Z), edge(Z,Y).\npath(X,Y) :- edge(X,Y).\n");
+    for i in 1i64..=64 {
+        src.push_str(&format!("edge({i},{}).\n", if i == 64 { 1 } else { i + 1 }));
+    }
+    let mut e = Engine::new();
+    e.consult(&src).expect("reference workload consults");
+    e.holds("win(1)").expect("win/1 evaluates");
+    e.count("path(1, X)").expect("path/2 evaluates");
+    e.metrics_json()
 }
 
 fn header(title: &str) {
@@ -61,7 +138,11 @@ fn table2(quick: bool) {
     println!("paper:   SLG       4.5  4.25   7.6   8.2  15.4  15.7");
     println!("paper:   SLDNF      .3   .24   .22   .24   .24   .23");
     println!("paper:   E-Neg       1     1     1     1     1     1");
-    let heights: &[u32] = if quick { &[6, 7, 8] } else { &[6, 7, 8, 9, 10, 11] };
+    let heights: &[u32] = if quick {
+        &[6, 7, 8]
+    } else {
+        &[6, 7, 8, 9, 10, 11]
+    };
     let reps = if quick { 2 } else { 3 };
     let rows = run_table2(heights, reps);
     print!("{:18}", "measured: height");
@@ -107,7 +188,8 @@ fn fig2() {
 }
 
 fn fig5(cycle: bool, quick: bool) {
-    let (name, shape): (&str, fn(i64) -> Vec<(i64, i64)>) = if cycle {
+    type Shape = fn(i64) -> Vec<(i64, i64)>;
+    let (name, shape): (&str, Shape) = if cycle {
         ("E3 / Figure 5 left — path/2 over cycles", cycle_edges)
     } else {
         ("E4 / Figure 5 right — path/2 over fanout", fanout_edges)
@@ -144,14 +226,21 @@ fn table3(quick: bool) {
     let reps = if quick { 2 } else { 3 };
     println!("join of |R| = |S| = {n}:");
     for r in run_table3(n, reps) {
-        println!("{:32} {:>12.6}s  relative {:>8.1}", r.system, r.secs, r.relative);
+        println!(
+            "{:32} {:>12.6}s  relative {:>8.1}",
+            r.system, r.secs, r.relative
+        );
     }
 }
 
 fn slg_vs_sld(quick: bool) {
     header("E6 / §5 — tabled left-recursion vs SLD right-recursion (chains & trees)");
     println!("paper: SLG left recursion takes ~20-25% longer than SLD right recursion");
-    let chains: &[i64] = if quick { &[256, 1024] } else { &[128, 512, 2048, 4096] };
+    let chains: &[i64] = if quick {
+        &[256, 1024]
+    } else {
+        &[128, 512, 2048, 4096]
+    };
     let trees: &[u32] = if quick { &[8] } else { &[8, 10, 12] };
     let reps = if quick { 2 } else { 3 };
     println!(
@@ -168,9 +257,16 @@ fn slg_vs_sld(quick: bool) {
 
 fn append(quick: bool) {
     header("E7 / §5 — append/3: SLD linear, SLG quadratic (no ground-copy optimization)");
-    let lens: &[i64] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512, 1024] };
+    let lens: &[i64] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     let reps = if quick { 2 } else { 3 };
-    println!("{:>6} {:>12} {:>12} {:>10}", "len", "SLD (s)", "SLG (s)", "slg/sld");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "len", "SLD (s)", "SLG (s)", "slg/sld"
+    );
     for r in run_append(lens, reps) {
         println!(
             "{:>6} {:>12.6} {:>12.6} {:>10.1}",
@@ -236,7 +332,11 @@ fn bulkload(quick: bool) {
 fn ablation_tables(quick: bool) {
     header("Ablation / §4.5 — hash vs trie table indexing (path over full cycle closure)");
     println!("paper: trie indexing \"will both decrease the space and the time necessary for saving answers\"");
-    let sizes: &[i64] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let sizes: &[i64] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let reps = if quick { 2 } else { 3 };
     println!(
         "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",

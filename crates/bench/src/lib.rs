@@ -1,9 +1,11 @@
 //! # xsb-bench — benchmark harness for the paper's evaluation
 //!
-//! Workload generators ([`workloads`]) and experiment runners
-//! ([`runners`]), shared by the `harness` binary (which prints the paper's
-//! tables/figures) and the criterion benches. See DESIGN.md §3 for the
+//! Workload generators ([`workloads`]), experiment runners ([`runners`]),
+//! and a deterministic in-tree PRNG ([`prng`]), shared by the `harness`
+//! binary (which prints the paper's tables/figures and exports JSON) and
+//! the dependency-free micro-benches. See DESIGN.md §3 for the
 //! experiment ↔ paper mapping.
 
+pub mod prng;
 pub mod runners;
 pub mod workloads;

@@ -1,4 +1,4 @@
-//! Experiment runners shared by the `harness` binary and the criterion
+//! Experiment runners shared by the `harness` binary and the in-tree
 //! benches. Each function regenerates one table or figure from the paper
 //! (see DESIGN.md's per-experiment index) and returns structured rows.
 
@@ -44,8 +44,8 @@ pub fn run_table2(heights: &[u32], reps: usize) -> Vec<Table2Row> {
     for &h in heights {
         let moves = binary_tree_moves(h);
         let expected = h % 2 == 1; // odd height: first player wins
-        // engines are built outside the timed region; only evaluation
-        // (plus table reset for the tabled strategies) is measured
+                                   // engines are built outside the timed region; only evaluation
+                                   // (plus table reset for the tabled strategies) is measured
         let t_of = |neg: &str| {
             let mut e = win_engine(neg, &moves);
             time_best(reps, move || {
@@ -88,14 +88,14 @@ pub fn run_fig2(heights: &[u32]) -> Vec<Fig2Row> {
         let mut e = win_engine("\\+", &moves);
         e.holds("win(1)").unwrap();
         let sldnf_calls = e.call_count("win", 1);
-        // SLG default: subgoal tables created
+        // SLG default: subgoal tables created (metrics registry)
         let mut e = win_engine("tnot", &moves);
         e.holds("win(1)").unwrap();
-        let slg_subgoals = e.last_stats.subgoals_created;
+        let slg_subgoals = e.metrics().get(xsb_obs::Counter::SubgoalsCreated);
         // existential negation
         let mut e = win_engine("e_tnot", &moves);
         e.holds("win(1)").unwrap();
-        let eneg_subgoals = e.last_stats.subgoals_created;
+        let eneg_subgoals = e.metrics().get(xsb_obs::Counter::SubgoalsCreated);
         out.push(Fig2Row {
             height: h,
             sldnf_calls,
@@ -123,11 +123,7 @@ pub struct Fig5Row {
 /// `shape` = `cycle_edges` or `fanout_edges`. Each measurement evaluates
 /// `path(1, X)` to exhaustion from scratch (tables abolished between
 /// iterations, as the paper's 1000-iteration loops recompute each time).
-pub fn run_fig5(
-    sizes: &[i64],
-    shape: fn(i64) -> Vec<(i64, i64)>,
-    reps: usize,
-) -> Vec<Fig5Row> {
+pub fn run_fig5(sizes: &[i64], shape: fn(i64) -> Vec<(i64, i64)>, reps: usize) -> Vec<Fig5Row> {
     let mut out = Vec::new();
     for &n in sizes {
         let edges = shape(n);
@@ -141,11 +137,16 @@ pub fn run_fig5(
 
         let mut d = datalog_with_edges(PATH_DATALOG, &edges);
         let coral_def = time_best(reps, || {
-            assert_eq!(d.query("path(1, Y)", Strategy::Magic).unwrap().len(), expected);
+            assert_eq!(
+                d.query("path(1, Y)", Strategy::Magic).unwrap().len(),
+                expected
+            );
         });
         let coral_fac = time_best(reps, || {
             assert_eq!(
-                d.query("path(1, Y)", Strategy::MagicFactored).unwrap().len(),
+                d.query("path(1, Y)", Strategy::MagicFactored)
+                    .unwrap()
+                    .len(),
                 expected
             );
         });
@@ -227,10 +228,22 @@ pub fn run_table3(n: i64, reps: usize) -> Vec<Table3Row> {
     // 3. LDL role: interpretive set-at-a-time single-pass join
     let mut d = xsb_datalog::Datalog::new("j(X,Z) :- r(X,Y), s(Y,Z).").unwrap();
     for &(a, b) in &r {
-        d.add_fact("r", &[xsb_datalog::ast::Value::Int(a), xsb_datalog::ast::Value::Int(b)]);
+        d.add_fact(
+            "r",
+            &[
+                xsb_datalog::ast::Value::Int(a),
+                xsb_datalog::ast::Value::Int(b),
+            ],
+        );
     }
     for &(a, b) in &s {
-        d.add_fact("s", &[xsb_datalog::ast::Value::Int(a), xsb_datalog::ast::Value::Int(b)]);
+        d.add_fact(
+            "s",
+            &[
+                xsb_datalog::ast::Value::Int(a),
+                xsb_datalog::ast::Value::Int(b),
+            ],
+        );
     }
     let t_ldl = time_best(reps, || {
         assert_eq!(

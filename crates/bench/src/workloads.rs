@@ -5,9 +5,15 @@ use xsb_datalog::ast::Value;
 use xsb_datalog::Datalog;
 use xsb_syntax::Term;
 
+/// A list of directed edges `(from, to)` — the shape every graph
+/// generator here produces.
+pub type EdgeList = Vec<(i64, i64)>;
+
 /// `edge(1,2). edge(2,3). … edge(N,1).` — the cycle of §5 / Figure 5 left.
 pub fn cycle_edges(n: i64) -> Vec<(i64, i64)> {
-    (1..=n).map(|i| (i, if i == n { 1 } else { i + 1 })).collect()
+    (1..=n)
+        .map(|i| (i, if i == n { 1 } else { i + 1 }))
+        .collect()
 }
 
 /// `edge(1,1). edge(1,2). … edge(1,N).` — the fanout of Figure 5 right.
@@ -105,10 +111,25 @@ pub fn win_engine(neg: &str, moves: &[(i64, i64)]) -> Engine {
 
 /// Two join relations: `r(i, i % m)` and `s(j, j*2)` for an indexed
 /// equijoin `r(X,Y), s(Y,Z)` with |r| = |s| = n.
-pub fn join_relations(n: i64, m: i64) -> (Vec<(i64, i64)>, Vec<(i64, i64)>) {
+pub fn join_relations(n: i64, m: i64) -> (EdgeList, EdgeList) {
     let r = (0..n).map(|i| (i, i % m)).collect();
     let s = (0..n).map(|j| (j, j * 2)).collect();
     (r, s)
+}
+
+/// `n` random edges over nodes `1..=domain`, deterministic in `seed` —
+/// a sparse-graph workload between the cycle/fanout extremes.
+pub fn random_edges(n: usize, domain: i64, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = crate::prng::Prng::new(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    while out.len() < n {
+        let e = (rng.int_in(1, domain), rng.int_in(1, domain));
+        if seen.insert(e) {
+            out.push(e);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -119,7 +140,10 @@ mod tests {
     fn generators_have_expected_sizes() {
         assert_eq!(cycle_edges(8).len(), 8);
         assert_eq!(cycle_edges(8)[7], (8, 1));
-        assert_eq!(fanout_edges(5), vec![(1, 1), (1, 2), (1, 3), (1, 4), (1, 5)]);
+        assert_eq!(
+            fanout_edges(5),
+            vec![(1, 1), (1, 2), (1, 3), (1, 4), (1, 5)]
+        );
         assert_eq!(chain_edges(4), vec![(1, 2), (2, 3), (3, 4)]);
         assert_eq!(binary_tree_moves(2).len(), 6);
     }
@@ -136,11 +160,31 @@ mod tests {
         let mut e = engine_with_edges(PATH_LEFT_TABLED, &edges);
         let n_top = e.count("path(1, X)").unwrap();
         let mut d = datalog_with_edges(PATH_DATALOG, &edges);
-        let rows = d
-            .query("path(1, Y)", xsb_datalog::Strategy::Magic)
-            .unwrap();
+        let rows = d.query("path(1, Y)", xsb_datalog::Strategy::Magic).unwrap();
         assert_eq!(n_top, 16);
         assert_eq!(rows.len(), 16);
+    }
+
+    #[test]
+    fn random_edges_are_deterministic_and_in_domain() {
+        let a = random_edges(200, 32, 9);
+        let b = random_edges(200, 32, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a
+            .iter()
+            .all(|&(x, y)| (1..=32).contains(&x) && (1..=32).contains(&y)));
+        // tabled reachability over a random graph terminates and agrees
+        // with the bottom-up evaluator
+        let edges = random_edges(60, 16, 9);
+        let mut e = engine_with_edges(PATH_LEFT_TABLED, &edges);
+        let top = e.count("path(1, X)").unwrap();
+        let mut d = datalog_with_edges(PATH_DATALOG, &edges);
+        let bottom = d
+            .query("path(1, Y)", xsb_datalog::Strategy::Magic)
+            .unwrap()
+            .len();
+        assert_eq!(top, bottom);
     }
 
     #[test]

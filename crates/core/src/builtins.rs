@@ -75,6 +75,10 @@ pub enum Builtin {
     Retract,
     Retractall,
     AbolishAllTables,
+    // observability
+    Statistics0,
+    Statistics2,
+    TablesB,
     // I/O & misc
     WriteB,
     WritelnB,
@@ -157,6 +161,9 @@ impl Builtin {
             ("retract", 1, Builtin::Retract),
             ("retractall", 1, Builtin::Retractall),
             ("abolish_all_tables", 0, Builtin::AbolishAllTables),
+            ("statistics", 0, Builtin::Statistics0),
+            ("statistics", 2, Builtin::Statistics2),
+            ("tables", 0, Builtin::TablesB),
             ("write", 1, Builtin::WriteB),
             ("writeln", 1, Builtin::WritelnB),
             ("nl", 0, Builtin::Nl),
@@ -206,7 +213,11 @@ pub fn exec_builtin(
             let (a, b2) = (m.x[0], m.x[1]);
             let unified = m.unify(a, b2);
             m.unwind_to(mark);
-            Ok(if unified { BAction::Fail } else { BAction::Continue })
+            Ok(if unified {
+                BAction::Fail
+            } else {
+                BAction::Continue
+            })
         }
         Builtin::TermEq => cmp_result(m, syms, &[Ordering::Equal]),
         Builtin::TermNeq => cmp_result(m, syms, &[Ordering::Less, Ordering::Greater]),
@@ -250,9 +261,7 @@ pub fn exec_builtin(
         Builtin::AtomP => type_test(m, |c, _| c.tag() == Tag::Con),
         Builtin::NumberP | Builtin::IntegerP => type_test(m, |c, _| c.tag() == Tag::Int),
         Builtin::AtomicP => type_test(m, |c, _| c.is_atomic()),
-        Builtin::CompoundP => {
-            type_test(m, |c, _| matches!(c.tag(), Tag::Str | Tag::Lis))
-        }
+        Builtin::CompoundP => type_test(m, |c, _| matches!(c.tag(), Tag::Str | Tag::Lis)),
         Builtin::CallableP => {
             type_test(m, |c, _| matches!(c.tag(), Tag::Con | Tag::Str | Tag::Lis))
         }
@@ -329,6 +338,15 @@ pub fn exec_builtin(
             m.tables.abolish_all();
             Ok(BAction::Continue)
         }
+        Builtin::Statistics0 => {
+            print!("{}", m.obs.metrics.report());
+            Ok(BAction::Continue)
+        }
+        Builtin::Statistics2 => builtin_statistics2(m, syms),
+        Builtin::TablesB => {
+            print!("{}", crate::table::table_listing(m.tables, m.db, syms));
+            Ok(BAction::Continue)
+        }
         Builtin::WriteB => {
             let mut vars = Vec::new();
             let t = m.heap_to_ast(m.x[0], &mut vars);
@@ -349,6 +367,24 @@ pub fn exec_builtin(
         Builtin::MsortB => builtin_sort(m, syms, false),
         Builtin::Tfindall => m.tfindall(syms, resume, is_tail),
     }
+}
+
+/// `statistics(Key, Value)`: unifies `Value` with the named scalar metric.
+/// Fails on an unknown key; a free `Key` is an instantiation error.
+fn builtin_statistics2(m: &mut Machine, syms: &SymbolTable) -> Result<BAction, EngineError> {
+    let key = m.deref(m.x[0]);
+    if key.tag() != Tag::Con {
+        return Err(EngineError::Instantiation("statistics/2"));
+    }
+    let Some(v) = m.obs.metrics.lookup(syms.name(key.sym())) else {
+        return Ok(BAction::Fail);
+    };
+    let val = m.x[1];
+    Ok(if m.unify(val, Cell::int(v as i64)) {
+        BAction::Continue
+    } else {
+        BAction::Fail
+    })
 }
 
 fn cmp_result(
@@ -374,10 +410,7 @@ fn arith_cmp(m: &mut Machine, f: impl Fn(i64, i64) -> bool) -> Result<BAction, E
     })
 }
 
-fn type_test(
-    m: &mut Machine,
-    f: impl Fn(Cell, &Machine) -> bool,
-) -> Result<BAction, EngineError> {
+fn type_test(m: &mut Machine, f: impl Fn(Cell, &Machine) -> bool) -> Result<BAction, EngineError> {
     let c = m.deref(m.x[0]);
     Ok(if f(c, m) {
         BAction::Continue
@@ -732,10 +765,9 @@ fn builtin_assert(
             })
         }
     };
-    let pred = m
-        .db
-        .declare_dynamic(f, arity as u16)
-        .map_err(|e| EngineError::Other(format!("assert: {e} ({})", syms.name(f))))?;
+    let pred =
+        m.db.declare_dynamic(f, arity as u16)
+            .map_err(|e| EngineError::Other(format!("assert: {e} ({})", syms.name(f))))?;
     // canonicalize head args (+ body) in one shared-variable pass
     let mut roots: Vec<Cell> = (0..arity).map(|i| m.arg_of(head, i)).collect();
     let has_body = body.is_some();
@@ -802,10 +834,7 @@ fn builtin_retract(
     Ok(BAction::Fail)
 }
 
-fn builtin_retractall(
-    m: &mut Machine,
-    syms: &mut SymbolTable,
-) -> Result<BAction, EngineError> {
+fn builtin_retractall(m: &mut Machine, syms: &mut SymbolTable) -> Result<BAction, EngineError> {
     let head = m.deref(m.x[0]);
     let (f, arity) = match head.tag() {
         Tag::Con => (head.sym(), 0usize),
@@ -815,8 +844,8 @@ fn builtin_retractall(
     let _ = syms;
     if let Some(pred) = m.db.lookup_pred(f, arity as u16) {
         // fully open pattern → predicate-level retraction fast path
-        let all_vars = (0..arity).all(|i| m.deref(m.arg_of(head, i)).tag() == Tag::Ref)
-            || arity == 0;
+        let all_vars =
+            (0..arity).all(|i| m.deref(m.arg_of(head, i)).tag() == Tag::Ref) || arity == 0;
         if m.db.dyn_of(pred).is_some() {
             if all_vars {
                 m.db.dyn_of_mut(pred).expect("dynamic").retract_all();
@@ -832,9 +861,9 @@ fn builtin_retractall(
                     let hlen = m.heap.len();
                     let roots = m.decode_canon(&hc, nroots + _bc as usize);
                     let mut ok = true;
-                    for i in 0..arity {
+                    for (i, &root) in roots.iter().enumerate().take(arity) {
                         let a = m.arg_of(head, i);
-                        if !m.unify(a, roots[i]) {
+                        if !m.unify(a, root) {
                             ok = false;
                             break;
                         }

@@ -188,7 +188,16 @@ mod tests {
 
     #[test]
     fn roundtrip_int_including_negative() {
-        for i in [0i64, 1, -1, 42, -42, i64::from(i32::MAX), -(1 << 59), (1 << 59)] {
+        for i in [
+            0i64,
+            1,
+            -1,
+            42,
+            -42,
+            i64::from(i32::MAX),
+            -(1 << 59),
+            (1 << 59),
+        ] {
             assert_eq!(Cell::int(i).int_value(), i, "value {i}");
             assert_eq!(Cell::int(i).tag(), Tag::Int);
         }

@@ -209,12 +209,7 @@ mod tests {
         let f = s.intern("f");
         let a = s.intern("a");
         // call p(g(a), f(a)): heap for g(a) and f(a)
-        let heap = vec![
-            Cell::fun(g, 1),
-            Cell::con(a),
-            Cell::fun(f, 1),
-            Cell::con(a),
-        ];
+        let heap = vec![Cell::fun(g, 1), Cell::con(a), Cell::fun(f, 1), Cell::con(a)];
         let hits = t.lookup(&[Cell::str(0), Cell::str(2)], &heap, |c| c);
         // clause 0 (f(X) — string ends inside), clause 1 (exact), clause 3 (g(X))
         assert_eq!(hits, vec![0, 1, 3]);

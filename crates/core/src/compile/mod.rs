@@ -282,7 +282,10 @@ fn compile_clause(
         return err("clause arity mismatch");
     }
 
-    let has_cut = c.body.iter().any(|g| matches!(g, Term::Atom(s) if *s == well_known::CUT));
+    let has_cut = c
+        .body
+        .iter()
+        .any(|g| matches!(g, Term::Atom(s) if *s == well_known::CUT));
     if has_cut && tabled {
         // paper §4.4: the compiler errors when a cut might close a
         // partially computed table
@@ -365,9 +368,9 @@ fn compile_clause(
     }
 
     let needs_env = nperms > 0
-        || (cont_clobber_count > 1)
-        || (cont_clobber_count == 1 && !lco_possible && !tabled_rule)
-        || tabled_rule;
+        || cont_clobber_count > 1
+        || tabled_rule
+        || (cont_clobber_count == 1 && !lco_possible);
     // note: a single trailing call with no perms runs with LCO, no env
 
     let max_areg = {
@@ -425,11 +428,9 @@ fn compile_clause(
             }
             _ => {}
         }
-        let (f, n) = g
-            .functor()
-            .ok_or_else(|| CompileError {
-                message: "goal is not callable".into(),
-            })?;
+        let (f, n) = g.functor().ok_or_else(|| CompileError {
+            message: "goal is not callable".into(),
+        })?;
         let pred = db.ensure_pred(f, n as u16);
         // put arguments
         for (ai, at) in g.args().iter().enumerate() {
@@ -641,18 +642,10 @@ fn compile_put(
                         let first = !ctx.seen.contains_key(v);
                         ctx.seen.insert(*v, true);
                         match (h, first) {
-                            (VarHome::Temp(x), true) => {
-                                db.code.emit(Instr::UnifyVariableX { x })
-                            }
-                            (VarHome::Perm(y), true) => {
-                                db.code.emit(Instr::UnifyVariableY { y })
-                            }
-                            (VarHome::Temp(x), false) => {
-                                db.code.emit(Instr::UnifyValueX { x })
-                            }
-                            (VarHome::Perm(y), false) => {
-                                db.code.emit(Instr::UnifyValueY { y })
-                            }
+                            (VarHome::Temp(x), true) => db.code.emit(Instr::UnifyVariableX { x }),
+                            (VarHome::Perm(y), true) => db.code.emit(Instr::UnifyVariableY { y }),
+                            (VarHome::Temp(x), false) => db.code.emit(Instr::UnifyValueX { x }),
+                            (VarHome::Perm(y), false) => db.code.emit(Instr::UnifyValueY { y }),
                         };
                     }
                     (konst, None) => {
@@ -856,8 +849,7 @@ mod tests {
                     // handle `table p/n` for tests
                     if let Term::Compound(f, args) = &d {
                         if *f == well_known::TABLE {
-                            let (s, n) =
-                                crate::program::pred_indicator(&args[0]).unwrap();
+                            let (s, n) = crate::program::pred_indicator(&args[0]).unwrap();
                             db.declare_tabled(s, n).unwrap();
                         }
                     }
@@ -1013,8 +1005,7 @@ mod tests {
 
     #[test]
     fn cut_allocates_level_slot() {
-        let (db, syms) =
-            compile_src("transform_null(null, unknown) :- !.\ntransform_null(X,X).");
+        let (db, syms) = compile_src("transform_null(null, unknown) :- !.\ntransform_null(X,X).");
         let e = entry_of(&db, &syms, "transform_null", 2);
         // entry is a switch; find the first clause: Allocate + GetLevel
         let code_str = format!("{:?}", &db.code.code[..]);
@@ -1051,9 +1042,12 @@ mod tests {
         let mut syms = SymbolTable::new();
         let mut db = Program::new(&mut syms);
         let ops = OpTable::standard();
-        let items =
-            parse_program("p(g(a),f(X)). p(g(a),f(a)). p(g(b),f(1)). p(g(X),Y).", &mut syms, &ops)
-                .unwrap();
+        let items = parse_program(
+            "p(g(a),f(X)). p(g(a),f(a)). p(g(b),f(1)). p(g(X),Y).",
+            &mut syms,
+            &ops,
+        )
+        .unwrap();
         let clauses: Vec<Clause> = items
             .into_iter()
             .map(|i| match i {
@@ -1094,7 +1088,7 @@ mod tests {
         let items = parse_program("edge(1,2).", &mut syms, &ops).unwrap();
         if let Item::Clause(c) = &items[0] {
             let (f, n) = c.head.functor().unwrap();
-            compile_predicate(&mut db, &mut syms, f, n as u16, &[c.clone()]).unwrap();
+            compile_predicate(&mut db, &mut syms, f, n as u16, std::slice::from_ref(c)).unwrap();
         }
         let q = xsb_syntax::parse_query("edge(X, Y)", &mut syms, &ops).unwrap();
         let pid = compile_query(&mut db, &mut syms, &q.goals, 2).unwrap();

@@ -283,7 +283,8 @@ mod tests {
     #[test]
     fn joint_index_on_two_fields() {
         let mut p = DynPred::new(3);
-        p.set_indexes(vec![IndexSpec { fields: vec![0, 2] }]).unwrap();
+        p.set_indexes(vec![IndexSpec { fields: vec![0, 2] }])
+            .unwrap();
         let a = p.insert(vec![tok(1), tok(5), tok(7)], canon1(0), false, false);
         let _b = p.insert(vec![tok(1), tok(5), tok(8)], canon1(0), false, false);
         assert_eq!(p.candidates(&[tok(1), None, tok(7)]), vec![a]);
@@ -316,10 +317,7 @@ mod tests {
         // first arg unbound, second bound → second index used
         assert_eq!(p.candidates(&[None, tok(2), None, None, None]).len(), 2);
         // only third+fifth bound → joint index used
-        assert_eq!(
-            p.candidates(&[None, None, tok(3), None, tok(5)]).len(),
-            2
-        );
+        assert_eq!(p.candidates(&[None, None, tok(3), None, tok(5)]).len(), 2);
         // first bound → most selective here
         assert_eq!(p.candidates(&[tok(1), None, None, None, None]), vec![a]);
     }
@@ -358,12 +356,7 @@ mod tests {
         // heap: f(1) and g(1)
         let f = Sym(100);
         let g = Sym(101);
-        let heap = vec![
-            Cell::fun(f, 1),
-            Cell::int(1),
-            Cell::fun(g, 1),
-            Cell::int(1),
-        ];
+        let heap = vec![Cell::fun(f, 1), Cell::int(1), Cell::fun(g, 1), Cell::int(1)];
         let tf = outer_token(Cell::str(0), &heap);
         let tg = outer_token(Cell::str(2), &heap);
         assert_eq!(tf, Some(Cell::fun(f, 1)));

@@ -19,6 +19,7 @@ use crate::machine::{Alt, Machine, NONE};
 use crate::program::PredKind;
 use crate::table::{GenMode, NegMode, NegSusp, SubgoalState};
 use std::rc::Rc;
+use xsb_obs::{Counter, SlgEvent};
 use xsb_syntax::{well_known, SymbolTable};
 
 /// Result of running the machine.
@@ -86,9 +87,12 @@ impl Machine<'_> {
             };
         }
         loop {
-            self.stats.instrs += 1;
+            self.obs.metrics.bump(Counter::Instructions);
+            // the step limit is per-query: count on the machine, not the
+            // (cumulative) metrics registry
+            self.steps += 1;
             if let Some(limit) = self.step_limit {
-                if self.stats.instrs > limit {
+                if self.steps > limit {
                     return Err(EngineError::StepLimit);
                 }
             }
@@ -367,12 +371,10 @@ impl Machine<'_> {
                 }
 
                 // ---- tabling ----
-                Instr::TableCall { pred, arity } => {
-                    match self.table_call(pred, arity, syms)? {
-                        Disp::Ok => {}
-                        Disp::Failed => fail!(),
-                    }
-                }
+                Instr::TableCall { pred, arity } => match self.table_call(pred, arity, syms)? {
+                    Disp::Ok => {}
+                    Disp::Failed => fail!(),
+                },
                 Instr::SaveGenerator { y } => {
                     let g = self.executing_gen;
                     self.set_y(y, Cell::int(g as i64));
@@ -410,9 +412,7 @@ impl Machine<'_> {
                     let mut i = self.b;
                     loop {
                         if i == NONE {
-                            return Err(EngineError::Other(
-                                "naf barrier missing".into(),
-                            ));
+                            return Err(EngineError::Other("naf barrier missing".into()));
                         }
                         if matches!(self.cps[i as usize].alt, Alt::NafBarrier { .. }) {
                             break;
@@ -438,7 +438,7 @@ impl Machine<'_> {
         syms: &mut SymbolTable,
         is_tail: bool,
     ) -> Result<Disp, EngineError> {
-        self.stats.count_call(pred);
+        self.obs.metrics.count_call(pred as usize);
         let kind = self.db.pred(pred).kind.clone();
         match kind {
             PredKind::Static { entry, .. } => {
@@ -483,11 +483,7 @@ impl Machine<'_> {
     /// Calls a goal given as a heap term (used by `call/N`, `findall`,
     /// `\+`, dynamic rule bodies). Tail semantics: the caller has already
     /// arranged the continuation.
-    pub fn dispatch_goal(
-        &mut self,
-        goal: Cell,
-        syms: &mut SymbolTable,
-    ) -> Result<(), EngineError> {
+    pub fn dispatch_goal(&mut self, goal: Cell, syms: &mut SymbolTable) -> Result<(), EngineError> {
         let g = self.deref(goal);
         let (f, n) = match g.tag() {
             Tag::Con => (g.sym(), 0usize),
@@ -529,11 +525,7 @@ impl Machine<'_> {
 
     /// Runtime compilation of a control-construct goal: decode to AST,
     /// compile as a one-off predicate over its free variables, call it.
-    fn meta_compile_call(
-        &mut self,
-        goal: Cell,
-        syms: &mut SymbolTable,
-    ) -> Result<(), EngineError> {
+    fn meta_compile_call(&mut self, goal: Cell, syms: &mut SymbolTable) -> Result<(), EngineError> {
         let mut var_addrs: Vec<u32> = Vec::new();
         let ast = self.heap_to_ast(goal, &mut var_addrs);
         let nvars = var_addrs.len() as u32;
@@ -555,7 +547,10 @@ impl Machine<'_> {
         let mut tokens = std::mem::take(&mut self.scratch_tokens);
         tokens.clear();
         for i in 0..arity {
-            tokens.push(crate::dynamic::outer_token(self.deref(self.x[i]), &self.heap));
+            tokens.push(crate::dynamic::outer_token(
+                self.deref(self.x[i]),
+                &self.heap,
+            ));
         }
         let mut cands = std::mem::take(&mut self.scratch_cands);
         self.db
@@ -760,7 +755,12 @@ impl Machine<'_> {
             saved_freeze,
             exist_cut_b,
         );
-        self.stats.subgoals_created += 1;
+        self.obs.metrics.count_subgoal(pred as usize);
+        if self.obs.trace.enabled {
+            self.obs
+                .trace
+                .push(SlgEvent::SubgoalCall { pred, subgoal: sub });
+        }
         if let Some(neg) = register_neg {
             self.tables.negs[neg as usize].sub = sub;
             self.tables.frame_mut(sub).negs.push(neg);
@@ -776,11 +776,7 @@ impl Machine<'_> {
 
     /// Runs the generator's next program clause, or enters completion.
     /// Returns false if execution could not be resumed (caller backtracks).
-    fn generator_step(
-        &mut self,
-        sub: u32,
-        syms: &mut SymbolTable,
-    ) -> Result<bool, EngineError> {
+    fn generator_step(&mut self, sub: u32, syms: &mut SymbolTable) -> Result<bool, EngineError> {
         loop {
             let f = self.tables.frame(sub);
             if f.deleted {
@@ -814,6 +810,16 @@ impl Machine<'_> {
                     }
                     // fixpoint reached: complete the whole SCC
                     let members = self.tables.complete_scc(sub);
+                    self.obs.metrics.bump(Counter::SccCompletions);
+                    self.obs
+                        .metrics
+                        .add(Counter::SubgoalsCompleted, members.len() as u64);
+                    if self.obs.trace.enabled {
+                        self.obs.trace.push(SlgEvent::CompleteScc {
+                            leader: sub,
+                            members: members.len() as u32,
+                        });
+                    }
                     let mut queue: Vec<u32> = Vec::new();
                     for &m in &members {
                         let negs = self.tables.frame(m).negs.clone();
@@ -873,6 +879,13 @@ impl Machine<'_> {
         syms: &mut SymbolTable,
     ) -> Result<bool, EngineError> {
         let cp_idx = self.tables.consumers[cons as usize].cp;
+        self.obs.metrics.bump(Counter::ConsumerResumptions);
+        if self.obs.trace.enabled {
+            self.obs.trace.push(SlgEvent::Resume {
+                subgoal: self.tables.consumers[cons as usize].sub,
+                consumer: cons,
+            });
+        }
         let cp = self.cps[cp_idx as usize].clone();
         self.switch_environments(cp.tip);
         self.e = cp.e;
@@ -896,6 +909,10 @@ impl Machine<'_> {
             (n.sub, n.cp, n.mode, n.resume)
         };
         self.tables.negs[neg as usize].done = true;
+        self.obs.metrics.bump(Counter::NegationResumes);
+        if self.obs.trace.enabled {
+            self.obs.trace.push(SlgEvent::NegResume { subgoal: sub });
+        }
         // The resumed branch will fail back into this leader's scheduling
         // loop (Alt::NegScheduled → return_to_leader), so the leader's
         // generator CP — and everything else currently on the stacks —
@@ -926,8 +943,7 @@ impl Machine<'_> {
                 self.cps[cp_idx as usize].alt = Alt::NegScheduled { leader };
                 // instantiate the template for each answer
                 let subst = self.tables.negs[neg as usize].subst.clone();
-                let answers: Vec<Rc<[Cell]>> =
-                    self.tables.frame(sub).answers.to_vec();
+                let answers: Vec<Rc<[Cell]>> = self.tables.frame(sub).answers.to_vec();
                 let nvars = self.tables.frame(sub).nvars as usize;
                 let mut collected: Vec<Box<[Cell]>> = Vec::with_capacity(answers.len());
                 for ans in answers {
@@ -988,11 +1004,7 @@ impl Machine<'_> {
 
     /// Feeds the consumer its next unconsumed answer, or suspends.
     /// Returns true if execution resumed with an answer.
-    fn consumer_step(
-        &mut self,
-        cons: u32,
-        syms: &mut SymbolTable,
-    ) -> Result<bool, EngineError> {
+    fn consumer_step(&mut self, cons: u32, syms: &mut SymbolTable) -> Result<bool, EngineError> {
         loop {
             let (sub, cursor) = {
                 let c = &self.tables.consumers[cons as usize];
@@ -1009,13 +1021,9 @@ impl Machine<'_> {
                 let mut tvars: Vec<Option<Cell>> = Vec::new();
                 let mut pos = 0usize;
                 let mut ok = true;
-                for i in 0..nvars {
-                    if !self.unify_canon_one(
-                        &ans,
-                        &mut pos,
-                        &mut tvars,
-                        Cell::r#ref(subst[i] as usize),
-                    ) {
+                for &slot in subst.iter().take(nvars) {
+                    if !self.unify_canon_one(&ans, &mut pos, &mut tvars, Cell::r#ref(slot as usize))
+                    {
                         ok = false;
                         break;
                     }
@@ -1039,6 +1047,13 @@ impl Machine<'_> {
             }
             // suspend: freeze the stacks and give control back
             self.freeze_now();
+            self.obs.metrics.bump(Counter::ConsumerSuspensions);
+            if self.obs.trace.enabled {
+                self.obs.trace.push(SlgEvent::Suspend {
+                    subgoal: sub,
+                    consumer: cons,
+                });
+            }
             let scheduled_by = self.tables.consumers[cons as usize].scheduled_by;
             if scheduled_by != NONE {
                 self.tables.consumers[cons as usize].scheduled_by = NONE;
@@ -1125,21 +1140,31 @@ impl Machine<'_> {
             )));
         }
         let subst = self.tables.frame(gen).subst.clone();
-        let roots: Vec<Cell> = subst
-            .iter()
-            .map(|&a| Cell::r#ref(a as usize))
-            .collect();
+        let roots: Vec<Cell> = subst.iter().map(|&a| Cell::r#ref(a as usize)).collect();
         let mut vs = Vec::new();
         let mut canon = std::mem::take(&mut self.scratch_canon);
         self.canonicalize_into(&roots, &mut vs, &mut canon);
         if self.tables.has_answer(gen, &canon) {
             self.scratch_canon = canon;
+            self.obs.metrics.bump(Counter::DuplicateAnswers);
+            if self.obs.trace.enabled {
+                self.obs
+                    .trace
+                    .push(SlgEvent::DuplicateAnswer { subgoal: gen });
+            }
             return Ok(Disp::Failed);
         }
         let is_new = self.tables.add_answer(gen, Rc::from(canon.as_slice()));
         self.scratch_canon = canon;
         debug_assert!(is_new);
-        self.stats.answers_recorded += 1;
+        self.obs.metrics.bump(Counter::AnswersRecorded);
+        if self.obs.trace.enabled {
+            let answer = self.tables.frame(gen).answers.len() as u32 - 1;
+            self.obs.trace.push(SlgEvent::NewAnswer {
+                subgoal: gen,
+                answer,
+            });
+        }
         match mode {
             GenMode::Positive => Ok(Disp::Ok),
             GenMode::Negation => Ok(Disp::Failed),
@@ -1238,6 +1263,10 @@ impl Machine<'_> {
             let neg = self.tables.negs.len() as u32;
             let cp = self.push_cp(1, Alt::NegSuspend { neg });
             let _ = is_tail;
+            self.obs.metrics.bump(Counter::NegationSuspends);
+            if self.obs.trace.enabled {
+                self.obs.trace.push(SlgEvent::NegSuspend { subgoal: sub });
+            }
             self.tables.negs.push(NegSusp {
                 sub,
                 cp,
@@ -1257,6 +1286,10 @@ impl Machine<'_> {
         // immediately-completing generator schedules it.
         let neg = self.tables.negs.len() as u32;
         let cp = self.push_cp(1, Alt::NegSuspend { neg });
+        self.obs.metrics.bump(Counter::NegationSuspends);
+        if self.obs.trace.enabled {
+            self.obs.trace.push(SlgEvent::NegSuspend { subgoal: NONE });
+        }
         self.tables.negs.push(NegSusp {
             sub: NONE, // fixed up by new_generator
             cp,
@@ -1322,6 +1355,10 @@ impl Machine<'_> {
             self.tables.note_dependency(sub);
             let neg = self.tables.negs.len() as u32;
             let cp = self.push_cp(3, Alt::NegSuspend { neg });
+            self.obs.metrics.bump(Counter::NegationSuspends);
+            if self.obs.trace.enabled {
+                self.obs.trace.push(SlgEvent::NegSuspend { subgoal: sub });
+            }
             self.tables.negs.push(NegSusp {
                 sub,
                 cp,
@@ -1338,6 +1375,10 @@ impl Machine<'_> {
         // new: evaluate exhaustively under a negation-mode generator
         let neg = self.tables.negs.len() as u32;
         let cp = self.push_cp(3, Alt::NegSuspend { neg });
+        self.obs.metrics.bump(Counter::NegationSuspends);
+        if self.obs.trace.enabled {
+            self.obs.trace.push(SlgEvent::NegSuspend { subgoal: NONE });
+        }
         self.tables.negs.push(NegSusp {
             sub: NONE, // fixed up by new_generator
             cp,
@@ -1413,7 +1454,12 @@ impl Machine<'_> {
                 return Ok(Bt::NoMore);
             }
             let i = self.b;
+            self.obs.metrics.bump(Counter::Backtracks);
             self.restore_cp(i);
+            if self.obs.trace.enabled {
+                let depth = self.cps.len() as u32;
+                self.obs.trace.push(SlgEvent::Backtrack { depth });
+            }
             let alt = self.cps[i as usize].alt.clone();
             match alt {
                 Alt::Code(ptr) => {
@@ -1495,10 +1541,7 @@ impl Machine<'_> {
                 }
                 Alt::FindallFinish { rec, resume } => {
                     self.b = self.cps[i as usize].prev;
-                    let r = self
-                        .findalls
-                        .pop()
-                        .expect("findall record for its barrier");
+                    let r = self.findalls.pop().expect("findall record for its barrier");
                     debug_assert_eq!(self.findalls.len(), rec as usize);
                     let mut items: Vec<Cell> = r
                         .solutions

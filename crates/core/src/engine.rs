@@ -10,11 +10,12 @@ use crate::compile::{compile_predicate, compile_query};
 use crate::dynamic::IndexSpec;
 use crate::emulate::Outcome;
 use crate::error::EngineError;
-use crate::machine::{Machine, Stats};
+use crate::machine::Machine;
 use crate::program::{pred_indicator, table_all_analysis, Program, StaticIndex};
 use crate::table::TableSpace;
 use std::collections::HashMap;
 use std::rc::Rc;
+use xsb_obs::{Json, Metrics, Obs, SlgEvent, Stopwatch};
 use xsb_syntax::{
     parse_query, well_known, Clause, ProgramReader, ReadItem, Sym, SymbolTable, Term,
 };
@@ -71,8 +72,9 @@ pub struct Engine {
     /// apply the compile-time specialization of known HiLog calls
     /// (paper §4.7); on by default, disabled for the E8 ablation
     pub hilog_specialization: bool,
-    /// statistics of the most recent query
-    pub last_stats: Stats,
+    /// Observability: the metrics registry and SLG event tracer. Counters
+    /// accumulate across queries until [`Engine::reset_metrics`].
+    pub obs: Obs,
 }
 
 impl Engine {
@@ -87,7 +89,7 @@ impl Engine {
             tables: TableSpace::new(),
             step_limit: None,
             hilog_specialization: true,
-            last_stats: Stats::default(),
+            obs: Obs::new(),
         };
         e.consult(PRELUDE).expect("prelude compiles");
         e
@@ -134,9 +136,10 @@ impl Engine {
         let mut groups: HashMap<(Sym, u16), Vec<Clause>> = HashMap::new();
         let mut order: Vec<(Sym, u16)> = Vec::new();
         for c in clauses {
-            let (f, n) = c.head.functor().ok_or_else(|| {
-                EngineError::Other("clause head must be callable".into())
-            })?;
+            let (f, n) = c
+                .head
+                .functor()
+                .ok_or_else(|| EngineError::Other("clause head must be callable".into()))?;
             let key = (f, n as u16);
             if !groups.contains_key(&key) {
                 order.push(key);
@@ -171,9 +174,8 @@ impl Engine {
             // table p/2  /  table (p/2, q/3)
             Term::Compound(f, args) if *f == well_known::TABLE && args.len() == 1 => {
                 for spec in flatten_commas(&args[0]) {
-                    let (name, arity) = pred_indicator(spec).ok_or_else(|| {
-                        EngineError::Other("table directive expects p/N".into())
-                    })?;
+                    let (name, arity) = pred_indicator(spec)
+                        .ok_or_else(|| EngineError::Other("table directive expects p/N".into()))?;
                     self.db
                         .declare_tabled(name, arity)
                         .map_err(EngineError::Other)?;
@@ -236,6 +238,8 @@ impl Engine {
 
         let mut machine = Machine::new(&mut self.db, &mut self.tables);
         machine.step_limit = self.step_limit;
+        machine.obs = std::mem::take(&mut self.obs);
+        let sw = Stopwatch::new();
         let vars = machine.setup_query(qpred, nvars);
 
         let result = (|| -> Result<(), EngineError> {
@@ -247,10 +251,7 @@ impl Engine {
                         continue;
                     }
                     let mut var_out = Vec::new();
-                    bindings.push((
-                        name.clone(),
-                        machine.heap_to_ast(vars[i], &mut var_out),
-                    ));
+                    bindings.push((name.clone(), machine.heap_to_ast(vars[i], &mut var_out)));
                 }
                 if !f(&Solution { bindings }) {
                     break;
@@ -260,7 +261,8 @@ impl Engine {
             Ok(())
         })();
 
-        self.last_stats = machine.stats.clone();
+        machine.obs.metrics.query_time.record(sw);
+        self.obs = std::mem::take(&mut machine.obs);
         drop(machine);
         self.tables.end_query();
         result
@@ -302,6 +304,8 @@ impl Engine {
 
         let mut machine = Machine::new(&mut self.db, &mut self.tables);
         machine.step_limit = self.step_limit;
+        machine.obs = std::mem::take(&mut self.obs);
+        let sw = Stopwatch::new();
         machine.setup_query(qpred, nvars);
 
         let result = (|| -> Result<usize, EngineError> {
@@ -317,7 +321,8 @@ impl Engine {
             Ok(n)
         })();
 
-        self.last_stats = machine.stats.clone();
+        machine.obs.metrics.query_time.record(sw);
+        self.obs = std::mem::take(&mut machine.obs);
         drop(machine);
         self.tables.end_query();
         result
@@ -386,7 +391,12 @@ impl Engine {
     }
 
     /// Sets the index specs of a dynamic predicate (0-based fields).
-    pub fn set_indexes(&mut self, name: &str, arity: u16, specs: Vec<IndexSpec>) -> Result<(), EngineError> {
+    pub fn set_indexes(
+        &mut self,
+        name: &str,
+        arity: u16,
+        specs: Vec<IndexSpec>,
+    ) -> Result<(), EngineError> {
         let s = self.syms.intern(name);
         let pred = self
             .db
@@ -416,20 +426,79 @@ impl Engine {
         self.tables = TableSpace::with_index(index);
     }
 
-    /// Calls dispatched to `name/arity` in the most recent query — the
-    /// instrumentation behind the Figure 2 reproduction.
+    // ------------------------------------------------------------------
+    // observability
+    // ------------------------------------------------------------------
+
+    /// The metrics registry (cumulative since construction or the last
+    /// [`Engine::reset_metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.obs.metrics
+    }
+
+    /// Zeroes all counters, gauges, timers, and buffered trace events.
+    pub fn reset_metrics(&mut self) {
+        self.obs.reset();
+    }
+
+    /// Enables/disables SLG event tracing (disabled cost: one branch per
+    /// traced operation).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.obs.trace.enabled = enabled;
+    }
+
+    /// Resizes the trace ring buffer (discards buffered events).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.obs.trace.set_capacity(capacity);
+    }
+
+    /// Buffered SLG trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<SlgEvent> {
+        self.obs.trace.events().copied().collect()
+    }
+
+    /// Events overwritten because the trace ring was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.obs.trace.dropped()
+    }
+
+    /// The `statistics/0` report text.
+    pub fn statistics_report(&self) -> String {
+        self.obs.metrics.report()
+    }
+
+    /// Snapshot of every scalar metric as a JSON object (the harness
+    /// `--json` payload).
+    pub fn metrics_json(&self) -> Json {
+        self.obs.metrics.to_json()
+    }
+
+    /// Calls dispatched to `name/arity` (cumulative) — the instrumentation
+    /// behind the Figure 2 reproduction.
     pub fn call_count(&self, name: &str, arity: u16) -> u64 {
-        let Some(s) = self.syms.lookup(name) else {
-            return 0;
-        };
-        let Some(id) = self.db.lookup_pred(s, arity) else {
-            return 0;
-        };
-        self.last_stats
-            .pred_calls
-            .get(id as usize)
-            .copied()
+        self.pred_counters(name, arity)
+            .map(|c| c.calls)
             .unwrap_or(0)
+    }
+
+    /// Tabled subgoals created for `name/arity` (cumulative) — Figure 2's
+    /// SLG subgoal counts, per predicate.
+    pub fn subgoal_count(&self, name: &str, arity: u16) -> u64 {
+        self.pred_counters(name, arity)
+            .map(|c| c.subgoals)
+            .unwrap_or(0)
+    }
+
+    fn pred_counters(&self, name: &str, arity: u16) -> Option<xsb_obs::metrics::PredCounters> {
+        let s = self.syms.lookup(name)?;
+        let id = self.db.lookup_pred(s, arity)?;
+        Some(self.obs.metrics.pred(id as usize))
+    }
+
+    /// One line per live subgoal table: predicate, canonical call, answer
+    /// count, completion state — the `tables/0` listing.
+    pub fn table_listing(&self) -> String {
+        crate::table::table_listing(&self.tables, &self.db, &self.syms)
     }
 
     /// Serializes the facts of a dynamic predicate as an object file.
@@ -461,10 +530,7 @@ fn flatten_commas(t: &Term) -> Vec<&Term> {
 /// Converts an AST clause directly to its canonical cell run plus index
 /// tokens — the machinery behind `Engine::assert_term` and consult-time
 /// asserts (no WAM heap needed).
-fn ast_clause_to_canon(
-    head: &Term,
-    body: Option<&Term>,
-) -> (Vec<Option<Cell>>, Rc<[Cell]>, bool) {
+fn ast_clause_to_canon(head: &Term, body: Option<&Term>) -> (Vec<Option<Cell>>, Rc<[Cell]>, bool) {
     let mut canon: Vec<Cell> = Vec::new();
     let mut varmap: Vec<u32> = Vec::new();
     let args = head.args();

@@ -14,7 +14,10 @@ pub enum EngineError {
     /// an argument was insufficiently instantiated
     Instantiation(&'static str),
     /// an argument had the wrong type
-    Type { expected: &'static str, found: String },
+    Type {
+        expected: &'static str,
+        found: String,
+    },
     /// a goal called a predicate with no definition
     UndefinedPredicate(String),
     /// negation through an incomplete table in the same SCC — the program

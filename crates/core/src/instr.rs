@@ -21,58 +21,130 @@ pub type PredId = u32;
 pub enum Instr {
     // ----- head (get) instructions -----
     /// `Xn := Ai`
-    GetVariableX { x: u16, a: u16 },
+    GetVariableX {
+        x: u16,
+        a: u16,
+    },
     /// `Yn := Ai`
-    GetVariableY { y: u16, a: u16 },
+    GetVariableY {
+        y: u16,
+        a: u16,
+    },
     /// unify `Xn` with `Ai`
-    GetValueX { x: u16, a: u16 },
+    GetValueX {
+        x: u16,
+        a: u16,
+    },
     /// unify `Yn` with `Ai`
-    GetValueY { y: u16, a: u16 },
+    GetValueY {
+        y: u16,
+        a: u16,
+    },
     /// unify constant (CON/INT cell) with `Ai`
-    GetConstant { c: Cell, a: u16 },
+    GetConstant {
+        c: Cell,
+        a: u16,
+    },
     /// unify structure `f/n` with `Ai`, entering read or write mode
-    GetStructure { f: Sym, n: u16, a: u16 },
+    GetStructure {
+        f: Sym,
+        n: u16,
+        a: u16,
+    },
     /// unify a list cell with `Ai`
-    GetList { a: u16 },
+    GetList {
+        a: u16,
+    },
 
     // ----- unify instructions (read/write mode) -----
-    UnifyVariableX { x: u16 },
-    UnifyVariableY { y: u16 },
-    UnifyValueX { x: u16 },
-    UnifyValueY { y: u16 },
-    UnifyConstant { c: Cell },
-    UnifyVoid { n: u16 },
+    UnifyVariableX {
+        x: u16,
+    },
+    UnifyVariableY {
+        y: u16,
+    },
+    UnifyValueX {
+        x: u16,
+    },
+    UnifyValueY {
+        y: u16,
+    },
+    UnifyConstant {
+        c: Cell,
+    },
+    UnifyVoid {
+        n: u16,
+    },
 
     // ----- body (put) instructions -----
     /// fresh heap variable into both `Xn` and `Ai`
-    PutVariableX { x: u16, a: u16 },
+    PutVariableX {
+        x: u16,
+        a: u16,
+    },
     /// fresh heap variable into `Yn` and `Ai`
-    PutVariableY { y: u16, a: u16 },
-    PutValueX { x: u16, a: u16 },
-    PutValueY { y: u16, a: u16 },
-    PutConstant { c: Cell, a: u16 },
-    PutStructure { f: Sym, n: u16, a: u16 },
-    PutList { a: u16 },
+    PutVariableY {
+        y: u16,
+        a: u16,
+    },
+    PutValueX {
+        x: u16,
+        a: u16,
+    },
+    PutValueY {
+        y: u16,
+        a: u16,
+    },
+    PutConstant {
+        c: Cell,
+        a: u16,
+    },
+    PutStructure {
+        f: Sym,
+        n: u16,
+        a: u16,
+    },
+    PutList {
+        a: u16,
+    },
 
     // ----- control -----
-    Allocate { nperms: u16 },
+    Allocate {
+        nperms: u16,
+    },
     Deallocate,
-    Call { pred: PredId },
-    Execute { pred: PredId },
+    Call {
+        pred: PredId,
+    },
+    Execute {
+        pred: PredId,
+    },
     Proceed,
     /// explicit failure (used in internal snippets)
     Fail,
 
     // ----- choice instructions -----
     /// first clause of a sequential chain; `next` is the alternative
-    TryMeElse { next: CodePtr, arity: u16 },
-    RetryMeElse { next: CodePtr },
+    TryMeElse {
+        next: CodePtr,
+        arity: u16,
+    },
+    RetryMeElse {
+        next: CodePtr,
+    },
     TrustMe,
     /// first clause of an indexing bucket: push CP (alternative = following
     /// instruction) and jump to `target`
-    Try { target: CodePtr, arity: u16 },
-    Retry { target: CodePtr },
-    Trust { target: CodePtr },
+    Try {
+        target: CodePtr,
+        arity: u16,
+    },
+    Retry {
+        target: CodePtr,
+    },
+    Trust {
+        target: CodePtr,
+    },
 
     // ----- indexing -----
     /// four-way dispatch on the dereferenced tag of `A1`; `con`/`str` are
@@ -86,25 +158,39 @@ pub enum Instr {
     },
     /// first-string indexing: walk discrimination trie `trie` against the
     /// call's arguments, then try the matching clause chain (paper §4.5)
-    TrieDispatch { trie: u32, arity: u16 },
+    TrieDispatch {
+        trie: u32,
+        arity: u16,
+    },
 
     // ----- cut -----
     /// store the current choice point into `Yn` at clause entry
-    GetLevel { y: u16 },
+    GetLevel {
+        y: u16,
+    },
     /// cut back to the level stored in `Yn`
-    CutY { y: u16 },
+    CutY {
+        y: u16,
+    },
 
     // ----- tabling (SLG) -----
     /// entry point of a tabled predicate: subgoal lookup, then generator /
     /// consumer / completed-table dispatch
-    TableCall { pred: PredId, arity: u16 },
+    TableCall {
+        pred: PredId,
+        arity: u16,
+    },
     /// store the executing generator's id into `Yn` (first instruction of a
     /// tabled rule, immediately after `Allocate`)
-    SaveGenerator { y: u16 },
+    SaveGenerator {
+        y: u16,
+    },
     /// end of a tabled rule body: record the answer held in the current
     /// bindings of the generator's substitution factor; fail on duplicates,
     /// else continue (batched scheduling returns answers eagerly)
-    NewAnswer { y: u16 },
+    NewAnswer {
+        y: u16,
+    },
     /// `NewAnswer` for tabled facts — uses the machine's executing-generator
     /// register directly (no environment needed)
     NewAnswerDirect,

@@ -20,6 +20,7 @@ use crate::program::Program;
 use crate::table::TableSpace;
 use std::cmp::Ordering;
 use std::rc::Rc;
+use xsb_obs::{Counter, Obs};
 use xsb_syntax::{well_known, Sym, SymbolTable, Term};
 
 /// Sentinel for "no index" in `u32` arena links.
@@ -128,30 +129,6 @@ pub struct ChoicePoint {
     pub alt: Alt,
 }
 
-/// Per-predicate and machine-wide execution counters (used by the Figure 2
-/// reproduction, which counts `win/1` calls under each strategy).
-#[derive(Default, Debug, Clone)]
-pub struct Stats {
-    /// calls dispatched per predicate id
-    pub pred_calls: Vec<u64>,
-    /// total instructions executed
-    pub instrs: u64,
-    /// subgoal tables created
-    pub subgoals_created: u64,
-    /// answers recorded (non-duplicate)
-    pub answers_recorded: u64,
-}
-
-impl Stats {
-    pub fn count_call(&mut self, pred: PredId) {
-        let i = pred as usize;
-        if self.pred_calls.len() <= i {
-            self.pred_calls.resize(i + 1, 0);
-        }
-        self.pred_calls[i] += 1;
-    }
-}
-
 /// A pending findall collection.
 #[derive(Debug)]
 pub struct FindallRecord {
@@ -203,8 +180,12 @@ pub struct Machine<'p> {
     pub b0: u32,
 
     pub findalls: Vec<FindallRecord>,
-    pub stats: Stats,
+    /// Metrics registry + SLG event tracer (swapped in/out by the engine
+    /// so counters accumulate across queries).
+    pub obs: Obs,
     pub step_limit: Option<u64>,
+    /// instructions dispatched by this machine (the step-limit basis)
+    pub steps: u64,
     scratch_pdl: Vec<(Cell, Cell)>,
     /// reusable buffers for dynamic-predicate dispatch
     pub(crate) scratch_tokens: Vec<Option<Cell>>,
@@ -236,8 +217,9 @@ impl<'p> Machine<'p> {
             executing_gen: NONE,
             b0: NONE,
             findalls: Vec::new(),
-            stats: Stats::default(),
+            obs: Obs::new(),
             step_limit: None,
+            steps: 0,
             scratch_pdl: Vec::new(),
             scratch_tokens: Vec::new(),
             scratch_cands: Vec::new(),
@@ -283,6 +265,7 @@ impl<'p> Machine<'p> {
     #[inline]
     pub fn bind(&mut self, addr: usize, val: Cell) {
         debug_assert_eq!(self.heap[addr], Cell::r#ref(addr), "binding a bound cell");
+        self.obs.metrics.bump(Counter::TrailOps);
         self.heap[addr] = val;
         self.trail.push(TrailNode {
             addr: addr as u32,
@@ -295,6 +278,7 @@ impl<'p> Machine<'p> {
     /// Unifies two cells. On failure the partial bindings remain trailed
     /// (the caller backtracks, which unwinds them).
     pub fn unify(&mut self, a: Cell, b: Cell) -> bool {
+        self.obs.metrics.bump(Counter::Unifications);
         let mut pdl = std::mem::take(&mut self.scratch_pdl);
         pdl.clear();
         pdl.push((a, b));
@@ -429,13 +413,27 @@ impl<'p> Machine<'p> {
         };
         self.cps.push(cp);
         self.b = (self.cps.len() - 1) as u32;
+        self.obs.metrics.bump(Counter::ChoicePoints);
+        self.sample_gauges();
         self.b
+    }
+
+    /// Samples arena depths into the high-water gauges. Called at choice
+    /// points, suspensions, and backtracking — the moments the stacks peak.
+    #[inline]
+    pub fn sample_gauges(&mut self) {
+        let m = &mut self.obs.metrics;
+        m.heap.set(self.heap.len() as u64);
+        m.trail.set(self.trail.len() as u64);
+        m.choice_points.set(self.cps.len() as u64);
+        m.frames.set(self.frames.len() as u64);
     }
 
     /// Restores machine state from choice point `i` (without consuming its
     /// alternative): unwind trail, truncate arenas to the freeze-protected
     /// marks, restore E/CP/args.
     pub fn restore_cp(&mut self, i: u32) {
+        self.sample_gauges();
         let cp = self.cps[i as usize].clone();
         self.unwind_to(cp.tip);
         self.heap.truncate((cp.h.max(self.freeze.heap)) as usize);
@@ -446,8 +444,7 @@ impl<'p> Machine<'p> {
         self.trail
             .truncate((cp.trail_len.max(self.freeze.trail)) as usize);
         // keep this CP itself plus frozen ones
-        self.cps
-            .truncate(((i + 1).max(self.freeze.cps)) as usize);
+        self.cps.truncate(((i + 1).max(self.freeze.cps)) as usize);
         self.cp_args
             .truncate(((cp.abase + cp.alen as u32).max(self.freeze.cp_args)) as usize);
         self.e = cp.e;
@@ -456,10 +453,15 @@ impl<'p> Machine<'p> {
             self.x[i] = self.cp_args[cp.abase as usize + i];
         }
         self.b = i;
+        // the high-water marks must never regress across a table retry:
+        // truncation lowers current values only
+        debug_assert!(self.obs.metrics.trail.high_water >= self.trail.len() as u64);
+        debug_assert!(self.obs.metrics.choice_points.high_water >= self.cps.len() as u64);
     }
 
     /// Marks all stack tops as frozen (called when a consumer suspends).
     pub fn freeze_now(&mut self) {
+        self.sample_gauges();
         self.freeze = Freeze {
             heap: self.heap.len() as u32,
             frames: self.frames.len() as u32,
@@ -535,12 +537,7 @@ impl<'p> Machine<'p> {
     /// Allocation-reusing variant of [`Machine::canonicalize`]: flattens
     /// into `out` (cleared first). The SLG hot path canonicalizes every
     /// call and every derived answer; duplicates never allocate.
-    pub fn canonicalize_into(
-        &self,
-        roots: &[Cell],
-        var_addrs: &mut Vec<u32>,
-        out: &mut Vec<Cell>,
-    ) {
+    pub fn canonicalize_into(&self, roots: &[Cell], var_addrs: &mut Vec<u32>, out: &mut Vec<Cell>) {
         out.clear();
         let mut stack: Vec<Cell> = roots.iter().rev().copied().collect();
         while let Some(c) = stack.pop() {
@@ -755,10 +752,7 @@ impl<'p> Machine<'p> {
                 Cell::lis(base)
             }
             Term::Compound(f, args) => {
-                let kids: Vec<Cell> = args
-                    .iter()
-                    .map(|a| self.term_to_heap(a, varmap))
-                    .collect();
+                let kids: Vec<Cell> = args.iter().map(|a| self.term_to_heap(a, varmap)).collect();
                 let base = self.heap.len();
                 self.heap.push(Cell::fun(*f, args.len()));
                 for k in kids {
@@ -842,8 +836,7 @@ impl<'p> Machine<'p> {
                     .then_with(|| syms.name(fa).cmp(syms.name(fb)))
                     .then_with(|| {
                         for i in 0..aa {
-                            let o =
-                                self.compare(self.arg_of(a, i), self.arg_of(b, i), syms);
+                            let o = self.compare(self.arg_of(a, i), self.arg_of(b, i), syms);
                             if o != Ordering::Equal {
                                 return o;
                             }
@@ -1085,10 +1078,7 @@ mod tests {
         let mut m = Machine::new(&mut db, &mut tables);
         let v = m.new_var();
         assert_eq!(m.compare(v, Cell::int(1), &syms), Ordering::Less);
-        assert_eq!(
-            m.compare(Cell::int(5), Cell::con(a), &syms),
-            Ordering::Less
-        );
+        assert_eq!(m.compare(Cell::int(5), Cell::con(a), &syms), Ordering::Less);
         assert_eq!(
             m.compare(Cell::con(b), Cell::con(a), &syms),
             Ordering::Greater

@@ -22,7 +22,6 @@ use crate::cell::{Cell, Tag};
 use crate::dynamic::IndexSpec;
 use crate::error::EngineError;
 use crate::program::Program;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 use std::rc::Rc;
 use xsb_syntax::{Sym, SymbolTable};
@@ -32,6 +31,45 @@ const VERSION: u16 = 1;
 
 fn err<T>(m: impl Into<String>) -> Result<T, EngineError> {
     Err(EngineError::Other(m.into()))
+}
+
+/// Bounds-checked little-endian reader over the raw object-file bytes.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+        match self.data.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => err("truncated object file"),
+        }
+    }
+
+    fn u16_le(&mut self) -> Result<u16, EngineError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn utf8(&mut self, n: usize) -> Result<&'a str, EngineError> {
+        std::str::from_utf8(self.take(n)?)
+            .map_err(|_| EngineError::Other("object file string is not utf-8".into()))
+    }
 }
 
 /// Serializes the facts of dynamic predicate `name/arity`.
@@ -89,26 +127,26 @@ pub fn encode(
         clause_runs.push(run);
     }
 
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
     let pname = syms.name(name);
-    buf.put_u32_le(pname.len() as u32);
-    buf.put_slice(pname.as_bytes());
-    buf.put_u16_le(arity);
-    buf.put_u32_le(local_names.len() as u32);
+    buf.extend_from_slice(&(pname.len() as u32).to_le_bytes());
+    buf.extend_from_slice(pname.as_bytes());
+    buf.extend_from_slice(&arity.to_le_bytes());
+    buf.extend_from_slice(&(local_names.len() as u32).to_le_bytes());
     for n in &local_names {
-        buf.put_u32_le(n.len() as u32);
-        buf.put_slice(n.as_bytes());
+        buf.extend_from_slice(&(n.len() as u32).to_le_bytes());
+        buf.extend_from_slice(n.as_bytes());
     }
-    buf.put_u32_le(clause_runs.len() as u32);
+    buf.extend_from_slice(&(clause_runs.len() as u32).to_le_bytes());
     for run in &clause_runs {
-        buf.put_u32_le(run.len() as u32);
+        buf.extend_from_slice(&(run.len() as u32).to_le_bytes());
         for &w in run {
-            buf.put_u64_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
     }
-    Ok(buf.to_vec())
+    Ok(buf)
 }
 
 /// Loads an object file into the program, declaring the predicate dynamic
@@ -118,28 +156,23 @@ pub fn decode(
     syms: &mut SymbolTable,
     data: &[u8],
 ) -> Result<(Sym, u16, usize), EngineError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+    let mut buf = Reader::new(data);
+    if buf.take(4).map(|m| m != MAGIC).unwrap_or(true) {
         return err("bad object file magic");
     }
-    if buf.get_u16_le() != VERSION {
+    if buf.u16_le()? != VERSION {
         return err("unsupported object file version");
     }
-    let nlen = buf.get_u32_le() as usize;
-    let name_bytes = buf.copy_to_bytes(nlen);
-    let name_str = std::str::from_utf8(&name_bytes).map_err(|_| EngineError::Other(
-        "object file predicate name is not utf-8".into(),
-    ))?;
+    let nlen = buf.u32_le()? as usize;
+    let name_str = buf.utf8(nlen)?;
     let name = syms.intern(name_str);
-    let arity = buf.get_u16_le();
+    let arity = buf.u16_le()?;
 
-    let nsyms = buf.get_u32_le() as usize;
+    let nsyms = buf.u32_le()? as usize;
     let mut remap: Vec<Sym> = Vec::with_capacity(nsyms);
     for _ in 0..nsyms {
-        let l = buf.get_u32_le() as usize;
-        let b = buf.copy_to_bytes(l);
-        let s = std::str::from_utf8(&b)
-            .map_err(|_| EngineError::Other("object file symbol is not utf-8".into()))?;
+        let l = buf.u32_le()? as usize;
+        let s = buf.utf8(l)?;
         remap.push(syms.intern(s));
     }
 
@@ -147,13 +180,13 @@ pub fn decode(
         .declare_dynamic(name, arity)
         .map_err(EngineError::Other)?;
 
-    let nclauses = buf.get_u32_le() as usize;
+    let nclauses = buf.u32_le()? as usize;
     let dp = db.dyn_of_mut(pred).expect("just declared dynamic");
     for _ in 0..nclauses {
-        let ncells = buf.get_u32_le() as usize;
+        let ncells = buf.u32_le()? as usize;
         let mut canon: Vec<Cell> = Vec::with_capacity(ncells);
         for _ in 0..ncells {
-            let raw = Cell(buf.get_u64_le());
+            let raw = Cell(buf.u64_le()?);
             let cell = match raw.tag() {
                 Tag::Con => Cell::con(remap[raw.sym().0 as usize]),
                 Tag::Fun => {

@@ -252,8 +252,12 @@ pub fn table_all_analysis(
 ) -> Vec<(Sym, u16)> {
     // build call graph among the module's predicates
     let keys: Vec<(Sym, u16)> = groups.keys().copied().collect();
-    let index: HashMap<(Sym, u16), usize> =
-        keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+    let index: HashMap<(Sym, u16), usize> = keys
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
     for (k, clauses) in groups {
         let from = index[k];
@@ -323,8 +327,7 @@ pub fn table_all_analysis(
                             break;
                         }
                     }
-                    let cyclic = members.len() > 1
-                        || edges[v].contains(&v); // self-loop
+                    let cyclic = members.len() > 1 || edges[v].contains(&v); // self-loop
                     if cyclic {
                         result.extend(members.iter().map(|&m| keys[m]));
                     }
@@ -416,8 +419,7 @@ mod tests {
         let mut syms = SymbolTable::new();
         let mut p = Program::new(&mut syms);
         let ops = OpTable::standard();
-        let items =
-            parse_program(":- index(p/5, [1+2+3+4]).", &mut syms, &ops).unwrap();
+        let items = parse_program(":- index(p/5, [1+2+3+4]).", &mut syms, &ops).unwrap();
         let d = match &items[0] {
             Item::Directive(d) => d.clone(),
             _ => panic!(),

@@ -16,6 +16,7 @@ use crate::machine::{Freeze, NONE};
 use crate::table_trie::TermTrie;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use xsb_syntax::sym::SymbolTable;
 
 /// How subgoal and answer tables are indexed. `Hash` is XSB v1.3's design
 /// (§4.5: hash on the canonical call; hash on all answer arguments);
@@ -430,6 +431,96 @@ impl TableSpace {
     pub fn live_tables(&self) -> usize {
         self.subgoals.iter().filter(|f| !f.deleted).count()
     }
+}
+
+/// Renders one canonical term from the flattened pre-order cell sequence
+/// starting at `pos`; returns the position after it. Canonical cells are
+/// only `Con`/`Int`/`TVar`/`Fun` (lists appear as `'.'/2`).
+fn format_canon_at(canon: &[Cell], pos: usize, syms: &SymbolTable, out: &mut String) -> usize {
+    use crate::cell::Tag;
+    let Some(&c) = canon.get(pos) else {
+        out.push('?');
+        return pos + 1;
+    };
+    match c.tag() {
+        Tag::Con => {
+            out.push_str(syms.name(c.sym()));
+            pos + 1
+        }
+        Tag::Int => {
+            out.push_str(&c.int_value().to_string());
+            pos + 1
+        }
+        Tag::TVar => {
+            out.push('_');
+            out.push_str(&c.tvar_index().to_string());
+            pos + 1
+        }
+        Tag::Fun => {
+            let (f, arity) = c.functor();
+            out.push_str(syms.name(f));
+            out.push('(');
+            let mut p = pos + 1;
+            for i in 0..arity {
+                if i > 0 {
+                    out.push(',');
+                }
+                p = format_canon_at(canon, p, syms, out);
+            }
+            out.push(')');
+            p
+        }
+        // Ref/Str/Lis never occur in canonical form
+        _ => {
+            out.push('?');
+            pos + 1
+        }
+    }
+}
+
+/// Renders a canonical argument tuple as `(a1,...,an)` (or `` for arity 0).
+pub fn format_canon(canon: &[Cell], syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    let mut pos = 0;
+    let mut first = true;
+    while pos < canon.len() {
+        out.push(if first { '(' } else { ',' });
+        first = false;
+        pos = format_canon_at(canon, pos, syms, &mut out);
+    }
+    if !first {
+        out.push(')');
+    }
+    out
+}
+
+/// One line per live subgoal table: predicate, canonical call, answer
+/// count, completion state. The body of the `tables/0` builtin.
+pub fn table_listing(
+    tables: &TableSpace,
+    db: &crate::program::Program,
+    syms: &SymbolTable,
+) -> String {
+    let mut out = String::new();
+    for f in tables.subgoals.iter().filter(|f| !f.deleted) {
+        let pred = db.pred(f.pred);
+        let state = match f.state {
+            SubgoalState::Complete => "complete",
+            SubgoalState::Incomplete => "incomplete",
+        };
+        out.push_str(&format!(
+            "{}/{}{}: {} answers, {}\n",
+            syms.name(pred.name),
+            pred.arity,
+            format_canon(&f.canon, syms),
+            f.answers.len(),
+            state,
+        ));
+    }
+    if out.is_empty() {
+        out.push_str("no tables\n");
+    }
+    out
 }
 
 #[cfg(test)]

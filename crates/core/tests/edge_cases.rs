@@ -93,7 +93,10 @@ fn tnot_non_ground_flounders() {
 fn tnot_on_untabled_predicate_errors() {
     let mut e = engine("plain(1).");
     let r = e.holds("tnot plain(1)");
-    assert!(matches!(r, Err(EngineError::Other(ref m)) if m.contains("tabled")), "{r:?}");
+    assert!(
+        matches!(r, Err(EngineError::Other(ref m)) if m.contains("tabled")),
+        "{r:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -102,9 +105,7 @@ fn tnot_on_untabled_predicate_errors() {
 
 #[test]
 fn cut_stops_clause_alternatives_only() {
-    let mut e = engine(
-        "first(X) :- member(X, [a,b,c]), !.\n",
-    );
+    let mut e = engine("first(X) :- member(X, [a,b,c]), !.\n");
     assert_eq!(e.count("first(X)").unwrap(), 1);
 }
 
@@ -129,7 +130,9 @@ fn functor_and_arg_and_univ() {
     );
     assert_eq!(sols[0].get("N"), Some(&Term::Int(3)));
     // construction mode
-    assert!(e.holds("functor(T, pair, 2), arg(1, T, X), var(X)").unwrap());
+    assert!(e
+        .holds("functor(T, pair, 2), arg(1, T, X), var(X)")
+        .unwrap());
     // univ both ways
     let sols = e.query("foo(1, 2) =.. L").unwrap();
     assert_eq!(
@@ -144,8 +147,8 @@ fn arithmetic_operators() {
     let mut e = Engine::new();
     for (q, v) in [
         ("X is 7 mod 3", 1),
-        ("X is -7 mod 3", 2),   // mod is euclidean
-        ("X is -7 rem 3", -1),  // rem follows the dividend
+        ("X is -7 mod 3", 2),  // mod is euclidean
+        ("X is -7 rem 3", -1), // rem follows the dividend
         ("X is 10 // 3", 3),
         ("X is min(4, 9)", 4),
         ("X is max(4, 9)", 9),
@@ -170,10 +173,12 @@ fn term_ordering_builtins() {
     assert!(e.holds("f(a) @< g(a)").unwrap());
     assert!(e.holds("f(a) @< f(a,b)").unwrap());
     assert!(e.holds("compare(<, 1, 2)").unwrap());
-    assert!(e.holds("compare(O, foo, foo), O == (=)").unwrap_or(false) || {
-        // '=' may print specially; check via compare directly
-        e.holds("compare(=, foo, foo)").unwrap()
-    });
+    assert!(
+        e.holds("compare(O, foo, foo), O == (=)").unwrap_or(false) || {
+            // '=' may print specially; check via compare directly
+            e.holds("compare(=, foo, foo)").unwrap()
+        }
+    );
 }
 
 #[test]
@@ -184,8 +189,12 @@ fn type_test_builtins() {
     assert!(e.holds("atom(foo), \\+ atom(1), \\+ atom(f(x))").unwrap());
     assert!(e.holds("integer(42), number(42)").unwrap());
     assert!(e.holds("atomic(foo), atomic(3), \\+ atomic(f(x))").unwrap());
-    assert!(e.holds("callable(foo), callable(f(x)), \\+ callable(3)").unwrap());
-    assert!(e.holds("is_list([1,2]), is_list([]), \\+ is_list([1|_])").unwrap());
+    assert!(e
+        .holds("callable(foo), callable(f(x)), \\+ callable(3)")
+        .unwrap());
+    assert!(e
+        .holds("is_list([1,2]), is_list([]), \\+ is_list([1|_])")
+        .unwrap());
 }
 
 #[test]
@@ -200,7 +209,7 @@ fn call_n_appends_arguments() {
 #[test]
 fn not_unify_does_not_bind() {
     let mut e = Engine::new();
-    assert!(e.holds("X \\= 1, var(X)").unwrap_or(false) == false); // X \= 1 fails (they unify)
+    assert!(!e.holds("X \\= 1, var(X)").unwrap_or(false)); // X \= 1 fails (they unify)
     assert!(e.holds("f(a) \\= f(b)").unwrap());
     assert!(!e.holds("f(X) \\= f(b)").unwrap());
 }
@@ -236,7 +245,9 @@ fn prelude_list_predicates() {
     assert!(e.holds("reverse([1,2,3], [3,2,1])").unwrap());
     assert!(e.holds("last([1,2,3], 3)").unwrap());
     assert!(e.holds("sum_list([1,2,3], 6)").unwrap());
-    assert!(e.holds("max_list([3,1,4], 4), min_list([3,1,4], 1)").unwrap());
+    assert!(e
+        .holds("max_list([3,1,4], 4), min_list([3,1,4], 1)")
+        .unwrap());
     assert!(e.holds("numlist(1, 5, [1,2,3,4,5])").unwrap());
     assert_eq!(e.count("select(X, [a,b,c], _)").unwrap(), 3);
     assert_eq!(e.count("member(X, [a,b,c])").unwrap(), 3);
@@ -276,7 +287,10 @@ fn dynamic_then_static_conflict() {
     e.consult(":- dynamic d/1.").unwrap();
     e.consult("d(1).").unwrap(); // consulted clauses of dynamic preds assert
     assert_eq!(e.count("d(X)").unwrap(), 1);
-    assert!(e.declare_table("d", 1).is_err(), "cannot table a dynamic pred");
+    assert!(
+        e.declare_table("d", 1).is_err(),
+        "cannot table a dynamic pred"
+    );
 }
 
 #[test]

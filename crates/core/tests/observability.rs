@@ -1,0 +1,265 @@
+//! Integration tests for the observability layer: the metrics registry,
+//! the SLG event trace ring, the statistics/table builtins, and the
+//! high-water gauge invariants — including the paper's Figure 2 exact
+//! subgoal counts.
+
+use xsb_core::{Engine, EngineError};
+use xsb_obs::{Counter, SlgEvent};
+
+fn engine(src: &str) -> Engine {
+    let mut e = Engine::new();
+    e.consult(src).expect("program consults");
+    e
+}
+
+/// win/1 over a complete binary tree of the given height (root node 1,
+/// leaves lose), with the given negation operator.
+fn win_src(neg: &str, height: u32) -> String {
+    let mut src = format!(":- table win/1.\nwin(X) :- move(X,Y), {neg} win(Y).\n");
+    for n in 1u64..(1 << height) {
+        src.push_str(&format!("move({n},{}). move({n},{}).\n", 2 * n, 2 * n + 1));
+    }
+    src
+}
+
+/// Left-recursive path/2 over a single directed cycle 1 → 2 → … → n → 1.
+fn cycle_src(n: i64) -> String {
+    let mut src = String::from(
+        ":- table path/2.\npath(X,Y) :- path(X,Z), edge(Z,Y).\npath(X,Y) :- edge(X,Y).\n",
+    );
+    for i in 1..=n {
+        src.push_str(&format!("edge({i},{}).\n", if i == n { 1 } else { i + 1 }));
+    }
+    src
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: exact subgoal counts via the metrics registry
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig2_win_height4_creates_31_subgoals_under_slg() {
+    // paper Figure 2: full SLG evaluates all 2^(h+1)-1 = 31 subgoals at
+    // height 4 (where the root is a lost position: leaves lose, so the
+    // second player wins at even heights)
+    let mut e = engine(&win_src("tnot", 4));
+    assert!(!e.holds("win(1)").unwrap());
+    assert_eq!(e.metrics().get(Counter::SubgoalsCreated), 31);
+    assert_eq!(e.subgoal_count("win", 1), 31);
+    // every subgoal completed (negation forces completion)
+    assert_eq!(e.metrics().get(Counter::SubgoalsCompleted), 31);
+}
+
+#[test]
+fn fig2_existential_negation_creates_g_of_n_subgoals() {
+    // paper Figure 2: E-Neg needs only G(4) = 13 of the 31 subgoals
+    let mut e = engine(&win_src("e_tnot", 4));
+    assert!(!e.holds("win(1)").unwrap());
+    assert_eq!(e.metrics().get(Counter::SubgoalsCreated), 13);
+    assert_eq!(e.subgoal_count("win", 1), 13);
+}
+
+#[test]
+fn per_predicate_call_counts_accumulate_across_queries() {
+    let mut e = engine("p(1). p(2). p(3).");
+    assert_eq!(e.count("p(X)").unwrap(), 3);
+    let first = e.call_count("p", 1);
+    assert!(first >= 1);
+    assert_eq!(e.count("p(X)").unwrap(), 3);
+    assert_eq!(e.call_count("p", 1), 2 * first, "counters are cumulative");
+    e.reset_metrics();
+    assert_eq!(e.call_count("p", 1), 0);
+}
+
+// ---------------------------------------------------------------------
+// duplicate-answer suppression
+// ---------------------------------------------------------------------
+
+#[test]
+fn cycle_path_suppresses_duplicate_answers() {
+    // on a cycle every node is reachable along infinitely many derivations;
+    // the answer check/insert must record each answer exactly once
+    let n = 16;
+    let mut e = engine(&cycle_src(n));
+    assert_eq!(e.count("path(1, X)").unwrap(), n as usize);
+    let m = e.metrics();
+    assert_eq!(
+        m.get(Counter::AnswersRecorded),
+        n as u64,
+        "one distinct answer per node"
+    );
+    assert!(
+        m.get(Counter::DuplicateAnswers) > 0,
+        "cyclic derivations must hit the duplicate check"
+    );
+}
+
+// ---------------------------------------------------------------------
+// event trace ring
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_records_slg_events_in_order() {
+    let mut e = engine(&cycle_src(4));
+    e.set_tracing(true);
+    assert_eq!(e.count("path(1, X)").unwrap(), 4);
+    let events = e.trace_events();
+    assert!(!events.is_empty());
+    let kinds: Vec<&str> = events.iter().map(|ev| ev.kind()).collect();
+    assert!(kinds.contains(&"subgoal_call"));
+    assert!(kinds.contains(&"new_answer"));
+    assert!(kinds.contains(&"duplicate_answer"));
+    assert!(kinds.contains(&"complete_scc"));
+    // the first subgoal call precedes its first answer
+    let call_pos = kinds.iter().position(|k| *k == "subgoal_call").unwrap();
+    let ans_pos = kinds.iter().position(|k| *k == "new_answer").unwrap();
+    assert!(call_pos < ans_pos);
+    // answers recorded in the trace match the counter
+    let new_answers = kinds.iter().filter(|k| **k == "new_answer").count() as u64;
+    assert_eq!(new_answers, e.metrics().get(Counter::AnswersRecorded));
+}
+
+#[test]
+fn trace_ring_truncates_oldest_and_counts_dropped() {
+    let mut e = engine(&cycle_src(32));
+    e.set_trace_capacity(8);
+    e.set_tracing(true);
+    assert_eq!(e.count("path(1, X)").unwrap(), 32);
+    assert_eq!(
+        e.trace_events().len(),
+        8,
+        "ring keeps exactly `capacity` events"
+    );
+    assert!(
+        e.trace_dropped() > 0,
+        "a 32-node cycle overflows an 8-slot ring"
+    );
+    // the tail of the trace survives: completion is among the last events
+    let kinds: Vec<&str> = e.trace_events().iter().map(|ev| ev.kind()).collect();
+    assert!(
+        kinds.contains(&"complete_scc"),
+        "tail events kept, got {kinds:?}"
+    );
+}
+
+#[test]
+fn tracing_disabled_records_nothing() {
+    let mut e = engine(&cycle_src(8));
+    assert_eq!(e.count("path(1, X)").unwrap(), 8);
+    assert!(e.trace_events().is_empty());
+    assert_eq!(e.trace_dropped(), 0);
+}
+
+#[test]
+fn trace_event_ids_reference_live_subgoals() {
+    let mut e = engine(&win_src("tnot", 2));
+    e.set_tracing(true);
+    assert!(!e.holds("win(1)").unwrap());
+    for ev in e.trace_events() {
+        if let SlgEvent::SubgoalCall { subgoal, .. } = ev {
+            assert!((subgoal as u64) < e.metrics().get(Counter::SubgoalsCreated));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// statistics/0, statistics/2, tables/0 builtins
+// ---------------------------------------------------------------------
+
+#[test]
+fn statistics2_reads_counters_from_queries() {
+    let mut e = engine(&win_src("tnot", 4));
+    assert!(!e.holds("win(1)").unwrap());
+    // the statistics/2 query itself creates no tabled subgoals
+    assert!(e.holds("statistics(subgoals_created, 31)").unwrap());
+    assert!(!e.holds("statistics(subgoals_created, 7)").unwrap());
+    // bind the value into a variable
+    let sols = e.query("statistics(answers_recorded, N)").unwrap();
+    assert_eq!(sols.len(), 1);
+    let n = format!("{}", sols[0].get("N").unwrap().display(&e.syms));
+    assert_eq!(
+        n.parse::<u64>().unwrap(),
+        e.metrics().get(Counter::AnswersRecorded)
+    );
+}
+
+#[test]
+fn statistics2_unknown_key_fails_and_free_key_errors() {
+    let mut e = engine("p(1).");
+    assert!(!e.holds("statistics(no_such_counter, X)").unwrap());
+    match e.holds("statistics(K, V)") {
+        Err(EngineError::Instantiation(_)) => {}
+        other => panic!("expected instantiation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn statistics0_and_tables0_are_callable() {
+    let mut e = engine(&cycle_src(3));
+    assert_eq!(e.count("path(1, X)").unwrap(), 3);
+    assert!(e.holds("statistics").unwrap());
+    assert!(e.holds("tables").unwrap());
+    let report = e.statistics_report();
+    assert!(report.contains("subgoals_created"));
+    assert!(report.contains("answers_recorded"));
+}
+
+#[test]
+fn table_listing_shows_completed_tables() {
+    let mut e = engine(&cycle_src(3));
+    assert_eq!(e.count("path(1, X)").unwrap(), 3);
+    let listing = e.table_listing();
+    assert!(listing.contains("path/2"), "listing: {listing}");
+    assert!(listing.contains("3 answers"), "listing: {listing}");
+    assert!(listing.contains("complete"), "listing: {listing}");
+}
+
+// ---------------------------------------------------------------------
+// gauges, timers, JSON snapshot
+// ---------------------------------------------------------------------
+
+#[test]
+fn high_water_gauges_never_regress_across_queries() {
+    let mut e = engine(&cycle_src(24));
+    assert_eq!(e.count("path(1, X)").unwrap(), 24);
+    let m1 = e.metrics().clone();
+    assert!(m1.heap.high_water > 0);
+    assert!(m1.choice_points.high_water > 0);
+    assert!(m1.trail.high_water > 0);
+    assert!(m1.heap.high_water >= m1.heap.current);
+    assert!(m1.trail.high_water >= m1.trail.current);
+    assert!(m1.choice_points.high_water >= m1.choice_points.current);
+    // a smaller follow-up query must not lower any high-water mark
+    e.abolish_all_tables();
+    assert_eq!(e.count("path(1, X)").unwrap(), 24);
+    let m2 = e.metrics();
+    assert!(m2.heap.high_water >= m1.heap.high_water);
+    assert!(m2.trail.high_water >= m1.trail.high_water);
+    assert!(m2.choice_points.high_water >= m1.choice_points.high_water);
+}
+
+#[test]
+fn query_timer_accumulates_per_query() {
+    let mut e = engine(&cycle_src(8));
+    assert_eq!(e.count("path(1, X)").unwrap(), 8);
+    assert_eq!(e.metrics().query_time.count, 1);
+    assert!(e.metrics().query_time.nanos > 0);
+    assert!(e.holds("path(1, 3)").unwrap());
+    assert_eq!(e.metrics().query_time.count, 2);
+}
+
+#[test]
+fn metrics_json_round_trips_and_matches_registry() {
+    let mut e = engine(&win_src("tnot", 4));
+    assert!(!e.holds("win(1)").unwrap());
+    let text = e.metrics_json().to_string();
+    let parsed = xsb_obs::Json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        parsed.get("subgoals_created"),
+        Some(&xsb_obs::Json::Int(31))
+    );
+    assert_eq!(
+        parsed.get("trail_high_water"),
+        Some(&xsb_obs::Json::Int(e.metrics().trail.high_water as i64))
+    );
+}

@@ -59,7 +59,8 @@ fn negation_as_failure_not_p() {
 
 #[test]
 fn if_then_else() {
-    let mut e = engine("classify(X, small) :- (X < 10 -> true ; fail).\nclassify(X, big) :- X >= 10.");
+    let mut e =
+        engine("classify(X, small) :- (X < 10 -> true ; fail).\nclassify(X, big) :- X >= 10.");
     let sols = e.query("classify(5, K)").unwrap();
     assert_eq!(sols.len(), 1);
     assert_eq!(
@@ -91,7 +92,9 @@ fn between_generates_and_tests() {
 #[test]
 fn findall_collects_all_solutions() {
     let mut e = engine("item(a, 1). item(b, 2). item(c, 3).");
-    let sols = e.query("findall(K-V, item(K, V), L), length(L, N)").unwrap();
+    let sols = e
+        .query("findall(K-V, item(K, V), L), length(L, N)")
+        .unwrap();
     assert_eq!(sols[0].get("N"), Some(&Term::Int(3)));
     // empty findall gives []
     let sols = e.query("findall(X, item(zzz, X), L)").unwrap();
@@ -109,7 +112,8 @@ fn setof_sorts_and_dedups_and_fails_empty() {
         format!("{}", sols[0].get("L").unwrap().display(&e.syms)),
         "[1,2,3]"
     );
-    assert!(!e.holds("setof(X, n(99), _L)").unwrap_or(true) || true);
+    // setof fails (rather than yielding []) when the goal has no solutions
+    assert!(!e.holds("setof(X, n(99), _L)").unwrap());
 }
 
 #[test]
@@ -234,7 +238,11 @@ fn ground_tabled_call() {
 #[test]
 fn tabled_facts_only() {
     let mut e = engine(":- table e/2.\ne(1,2). e(2,3). e(1,2).");
-    assert_eq!(e.count("e(X, Y)").unwrap(), 2, "duplicate fact deduplicated");
+    assert_eq!(
+        e.count("e(X, Y)").unwrap(),
+        2,
+        "duplicate fact deduplicated"
+    );
 }
 
 #[test]
@@ -319,11 +327,11 @@ fn existential_negation_visits_fewer_subgoals() {
 
     let mut e1 = engine(&tnot_src);
     assert!(e1.holds("win(1)").unwrap());
-    let full = e1.last_stats.subgoals_created;
+    let full = e1.metrics().get(xsb_obs::Counter::SubgoalsCreated);
 
     let mut e2 = engine(&enot_src);
     assert!(e2.holds("win(1)").unwrap());
-    let existential = e2.last_stats.subgoals_created;
+    let existential = e2.metrics().get(xsb_obs::Counter::SubgoalsCreated);
 
     assert!(
         existential * 2 < full,
@@ -420,7 +428,8 @@ fn asserta_orders_first() {
 #[test]
 fn dynamic_rules_execute() {
     let mut e = Engine::new();
-    e.consult(":- dynamic likes/2.\nfood(pizza). food(sushi).").unwrap();
+    e.consult(":- dynamic likes/2.\nfood(pizza). food(sushi).")
+        .unwrap();
     e.query("assert((likes(sam, X) :- food(X)))").unwrap();
     assert_eq!(e.count("likes(sam, F)").unwrap(), 2);
 }

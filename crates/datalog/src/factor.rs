@@ -47,11 +47,10 @@ pub fn try_factor(
     };
     // base: p(X,Y) :- e(X,Y).
     let e = match base.body.as_slice() {
-        [l]
-            if !l.negated
-                && l.pred != query_pred
-                && base.head.args.len() == 2
-                && l.args == base.head.args =>
+        [l] if !l.negated
+            && l.pred != query_pred
+            && base.head.args.len() == 2
+            && l.args == base.head.args =>
         {
             l.pred
         }
@@ -107,9 +106,11 @@ pub fn try_factor(
     //  from c, computed without carrying c in any tuple)
     let f = syms.intern(&format!("f_{}", syms.name(query_pred.0)));
     let fkey = (f, 1);
-    let mut out = DatalogProgram::default();
-    out.consts = crate::magic::clone_consts(program);
-    out.facts = program.facts.clone();
+    let mut out = DatalogProgram {
+        consts: crate::magic::clone_consts(program),
+        facts: program.facts.clone(),
+        ..DatalogProgram::default()
+    };
     out.rules.push(Rule {
         head: Literal {
             pred: fkey,
@@ -201,9 +202,8 @@ mod tests {
 
     #[test]
     fn rejects_nonlinear_rules() {
-        let (mut p, mut syms) = setup(
-            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\nedge(1,2).",
-        );
+        let (mut p, mut syms) =
+            setup("path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\nedge(1,2).");
         let path = syms.lookup("path").unwrap();
         let one = p.consts.intern(Value::Int(1));
         assert!(try_factor(&p, (path, 2), one, &mut syms).is_none());

@@ -81,8 +81,7 @@ impl Datalog {
     pub fn new(src: &str) -> Result<Datalog, DatalogError> {
         let mut syms = SymbolTable::new();
         let ops = OpTable::standard();
-        let items =
-            xsb_syntax::parse_program(src, &mut syms, &ops).map_err(DatalogError::Parse)?;
+        let items = xsb_syntax::parse_program(src, &mut syms, &ops).map_err(DatalogError::Parse)?;
         let clauses: Vec<xsb_syntax::Clause> = items
             .into_iter()
             .filter_map(|i| match i {
@@ -90,8 +89,7 @@ impl Datalog {
                 Item::Directive(_) => None, // table decls are meaningless bottom-up
             })
             .collect();
-        let program =
-            DatalogProgram::from_clauses(&clauses).map_err(DatalogError::Lower)?;
+        let program = DatalogProgram::from_clauses(&clauses).map_err(DatalogError::Lower)?;
         Ok(Datalog {
             syms,
             ops,
@@ -103,7 +101,10 @@ impl Datalog {
     /// Fast programmatic fact insertion (workload generators).
     pub fn add_fact(&mut self, pred: &str, args: &[Value]) {
         let s = self.syms.intern(pred);
-        let tuple: Vec<_> = args.iter().map(|v| self.program.consts.intern(*v)).collect();
+        let tuple: Vec<_> = args
+            .iter()
+            .map(|v| self.program.consts.intern(*v))
+            .collect();
         self.program.facts.push(((s, args.len() as u16), tuple));
     }
 
@@ -114,8 +115,7 @@ impl Datalog {
         query_src: &str,
         strategy: Strategy,
     ) -> Result<Vec<Vec<Value>>, DatalogError> {
-        let q = parse_query(query_src, &mut self.syms, &self.ops)
-            .map_err(DatalogError::Parse)?;
+        let q = parse_query(query_src, &mut self.syms, &self.ops).map_err(DatalogError::Parse)?;
         if q.goals.len() != 1 {
             return Err(DatalogError::Other(
                 "datalog queries are single goals".into(),
@@ -174,11 +174,8 @@ impl Datalog {
                         Arg::Const(c) => c,
                         _ => unreachable!(),
                     };
-                    if let Some(fp) =
-                        factor::try_factor(&self.program, pred, c, &mut self.syms)
-                    {
-                        let strata =
-                            stratify(&fp.program).map_err(DatalogError::NotStratified)?;
+                    if let Some(fp) = factor::try_factor(&self.program, pred, c, &mut self.syms) {
+                        let strata = stratify(&fp.program).map_err(DatalogError::NotStratified)?;
                         let mut ev = Evaluator::from_facts(&fp.program);
                         ev.evaluate(&strata, true);
                         self.last_stats = ev.stats;
@@ -246,10 +243,8 @@ mod tests {
 
     #[test]
     fn fanout_first_iteration_saturates() {
-        let mut d = Datalog::new(
-            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).",
-        )
-        .unwrap();
+        let mut d =
+            Datalog::new("path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).").unwrap();
         for i in 1..=64 {
             d.add_fact("edge", &[Value::Int(1), Value::Int(i)]);
         }
@@ -287,7 +282,10 @@ mod tests {
 
     #[test]
     fn atoms_as_constants() {
-        let mut d = Datalog::new("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\npar(tom,bob). par(bob,ann).").unwrap();
+        let mut d = Datalog::new(
+            "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\npar(tom,bob). par(bob,ann).",
+        )
+        .unwrap();
         let rows = d.query("anc(tom, Y)", Strategy::Magic).unwrap();
         assert_eq!(rows.len(), 2);
     }

@@ -52,8 +52,7 @@ pub fn magic_rewrite(
         for l in &r.body {
             if l.negated && derived.contains(&l.pred) {
                 return Err(MagicError(
-                    "negation on derived predicates is not supported by this magic rewrite"
-                        .into(),
+                    "negation on derived predicates is not supported by this magic rewrite".into(),
                 ));
             }
         }
@@ -78,11 +77,11 @@ pub fn magic_rewrite(
     let mut adorned_name: HashMap<(PredKey, Adornment), PredKey> = HashMap::new();
     let mut magic_name: HashMap<(PredKey, Adornment), PredKey> = HashMap::new();
     let name_of = |map: &mut HashMap<(PredKey, Adornment), PredKey>,
-                       prefix: &str,
-                       pred: PredKey,
-                       a: &Adornment,
-                       arity: u16,
-                       syms: &mut SymbolTable|
+                   prefix: &str,
+                   pred: PredKey,
+                   a: &Adornment,
+                   arity: u16,
+                   syms: &mut SymbolTable|
      -> PredKey {
         if let Some(&k) = map.get(&(pred, a.clone())) {
             return k;
@@ -94,10 +93,12 @@ pub fn magic_rewrite(
         k
     };
 
-    let mut out = DatalogProgram::default();
     // the rewritten program shares constants with the source
-    out.consts = clone_consts(program);
-    out.facts = program.facts.clone();
+    let mut out = DatalogProgram {
+        consts: clone_consts(program),
+        facts: program.facts.clone(),
+        ..DatalogProgram::default()
+    };
 
     let mut seen: HashSet<(PredKey, Adornment)> = HashSet::new();
     let mut work: VecDeque<(PredKey, Adornment)> = VecDeque::new();
@@ -107,14 +108,7 @@ pub fn magic_rewrite(
     while let Some((pred, adornment)) = work.pop_front() {
         let bound_count = adornment.iter().filter(|&&b| b).count() as u16;
         let p_ad = name_of(&mut adorned_name, "", pred, &adornment, pred.1, syms);
-        let m_p = name_of(
-            &mut magic_name,
-            "m_",
-            pred,
-            &adornment,
-            bound_count,
-            syms,
-        );
+        let m_p = name_of(&mut magic_name, "m_", pred, &adornment, bound_count, syms);
 
         for rule in rules_of.get(&pred).cloned().unwrap_or_default() {
             // bound head variables seed the SIP
@@ -344,9 +338,8 @@ mod tests {
 
     #[test]
     fn rejects_negation_on_derived() {
-        let (p, mut syms) = setup(
-            "q(X) :- base(X), tnot r(X).\nr(X) :- base2(X).\nbase(1). base2(2).",
-        );
+        let (p, mut syms) =
+            setup("q(X) :- base(X), tnot r(X).\nr(X) :- base2(X).\nbase(1). base2(2).");
         let q = syms.lookup("q").unwrap();
         let query = Literal {
             pred: (q, 1),

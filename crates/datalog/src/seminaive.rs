@@ -366,9 +366,8 @@ mod tests {
 
     #[test]
     fn seminaive_considers_fewer_tuples() {
-        let mut chain = String::from(
-            "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n",
-        );
+        let mut chain =
+            String::from("path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n");
         for i in 0..30 {
             chain.push_str(&format!("edge({i},{}).\n", i + 1));
         }
@@ -397,7 +396,10 @@ mod tests {
 
     #[test]
     fn repeated_variable_join() {
-        let (ev, syms) = eval("loop(X) :- edge(X, X).\nedge(1,1). edge(1,2). edge(3,3).", true);
+        let (ev, syms) = eval(
+            "loop(X) :- edge(X, X).\nedge(1,1). edge(1,2). edge(3,3).",
+            true,
+        );
         let l = syms.lookup("loop").unwrap();
         assert_eq!(ev.relations[&(l, 1)].len(), 2);
     }
@@ -407,12 +409,7 @@ mod tests {
         let (ev, syms) = eval(PATH_CYCLE, true);
         let path = syms.lookup("path").unwrap();
         // bind first arg to const id of 1
-        let one = ev
-            .relations
-            .keys()
-            .find(|_| true)
-            .map(|_| ())
-            .map(|_| ());
+        let one = ev.relations.keys().find(|_| true).map(|_| ()).map(|_| ());
         let _ = one;
         // const ids: look up via program consts is gone; select by scanning
         let all = ev.answers((path, 2), &[None, None]);

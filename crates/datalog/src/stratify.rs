@@ -62,9 +62,7 @@ pub fn stratify(program: &DatalogProgram) -> Result<Strata, NotStratified> {
         changed = false;
         rounds += 1;
         if rounds > n + 1 {
-            return Err(NotStratified(
-                "negative dependency cycle detected".into(),
-            ));
+            return Err(NotStratified("negative dependency cycle detected".into()));
         }
         for r in &program.rules {
             let h = stratum[&r.head.pred];

@@ -1,0 +1,46 @@
+//! # xsb-obs — dependency-free observability for the SLG-WAM
+//!
+//! The paper's evaluation (§3, §6) is quantitative: subgoals evaluated,
+//! answers recorded, suspensions/resumptions, and time per strategy. Real
+//! XSB ships `statistics/0-2` and table-inspection predicates because a
+//! tabled engine is undebuggable without them. This crate is the substrate:
+//!
+//! * [`metrics`] — monotonic counters, gauges with high-water marks, and
+//!   monotonic-clock timers ([`metrics::Metrics`]), including per-predicate
+//!   call/subgoal counts.
+//! * [`trace`] — a bounded ring buffer of typed SLG events
+//!   ([`trace::SlgEvent`]) with an `enabled` fast path, so the disabled
+//!   cost on the emulator's hot paths is a single branch.
+//! * [`json`] — a tiny in-tree JSON value type ([`json::Json`]) with a
+//!   writer and a minimal parser, used for machine-readable bench export.
+//!
+//! Everything is plain `std`; the crate has no dependencies so it can sit
+//! below `xsb-core` without entangling the engine.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Metrics, Stopwatch, Timer};
+pub use trace::{EventRing, SlgEvent};
+
+/// The observability bundle a machine carries: metrics plus the event ring.
+#[derive(Default, Debug, Clone)]
+pub struct Obs {
+    pub metrics: Metrics,
+    pub trace: EventRing,
+}
+
+impl Obs {
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// Clears counters, gauges, timers, and buffered events; tracing
+    /// configuration (enabled flag, capacity) is preserved.
+    pub fn reset(&mut self) {
+        self.metrics.reset();
+        self.trace.clear();
+    }
+}

@@ -1,0 +1,356 @@
+//! Metrics registry: monotonic counters, high-water gauges, and
+//! monotonic-clock timers.
+//!
+//! Counters are plain `u64` fields bumped inline on the emulator's hot
+//! paths (a register increment, no atomics — the machine is single-
+//! threaded), enumerated by [`Counter`] so report/JSON/`statistics/2`
+//! share one name table. Gauges track a current value plus a high-water
+//! mark that never regresses. Timers accumulate monotonic elapsed time via
+//! [`Stopwatch`].
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// Machine-wide monotonic counters. The discriminant order defines the
+/// report order; `NAMES` must stay in sync.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Abstract-machine instructions dispatched.
+    Instructions,
+    /// Predicate calls (tabled and non-tabled) entering `dispatch`.
+    Calls,
+    /// Top-level unification operations.
+    Unifications,
+    /// Bindings recorded on the (forward) trail.
+    TrailOps,
+    /// Choice points pushed.
+    ChoicePoints,
+    /// Backtracks taken (choice-point retries/pops).
+    Backtracks,
+    /// New tabled subgoals created (generator check/insert inserts).
+    SubgoalsCreated,
+    /// Answers added to answer tables.
+    AnswersRecorded,
+    /// Answers suppressed as duplicates by the answer check/insert.
+    DuplicateAnswers,
+    /// Consumer suspensions (environment frozen awaiting answers).
+    ConsumerSuspensions,
+    /// Consumer resumptions (scheduled to consume new answers).
+    ConsumerResumptions,
+    /// Strongly-connected components completed.
+    SccCompletions,
+    /// Subgoals marked complete (across all completed SCCs).
+    SubgoalsCompleted,
+    /// Negative literals delayed/suspended awaiting completion.
+    NegationSuspends,
+    /// Delayed negative literals simplified/resumed after completion.
+    NegationResumes,
+}
+
+impl Counter {
+    pub const COUNT: usize = 15;
+
+    /// `statistics/2` keys, in report order.
+    pub const NAMES: [&'static str; Counter::COUNT] = [
+        "instructions",
+        "calls",
+        "unifications",
+        "trail_ops",
+        "choice_points",
+        "backtracks",
+        "subgoals_created",
+        "answers_recorded",
+        "duplicate_answers",
+        "consumer_suspensions",
+        "consumer_resumptions",
+        "scc_completions",
+        "subgoals_completed",
+        "negation_suspends",
+        "negation_resumes",
+    ];
+
+    pub fn name(self) -> &'static str {
+        Counter::NAMES[self as usize]
+    }
+}
+
+/// A gauge: current value plus a never-regressing high-water mark.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    pub current: u64,
+    pub high_water: u64,
+}
+
+impl Gauge {
+    /// Sets the current value, raising the high-water mark if exceeded.
+    #[inline]
+    pub fn set(&mut self, v: u64) {
+        self.current = v;
+        if v > self.high_water {
+            self.high_water = v;
+        }
+    }
+
+    /// Raises the high-water mark without touching the current value
+    /// (for sampling a peak mid-operation).
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        if v > self.high_water {
+            self.high_water = v;
+        }
+    }
+}
+
+/// Accumulated monotonic time plus a start count.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct Timer {
+    pub nanos: u64,
+    pub count: u64,
+}
+
+impl Timer {
+    pub fn record(&mut self, sw: Stopwatch) {
+        self.nanos += sw.elapsed_nanos();
+        self.count += 1;
+    }
+
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// A running monotonic-clock measurement; feed it back to [`Timer::record`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+/// Per-predicate counters, indexed by the engine's predicate id.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredCounters {
+    pub calls: u64,
+    pub subgoals: u64,
+}
+
+/// The machine-wide metrics registry.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    counters: [u64; Counter::COUNT],
+    /// Heap arena length (cells).
+    pub heap: Gauge,
+    /// Choice-point stack depth (frames).
+    pub choice_points: Gauge,
+    /// Trail length (entries).
+    pub trail: Gauge,
+    /// Environment-frame arena length (slots).
+    pub frames: Gauge,
+    /// Accumulated query evaluation time.
+    pub query_time: Timer,
+    /// Per-predicate counters, indexed by predicate id (grown on demand).
+    pub per_pred: Vec<PredCounters>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            counters: [0; Counter::COUNT],
+            heap: Gauge::default(),
+            choice_points: Gauge::default(),
+            trail: Gauge::default(),
+            frames: Gauge::default(),
+            query_time: Timer::default(),
+            per_pred: Vec::new(),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Bumps a machine-wide counter.
+    #[inline]
+    pub fn bump(&mut self, c: Counter) {
+        self.counters[c as usize] += 1;
+    }
+
+    /// Adds `n` to a machine-wide counter.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Records a call of predicate `pred` (machine-wide + per-predicate).
+    #[inline]
+    pub fn count_call(&mut self, pred: usize) {
+        self.counters[Counter::Calls as usize] += 1;
+        if pred >= self.per_pred.len() {
+            self.per_pred.resize(pred + 1, PredCounters::default());
+        }
+        self.per_pred[pred].calls += 1;
+    }
+
+    /// Records a new tabled subgoal of predicate `pred`.
+    #[inline]
+    pub fn count_subgoal(&mut self, pred: usize) {
+        self.counters[Counter::SubgoalsCreated as usize] += 1;
+        if pred >= self.per_pred.len() {
+            self.per_pred.resize(pred + 1, PredCounters::default());
+        }
+        self.per_pred[pred].subgoals += 1;
+    }
+
+    pub fn pred(&self, pred: usize) -> PredCounters {
+        self.per_pred.get(pred).copied().unwrap_or_default()
+    }
+
+    /// All scalar entries (counters, then gauge high-waters and currents,
+    /// then timer totals), as `statistics/2` key/value pairs in report
+    /// order.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = Counter::NAMES
+            .iter()
+            .zip(self.counters.iter())
+            .map(|(&n, &v)| (n, v))
+            .collect();
+        out.push(("heap_high_water", self.heap.high_water));
+        out.push(("cp_high_water", self.choice_points.high_water));
+        out.push(("trail_high_water", self.trail.high_water));
+        out.push(("frame_high_water", self.frames.high_water));
+        out.push(("query_time_ns", self.query_time.nanos));
+        out.push(("queries", self.query_time.count));
+        out
+    }
+
+    /// Looks up a scalar entry by its `statistics/2` key.
+    pub fn lookup(&self, key: &str) -> Option<u64> {
+        self.entries()
+            .into_iter()
+            .find(|&(n, _)| n == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Human-readable report, the body of `statistics/0`.
+    pub fn report(&self) -> String {
+        let mut s = String::from("SLG-WAM statistics:\n");
+        for (name, v) in self.entries() {
+            s.push_str(&format!("  {name:<22} {v}\n"));
+        }
+        s
+    }
+
+    /// JSON object with every scalar entry.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), Json::Int(v as i64)))
+                .collect(),
+        )
+    }
+
+    /// Zeroes everything, including per-predicate counters and high-water
+    /// marks.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_and_report() {
+        let mut m = Metrics::new();
+        m.bump(Counter::Instructions);
+        m.bump(Counter::Instructions);
+        m.bump(Counter::Backtracks);
+        assert_eq!(m.get(Counter::Instructions), 2);
+        assert_eq!(m.lookup("instructions"), Some(2));
+        assert_eq!(m.lookup("backtracks"), Some(1));
+        assert_eq!(m.lookup("no_such_key"), None);
+        assert!(m.report().contains("instructions"));
+    }
+
+    #[test]
+    fn gauge_high_water_never_regresses() {
+        let mut g = Gauge::default();
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.current, 3);
+        assert_eq!(g.high_water, 10);
+        g.observe(42);
+        assert_eq!(g.current, 3);
+        assert_eq!(g.high_water, 42);
+        g.observe(7);
+        assert_eq!(g.high_water, 42);
+    }
+
+    #[test]
+    fn per_pred_counters_grow_on_demand() {
+        let mut m = Metrics::new();
+        m.count_call(5);
+        m.count_call(5);
+        m.count_subgoal(2);
+        assert_eq!(m.pred(5).calls, 2);
+        assert_eq!(m.pred(2).subgoals, 1);
+        assert_eq!(m.pred(99).calls, 0);
+        assert_eq!(m.get(Counter::Calls), 2);
+        assert_eq!(m.get(Counter::SubgoalsCreated), 1);
+    }
+
+    #[test]
+    fn counter_names_match_count() {
+        assert_eq!(Counter::NAMES.len(), Counter::COUNT);
+        assert_eq!(Counter::NegationResumes as usize, Counter::COUNT - 1);
+        assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let mut t = Timer::default();
+        let sw = Stopwatch::new();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.record(sw);
+        assert_eq!(t.count, 1);
+        assert!(t.nanos >= 2_000_000, "{}", t.nanos);
+    }
+
+    #[test]
+    fn json_snapshot_contains_all_entries() {
+        let mut m = Metrics::new();
+        m.bump(Counter::Calls);
+        let j = m.to_json().to_string();
+        let parsed = Json::parse(&j).unwrap();
+        match parsed {
+            Json::Obj(fields) => {
+                assert!(fields
+                    .iter()
+                    .any(|(k, v)| k == "calls" && *v == Json::Int(1)));
+                assert_eq!(fields.len(), m.entries().len());
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

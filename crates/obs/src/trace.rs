@@ -1,0 +1,252 @@
+//! Structured SLG event tracing: a bounded ring buffer of typed events.
+//!
+//! The emulator emits one event per interesting SLG transition (subgoal
+//! call, answer insert, suspension, resumption, SCC completion, backtrack).
+//! The ring keeps the most recent `capacity` events; older ones are
+//! overwritten and counted in `dropped`, so a long run reports both the
+//! tail of the trace and how much was truncated.
+//!
+//! Cost when disabled is a single branch: hot paths check
+//! [`EventRing::enabled`] (a plain bool) before constructing the event.
+
+/// One typed SLG transition. Ids are engine-level indices: `pred` is a
+/// predicate id, `subgoal` a subgoal-frame index, `consumer` a
+/// consumer-frame index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlgEvent {
+    /// A tabled call created a new generator (new subgoal `subgoal` of
+    /// predicate `pred`).
+    SubgoalCall { pred: u32, subgoal: u32 },
+    /// Answer number `answer` added to `subgoal`'s table.
+    NewAnswer { subgoal: u32, answer: u32 },
+    /// An answer for `subgoal` was suppressed by the check/insert.
+    DuplicateAnswer { subgoal: u32 },
+    /// Consumer `consumer` of `subgoal` suspended (environment frozen).
+    Suspend { subgoal: u32, consumer: u32 },
+    /// Consumer `consumer` of `subgoal` scheduled to consume new answers.
+    Resume { subgoal: u32, consumer: u32 },
+    /// The SCC led by `leader` completed with `members` subgoals.
+    CompleteScc { leader: u32, members: u32 },
+    /// A negative literal on `subgoal` suspended awaiting completion.
+    NegSuspend { subgoal: u32 },
+    /// A suspended negative literal on `subgoal` resumed.
+    NegResume { subgoal: u32 },
+    /// The scheduler took a backtrack step (`depth` = choice-point stack
+    /// depth after the step).
+    Backtrack { depth: u32 },
+}
+
+impl SlgEvent {
+    /// Event-type tag, used for filtering and JSON export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SlgEvent::SubgoalCall { .. } => "subgoal_call",
+            SlgEvent::NewAnswer { .. } => "new_answer",
+            SlgEvent::DuplicateAnswer { .. } => "duplicate_answer",
+            SlgEvent::Suspend { .. } => "suspend",
+            SlgEvent::Resume { .. } => "resume",
+            SlgEvent::CompleteScc { .. } => "complete_scc",
+            SlgEvent::NegSuspend { .. } => "neg_suspend",
+            SlgEvent::NegResume { .. } => "neg_resume",
+            SlgEvent::Backtrack { .. } => "backtrack",
+        }
+    }
+}
+
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Bounded ring buffer of [`SlgEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    /// Fast-path flag checked by the emulator before building an event.
+    pub enabled: bool,
+    buf: Vec<SlgEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    start: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for EventRing {
+    fn default() -> EventRing {
+        EventRing {
+            enabled: false,
+            buf: Vec::new(),
+            start: 0,
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        }
+    }
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            capacity: capacity.max(1),
+            ..EventRing::default()
+        }
+    }
+
+    /// Records an event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, e: SlgEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.start] = e;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SlgEvent> {
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
+    }
+
+    /// Number of currently buffered events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (buffered + dropped).
+    pub fn total(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+
+    /// Drops buffered events and the dropped count; keeps `enabled` and
+    /// the capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+        self.dropped = 0;
+    }
+
+    /// Resizes the ring, discarding any buffered events.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bt(depth: u32) -> SlgEvent {
+        SlgEvent::Backtrack { depth }
+    }
+
+    #[test]
+    fn fills_then_truncates_oldest_first() {
+        let mut r = EventRing::new(4);
+        for i in 0..4 {
+            r.push(bt(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        // two more overwrite the two oldest
+        r.push(bt(4));
+        r.push(bt(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total(), 6);
+        let got: Vec<u32> = r
+            .events()
+            .map(|e| match e {
+                SlgEvent::Backtrack { depth } => *depth,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_repeatedly_and_keeps_order() {
+        let mut r = EventRing::new(3);
+        for i in 0..100 {
+            r.push(bt(i));
+        }
+        assert_eq!(r.dropped(), 97);
+        let got: Vec<u32> = r
+            .events()
+            .map(|e| match e {
+                SlgEvent::Backtrack { depth } => *depth,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn clear_preserves_config() {
+        let mut r = EventRing::new(2);
+        r.enabled = true;
+        r.push(bt(0));
+        r.push(bt(1));
+        r.push(bt(2));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.enabled);
+        assert_eq!(r.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(bt(1));
+        r.push(bt(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            SlgEvent::SubgoalCall {
+                pred: 0,
+                subgoal: 0,
+            },
+            SlgEvent::NewAnswer {
+                subgoal: 0,
+                answer: 0,
+            },
+            SlgEvent::DuplicateAnswer { subgoal: 0 },
+            SlgEvent::Suspend {
+                subgoal: 0,
+                consumer: 0,
+            },
+            SlgEvent::Resume {
+                subgoal: 0,
+                consumer: 0,
+            },
+            SlgEvent::CompleteScc {
+                leader: 0,
+                members: 0,
+            },
+            SlgEvent::NegSuspend { subgoal: 0 },
+            SlgEvent::NegResume { subgoal: 0 },
+            SlgEvent::Backtrack { depth: 0 },
+        ];
+        let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

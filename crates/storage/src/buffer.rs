@@ -8,10 +8,10 @@
 //! per-access machinery plus concurrency provisions).
 
 use crate::page::{Page, PAGE_SIZE};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 /// Page identifier on "disk".
 pub type PageId = u32;
@@ -33,21 +33,21 @@ pub struct Disk {
 
 impl Disk {
     pub fn allocate(&self) -> PageId {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().unwrap();
         pages.push(Page::new());
         (pages.len() - 1) as PageId
     }
 
     fn read(&self, id: PageId) -> Page {
-        self.pages.lock()[id as usize].clone()
+        self.pages.lock().unwrap()[id as usize].clone()
     }
 
     fn write(&self, id: PageId, p: &Page) {
-        self.pages.lock()[id as usize] = p.clone();
+        self.pages.lock().unwrap()[id as usize] = p.clone();
     }
 
     pub fn page_count(&self) -> usize {
-        self.pages.lock().len()
+        self.pages.lock().unwrap().len()
     }
 }
 
@@ -73,14 +73,16 @@ pub struct PinnedPage<'a> {
 impl PinnedPage<'_> {
     /// Takes the read latch and runs `f`.
     pub fn read<R>(&self, f: impl FnOnce(&Page) -> R) -> R {
-        let guard = self.pool.frames[self.frame].page.read();
+        let guard = self.pool.frames[self.frame].page.read().unwrap();
         f(&guard)
     }
 
     /// Takes the write latch, runs `f`, marks the frame dirty.
     pub fn write<R>(&self, f: impl FnOnce(&mut Page) -> R) -> R {
-        let mut guard = self.pool.frames[self.frame].page.write();
-        self.pool.frames[self.frame].dirty.store(true, Ordering::Release);
+        let mut guard = self.pool.frames[self.frame].page.write().unwrap();
+        self.pool.frames[self.frame]
+            .dirty
+            .store(true, Ordering::Release);
         f(&mut guard)
     }
 }
@@ -117,7 +119,7 @@ impl BufferPool {
 
     /// Pins `page_id`, faulting it in (with clock eviction) if absent.
     pub fn pin(&self, page_id: PageId) -> PinnedPage<'_> {
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         if let Some(&f) = table.get(&page_id) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.frames[f].pin_count.fetch_add(1, Ordering::AcqRel);
@@ -132,8 +134,7 @@ impl BufferPool {
         let n = self.frames.len();
         let mut spins = 0usize;
         let victim = loop {
-            let hand =
-                self.clock_hand.fetch_add(1, Ordering::Relaxed) as usize % n;
+            let hand = self.clock_hand.fetch_add(1, Ordering::Relaxed) as usize % n;
             let fr = &self.frames[hand];
             if fr.pin_count.load(Ordering::Acquire) == 0 {
                 if fr.referenced.swap(false, Ordering::AcqRel) {
@@ -152,18 +153,22 @@ impl BufferPool {
         let old_id = self.frames[victim].page_id.load(Ordering::Acquire);
         if old_id != NO_PAGE {
             if self.frames[victim].dirty.swap(false, Ordering::AcqRel) {
-                let page = self.frames[victim].page.read();
+                let page = self.frames[victim].page.read().unwrap();
                 self.disk.write(old_id, &page);
             }
             table.remove(&old_id);
         }
         {
-            let mut page = self.frames[victim].page.write();
+            let mut page = self.frames[victim].page.write().unwrap();
             *page = self.disk.read(page_id);
         }
-        self.frames[victim].page_id.store(page_id, Ordering::Release);
+        self.frames[victim]
+            .page_id
+            .store(page_id, Ordering::Release);
         self.frames[victim].pin_count.store(1, Ordering::Release);
-        self.frames[victim].referenced.store(true, Ordering::Release);
+        self.frames[victim]
+            .referenced
+            .store(true, Ordering::Release);
         table.insert(page_id, victim);
         PinnedPage {
             pool: self,
@@ -173,10 +178,10 @@ impl BufferPool {
 
     /// Flushes all dirty frames to disk.
     pub fn flush_all(&self) {
-        let table = self.table.lock();
+        let table = self.table.lock().unwrap();
         for (&pid, &f) in table.iter() {
             if self.frames[f].dirty.swap(false, Ordering::AcqRel) {
-                let page = self.frames[f].page.read();
+                let page = self.frames[f].page.read().unwrap();
                 self.disk.write(pid, &page);
             }
         }
@@ -230,14 +235,14 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_pins_with_crossbeam() {
+    fn concurrent_pins_across_threads() {
         let disk = Arc::new(Disk::default());
         let id = disk.allocate();
         let pool = BufferPool::new(disk, 4);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let pool = &pool;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..100 {
                         let pinned = pool.pin(id);
                         pinned.write(|pg| {
@@ -246,8 +251,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let pinned = pool.pin(id);
         pinned.read(|pg| assert_eq!(pg.tuple_count(), 400));
     }

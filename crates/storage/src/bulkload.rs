@@ -46,11 +46,7 @@ pub fn load_general(engine: &mut Engine, pred: &str, n: usize) -> Result<usize, 
 
 /// Load path 2: formatted read — split each line against the schema, then
 /// assert (with index maintenance).
-pub fn load_formatted(
-    engine: &mut Engine,
-    pred: &str,
-    data: &str,
-) -> Result<usize, EngineError> {
+pub fn load_formatted(engine: &mut Engine, pred: &str, data: &str) -> Result<usize, EngineError> {
     engine.declare_dynamic(pred, 3)?;
     let schema = [FieldKind::Int, FieldKind::Int, FieldKind::Atom];
     let psym = engine.syms.intern(pred);

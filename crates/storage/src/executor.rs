@@ -6,10 +6,10 @@
 use crate::buffer::BufferPool;
 use crate::hashindex::HashIndex;
 use crate::heap::{encode_row, Field, HeapFile, Rid};
-use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A table: heap file plus optional indexes.
 pub struct Table {
@@ -56,11 +56,11 @@ pub struct LockManager {
 
 impl LockManager {
     fn lock(&self, rid: Rid) {
-        self.held.lock().insert((rid.page, rid.slot));
+        self.held.lock().unwrap().insert((rid.page, rid.slot));
     }
 
     fn unlock(&self, rid: Rid) {
-        self.held.lock().remove(&(rid.page, rid.slot));
+        self.held.lock().unwrap().remove(&(rid.page, rid.slot));
     }
 }
 
@@ -140,9 +140,7 @@ mod tests {
         });
         // R.b ranges over 1..=100; S keys over 0..=99 → 99 matches
         assert_eq!(n, 99);
-        assert!(rows
-            .iter()
-            .all(|(o, i)| o[1] == i[0]));
+        assert!(rows.iter().all(|(o, i)| o[1] == i[0]));
     }
 
     #[test]
@@ -156,7 +154,9 @@ mod tests {
         );
         let s = Table::load(
             pool.clone(),
-            (0..300i64).filter(|a| a % 3 == 0).map(|a| vec![Field::Int(a)]),
+            (0..300i64)
+                .filter(|a| a % 3 == 0)
+                .map(|a| vec![Field::Int(a)]),
             0,
             16,
         );

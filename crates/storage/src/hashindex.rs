@@ -160,8 +160,6 @@ mod tests {
         hf.insert(&[Field::Str("bob".into()), Field::Int(2)]);
         let ix = HashIndex::build(pool, &hf, 0, 4);
         let rids = ix.probe(&Field::Str("bob".into()));
-        assert!(rids
-            .iter()
-            .any(|&r| hf.fetch(r)[1] == Field::Int(2)));
+        assert!(rids.iter().any(|&r| hf.fetch(r)[1] == Field::Int(2)));
     }
 }

@@ -41,8 +41,7 @@ impl Field {
                 Field::Int(i64::from_le_bytes(b))
             }
             1 => {
-                let len =
-                    u16::from_le_bytes([buf[*pos], buf[*pos + 1]]) as usize;
+                let len = u16::from_le_bytes([buf[*pos], buf[*pos + 1]]) as usize;
                 *pos += 2;
                 let s = String::from_utf8_lossy(&buf[*pos..*pos + len]).into_owned();
                 *pos += len;
@@ -159,11 +158,7 @@ mod tests {
 
     #[test]
     fn row_roundtrip() {
-        let row = vec![
-            Field::Int(42),
-            Field::Str("hello".into()),
-            Field::Int(-1),
-        ];
+        let row = vec![Field::Int(42), Field::Str("hello".into()), Field::Int(-1)];
         assert_eq!(decode_row(&encode_row(&row)), row);
     }
 

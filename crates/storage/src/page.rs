@@ -135,7 +135,7 @@ mod tests {
             n += 1;
         }
         // 4096 - 4 header; each tuple costs 104 bytes
-        assert!(n >= 38 && n <= 40, "page held {n} tuples");
+        assert!((38..=40).contains(&n), "page held {n} tuples");
         assert!(p.insert(&tuple).is_none());
     }
 

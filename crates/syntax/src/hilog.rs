@@ -278,10 +278,7 @@ mod tests {
     #[test]
     fn hilog_atom_in_argument_position_stays_constant() {
         let (t, s) = enc("benefits('John', package1)", &["package1"]);
-        assert_eq!(
-            format!("{}", t.display(&s)),
-            "benefits('John',package1)"
-        );
+        assert_eq!(format!("{}", t.display(&s)), "benefits('John',package1)");
     }
 
     #[test]

@@ -117,11 +117,7 @@ impl<'a, 't> Parser<'a, 't> {
                 _ => break,
             };
             // `|` used as an infix is read as `;` at priority 1100
-            let (lookup, render): (&str, &str) = if is_bar {
-                (";", ";")
-            } else {
-                (&name, &name)
-            };
+            let (lookup, render): (&str, &str) = if is_bar { (";", ";") } else { (&name, &name) };
             let def = match self.ops.infix(lookup) {
                 Some(d) => d,
                 None => break,
@@ -407,11 +403,7 @@ pub struct Query {
 }
 
 /// Parses a query such as `path(1,X), X > 3` (trailing `.` optional).
-pub fn parse_query(
-    src: &str,
-    syms: &mut SymbolTable,
-    ops: &OpTable,
-) -> Result<Query, ParseError> {
+pub fn parse_query(src: &str, syms: &mut SymbolTable, ops: &OpTable) -> Result<Query, ParseError> {
     let tokens = tokenize(src)?;
     let mut p = Parser {
         tokens: &tokens,
@@ -433,6 +425,47 @@ pub fn parse_query(
         goals: t.conjuncts().into_iter().cloned().collect(),
         var_names: p.var_names,
     })
+}
+
+/// Item-at-a-time parser, so that directives (e.g. `op/3`, `hilog/1`) can
+/// influence how the *rest* of the file parses. Used by
+/// [`crate::reader::ProgramReader`].
+pub struct ItemStream {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl ItemStream {
+    /// Tokenizes `src` for item-at-a-time parsing.
+    pub fn new(src: &str) -> Result<ItemStream, ParseError> {
+        Ok(ItemStream {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    /// Parses the next clause or directive, or `None` at end of input.
+    /// After an error the stream is exhausted (no resynchronization).
+    pub fn next_item(
+        &mut self,
+        syms: &mut SymbolTable,
+        ops: &OpTable,
+    ) -> Option<Result<Item, ParseError>> {
+        if self.pos >= self.tokens.len() {
+            return None;
+        }
+        let mut p = Parser {
+            tokens: &self.tokens,
+            pos: self.pos,
+            syms,
+            ops,
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+        };
+        let r = p.item();
+        self.pos = if r.is_ok() { p.pos } else { self.tokens.len() };
+        Some(r)
+    }
 }
 
 #[cfg(test)]
@@ -522,7 +555,9 @@ mod tests {
             Term::Compound(m, args) => {
                 assert_eq!(s.name(m), "-");
                 assert_eq!(args[1], Term::Int(3));
-                assert!(matches!(&args[0], Term::Compound(m2, a) if s.name(*m2)=="-" && a[0]==Term::Int(1)));
+                assert!(
+                    matches!(&args[0], Term::Compound(m2, a) if s.name(*m2)=="-" && a[0]==Term::Int(1))
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -683,46 +718,5 @@ mod tests {
         assert_eq!(items.len(), 6);
         assert!(matches!(items[0], Item::Directive(_)));
         assert!(matches!(items[5], Item::Clause(_)));
-    }
-}
-
-/// Item-at-a-time parser, so that directives (e.g. `op/3`, `hilog/1`) can
-/// influence how the *rest* of the file parses. Used by
-/// [`crate::reader::ProgramReader`].
-pub struct ItemStream {
-    tokens: Vec<Spanned>,
-    pos: usize,
-}
-
-impl ItemStream {
-    /// Tokenizes `src` for item-at-a-time parsing.
-    pub fn new(src: &str) -> Result<ItemStream, ParseError> {
-        Ok(ItemStream {
-            tokens: tokenize(src)?,
-            pos: 0,
-        })
-    }
-
-    /// Parses the next clause or directive, or `None` at end of input.
-    /// After an error the stream is exhausted (no resynchronization).
-    pub fn next_item(
-        &mut self,
-        syms: &mut SymbolTable,
-        ops: &OpTable,
-    ) -> Option<Result<Item, ParseError>> {
-        if self.pos >= self.tokens.len() {
-            return None;
-        }
-        let mut p = Parser {
-            tokens: &self.tokens,
-            pos: self.pos,
-            syms,
-            ops,
-            vars: HashMap::new(),
-            var_names: Vec::new(),
-        };
-        let r = p.item();
-        self.pos = if r.is_ok() { p.pos } else { self.tokens.len() };
-        Some(r)
     }
 }

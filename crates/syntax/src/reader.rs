@@ -40,11 +40,7 @@ impl ProgramReader {
     /// Reads all items from `src`. `op/3` and `hilog/1` directives take
     /// effect immediately and are *also* returned (so callers can track
     /// them); clauses come back HiLog-encoded.
-    pub fn read(
-        &mut self,
-        src: &str,
-        syms: &mut SymbolTable,
-    ) -> Result<Vec<ReadItem>, ParseError> {
+    pub fn read(&mut self, src: &str, syms: &mut SymbolTable) -> Result<Vec<ReadItem>, ParseError> {
         let mut stream = ItemStream::new(src)?;
         let mut out = Vec::new();
         while let Some(item) = stream.next_item(syms, &self.ops) {
@@ -64,12 +60,10 @@ impl ProgramReader {
             // op(P, Type, Name) possibly with a list of names
             Term::Compound(f, args) if *f == well_known::OP && args.len() == 3 => {
                 let (p, ty) = match (&args[0], &args[1]) {
-                    (Term::Int(p), Term::Atom(t)) => {
-                        match OpType::from_name(syms.name(*t)) {
-                            Some(ty) => (*p as u32, ty),
-                            None => return,
-                        }
-                    }
+                    (Term::Int(p), Term::Atom(t)) => match OpType::from_name(syms.name(*t)) {
+                        Some(ty) => (*p as u32, ty),
+                        None => return,
+                    },
                     _ => return,
                 };
                 let mut names = Vec::new();
@@ -158,7 +152,10 @@ pub fn formatted_read(
         });
     }
     if fields.next().is_some() {
-        return Err(format!("line has more than {} fields: {line:?}", schema.len()));
+        return Err(format!(
+            "line has more than {} fields: {line:?}",
+            schema.len()
+        ));
     }
     Ok(Some(Term::compound(pred, args)))
 }
@@ -172,7 +169,10 @@ mod tests {
         let mut syms = SymbolTable::new();
         let mut r = ProgramReader::new();
         let items = r
-            .read(":- hilog package1.\npackage1(health_ins, required).", &mut syms)
+            .read(
+                ":- hilog package1.\npackage1(health_ins, required).",
+                &mut syms,
+            )
             .unwrap();
         assert_eq!(items.len(), 2);
         match &items[1] {
@@ -221,10 +221,14 @@ mod tests {
         let mut syms = SymbolTable::new();
         let pred = syms.intern("p");
         assert!(formatted_read("a|b", pred, &[FieldKind::Atom], '|', &mut syms).is_err());
-        assert!(
-            formatted_read("a", pred, &[FieldKind::Atom, FieldKind::Int], '|', &mut syms)
-                .is_err()
-        );
+        assert!(formatted_read(
+            "a",
+            pred,
+            &[FieldKind::Atom, FieldKind::Int],
+            '|',
+            &mut syms
+        )
+        .is_err());
     }
 
     #[test]

@@ -39,9 +39,10 @@ impl Term {
 
     /// Builds a proper list from `items`, terminated by `tail`.
     pub fn list(items: Vec<Term>, tail: Term) -> Term {
-        items.into_iter().rev().fold(tail, |acc, x| {
-            Term::Compound(well_known::DOT, vec![x, acc])
-        })
+        items
+            .into_iter()
+            .rev()
+            .fold(tail, |acc, x| Term::Compound(well_known::DOT, vec![x, acc]))
     }
 
     /// `[]`.

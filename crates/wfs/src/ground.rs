@@ -191,12 +191,7 @@ fn instantiate(
     }
 }
 
-fn emit_ground_rule(
-    rule: &Rule,
-    over: &Evaluator,
-    env: &[Option<ConstId>],
-    g: &mut GroundProgram,
-) {
+fn emit_ground_rule(rule: &Rule, over: &Evaluator, env: &[Option<ConstId>], g: &mut GroundProgram) {
     let ground_args = |args: &[Arg]| -> Vec<ConstId> {
         args.iter()
             .map(|a| match a {

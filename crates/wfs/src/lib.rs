@@ -28,9 +28,7 @@ pub mod ground;
 pub mod stable;
 
 /// Rebuilds a constant table preserving ids (interning order replays).
-pub(crate) fn clone_consts(
-    p: &xsb_datalog::ast::DatalogProgram,
-) -> xsb_datalog::ast::ConstTable {
+pub(crate) fn clone_consts(p: &xsb_datalog::ast::DatalogProgram) -> xsb_datalog::ast::ConstTable {
     let mut t = xsb_datalog::ast::ConstTable::default();
     for i in 0..p.consts.len() {
         let id = t.intern(p.consts.value(i as u32));
@@ -187,12 +185,8 @@ impl Wfs {
     /// back rendered and sorted. Returns `None` when more than `limit`
     /// atoms are undefined (the search is `2^|undefined|`).
     pub fn stable_models(&self, limit: usize) -> Option<Vec<Vec<String>>> {
-        let models = stable::stable_models(
-            &self.ground,
-            &self.true_set,
-            &self.possible_set,
-            limit,
-        )?;
+        let models =
+            stable::stable_models(&self.ground, &self.true_set, &self.possible_set, limit)?;
         // render each atom id once
         let mut rendered: Vec<String> = Vec::with_capacity(self.ground.num_atoms());
         for (_, atom) in self.ground.atoms() {
@@ -213,8 +207,10 @@ impl Wfs {
             models
                 .into_iter()
                 .map(|m| {
-                    let mut v: Vec<String> =
-                        m.into_iter().map(|id| rendered[id as usize].clone()).collect();
+                    let mut v: Vec<String> = m
+                        .into_iter()
+                        .map(|id| rendered[id as usize].clone())
+                        .collect();
                     v.sort();
                     v
                 })
@@ -328,10 +324,9 @@ mod tests {
 
     #[test]
     fn undefined_propagates_through_positive_rules() {
-        let mut w = Wfs::new(
-            "p(1) :- tnot q(1).\nq(1) :- tnot p(1).\nr(1) :- p(1).\ns(1) :- r(1), q(1).",
-        )
-        .unwrap();
+        let mut w =
+            Wfs::new("p(1) :- tnot q(1).\nq(1) :- tnot p(1).\nr(1) :- p(1).\ns(1) :- r(1), q(1).")
+                .unwrap();
         assert_eq!(w.truth("r(1)").unwrap(), Truth::Undefined);
         assert_eq!(w.truth("s(1)").unwrap(), Truth::Undefined);
     }
@@ -339,10 +334,9 @@ mod tests {
     #[test]
     fn true_support_beats_undefined() {
         // c has support from a definite source even though a is undefined
-        let mut w = Wfs::new(
-            "a(1) :- tnot b(1).\nb(1) :- tnot a(1).\nc(1) :- a(1).\nc(1) :- t(1).\nt(1).",
-        )
-        .unwrap();
+        let mut w =
+            Wfs::new("a(1) :- tnot b(1).\nb(1) :- tnot a(1).\nc(1) :- a(1).\nc(1) :- t(1).\nt(1).")
+                .unwrap();
         assert_eq!(w.truth("c(1)").unwrap(), Truth::True);
     }
 

@@ -82,10 +82,7 @@ mod tests {
             .expect("few undefined atoms")
             .into_iter()
             .map(|m| {
-                let mut v: Vec<String> = m
-                    .into_iter()
-                    .filter(|a| a.starts_with(pred))
-                    .collect();
+                let mut v: Vec<String> = m.into_iter().filter(|a| a.starts_with(pred)).collect();
                 v.sort();
                 v
             })
@@ -144,10 +141,7 @@ mod tests {
 
     #[test]
     fn true_atoms_appear_in_every_stable_model() {
-        let w = Wfs::new(
-            "a(1).\nb(1) :- a(1).\np(1) :- tnot q(1).\nq(1) :- tnot p(1).",
-        )
-        .unwrap();
+        let w = Wfs::new("a(1).\nb(1) :- a(1).\np(1) :- tnot q(1).\nq(1) :- tnot p(1).").unwrap();
         let models = w.stable_models(16).unwrap();
         assert_eq!(models.len(), 2);
         for m in &models {

@@ -10,9 +10,7 @@
 
 use std::time::Instant;
 use xsb::core::Engine;
-use xsb::storage::bulkload::{
-    generate_delimited, load_formatted, load_general, load_object,
-};
+use xsb::storage::bulkload::{generate_delimited, load_formatted, load_general, load_object};
 
 fn main() {
     let n = 50_000;
@@ -36,7 +34,10 @@ fn main() {
     let mut e3 = Engine::new();
     load_object(&mut e3, &object).expect("object load");
     let t_object = t.elapsed();
-    println!("object file      {t_object:>12.2?}   ({} KiB on disk)", object.len() / 1024);
+    println!(
+        "object file      {t_object:>12.2?}   ({} KiB on disk)",
+        object.len() / 1024
+    );
 
     println!(
         "\nspeedups: formatted is {:.1}x the general reader; object is {:.1}x formatted",
@@ -45,7 +46,11 @@ fn main() {
     );
 
     // all three engines agree, and indexed retrieval works on each
-    for (name, e) in [("general", &mut e1), ("formatted", &mut e2), ("object", &mut e3)] {
+    for (name, e) in [
+        ("general", &mut e1),
+        ("formatted", &mut e2),
+        ("object", &mut e3),
+    ] {
         let count = e.count("emp(X, Y, Z)").expect("count");
         let hit = e.count("emp(777, Y, Z)").expect("point query");
         println!("{name:>10}: {count} facts, emp(777,_,_) → {hit} row");

@@ -33,9 +33,9 @@ const MAX_SHOWN: usize = 10;
 fn main() {
     let mut engine = Engine::new();
     engine.set_step_limit(Some(50_000_000)); // guard against runaway SLD loops
-    // clauses typed at the prompt accumulate in a session program; each
-    // addition re-consults the whole buffer so multi-clause predicates
-    // grow instead of being redefined line by line
+                                             // clauses typed at the prompt accumulate in a session program; each
+                                             // addition re-consults the whole buffer so multi-clause predicates
+                                             // grow instead of being redefined line by line
     let mut session_src = String::new();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

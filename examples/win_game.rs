@@ -46,7 +46,7 @@ fn main() {
         let win1 = e.holds("win(1)").unwrap();
         println!(
             "  {neg:6}  win(1) = {win1:5}   subgoals evaluated = {}",
-            e.last_stats.subgoals_created
+            e.metrics().get(xsb_obs::Counter::SubgoalsCreated)
         );
     }
     println!("  (paper Fig. 2: SLDNF-like strategies evaluate 13 of 31 subgoals)");
@@ -83,10 +83,7 @@ fn main() {
     // consistent "world" in which one of the cycling players wins
     println!("\nstable models of the cyclic game (wins only):");
     for model in w.stable_models(16).expect("small residual") {
-        let wins: Vec<String> = model
-            .into_iter()
-            .filter(|a| a.starts_with("win"))
-            .collect();
+        let wins: Vec<String> = model.into_iter().filter(|a| a.starts_with("win")).collect();
         println!("  {{ {} }}", wins.join(", "));
     }
 }

