@@ -5,11 +5,14 @@
 //! ```
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
-//! append hilog dynamic-vs-static bulkload wfs all` (default `all`).
+//! append hilog dynamic-vs-static bulkload serving wfs all` (default
+//! `all`).
 //!
 //! `--json PATH` additionally writes a machine-readable report: per-
-//! experiment wall-clock seconds plus an engine-counter snapshot from an
-//! instrumented reference workload (win/1 height 4 + path/2 over a cycle).
+//! experiment wall-clock seconds, an engine-counter snapshot from an
+//! instrumented reference workload (win/1 height 4 + path/2 over a
+//! cycle), and — when the `serving` experiment ran — its warm-vs-cold
+//! timings and table hit/invalidation/eviction counters.
 
 use std::time::Instant;
 use xsb_bench::runners::*;
@@ -35,6 +38,7 @@ fn main() {
         .unwrap_or_else(|| "all".into());
 
     let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut serving_report: Option<ServingReport> = None;
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
         f();
@@ -52,6 +56,7 @@ fn main() {
         "hilog" => run("hilog", &mut || hilog(quick)),
         "dynamic-vs-static" => run("dynamic-vs-static", &mut || dynamic_vs_static(quick)),
         "bulkload" => run("bulkload", &mut || bulkload(quick)),
+        "serving" => run("serving", &mut || serving_report = Some(serving(quick))),
         "wfs" => run("wfs", &mut wfs),
         "ablation-tables" => run("ablation-tables", &mut || ablation_tables(quick)),
         "ablation-seminaive" => run("ablation-seminaive", &mut || ablation_seminaive(quick)),
@@ -66,6 +71,7 @@ fn main() {
             run("hilog", &mut || hilog(quick));
             run("dynamic-vs-static", &mut || dynamic_vs_static(quick));
             run("bulkload", &mut || bulkload(quick));
+            run("serving", &mut || serving_report = Some(serving(quick)));
             run("ablation-tables", &mut || ablation_tables(quick));
             run("ablation-seminaive", &mut || ablation_seminaive(quick));
             run("wfs", &mut wfs);
@@ -77,7 +83,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let report = json_report(&arg, quick, &timings);
+        let report = json_report(&arg, quick, &timings, serving_report.as_ref());
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -88,7 +94,12 @@ fn main() {
 
 /// Builds the `--json` payload: per-experiment wall times plus an engine
 /// metrics snapshot from a small instrumented reference workload.
-fn json_report(experiment: &str, quick: bool, timings: &[(String, f64)]) -> Json {
+fn json_report(
+    experiment: &str,
+    quick: bool,
+    timings: &[(String, f64)],
+    serving: Option<&ServingReport>,
+) -> Json {
     let experiments = Json::Arr(
         timings
             .iter()
@@ -100,13 +111,34 @@ fn json_report(experiment: &str, quick: bool, timings: &[(String, f64)]) -> Json
             })
             .collect(),
     );
-    Json::obj([
+    let mut fields = vec![
         ("schema", Json::Int(1)),
         ("experiment", Json::str(experiment)),
         ("quick", Json::Bool(quick)),
         ("experiments", experiments),
         ("engine_counters", reference_counters()),
-    ])
+    ];
+    if let Some(s) = serving {
+        fields.push((
+            "serving",
+            Json::obj([
+                ("n", Json::Int(s.n)),
+                ("warm_queries", Json::Int(s.warm_queries as i64)),
+                ("cold_secs", Json::Num(s.cold_secs)),
+                ("warm_secs", Json::Num(s.warm_secs)),
+                ("warm_speedup", Json::Num(s.warm_speedup)),
+                (
+                    "invalidate_requery_secs",
+                    Json::Num(s.invalidate_requery_secs),
+                ),
+                ("table_hits", Json::Int(s.table_hits as i64)),
+                ("table_misses", Json::Int(s.table_misses as i64)),
+                ("table_invalidations", Json::Int(s.invalidations as i64)),
+                ("table_evictions", Json::Int(s.evictions as i64)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Runs win/1 on a height-4 binary tree and path/2 on a 64-node cycle with
@@ -327,6 +359,28 @@ fn bulkload(quick: bool) {
         r.general_secs / r.formatted_secs,
         r.formatted_secs / r.object_secs
     );
+}
+
+fn serving(quick: bool) -> ServingReport {
+    header("E13 — repeat-query serving: persistent tables across queries");
+    println!("warm repeats answer from the completed table; an assert invalidates");
+    println!("exactly the dependent tables; a small budget bounds the table space");
+    let n = if quick { 128 } else { 512 };
+    let warm_queries = if quick { 10 } else { 50 };
+    let r = run_serving(n, warm_queries);
+    println!(
+        "n = {}: cold {:.6}s   warm {:.6}s (avg of {})   speedup {:.1}x",
+        r.n, r.cold_secs, r.warm_secs, r.warm_queries, r.warm_speedup
+    );
+    println!(
+        "assert + re-query {:.6}s (recomputes instead of serving stale answers)",
+        r.invalidate_requery_secs
+    );
+    println!(
+        "counters: hits {}  misses {}  invalidations {}  evictions {}",
+        r.table_hits, r.table_misses, r.invalidations, r.evictions
+    );
+    r
 }
 
 fn ablation_tables(quick: bool) {

@@ -541,9 +541,91 @@ pub fn run_bulkload(n: usize, reps: usize) -> BulkloadRow {
     }
 }
 
+// ---------------------------------------------------------------------
+// E13 — repeat-query serving over persistent tables
+// ---------------------------------------------------------------------
+
+/// One serving session: cold query, warm repeats served from the
+/// completed table, an update (assert) that invalidates it, and a
+/// rotation of distinct subgoals under a small answer-store budget.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    pub n: i64,
+    pub warm_queries: usize,
+    pub cold_secs: f64,
+    pub warm_secs: f64,
+    pub warm_speedup: f64,
+    pub invalidate_requery_secs: f64,
+    pub table_hits: u64,
+    pub table_misses: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+}
+
+pub fn run_serving(n: i64, warm_queries: usize) -> ServingReport {
+    use xsb_obs::Counter;
+    let edges = cycle_edges(n);
+    let expected = n as usize;
+    let mut e = engine_with_edges(PATH_LEFT_TABLED, &edges);
+
+    // cold: the first query computes the closure from node 1
+    let t0 = Instant::now();
+    assert_eq!(e.count("path(1, X)").unwrap(), expected);
+    let cold = secs(t0.elapsed());
+
+    // warm: identical repeat queries answered from the completed table
+    let t0 = Instant::now();
+    for _ in 0..warm_queries {
+        assert_eq!(e.count("path(1, X)").unwrap(), expected);
+    }
+    let warm = secs(t0.elapsed()) / warm_queries as f64;
+
+    // update: one assert reaches the tabled predicate through the
+    // dependency graph; the re-query recomputes instead of serving stale
+    let edge = e.syms.intern("edge");
+    e.assert_term(&xsb_syntax::Term::Compound(
+        edge,
+        vec![xsb_syntax::Term::Int(n), xsb_syntax::Term::Int(n + 1)],
+    ))
+    .unwrap();
+    let t0 = Instant::now();
+    assert_eq!(e.count("path(1, X)").unwrap(), expected + 1);
+    let requery = secs(t0.elapsed());
+
+    // bounded cache: rotate distinct subgoals through a budget that holds
+    // only a few tables, forcing least-recently-hit eviction
+    e.set_table_budget(Some(2 * n as u64));
+    for k in 1..=8.min(n) {
+        assert!(e.count(&format!("path({k}, X)")).unwrap() >= expected);
+    }
+
+    let m = e.metrics();
+    ServingReport {
+        n,
+        warm_queries,
+        cold_secs: cold,
+        warm_secs: warm,
+        warm_speedup: cold / warm.max(1e-9),
+        invalidate_requery_secs: requery,
+        table_hits: m.get(Counter::TableHits),
+        table_misses: m.get(Counter::TableMisses),
+        invalidations: m.get(Counter::TableInvalidations),
+        evictions: m.get(Counter::TableEvictions),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serving_warm_hits_invalidation_and_eviction() {
+        let r = run_serving(48, 3);
+        assert!(r.table_hits >= 3, "warm repeats hit the table: {r:?}");
+        assert!(r.table_misses >= 1);
+        assert!(r.invalidations >= 1, "assert invalidated path/2: {r:?}");
+        assert!(r.evictions >= 1, "small budget evicted tables: {r:?}");
+    }
 
     #[test]
     fn fig2_counts_follow_g_formula() {

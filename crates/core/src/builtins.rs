@@ -17,7 +17,8 @@ use crate::instr::CodePtr;
 use crate::machine::{Alt, FindallRecord, Machine};
 use std::cmp::Ordering;
 use std::rc::Rc;
-use xsb_syntax::{well_known, SymbolTable};
+use xsb_obs::{Counter, SlgEvent};
+use xsb_syntax::{well_known, Sym, SymbolTable};
 
 /// Identifies a builtin predicate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +76,9 @@ pub enum Builtin {
     Retract,
     Retractall,
     AbolishAllTables,
+    AbolishTablePred,
+    AbolishTableCall,
+    SetTableBudget,
     // observability
     Statistics0,
     Statistics2,
@@ -161,6 +165,9 @@ impl Builtin {
             ("retract", 1, Builtin::Retract),
             ("retractall", 1, Builtin::Retractall),
             ("abolish_all_tables", 0, Builtin::AbolishAllTables),
+            ("abolish_table_pred", 1, Builtin::AbolishTablePred),
+            ("abolish_table_call", 1, Builtin::AbolishTableCall),
+            ("set_table_budget", 1, Builtin::SetTableBudget),
             ("statistics", 0, Builtin::Statistics0),
             ("statistics", 2, Builtin::Statistics2),
             ("tables", 0, Builtin::TablesB),
@@ -336,6 +343,21 @@ pub fn exec_builtin(
         Builtin::Retractall => builtin_retractall(m, syms),
         Builtin::AbolishAllTables => {
             m.tables.abolish_all();
+            Ok(BAction::Continue)
+        }
+        Builtin::AbolishTablePred => builtin_abolish_table_pred(m, syms),
+        Builtin::AbolishTableCall => builtin_abolish_table_call(m),
+        Builtin::SetTableBudget => {
+            let v = m.deref(m.x[0]);
+            if v.tag() != Tag::Int {
+                return Err(EngineError::Type {
+                    expected: "integer (cells; =< 0 means unbounded)",
+                    found: format!("{v:?}"),
+                });
+            }
+            let n = v.int_value();
+            m.tables
+                .set_budget(if n <= 0 { None } else { Some(n as u64) });
             Ok(BAction::Continue)
         }
         Builtin::Statistics0 => {
@@ -782,6 +804,128 @@ fn builtin_assert(
     let tokens = if arity == 0 { vec![] } else { tokens };
     let dp = m.db.dyn_of_mut(pred).expect("dynamic");
     dp.insert(tokens, Rc::from(canon), has_body, at_front);
+    // maintain the dependency graph for the new clause's body, then
+    // invalidate any tables made stale by the new clause
+    if let Some(b) = body {
+        let mut callees = Vec::new();
+        heap_goal_callees(m, b, &mut callees);
+        for (cf, cn) in callees {
+            let callee = m.db.ensure_pred(cf, cn);
+            m.db.record_dep(pred, callee);
+        }
+    }
+    m.invalidate_dependents(pred);
+    Ok(BAction::Continue)
+}
+
+/// Collects the functor/arity pairs a heap-resident clause body may call,
+/// descending through `,`/`;`/`->` and the negation wrappers — the heap
+/// mirror of the consult-time AST walk in `program.rs`.
+fn heap_goal_callees(m: &Machine, goal: Cell, out: &mut Vec<(Sym, u16)>) {
+    let g = m.deref(goal);
+    match g.tag() {
+        Tag::Con => out.push((g.sym(), 0)),
+        Tag::Str => {
+            let (f, n) = m.functor_of(g);
+            let control =
+                (f == well_known::COMMA || f == well_known::SEMICOLON || f == well_known::ARROW)
+                    && n == 2;
+            let negation = (f == well_known::NAF
+                || f == well_known::TNOT
+                || f == well_known::E_TNOT
+                || f == well_known::NOT)
+                && n == 1;
+            if control || negation {
+                for i in 0..n {
+                    heap_goal_callees(m, m.arg_of(g, i), out);
+                }
+            } else {
+                out.push((f, n as u16));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parses the argument of `abolish_table_pred/1`: either a `Name/Arity`
+/// indicator or a callable template like `path(_,_)`.
+fn pred_spec(m: &Machine, c: Cell) -> Result<(Sym, u16), EngineError> {
+    let t = m.deref(c);
+    match t.tag() {
+        Tag::Con => Ok((t.sym(), 0)),
+        Tag::Str => {
+            let (f, n) = m.functor_of(t);
+            if f == well_known::SLASH && n == 2 {
+                let name = m.deref(m.arg_of(t, 0));
+                let arity = m.deref(m.arg_of(t, 1));
+                if name.tag() == Tag::Con && arity.tag() == Tag::Int && arity.int_value() >= 0 {
+                    return Ok((name.sym(), arity.int_value() as u16));
+                }
+            }
+            Ok((f, n as u16))
+        }
+        Tag::Ref => Err(EngineError::Instantiation("abolish_table_pred/1")),
+        _ => Err(EngineError::Type {
+            expected: "predicate indicator or callable",
+            found: format!("{t:?}"),
+        }),
+    }
+}
+
+/// `abolish_table_pred(P)`: selectively removes every table of one tabled
+/// predicate; other predicates' tables survive. Succeeds even when there
+/// is nothing to remove.
+fn builtin_abolish_table_pred(m: &mut Machine, syms: &SymbolTable) -> Result<BAction, EngineError> {
+    let (f, n) = pred_spec(m, m.x[0])?;
+    let Some(pred) = m.db.lookup_pred(f, n) else {
+        return Ok(BAction::Continue);
+    };
+    if !m.db.pred(pred).tabled {
+        return Err(EngineError::Other(format!(
+            "abolish_table_pred: {}/{n} is not tabled",
+            syms.name(f)
+        )));
+    }
+    let removed = m.tables.abolish_pred(pred);
+    if removed > 0 {
+        m.obs
+            .metrics
+            .add(Counter::TableInvalidations, removed as u64);
+        if m.obs.trace.enabled {
+            m.obs.trace.push(SlgEvent::TableInvalidated { pred });
+        }
+    }
+    Ok(BAction::Continue)
+}
+
+/// `abolish_table_call(G)`: removes the table of the single variant call
+/// `G`, leaving the predicate's other tables intact. Succeeds even when
+/// no such table exists.
+fn builtin_abolish_table_call(m: &mut Machine) -> Result<BAction, EngineError> {
+    let goal = m.deref(m.x[0]);
+    let (f, n) = match goal.tag() {
+        Tag::Con => (goal.sym(), 0usize),
+        Tag::Str => m.functor_of(goal),
+        Tag::Ref => return Err(EngineError::Instantiation("abolish_table_call/1")),
+        _ => {
+            return Err(EngineError::Type {
+                expected: "callable",
+                found: format!("{goal:?}"),
+            })
+        }
+    };
+    let Some(pred) = m.db.lookup_pred(f, n as u16) else {
+        return Ok(BAction::Continue);
+    };
+    let args: Vec<Cell> = (0..n).map(|i| m.arg_of(goal, i)).collect();
+    let mut var_addrs = Vec::new();
+    let canon = m.canonicalize(&args, &mut var_addrs);
+    if m.tables.abolish_call(pred, &canon) {
+        m.obs.metrics.bump(Counter::TableInvalidations);
+        if m.obs.trace.enabled {
+            m.obs.trace.push(SlgEvent::TableInvalidated { pred });
+        }
+    }
     Ok(BAction::Continue)
 }
 
@@ -846,8 +990,10 @@ fn builtin_retractall(m: &mut Machine, syms: &mut SymbolTable) -> Result<BAction
         // fully open pattern → predicate-level retraction fast path
         let all_vars =
             (0..arity).all(|i| m.deref(m.arg_of(head, i)).tag() == Tag::Ref) || arity == 0;
+        let mut removed_any = false;
         if m.db.dyn_of(pred).is_some() {
             if all_vars {
+                removed_any = !m.db.dyn_of(pred).expect("dynamic").all_live().is_empty();
                 m.db.dyn_of_mut(pred).expect("dynamic").retract_all();
             } else {
                 // conservative: decode and unify each candidate
@@ -872,9 +1018,13 @@ fn builtin_retractall(m: &mut Machine, syms: &mut SymbolTable) -> Result<BAction
                     m.heap.truncate(hlen.max(m.freeze.heap as usize));
                     if ok {
                         m.db.dyn_of_mut(pred).expect("dynamic").remove(id);
+                        removed_any = true;
                     }
                 }
             }
+        }
+        if removed_any {
+            m.invalidate_dependents(pred);
         }
     }
     Ok(BAction::Continue)

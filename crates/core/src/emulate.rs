@@ -683,6 +683,34 @@ impl Machine<'_> {
     // tabling operations
     // ------------------------------------------------------------------
 
+    /// Records a completed-table reuse: counted as a cross-query hit when
+    /// the table was built by an earlier query, and stamped for the
+    /// least-recently-hit eviction policy either way.
+    fn note_table_reuse(&mut self, sub: u32) {
+        if self.tables.frame(sub).born < self.tables.clock() {
+            self.obs.metrics.bump(Counter::TableHits);
+        }
+        self.tables.touch(sub);
+    }
+
+    /// Invalidates every tabled predicate that (transitively) depends on
+    /// the changed predicate `pred` — the assert/retract → table
+    /// consistency hook. Completed tables are freed immediately;
+    /// incomplete ones are freed at `end_query`.
+    pub fn invalidate_dependents(&mut self, pred: PredId) {
+        for dep in self.db.tabled_dependents(pred) {
+            let n = self.tables.invalidate_pred(dep);
+            if n > 0 {
+                self.obs.metrics.add(Counter::TableInvalidations, n as u64);
+                if self.obs.trace.enabled {
+                    self.obs
+                        .trace
+                        .push(SlgEvent::TableInvalidated { pred: dep });
+                }
+            }
+        }
+    }
+
     fn table_call(
         &mut self,
         pred: PredId,
@@ -696,6 +724,7 @@ impl Machine<'_> {
         let found = self.tables.find(pred, &canon);
         let r = match found {
             None => {
+                self.obs.metrics.bump(Counter::TableMisses);
                 let owned: Box<[Cell]> = canon.as_slice().into();
                 self.new_generator(
                     pred,
@@ -710,6 +739,7 @@ impl Machine<'_> {
             }
             Some(sub) => {
                 if self.tables.frame(sub).state == SubgoalState::Complete {
+                    self.note_table_reuse(sub);
                     self.completed_call(sub, var_addrs)
                 } else {
                     self.new_consumer(sub, var_addrs, syms)
@@ -1174,18 +1204,10 @@ impl Machine<'_> {
                 // (paper §4.4: tcut). The e_tnot's own suspension (the one
                 // sitting at the cut-back choice point) is not an "other
                 // user".
-                let f = self.tables.frame(gen);
-                let own_cut = f.exist_cut_b;
-                let has_other = f
-                    .consumers
-                    .iter()
-                    .any(|&c| !self.tables.consumers[c as usize].dead)
-                    || f.negs.iter().any(|&n| {
-                        let ns = &self.tables.negs[n as usize];
-                        !ns.done && ns.cp != own_cut
-                    });
-                let safe = self.tables.is_leader(gen) && !has_other;
+                let own_cut = self.tables.frame(gen).exist_cut_b;
+                let safe = self.tables.is_leader(gen) && !self.tables.has_other_users(gen, own_cut);
                 if safe {
+                    let f = self.tables.frame(gen);
                     let cut_b = f.exist_cut_b;
                     let saved = f.saved_freeze;
                     let removed = self.tables.delete_from(gen);
@@ -1252,6 +1274,7 @@ impl Machine<'_> {
 
         if let Some(sub) = self.tables.find(pred, &canon) {
             if self.tables.frame(sub).state == SubgoalState::Complete {
+                self.note_table_reuse(sub);
                 return Ok(if self.tables.frame(sub).has_answers() {
                     BAction::Fail
                 } else {
@@ -1349,6 +1372,7 @@ impl Machine<'_> {
         // already complete: build immediately
         if let Some(sub) = self.tables.find(pred, &canon) {
             if self.tables.frame(sub).state == SubgoalState::Complete {
+                self.note_table_reuse(sub);
                 return self.tfindall_build_now(sub, template, result, &var_addrs);
             }
             // incomplete: suspend
@@ -1613,6 +1637,7 @@ impl Machine<'_> {
                     }
                     if self.retract_match(pred, id)? {
                         self.db.dyn_of_mut(pred).expect("dynamic").remove(id);
+                        self.invalidate_dependents(pred);
                         self.p = resume;
                         return Ok(Bt::Resumed);
                     }

@@ -2,20 +2,28 @@
 //!
 //! [`Engine`] owns the symbol table, the program database, and the table
 //! space; each query runs a fresh [`Machine`] over them. Completed tables
-//! persist across queries (call [`Engine::abolish_all_tables`] to reset);
-//! incomplete tables are purged when a query ends early.
+//! persist across queries and are kept consistent with the dynamic
+//! database: `assert`/`retract`/`retractall` on a predicate transitively
+//! invalidate the tables of every tabled predicate that depends on it
+//! (via the dependency graph in [`crate::program::Program`]), so a
+//! re-query recomputes exactly the stale tables and reuses the rest.
+//! `abolish_table_pred/1` and `abolish_table_call/1` give manual control;
+//! [`Engine::set_table_budget`] bounds the answer store, evicting
+//! completed tables least-recently-hit first between queries. Incomplete
+//! tables are purged when a query ends early.
 
 use crate::cell::Cell;
 use crate::compile::{compile_predicate, compile_query};
 use crate::dynamic::IndexSpec;
 use crate::emulate::Outcome;
 use crate::error::EngineError;
+use crate::instr::PredId;
 use crate::machine::Machine;
 use crate::program::{pred_indicator, table_all_analysis, Program, StaticIndex};
 use crate::table::TableSpace;
 use std::collections::HashMap;
 use std::rc::Rc;
-use xsb_obs::{Json, Metrics, Obs, SlgEvent, Stopwatch};
+use xsb_obs::{Counter, Json, Metrics, Obs, SlgEvent, Stopwatch};
 use xsb_syntax::{
     parse_query, well_known, Clause, ProgramReader, ReadItem, Sym, SymbolTable, Term,
 };
@@ -158,6 +166,13 @@ impl Engine {
         for key in order {
             let clauses = groups.remove(&key).expect("group recorded");
             let pred = self.db.ensure_pred(key.0, key.1);
+            // dependency graph: every body goal of every clause is a
+            // potential callee of `pred` (drives table invalidation)
+            for c in &clauses {
+                for g in &c.body {
+                    self.db.record_goal_deps(pred, g);
+                }
+            }
             if self.db.dyn_of(pred).is_some() {
                 for c in &clauses {
                     self.assert_clause(c, false)?;
@@ -265,6 +280,7 @@ impl Engine {
         self.obs = std::mem::take(&mut machine.obs);
         drop(machine);
         self.tables.end_query();
+        self.enforce_table_budget();
         result
     }
 
@@ -325,7 +341,43 @@ impl Engine {
         self.obs = std::mem::take(&mut machine.obs);
         drop(machine);
         self.tables.end_query();
+        self.enforce_table_budget();
         result
+    }
+
+    /// Evicts completed tables (least-recently-hit first) until the
+    /// answer store fits the configured budget. Runs between queries so
+    /// no in-flight computation ever loses its tables.
+    fn enforce_table_budget(&mut self) {
+        let evicted = self.tables.enforce_budget();
+        if evicted.is_empty() {
+            return;
+        }
+        self.obs
+            .metrics
+            .add(Counter::TableEvictions, evicted.len() as u64);
+        if self.obs.trace.enabled {
+            for sub in evicted {
+                self.obs.trace.push(SlgEvent::TableEvicted { subgoal: sub });
+            }
+        }
+    }
+
+    /// Engine-side mirror of the machine's assert/retract hook:
+    /// invalidates the tables of every tabled predicate that (transitively)
+    /// depends on `pred`.
+    fn invalidate_dependents(&mut self, pred: PredId) {
+        for dep in self.db.tabled_dependents(pred) {
+            let n = self.tables.invalidate_pred(dep);
+            if n > 0 {
+                self.obs.metrics.add(Counter::TableInvalidations, n as u64);
+                if self.obs.trace.enabled {
+                    self.obs
+                        .trace
+                        .push(SlgEvent::TableInvalidated { pred: dep });
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -372,6 +424,10 @@ impl Engine {
             .dyn_of_mut(pred)
             .expect("declared dynamic")
             .insert(tokens, canon, has_body, at_front);
+        if let Some(b) = c.body.first() {
+            self.db.record_goal_deps(pred, b);
+        }
+        self.invalidate_dependents(pred);
         Ok(())
     }
 
@@ -419,11 +475,40 @@ impl Engine {
         self.tables.abolish_all();
     }
 
+    /// Selectively forgets the tables of one predicate (programmatic
+    /// `abolish_table_pred/1`). Returns the number of tables removed;
+    /// unknown or untabled predicates remove nothing.
+    pub fn abolish_table_pred(&mut self, name: &str, arity: u16) -> usize {
+        let Some(s) = self.syms.lookup(name) else {
+            return 0;
+        };
+        let Some(pred) = self.db.lookup_pred(s, arity) else {
+            return 0;
+        };
+        let n = self.tables.abolish_pred(pred);
+        if n > 0 {
+            self.obs.metrics.add(Counter::TableInvalidations, n as u64);
+            if self.obs.trace.enabled {
+                self.obs.trace.push(SlgEvent::TableInvalidated { pred });
+            }
+        }
+        n
+    }
+
+    /// Sets the table-space answer-store budget in cells (`None` =
+    /// unbounded). When a finished query leaves the store over budget,
+    /// completed tables are evicted least-recently-hit first.
+    pub fn set_table_budget(&mut self, cells: Option<u64>) {
+        self.tables.set_budget(cells);
+    }
+
     /// Switches the table-space index representation (paper §4.5: hash
     /// indexes, or the in-development trie indexing integrated with answer
-    /// storage). Clears existing tables.
+    /// storage). Clears existing tables; keeps the memory budget.
     pub fn set_table_index(&mut self, index: crate::table::TableIndex) {
+        let budget = self.tables.budget();
         self.tables = TableSpace::with_index(index);
+        self.tables.set_budget(budget);
     }
 
     // ------------------------------------------------------------------

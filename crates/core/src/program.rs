@@ -14,7 +14,7 @@
 use crate::builtins::Builtin;
 use crate::dynamic::{DynPred, IndexSpec};
 use crate::instr::{CodeArea, CodePtr, Instr, PredId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use xsb_syntax::{well_known, Sym, SymbolTable, Term};
 
@@ -75,6 +75,11 @@ pub struct Program {
     pub code: CodeArea,
     pub dynamics: Vec<DynPred>,
     pub snippets: Snippets,
+    /// Predicate dependency graph, callee → direct callers. Built from
+    /// clause bodies at consult time and maintained incrementally on
+    /// `assert`; drives table invalidation when a dynamic predicate
+    /// changes ([`Program::tabled_dependents`]).
+    dep_callers: HashMap<PredId, HashSet<PredId>>,
 }
 
 impl Program {
@@ -87,6 +92,7 @@ impl Program {
             code: CodeArea::new(),
             dynamics: Vec::new(),
             snippets: Snippets::default(),
+            dep_callers: HashMap::new(),
         };
         p.snippets.fail = p.code.emit(Instr::Fail);
         p.snippets.findall_collect = p.code.emit(Instr::FindallCollect);
@@ -186,6 +192,48 @@ impl Program {
     pub fn pred_of_goal(&self, goal: &Term) -> Option<PredId> {
         let (f, n) = goal.functor()?;
         self.lookup_pred(f, n as u16)
+    }
+
+    /// Records one dependency edge: `caller` has a clause whose body may
+    /// call `callee`.
+    pub fn record_dep(&mut self, caller: PredId, callee: PredId) {
+        self.dep_callers.entry(callee).or_default().insert(caller);
+    }
+
+    /// Records dependency edges for every predicate a clause-body goal may
+    /// call (descending through `,`/`;`/`->` and the negation wrappers).
+    /// Callees not seen before are created as `Undefined` predicates so
+    /// the edge survives until they are defined.
+    pub fn record_goal_deps(&mut self, caller: PredId, goal: &Term) {
+        for (f, n) in goal_callees(goal) {
+            let callee = self.ensure_pred(f, n);
+            self.record_dep(caller, callee);
+        }
+    }
+
+    /// Tabled predicates that (transitively) depend on `changed`: walks the
+    /// caller edges up from `changed`, collecting every tabled predicate
+    /// reached. These are exactly the tables a change to `changed` can make
+    /// stale. Meta-calls (`call/N` with a runtime-constructed goal) are not
+    /// tracked — see DESIGN.md.
+    pub fn tabled_dependents(&self, changed: PredId) -> Vec<PredId> {
+        let mut seen: HashSet<PredId> = HashSet::new();
+        let mut out = Vec::new();
+        let mut work = vec![changed];
+        seen.insert(changed);
+        while let Some(p) = work.pop() {
+            if self.preds[p as usize].tabled {
+                out.push(p);
+            }
+            if let Some(callers) = self.dep_callers.get(&p) {
+                for &c in callers {
+                    if seen.insert(c) {
+                        work.push(c);
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -471,6 +519,47 @@ mod tests {
         let mut expect = vec![(even, 1), (odd, 1)];
         expect.sort();
         assert_eq!(tabled, expect);
+    }
+
+    #[test]
+    fn dependency_graph_finds_transitive_tabled_callers() {
+        let mut syms = SymbolTable::new();
+        let mut p = Program::new(&mut syms);
+        let edge = p.ensure_pred(syms.intern("edge"), 2);
+        let path = p.ensure_pred(syms.intern("path"), 2);
+        let reach = p.ensure_pred(syms.intern("reach"), 1);
+        let island = p.ensure_pred(syms.intern("island"), 1);
+        p.preds[path as usize].tabled = true;
+        p.preds[reach as usize].tabled = true;
+        p.preds[island as usize].tabled = true;
+        // path calls edge; reach calls path; island calls nothing
+        p.record_dep(path, edge);
+        p.record_dep(reach, path);
+        let mut deps = p.tabled_dependents(edge);
+        deps.sort_unstable();
+        assert_eq!(deps, vec![path, reach], "island is unaffected");
+        assert!(p.tabled_dependents(island).contains(&island));
+    }
+
+    #[test]
+    fn record_goal_deps_descends_control_constructs() {
+        let mut syms = SymbolTable::new();
+        let mut p = Program::new(&mut syms);
+        let ops = OpTable::standard();
+        let items = parse_program("top :- (a, tnot b ; c -> d).", &mut syms, &ops).unwrap();
+        let c = match &items[0] {
+            Item::Clause(c) => c.clone(),
+            _ => panic!(),
+        };
+        let top = p.ensure_pred(syms.lookup("top").unwrap(), 0);
+        p.preds[top as usize].tabled = true;
+        for g in &c.body {
+            p.record_goal_deps(top, g);
+        }
+        for name in ["a", "b", "c", "d"] {
+            let callee = p.lookup_pred(syms.lookup(name).unwrap(), 0).unwrap();
+            assert_eq!(p.tabled_dependents(callee), vec![top], "callee {name}");
+        }
     }
 
     #[test]

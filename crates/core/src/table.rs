@@ -86,8 +86,16 @@ pub struct SubgoalFrame {
     /// for `Existential` mode: the choice point to cut back to when the
     /// first answer arrives
     pub exist_cut_b: u32,
-    /// true when the table was freed (`tcut` / existential negation)
+    /// true when the table was freed (`tcut` / existential negation /
+    /// invalidation / eviction)
     pub deleted: bool,
+    /// query-clock value when this table was created (see
+    /// [`TableSpace::clock`]); `born < clock` means the table is being
+    /// reused by a later query (a cross-query warm hit)
+    pub born: u64,
+    /// query-clock value of the most recent completed-table reuse; the
+    /// eviction policy removes least-recently-hit tables first
+    pub last_hit: u64,
     /// suspensions queued for scheduling after this (leader) subgoal's SCC
     /// completed; drained by the generator choice point's handler
     pub pending_negs: Vec<u32>,
@@ -156,6 +164,15 @@ pub struct TableSpace {
     pub completion_stack: Vec<SubgoalId>,
     dfn_counter: u32,
     pub index: TableIndex,
+    /// frames invalidated while still incomplete: the running query keeps
+    /// its call-time view (logical-update semantics); the frames are freed
+    /// at [`TableSpace::end_query`] so the *next* query recomputes them
+    pending_invalidation: Vec<SubgoalId>,
+    /// answer-store budget in cells; `None` = unbounded
+    budget_cells: Option<u64>,
+    /// query clock: bumped once per `end_query`, stamped into frames at
+    /// creation (`born`) and on completed-table reuse (`last_hit`)
+    clock: u64,
 }
 
 impl TableSpace {
@@ -226,6 +243,8 @@ impl TableSpace {
             compl_pos,
             exist_cut_b,
             deleted: false,
+            born: self.clock,
+            last_hit: self.clock,
             pending_negs: Vec::new(),
             answer_trie: matches!(self.index, TableIndex::Trie).then(TermTrie::new),
         });
@@ -371,21 +390,180 @@ impl TableSpace {
         removed
     }
 
-    /// True when `sub` has users other than the excluded consumer/neg —
-    /// the `tcut` safety check ("are there other users of the table?").
-    pub fn has_other_users(&self, sub: SubgoalId, excluded_neg: u32) -> bool {
+    /// True when `sub` has users other than the suspension anchored at
+    /// choice point `excluded_cp` — the existential-negation/`tcut`
+    /// table-freeing safety check (paper §4.4: "are there other users of
+    /// the table?"). The emulator may only free the table when no live
+    /// consumer and no *other* pending suspension still depends on it.
+    pub fn has_other_users(&self, sub: SubgoalId, excluded_cp: u32) -> bool {
         let f = &self.subgoals[sub as usize];
         f.consumers
             .iter()
             .any(|&c| !self.consumers[c as usize].dead)
-            || f.negs
-                .iter()
-                .any(|&n| n != excluded_neg && !self.negs[n as usize].done)
+            || f.negs.iter().any(|&n| {
+                let ns = &self.negs[n as usize];
+                !ns.done && ns.cp != excluded_cp
+            })
+    }
+
+    /// Hides a frame from future calls: marks it deleted and unlinks it
+    /// from the hash subgoal index. The answer store is NOT released —
+    /// in-flight choice points (`Alt::CompletedAnswers`) may still be
+    /// iterating it. Trie-mode call entries need no surgery: `find`
+    /// filters on `deleted` and re-creation remaps the trie entry.
+    fn unlink_frame(&mut self, id: SubgoalId) {
+        let (pred, canon) = {
+            let f = &mut self.subgoals[id as usize];
+            f.deleted = true;
+            (f.pred, f.canon.clone())
+        };
+        // the lookup entry may already point at a younger frame for the
+        // same variant; only remove it when it is really ours
+        if let Some(m) = self.lookup.get_mut(&pred) {
+            if m.get(canon.as_ref()).copied() == Some(id) {
+                m.remove(canon.as_ref());
+            }
+        }
+    }
+
+    /// Releases a frame's answer store so [`TableSpace::answer_store_cells`]
+    /// shrinks. Only safe when no choice point can still reach the answers.
+    fn free_frame_memory(&mut self, id: SubgoalId) {
+        let f = &mut self.subgoals[id as usize];
+        f.answers = Vec::new();
+        f.answer_set = HashSet::new();
+        f.answer_trie = None;
+        f.subst = Vec::new();
+    }
+
+    /// Fully frees one frame: unlink + release memory. Only safe between
+    /// queries (eviction, end-of-query sweeps).
+    fn kill_frame(&mut self, id: SubgoalId) {
+        self.unlink_frame(id);
+        self.free_frame_memory(id);
+    }
+
+    /// Invalidates `id`. Completed frames are hidden from new calls right
+    /// away (a re-call recomputes) but keep their answer store until
+    /// [`TableSpace::end_query`], since the running query may hold choice
+    /// points into it. Incomplete frames stay fully visible — the running
+    /// query keeps its call-time view — and die at `end_query`. Returns
+    /// `true` if the frame was newly invalidated.
+    fn invalidate_frame(&mut self, id: SubgoalId) -> bool {
+        let f = &self.subgoals[id as usize];
+        if f.deleted || self.pending_invalidation.contains(&id) {
+            return false;
+        }
+        if f.state == SubgoalState::Complete {
+            self.unlink_frame(id);
+        }
+        self.pending_invalidation.push(id);
+        true
+    }
+
+    /// Invalidates every table of predicate `pred` (because a dynamic
+    /// predicate it depends on changed). Completed tables are hidden
+    /// immediately (new calls recompute); incomplete ones keep serving the
+    /// running query; both release memory at `end_query`. Returns the
+    /// number of frames invalidated.
+    pub fn invalidate_pred(&mut self, pred: PredId) -> usize {
+        let mut n = 0;
+        for id in 0..self.subgoals.len() as SubgoalId {
+            if self.subgoals[id as usize].pred == pred && self.invalidate_frame(id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Selectively abolishes every table of predicate `pred` (the
+    /// `abolish_table_pred/1` builtin). Beyond [`TableSpace::invalidate_pred`],
+    /// this also drops the predicate's whole subgoal trie once no live
+    /// frame remains, so trie mode holds no dangling entries that could
+    /// outlive the deleted frames.
+    pub fn abolish_pred(&mut self, pred: PredId) -> usize {
+        let n = self.invalidate_pred(pred);
+        let any_live = self.subgoals.iter().any(|f| f.pred == pred && !f.deleted);
+        if !any_live {
+            self.subgoal_tries.remove(&pred);
+        }
+        n
+    }
+
+    /// Abolishes the single table for one variant call (the
+    /// `abolish_table_call/1` builtin). Returns `true` if such a table
+    /// existed.
+    pub fn abolish_call(&mut self, pred: PredId, canon: &[Cell]) -> bool {
+        match self.find(pred, canon) {
+            Some(id) => self.invalidate_frame(id),
+            None => false,
+        }
+    }
+
+    /// Records a completed-table reuse for the LRU eviction policy.
+    pub fn touch(&mut self, sub: SubgoalId) {
+        self.subgoals[sub as usize].last_hit = self.clock;
+    }
+
+    /// Current query-clock value (bumped once per [`TableSpace::end_query`]).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Sets the answer-store budget in cells (`None` = unbounded).
+    /// Enforced between queries by [`TableSpace::enforce_budget`].
+    pub fn set_budget(&mut self, cells: Option<u64>) {
+        self.budget_cells = cells;
+    }
+
+    pub fn budget(&self) -> Option<u64> {
+        self.budget_cells
+    }
+
+    /// Answer-store cells held by one frame.
+    fn frame_cells(f: &SubgoalFrame) -> u64 {
+        match &f.answer_trie {
+            Some(t) => t.stored_cells(),
+            None => f.answers.iter().map(|a| a.len() as u64).sum(),
+        }
+    }
+
+    /// Evicts completed tables, least-recently-hit first (ties broken by
+    /// age, oldest first), until the answer store fits the budget. Returns
+    /// the evicted subgoal ids so the caller can record metrics.
+    pub fn enforce_budget(&mut self) -> Vec<SubgoalId> {
+        let Some(budget) = self.budget_cells else {
+            return Vec::new();
+        };
+        let mut total = self.answer_store_cells();
+        if total <= budget {
+            return Vec::new();
+        }
+        let mut candidates: Vec<(u64, SubgoalId, u64)> = self
+            .subgoals
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.deleted && f.state == SubgoalState::Complete)
+            .map(|(id, f)| (f.last_hit, id as SubgoalId, Self::frame_cells(f)))
+            .collect();
+        candidates.sort_unstable();
+        let mut evicted = Vec::new();
+        for (_, id, cells) in candidates {
+            if total <= budget {
+                break;
+            }
+            self.kill_frame(id);
+            total = total.saturating_sub(cells);
+            evicted.push(id);
+        }
+        evicted
     }
 
     /// Clears per-query state: consumers, suspensions, completion stack,
     /// and any tables left incomplete (e.g. the user stopped after the
-    /// first solution).
+    /// first solution). Tables invalidated mid-query while incomplete are
+    /// freed here, and the query clock advances so the next query's
+    /// completed-table reuses count as cross-query hits.
     pub fn end_query(&mut self) {
         self.consumers.clear();
         self.negs.clear();
@@ -402,6 +580,11 @@ impl TableSpace {
             f.negs.clear();
             f.gen_cp = NONE;
         }
+        let pending = std::mem::take(&mut self.pending_invalidation);
+        for id in pending {
+            self.kill_frame(id);
+        }
+        self.clock += 1;
     }
 
     /// Removes every table (the `abolish_all_tables/0` builtin).
@@ -413,6 +596,7 @@ impl TableSpace {
         self.negs.clear();
         self.completion_stack.clear();
         self.dfn_counter = 0;
+        self.pending_invalidation.clear();
     }
 
     /// Total cells held by the answer stores — tries share prefixes, so in
@@ -617,5 +801,100 @@ mod tests {
         assert!(ts.frame(a).deleted);
         assert!(!ts.frame(b).deleted);
         assert_eq!(ts.live_tables(), 1);
+    }
+
+    #[test]
+    fn invalidate_pred_frees_completed_and_defers_incomplete() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 7, &[Cell::int(1)]);
+        ts.add_answer(a, canon(&[Cell::int(9)]));
+        ts.complete_scc(a);
+        let b = mk(&mut ts, 7, &[Cell::int(2)]); // still incomplete
+        let other = mk(&mut ts, 8, &[Cell::int(1)]);
+        ts.complete_scc(other);
+        assert_eq!(ts.invalidate_pred(7), 2);
+        assert!(ts.frame(a).deleted, "completed table hidden immediately");
+        assert!(
+            !ts.frame(a).answers.is_empty(),
+            "answer store kept for in-flight choice points until end_query"
+        );
+        assert!(
+            !ts.frame(b).deleted,
+            "incomplete table survives until end_query"
+        );
+        assert!(!ts.frame(other).deleted, "independent predicate untouched");
+        assert_eq!(ts.find(7, &[Cell::int(1)]), None);
+        ts.end_query();
+        assert!(ts.frame(b).deleted, "deferred invalidation lands");
+        assert_eq!(ts.frame(a).answers.len(), 0, "answer store released");
+        // double invalidation is a no-op
+        assert_eq!(ts.invalidate_pred(7), 0);
+    }
+
+    #[test]
+    fn abolish_pred_drops_trie_entries() {
+        let mut ts = TableSpace::with_index(TableIndex::Trie);
+        let a = mk(&mut ts, 3, &[Cell::int(1)]);
+        let _b = mk(&mut ts, 3, &[Cell::int(2)]);
+        ts.complete_scc(a); // completes the whole stack segment: a and b
+        assert_eq!(ts.abolish_pred(3), 2);
+        assert!(!ts.subgoal_tries.contains_key(&3), "subgoal trie dropped");
+        assert_eq!(ts.find(3, &[Cell::int(1)]), None);
+        // re-creating the variant builds a fresh frame, not a resurrection
+        let c = mk(&mut ts, 3, &[Cell::int(1)]);
+        assert_ne!(c, a);
+        assert_eq!(ts.find(3, &[Cell::int(1)]), Some(c));
+    }
+
+    #[test]
+    fn abolish_call_is_per_variant() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 3, &[Cell::int(1)]);
+        let b = mk(&mut ts, 3, &[Cell::int(2)]);
+        ts.complete_scc(a); // completes the whole stack segment: a and b
+        assert!(ts.abolish_call(3, &[Cell::int(1)]));
+        assert!(!ts.abolish_call(3, &[Cell::int(1)]), "already gone");
+        assert_eq!(ts.find(3, &[Cell::int(1)]), None);
+        assert_eq!(ts.find(3, &[Cell::int(2)]), Some(b));
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_hit_first() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::int(1)]);
+        for i in 0..4 {
+            ts.add_answer(a, canon(&[Cell::int(i)]));
+        }
+        ts.complete_scc(a);
+        ts.end_query();
+        let b = mk(&mut ts, 0, &[Cell::int(2)]);
+        for i in 0..4 {
+            ts.add_answer(b, canon(&[Cell::int(i)]));
+        }
+        ts.complete_scc(b);
+        ts.touch(b); // b hit in the current query epoch; a never re-hit
+        ts.end_query();
+        assert_eq!(ts.answer_store_cells(), 8);
+        ts.set_budget(Some(6));
+        let evicted = ts.enforce_budget();
+        assert_eq!(evicted, vec![a], "least-recently-hit table goes first");
+        assert!(ts.frame(a).deleted);
+        assert!(!ts.frame(b).deleted);
+        assert!(ts.answer_store_cells() <= 6);
+        // already under budget: nothing more to do
+        assert!(ts.enforce_budget().is_empty());
+    }
+
+    #[test]
+    fn clock_advances_per_query_and_marks_cross_query_reuse() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::int(1)]);
+        ts.complete_scc(a);
+        assert_eq!(ts.frame(a).born, ts.clock(), "same-query: born == clock");
+        ts.end_query();
+        assert!(
+            ts.frame(a).born < ts.clock(),
+            "next query sees an older table"
+        );
     }
 }

@@ -471,4 +471,14 @@ fn trie_index_survives_abolish_and_requery() {
     assert_eq!(e.count("path(1, X)").unwrap(), 2);
     // warm-table lookup also works in trie mode
     assert_eq!(e.count("path(1, X)").unwrap(), 2);
+    // selective abolish drops the subgoal trie, and a re-query rebuilds a
+    // fresh frame rather than resurrecting the deleted one
+    assert!(e.holds("abolish_table_pred(path/2)").unwrap());
+    assert_eq!(e.table_count(), 0);
+    assert_eq!(e.count("path(1, X)").unwrap(), 2);
+    // per-variant abolish in trie mode: remaps the call-trie entry on
+    // re-creation instead of leaving it dangling
+    assert!(e.holds("abolish_table_call(path(1, _))").unwrap());
+    assert_eq!(e.count("path(1, X)").unwrap(), 2);
+    assert_eq!(e.count("path(2, X)").unwrap(), 2);
 }

@@ -46,10 +46,19 @@ pub enum Counter {
     NegationSuspends,
     /// Delayed negative literals simplified/resumed after completion.
     NegationResumes,
+    /// Completed tables reused by a later query (cross-query warm hits).
+    TableHits,
+    /// Tabled calls that had to build a fresh subgoal (cold misses).
+    TableMisses,
+    /// Subgoal frames invalidated by assert/retract dependency tracking
+    /// or by a manual `abolish_table_pred/1` / `abolish_table_call/1`.
+    TableInvalidations,
+    /// Completed tables evicted to stay under the table-space budget.
+    TableEvictions,
 }
 
 impl Counter {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 19;
 
     /// `statistics/2` keys, in report order.
     pub const NAMES: [&'static str; Counter::COUNT] = [
@@ -68,6 +77,10 @@ impl Counter {
         "subgoals_completed",
         "negation_suspends",
         "negation_resumes",
+        "table_hits",
+        "table_misses",
+        "table_invalidations",
+        "table_evictions",
     ];
 
     pub fn name(self) -> &'static str {
@@ -323,8 +336,9 @@ mod tests {
     #[test]
     fn counter_names_match_count() {
         assert_eq!(Counter::NAMES.len(), Counter::COUNT);
-        assert_eq!(Counter::NegationResumes as usize, Counter::COUNT - 1);
+        assert_eq!(Counter::TableEvictions as usize, Counter::COUNT - 1);
         assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
+        assert_eq!(Counter::TableHits.name(), "table_hits");
     }
 
     #[test]

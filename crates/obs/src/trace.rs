@@ -34,6 +34,12 @@ pub enum SlgEvent {
     /// The scheduler took a backtrack step (`depth` = choice-point stack
     /// depth after the step).
     Backtrack { depth: u32 },
+    /// Tables of predicate `pred` were invalidated because a dynamic
+    /// predicate they depend on changed (or a manual abolish ran).
+    TableInvalidated { pred: u32 },
+    /// Completed table `subgoal` was evicted to stay under the
+    /// table-space memory budget.
+    TableEvicted { subgoal: u32 },
 }
 
 impl SlgEvent {
@@ -49,6 +55,8 @@ impl SlgEvent {
             SlgEvent::NegSuspend { .. } => "neg_suspend",
             SlgEvent::NegResume { .. } => "neg_resume",
             SlgEvent::Backtrack { .. } => "backtrack",
+            SlgEvent::TableInvalidated { .. } => "table_invalidated",
+            SlgEvent::TableEvicted { .. } => "table_evicted",
         }
     }
 }
@@ -243,6 +251,8 @@ mod tests {
             SlgEvent::NegSuspend { subgoal: 0 },
             SlgEvent::NegResume { subgoal: 0 },
             SlgEvent::Backtrack { depth: 0 },
+            SlgEvent::TableInvalidated { pred: 0 },
+            SlgEvent::TableEvicted { subgoal: 0 },
         ];
         let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

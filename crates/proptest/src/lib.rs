@@ -1,0 +1,512 @@
+//! A minimal, zero-dependency stand-in for the `proptest` crate.
+//!
+//! The offline workspace cannot fetch the real `proptest`, but the
+//! property tests (`tests/proptest_invariants.rs`, `tests/cross_engine.rs`,
+//! `crates/core/tests/machine_props.rs`) are too valuable to leave dead.
+//! This crate implements exactly the API surface those files use —
+//! `Strategy` with `prop_map`/`prop_recursive`/`boxed`, integer-range and
+//! tuple strategies, `collection::vec`, `sample::select`, and the
+//! `proptest!`/`prop_oneof!`/`prop_assert*!` macros — over a deterministic
+//! xorshift generator seeded from the test name, so runs are reproducible
+//! and need no shrinking machinery. It is NOT a general replacement: no
+//! shrinking, no persistence, no `any::<T>()`.
+
+/// Deterministic xorshift64* generator. Every test gets a seed derived
+/// from its own name, so failures reproduce exactly across runs.
+#[derive(Debug, Clone)]
+pub struct Prng(u64);
+
+impl Prng {
+    pub fn new(seed: u64) -> Self {
+        // avoid the all-zero fixpoint
+        Prng(seed | 0x9e37_79b9_7f4a_7c15)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a, used to turn a test name into a seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub mod strategy {
+    use super::Prng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Value`. Unlike the real proptest,
+    /// generation is direct (no value trees, no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut Prng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a bounded recursive strategy: `depth` levels where each
+        /// level picks a leaf or one branch over the previous level. The
+        /// `_desired_size`/`_expected_branch` hints of the real API are
+        /// accepted and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let branch = f(cur).boxed();
+                let l = leaf.clone();
+                cur = BoxedStrategy(Rc::new(move |rng: &mut Prng| {
+                    if rng.below(2) == 0 {
+                        l.generate(rng)
+                    } else {
+                        branch.generate(rng)
+                    }
+                }));
+            }
+            cur
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut Prng| s.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cloneable strategy (the closure is shared).
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn Fn(&mut Prng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut Prng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut Prng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives — the `prop_oneof!` body.
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut Prng) -> V {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Prng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Prng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i64, i32, u32, u64, usize, u16, u8);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut Prng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut Prng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// `Just(v)` — always produces a clone of `v`.
+    #[derive(Clone, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut Prng) -> V {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::Prng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Prng) -> Vec<S::Value> {
+            let width = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(width) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::Prng;
+
+    pub struct Select<T: 'static>(&'static [T]);
+
+    /// Uniform choice from a static slice (values are cloned out).
+    pub fn select<T: Clone + 'static>(options: &'static [T]) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty slice");
+        Select(options)
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Prng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::{fnv1a, Prng};
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The error produced by `prop_assert*!` failures.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Drives one property: `cases` generated inputs through `case`.
+    /// Deterministic — the RNG stream depends only on the test name.
+    pub fn run(
+        name: &str,
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut Prng) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = Prng::new(fnv1a(name));
+        for i in 0..config.cases {
+            if let Err(e) = case(&mut rng) {
+                panic!("property {name} failed at case {i}/{}: {e}", config.cases);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs. The body is
+/// wrapped in a closure returning `Result<(), TestCaseError>`, so `?` and
+/// the `prop_assert*!` macros work as in the real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($config) $($rest)*);
+    };
+    (@with ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                let mut case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                case()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} == {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Prng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Prng::new(42);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let w = Strategy::generate(&(1i64..=6), &mut rng);
+            assert!((1..=6).contains(&w));
+            let u = Strategy::generate(&(100u32..104), &mut rng);
+            assert!((100..104).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_shapes() {
+        let mut rng = Prng::new(7);
+        let s = crate::collection::vec((1i64..=8, 1i64..=8), 1..20);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v
+                .iter()
+                .all(|&(a, b)| (1..=8).contains(&a) && (1..=8).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = Prng::new(seed);
+            let s = crate::collection::vec(0i64..100, 1..10);
+            (0..20)
+                .map(|_| Strategy::generate(&s, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    #[test]
+    fn select_draws_from_slice() {
+        static OPTS: [&str; 3] = ["a", "b", "c"];
+        let s = crate::sample::select(&OPTS);
+        let mut rng = Prng::new(3);
+        for _ in 0..50 {
+            assert!(OPTS.contains(&Strategy::generate(&s, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_is_depth_bounded() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(k) => 1 + k.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 20, 3, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(T::Node)
+            });
+        let mut rng = Prng::new(11);
+        for _ in 0..200 {
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 3);
+        }
+    }
+
+    // the macro surface itself, end to end
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(mut xs in crate::collection::vec(0i64..50, 0..8), k in 1i64..=4) {
+            xs.push(k);
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(*xs.last().unwrap(), k);
+            prop_assert_ne!(xs.len(), 0, "len {}", xs.len());
+            let helper = || -> Result<(), TestCaseError> {
+                prop_assert!(k >= 1);
+                Ok(())
+            };
+            helper()?;
+        }
+    }
+}

@@ -20,6 +20,10 @@ cargo build --release --workspace --offline
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
+echo "== cargo test --features proptest (deterministic property tests)"
+cargo test -q --offline --features proptest
+cargo test -q --offline -p xsb-core --features proptest
+
 echo "== bench smoke run (JSON artifact)"
 cargo run --release --offline -p xsb-bench --bin harness -- \
     fig2 --quick --json "$ARTIFACT_DIR/bench.json"
@@ -27,5 +31,20 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
     "$ARTIFACT_DIR/bench.json" 2>/dev/null \
     || grep -q '"schema"' "$ARTIFACT_DIR/bench.json"
 echo "bench artifact: $ARTIFACT_DIR/bench.json"
+
+echo "== serving smoke run (table lifetime counters)"
+cargo run --release --offline -p xsb-bench --bin harness -- \
+    serving --quick --json "$ARTIFACT_DIR/serving.json"
+python3 - "$ARTIFACT_DIR/serving.json" <<'PY' || grep -o '"serving":{[^}]*}' "$ARTIFACT_DIR/serving.json"
+import json, sys
+s = json.load(open(sys.argv[1]))["serving"]
+print("table lifetime: hits=%d misses=%d invalidations=%d evictions=%d "
+      "warm_speedup=%.1fx"
+      % (s["table_hits"], s["table_misses"], s["table_invalidations"],
+         s["table_evictions"], s["warm_speedup"]))
+assert s["table_hits"] > 0 and s["table_invalidations"] > 0 \
+    and s["table_evictions"] > 0, "serving counters did not move"
+PY
+echo "serving artifact: $ARTIFACT_DIR/serving.json"
 
 echo "CI OK"
