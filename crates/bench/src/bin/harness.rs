@@ -5,14 +5,15 @@
 //! ```
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
-//! append hilog dynamic-vs-static bulkload serving wfs all` (default
-//! `all`).
+//! append hilog dynamic-vs-static bulkload serving factoring wfs all`
+//! (default `all`).
 //!
 //! `--json PATH` additionally writes a machine-readable report: per-
 //! experiment wall-clock seconds, an engine-counter snapshot from an
 //! instrumented reference workload (win/1 height 4 + path/2 over a
-//! cycle), and — when the `serving` experiment ran — its warm-vs-cold
-//! timings and table hit/invalidation/eviction counters.
+//! cycle), and — when the `serving` or `factoring` experiments ran —
+//! their warm-vs-cold timings, table counters, and answer-store cell
+//! accounting.
 
 use std::time::Instant;
 use xsb_bench::runners::*;
@@ -39,6 +40,7 @@ fn main() {
 
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut serving_report: Option<ServingReport> = None;
+    let mut factoring_rows: Option<Vec<FactoringRow>> = None;
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
         f();
@@ -57,6 +59,7 @@ fn main() {
         "dynamic-vs-static" => run("dynamic-vs-static", &mut || dynamic_vs_static(quick)),
         "bulkload" => run("bulkload", &mut || bulkload(quick)),
         "serving" => run("serving", &mut || serving_report = Some(serving(quick))),
+        "factoring" => run("factoring", &mut || factoring_rows = Some(factoring(quick))),
         "wfs" => run("wfs", &mut wfs),
         "ablation-tables" => run("ablation-tables", &mut || ablation_tables(quick)),
         "ablation-seminaive" => run("ablation-seminaive", &mut || ablation_seminaive(quick)),
@@ -72,6 +75,7 @@ fn main() {
             run("dynamic-vs-static", &mut || dynamic_vs_static(quick));
             run("bulkload", &mut || bulkload(quick));
             run("serving", &mut || serving_report = Some(serving(quick)));
+            run("factoring", &mut || factoring_rows = Some(factoring(quick)));
             run("ablation-tables", &mut || ablation_tables(quick));
             run("ablation-seminaive", &mut || ablation_seminaive(quick));
             run("wfs", &mut wfs);
@@ -83,7 +87,13 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let report = json_report(&arg, quick, &timings, serving_report.as_ref());
+        let report = json_report(
+            &arg,
+            quick,
+            &timings,
+            serving_report.as_ref(),
+            factoring_rows.as_deref(),
+        );
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -99,6 +109,7 @@ fn json_report(
     quick: bool,
     timings: &[(String, f64)],
     serving: Option<&ServingReport>,
+    factoring: Option<&[FactoringRow]>,
 ) -> Json {
     let experiments = Json::Arr(
         timings
@@ -136,6 +147,29 @@ fn json_report(
                 ("table_invalidations", Json::Int(s.invalidations as i64)),
                 ("table_evictions", Json::Int(s.evictions as i64)),
             ]),
+        ));
+    }
+    if let Some(rows) = factoring {
+        fields.push((
+            "factoring",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("n", Json::Int(r.n)),
+                            ("index", Json::str(r.index)),
+                            ("factored", Json::Bool(r.factored)),
+                            ("store_cells", Json::Int(r.store_cells as i64)),
+                            ("answer_cells_factored", Json::Int(r.cells_factored as i64)),
+                            ("answer_cells_full", Json::Int(r.cells_full as i64)),
+                            ("answer_cells_saved", Json::Int(r.cells_saved as i64)),
+                            ("cold_secs", Json::Num(r.cold_secs)),
+                            ("warm_secs", Json::Num(r.warm_secs)),
+                            ("warm_answers_per_sec", Json::Num(r.warm_answers_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ));
     }
     Json::obj(fields)
@@ -383,6 +417,33 @@ fn serving(quick: bool) -> ServingReport {
     r
 }
 
+fn factoring(quick: bool) -> Vec<FactoringRow> {
+    header("E14 / §4.5 — substitution factoring: answer store and warm serving of path(1,X)");
+    println!("answers store only the bindings of the call's distinct variables;");
+    println!("the full-tuple baseline re-expands the call skeleton into every answer");
+    let sizes: &[i64] = if quick { &[64, 256] } else { &[64, 256, 1024] };
+    let warm_reps = if quick { 3 } else { 5 };
+    let rows = run_factoring(sizes, warm_reps);
+    println!(
+        "{:>6} {:>6} {:>10} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "n", "index", "store", "store cells", "saved cells", "cold (s)", "warm (s)", "warm ans/s"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>6} {:>10} {:>12} {:>12} {:>12.6} {:>12.6} {:>14.0}",
+            r.n,
+            r.index,
+            if r.factored { "factored" } else { "full" },
+            r.store_cells,
+            r.cells_saved,
+            r.cold_secs,
+            r.warm_secs,
+            r.warm_answers_per_sec
+        );
+    }
+    rows
+}
+
 fn ablation_tables(quick: bool) {
     header("Ablation / §4.5 — hash vs trie table indexing (path over full cycle closure)");
     println!("paper: trie indexing \"will both decrease the space and the time necessary for saving answers\"");
@@ -393,19 +454,29 @@ fn ablation_tables(quick: bool) {
     };
     let reps = if quick { 2 } else { 3 };
     println!(
-        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
-        "n", "hash (s)", "trie (s)", "t/h", "hash cells", "trie cells", "space"
+        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "n",
+        "hash (s)",
+        "trie (s)",
+        "t/h",
+        "hash cells",
+        "trie cells",
+        "space",
+        "hash unfac",
+        "trie unfac"
     );
     for r in run_table_index_ablation(sizes, reps) {
         println!(
-            "{:>6} {:>12.6} {:>12.6} {:>8.2} {:>12} {:>12} {:>8.2}",
+            "{:>6} {:>12.6} {:>12.6} {:>8.2} {:>12} {:>12} {:>8.2} {:>12} {:>12}",
             r.n,
             r.hash_secs,
             r.trie_secs,
             r.trie_secs / r.hash_secs,
             r.hash_cells,
             r.trie_cells,
-            r.trie_cells as f64 / r.hash_cells as f64
+            r.trie_cells as f64 / r.hash_cells as f64,
+            r.hash_unfactored_cells,
+            r.trie_unfactored_cells
         );
     }
 }

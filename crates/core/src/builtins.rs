@@ -79,6 +79,7 @@ pub enum Builtin {
     AbolishTablePred,
     AbolishTableCall,
     SetTableBudget,
+    SetAnswerFactoring,
     // observability
     Statistics0,
     Statistics2,
@@ -168,6 +169,7 @@ impl Builtin {
             ("abolish_table_pred", 1, Builtin::AbolishTablePred),
             ("abolish_table_call", 1, Builtin::AbolishTableCall),
             ("set_table_budget", 1, Builtin::SetTableBudget),
+            ("set_answer_factoring", 1, Builtin::SetAnswerFactoring),
             ("statistics", 0, Builtin::Statistics0),
             ("statistics", 2, Builtin::Statistics2),
             ("tables", 0, Builtin::TablesB),
@@ -358,6 +360,21 @@ pub fn exec_builtin(
             let n = v.int_value();
             m.tables
                 .set_budget(if n <= 0 { None } else { Some(n as u64) });
+            Ok(BAction::Continue)
+        }
+        Builtin::SetAnswerFactoring => {
+            let v = m.deref(m.x[0]);
+            let name = (v.tag() == Tag::Con).then(|| syms.name(v.sym()).to_string());
+            match name.as_deref() {
+                Some("on") => m.tables.set_factored(true),
+                Some("off") => m.tables.set_factored(false),
+                _ => {
+                    return Err(EngineError::Type {
+                        expected: "'on' or 'off'",
+                        found: format!("{v:?}"),
+                    })
+                }
+            }
             Ok(BAction::Continue)
         }
         Builtin::Statistics0 => {

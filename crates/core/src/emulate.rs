@@ -856,7 +856,7 @@ impl Machine<'_> {
                         queue.extend(negs);
                         // consumers that have drained a now-complete table
                         // will never receive more answers
-                        let nanswers = self.tables.frame(m).answers.len();
+                        let nanswers = self.tables.frame(m).store.len();
                         let conss = self.tables.frame(m).consumers.clone();
                         for cid in conss {
                             if self.tables.consumers[cid as usize].cursor as usize >= nanswers {
@@ -893,7 +893,7 @@ impl Machine<'_> {
             let f = self.tables.frame(m);
             for &cid in &f.consumers {
                 let c = &self.tables.consumers[cid as usize];
-                if !c.dead && (c.cursor as usize) < f.answers.len() {
+                if !c.dead && (c.cursor as usize) < f.store.len() {
                     return Some(cid);
                 }
             }
@@ -972,32 +972,10 @@ impl Machine<'_> {
                 self.b = cp_idx;
                 self.cps[cp_idx as usize].alt = Alt::NegScheduled { leader };
                 // instantiate the template for each answer
-                let subst = self.tables.negs[neg as usize].subst.clone();
-                let answers: Vec<Rc<[Cell]>> = self.tables.frame(sub).answers.to_vec();
-                let nvars = self.tables.frame(sub).nvars as usize;
-                let mut collected: Vec<Box<[Cell]>> = Vec::with_capacity(answers.len());
-                for ans in answers {
-                    let mark = self.tip;
-                    let roots = self.decode_canon(&ans, nvars);
-                    let mut ok = true;
-                    for (i, r) in roots.iter().enumerate() {
-                        if !self.unify(Cell::r#ref(subst[i] as usize), *r) {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        let mut vs = Vec::new();
-                        collected.push(self.canonicalize(&[template], &mut vs));
-                    }
-                    self.unwind_to(mark);
-                }
-                let items: Vec<Cell> = collected
-                    .iter()
-                    .map(|c| self.decode_canon(c, 1)[0])
-                    .collect();
-                let list = self.make_list(&items);
-                if self.unify(result, list) {
+                let subst = std::mem::take(&mut self.tables.negs[neg as usize].subst);
+                let ok = self.tfindall_list(sub, &subst, template, result);
+                self.tables.negs[neg as usize].subst = subst;
+                if ok {
                     self.p = resume;
                     Ok(true)
                 } else {
@@ -1041,23 +1019,30 @@ impl Machine<'_> {
                 (c.sub, c.cursor as usize)
             };
             let f = self.tables.frame(sub);
-            if cursor < f.answers.len() {
-                let ans = f.answers[cursor].clone();
+            if cursor < f.store.len() {
                 let nvars = f.nvars as usize;
+                let template = if f.factored {
+                    None
+                } else {
+                    Some(f.canon.clone())
+                };
+                let (off, len) = f.store.span(cursor);
                 self.tables.consumers[cons as usize].cursor += 1;
-                let subst = self.tables.consumers[cons as usize].subst.clone();
-                // unify the answer directly against the canonical cells:
-                // atomic bindings never materialize table terms on the heap
-                let mut tvars: Vec<Option<Cell>> = Vec::new();
-                let mut pos = 0usize;
-                let mut ok = true;
-                for &slot in subst.iter().take(nvars) {
-                    if !self.unify_canon_one(&ans, &mut pos, &mut tvars, Cell::r#ref(slot as usize))
-                    {
-                        ok = false;
-                        break;
-                    }
-                }
+                // zero-copy answer return: take the frame's arena (and the
+                // consumer's substitution factor) out of the table space,
+                // bind the factored cells directly against the heap, then
+                // put both back — no per-answer clone or allocation
+                let cells = self.tables.frame_mut(sub).store.take_cells();
+                let subst = std::mem::take(&mut self.tables.consumers[cons as usize].subst);
+                let mut tvars = std::mem::take(&mut self.scratch_tvars);
+                let ans = &cells[off as usize..(off + len) as usize];
+                let ok = match &template {
+                    None => self.bind_factored_answer(ans, &subst, nvars, &mut tvars),
+                    Some(t) => self.bind_unfactored_answer(t, ans, &subst, &mut tvars),
+                };
+                self.scratch_tvars = tvars;
+                self.tables.consumers[cons as usize].subst = subst;
+                self.tables.frame_mut(sub).store.put_cells(cells);
                 if ok {
                     self.p = self.cont;
                     return Ok(true);
@@ -1095,6 +1080,59 @@ impl Machine<'_> {
         }
     }
 
+    /// Binds one factored answer against a call's substitution factor:
+    /// the k-th binding in `ans` is bound *directly* onto the saved heap
+    /// address `subst[k]`, with `unify_canon_one` falling back to full
+    /// unification only for cells that are already bound. No tuple is
+    /// rebuilt and nothing is copied — `ans` is a slice of the frame's
+    /// arena (taken out by the caller) and `tvars` is a reused scratch
+    /// map for answer-local variables.
+    fn bind_factored_answer(
+        &mut self,
+        ans: &[Cell],
+        subst: &[u32],
+        nvars: usize,
+        tvars: &mut Vec<Option<Cell>>,
+    ) -> bool {
+        tvars.clear();
+        let mut pos = 0usize;
+        for &slot in subst.iter().take(nvars) {
+            if !self.unify_canon_one(ans, &mut pos, tvars, Cell::r#ref(slot as usize)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Unfactored-baseline answer return: walks the call template and the
+    /// stored full argument tuple in lockstep — ground skeleton cells are
+    /// identical by construction and just skipped; at each variable
+    /// position the binding subterm is bound against `subst` like in
+    /// [`Machine::bind_factored_answer`].
+    fn bind_unfactored_answer(
+        &mut self,
+        template: &[Cell],
+        ans: &[Cell],
+        subst: &[u32],
+        tvars: &mut Vec<Option<Cell>>,
+    ) -> bool {
+        tvars.clear();
+        let mut a = 0usize;
+        for &c in template.iter() {
+            if c.tag() == Tag::TVar {
+                let k = c.tvar_index();
+                if !self.unify_canon_one(ans, &mut a, tvars, Cell::r#ref(subst[k] as usize)) {
+                    return false;
+                }
+            } else {
+                debug_assert_eq!(ans[a], c, "ground skeleton matches the template");
+                a += 1;
+            }
+        }
+        debug_assert_eq!(a, ans.len(), "answer tuple fully consumed");
+        true
+    }
+
     /// Restores the leader's completion context and continues its
     /// scheduling loop.
     fn return_to_leader(
@@ -1112,7 +1150,7 @@ impl Machine<'_> {
     /// Answer return from a completed table (no generator involved).
     fn completed_call(&mut self, sub: u32, subst: Vec<u32>) -> Result<Disp, EngineError> {
         let f = self.tables.frame(sub);
-        match f.answers.len() {
+        match f.store.len() {
             0 => Ok(Disp::Failed),
             n => {
                 let subst: Rc<[u32]> = Rc::from(subst.into_boxed_slice());
@@ -1137,18 +1175,26 @@ impl Machine<'_> {
 
     fn completed_answer(&mut self, sub: u32, idx: usize, subst: &[u32]) -> bool {
         let f = self.tables.frame(sub);
-        let ans = f.answers[idx].clone();
         let nvars = f.nvars as usize;
-        let mut tvars: Vec<Option<Cell>> = Vec::new();
-        let mut pos = 0usize;
-        for (i, &addr) in subst.iter().enumerate().take(nvars) {
-            let _ = i;
-            if !self.unify_canon_one(&ans, &mut pos, &mut tvars, Cell::r#ref(addr as usize)) {
-                return false;
-            }
+        let template = if f.factored {
+            None
+        } else {
+            Some(f.canon.clone())
+        };
+        let (off, len) = f.store.span(idx);
+        let cells = self.tables.frame_mut(sub).store.take_cells();
+        let mut tvars = std::mem::take(&mut self.scratch_tvars);
+        let ans = &cells[off as usize..(off + len) as usize];
+        let ok = match &template {
+            None => self.bind_factored_answer(ans, subst, nvars, &mut tvars),
+            Some(t) => self.bind_unfactored_answer(t, ans, subst, &mut tvars),
+        };
+        self.scratch_tvars = tvars;
+        self.tables.frame_mut(sub).store.put_cells(cells);
+        if ok {
+            self.p = self.cont;
         }
-        self.p = self.cont;
-        true
+        ok
     }
 
     /// Records an answer for `gen` from the current bindings of its
@@ -1169,12 +1215,53 @@ impl Machine<'_> {
                 p.arity
             )));
         }
-        let subst = self.tables.frame(gen).subst.clone();
-        let roots: Vec<Cell> = subst.iter().map(|&a| Cell::r#ref(a as usize)).collect();
-        let mut vs = Vec::new();
+        // canonicalize the bindings of the substitution factor — the
+        // factored answer — into reused scratch buffers (no allocation on
+        // this path, and the cells are only copied into the frame's arena
+        // when the answer turns out to be genuinely new)
+        let mut roots = std::mem::take(&mut self.scratch_roots);
+        roots.clear();
+        roots.extend(
+            self.tables
+                .frame(gen)
+                .subst
+                .iter()
+                .map(|&a| Cell::r#ref(a as usize)),
+        );
+        let mut vs = std::mem::take(&mut self.scratch_vars);
+        vs.clear();
         let mut canon = std::mem::take(&mut self.scratch_canon);
         self.canonicalize_into(&roots, &mut vs, &mut canon);
-        if self.tables.has_answer(gen, &canon) {
+        self.scratch_roots = roots;
+        self.scratch_vars = vs;
+        // single walk: the duplicate probe and the insert share one pass
+        let is_new = if self.tables.frame(gen).factored {
+            self.tables.add_answer(gen, &canon)
+        } else {
+            // baseline mode: expand back to the full argument tuple by
+            // splicing each binding at its template positions (template
+            // variables are numbered in first-occurrence order, so the
+            // expansion stays canonical)
+            let nvars = self.tables.frame(gen).nvars as usize;
+            let template = self.tables.frame(gen).canon.clone();
+            let mut spans = std::mem::take(&mut self.scratch_spans);
+            crate::table::canon_root_spans(&canon, nvars, &mut spans);
+            let mut full = std::mem::take(&mut self.scratch_full);
+            full.clear();
+            for &c in template.iter() {
+                if c.tag() == Tag::TVar {
+                    let (o, l) = spans[c.tvar_index()];
+                    full.extend_from_slice(&canon[o as usize..(o + l) as usize]);
+                } else {
+                    full.push(c);
+                }
+            }
+            let r = self.tables.add_answer(gen, &full);
+            self.scratch_spans = spans;
+            self.scratch_full = full;
+            r
+        };
+        if !is_new {
             self.scratch_canon = canon;
             self.obs.metrics.bump(Counter::DuplicateAnswers);
             if self.obs.trace.enabled {
@@ -1184,12 +1271,35 @@ impl Machine<'_> {
             }
             return Ok(Disp::Failed);
         }
-        let is_new = self.tables.add_answer(gen, Rc::from(canon.as_slice()));
+        // cell accounting: what factoring stores vs. what the same answer
+        // costs as a full argument tuple (skeleton re-expanded at every
+        // variable occurrence)
+        let factored_cells = canon.len() as u64;
+        let full_cells = {
+            let mut spans = std::mem::take(&mut self.scratch_spans);
+            let nvars = self.tables.frame(gen).nvars as usize;
+            crate::table::canon_root_spans(&canon, nvars, &mut spans);
+            let f = self.tables.frame(gen);
+            let total = f.ground_cells as u64
+                + f.var_occ
+                    .iter()
+                    .zip(spans.iter())
+                    .map(|(&occ, &(_, l))| occ as u64 * l as u64)
+                    .sum::<u64>();
+            self.scratch_spans = spans;
+            total
+        };
         self.scratch_canon = canon;
-        debug_assert!(is_new);
         self.obs.metrics.bump(Counter::AnswersRecorded);
+        self.obs
+            .metrics
+            .add(Counter::AnswerCellsFactored, factored_cells);
+        self.obs.metrics.add(Counter::AnswerCellsFull, full_cells);
+        self.obs
+            .metrics
+            .add(Counter::AnswerCellsSaved, full_cells - factored_cells);
         if self.obs.trace.enabled {
-            let answer = self.tables.frame(gen).answers.len() as u32 - 1;
+            let answer = self.tables.frame(gen).store.len() as u32 - 1;
             self.obs.trace.push(SlgEvent::NewAnswer {
                 subgoal: gen,
                 answer,
@@ -1437,35 +1547,48 @@ impl Machine<'_> {
         result: Cell,
         subst: &[u32],
     ) -> Result<BAction, EngineError> {
-        let answers: Vec<Rc<[Cell]>> = self.tables.frame(sub).answers.to_vec();
+        Ok(if self.tfindall_list(sub, subst, template, result) {
+            BAction::Continue
+        } else {
+            BAction::Fail
+        })
+    }
+
+    /// Instantiates `template` once per stored answer of table `sub`
+    /// (binding the suspension's substitution factor directly against the
+    /// factored cells, unwinding between answers), then unifies the list
+    /// of collected copies with `result`.
+    fn tfindall_list(&mut self, sub: u32, subst: &[u32], template: Cell, result: Cell) -> bool {
         let nvars = self.tables.frame(sub).nvars as usize;
-        let mut collected: Vec<Box<[Cell]>> = Vec::with_capacity(answers.len());
-        for ans in answers {
+        let factored = self.tables.frame(sub).factored;
+        let call_canon = self.tables.frame(sub).canon.clone();
+        let n = self.tables.frame(sub).store.len();
+        let mut collected: Vec<Box<[Cell]>> = Vec::with_capacity(n);
+        let mut tvars = std::mem::take(&mut self.scratch_tvars);
+        for idx in 0..n {
             let mark = self.tip;
-            let roots = self.decode_canon(&ans, nvars);
-            let mut ok = true;
-            for (i, r) in roots.iter().enumerate() {
-                if !self.unify(Cell::r#ref(subst[i] as usize), *r) {
-                    ok = false;
-                    break;
-                }
-            }
+            let (off, len) = self.tables.frame(sub).store.span(idx);
+            let cells = self.tables.frame_mut(sub).store.take_cells();
+            let ans = &cells[off as usize..(off + len) as usize];
+            let ok = if factored {
+                self.bind_factored_answer(ans, subst, nvars, &mut tvars)
+            } else {
+                self.bind_unfactored_answer(&call_canon, ans, subst, &mut tvars)
+            };
+            self.tables.frame_mut(sub).store.put_cells(cells);
             if ok {
                 let mut vs = Vec::new();
                 collected.push(self.canonicalize(&[template], &mut vs));
             }
             self.unwind_to(mark);
         }
+        self.scratch_tvars = tvars;
         let items: Vec<Cell> = collected
             .iter()
             .map(|c| self.decode_canon(c, 1)[0])
             .collect();
         let list = self.make_list(&items);
-        Ok(if self.unify(result, list) {
-            BAction::Continue
-        } else {
-            BAction::Fail
-        })
+        self.unify(result, list)
     }
 
     // ------------------------------------------------------------------
@@ -1533,7 +1656,7 @@ impl Machine<'_> {
                 }
                 Alt::CompletedAnswers { sub, idx, subst } => {
                     let idx = idx as usize;
-                    let n = self.tables.frame(sub).answers.len();
+                    let n = self.tables.frame(sub).store.len();
                     if idx + 1 >= n {
                         self.b = self.cps[i as usize].prev;
                     } else {

@@ -507,8 +507,19 @@ impl Engine {
     /// storage). Clears existing tables; keeps the memory budget.
     pub fn set_table_index(&mut self, index: crate::table::TableIndex) {
         let budget = self.tables.budget();
+        let factored = self.tables.factored();
         self.tables = TableSpace::with_index(index);
         self.tables.set_budget(budget);
+        self.tables.set_factored(factored);
+    }
+
+    /// Switches substitution factoring for *new* tables: `true` (the
+    /// default) stores answers as bindings of the call's distinct
+    /// variables; `false` stores full argument tuples (the paper's
+    /// pre-factoring baseline, kept for the `factoring` ablation). Frames
+    /// already created keep the representation they were built with.
+    pub fn set_answer_factoring(&mut self, on: bool) {
+        self.tables.set_factored(on);
     }
 
     // ------------------------------------------------------------------

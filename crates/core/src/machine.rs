@@ -192,6 +192,17 @@ pub struct Machine<'p> {
     pub(crate) scratch_cands: Vec<u32>,
     /// reusable buffer for call/answer canonicalization
     pub(crate) scratch_canon: Vec<Cell>,
+    /// reusable tvar map for answer return (`unify_canon_one` binding
+    /// loops) — consumed answers never allocate a fresh map
+    pub(crate) scratch_tvars: Vec<Option<Cell>>,
+    /// reusable root buffer for `new_answer`'s substitution-factor walk
+    pub(crate) scratch_roots: Vec<Cell>,
+    /// reusable var-address buffer for `new_answer` canonicalization
+    pub(crate) scratch_vars: Vec<u32>,
+    /// reusable buffer for expanding a factored answer into a full tuple
+    /// (unfactored-store baseline) and for its root spans
+    pub(crate) scratch_full: Vec<Cell>,
+    pub(crate) scratch_spans: Vec<(u32, u32)>,
 }
 
 impl<'p> Machine<'p> {
@@ -224,6 +235,11 @@ impl<'p> Machine<'p> {
             scratch_tokens: Vec::new(),
             scratch_cands: Vec::new(),
             scratch_canon: Vec::new(),
+            scratch_tvars: Vec::new(),
+            scratch_roots: Vec::new(),
+            scratch_vars: Vec::new(),
+            scratch_full: Vec::new(),
+            scratch_spans: Vec::new(),
         }
     }
 

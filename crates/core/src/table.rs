@@ -1,20 +1,31 @@
 //! Table space (paper §3, §4.5).
 //!
 //! A separate memory area holding, per tabled subgoal: the canonicalized
-//! call (the *variant* key), the answer list with a full-argument hash index
-//! for duplicate elimination, the SLG bookkeeping for incremental completion
+//! call (the *variant* key), the answer store with a hash index for
+//! duplicate elimination, the SLG bookkeeping for incremental completion
 //! (depth-first number and `dir_link`), the suspended consumers, and any
 //! negation suspensions waiting on the subgoal's completion.
 //!
-//! Subgoal lookup is a hash on the canonical call; answer lookup hashes all
-//! arguments of the canonical answer — exactly the two table indexes §4.5
-//! describes.
+//! Answers are **substitution factored** (§4.5's promised integration of
+//! indexing with answer storage, realized in Swift & Warren's follow-up
+//! system): an answer is stored as the canonical bindings of the call's
+//! distinct free variables only, never as the full argument tuple — the
+//! ground skeleton of the call lives once in the frame's `canon` template.
+//! A ground call degenerates to a single 0-width boolean answer with an
+//! O(1) fast path. All answers of one subgoal share a bump arena of cells
+//! ([`AnswerStore`]); an answer is a `(offset, len)` span, so recording an
+//! answer costs one `extend_from_slice` and no per-answer allocation.
+//!
+//! Subgoal lookup is a hash on the canonical call; answer lookup hashes
+//! the factored sequence — the two table indexes §4.5 describes (or, with
+//! [`TableIndex::Trie`], the in-development trie index integrated with
+//! the storage).
 
-use crate::cell::Cell;
+use crate::cell::{Cell, Tag};
 use crate::instr::{CodePtr, PredId};
 use crate::machine::{Freeze, NONE};
 use crate::table_trie::TermTrie;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::rc::Rc;
 use xsb_syntax::sym::SymbolTable;
 
@@ -30,6 +41,105 @@ pub enum TableIndex {
 }
 
 pub type SubgoalId = u32;
+
+/// Bump-arena answer store (substitution factoring). Every answer's
+/// canonical cells live in one contiguous vector; each answer is an
+/// `(offset, len)` span into it. Duplicate detection in hash-index mode
+/// is a sequence-hash index over the spans; in trie mode the frame's
+/// `answer_trie` discovers duplicates on its insertion walk and the arena
+/// only keeps derivation order.
+#[derive(Debug, Default)]
+pub struct AnswerStore {
+    cells: Vec<Cell>,
+    spans: Vec<(u32, u32)>,
+    /// sequence hash → answer ids with that hash (hash-index mode only)
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl AnswerStore {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The factored cell sequence of answer `i`.
+    pub fn get(&self, i: usize) -> &[Cell] {
+        let (off, len) = self.spans[i];
+        &self.cells[off as usize..(off + len) as usize]
+    }
+
+    /// `(offset, len)` of answer `i` in the arena — callers that take the
+    /// arena out (zero-copy answer return) slice it themselves.
+    pub fn span(&self, i: usize) -> (u32, u32) {
+        self.spans[i]
+    }
+
+    /// FNV-1a over the raw cell words (canonical cells are value cells;
+    /// bitwise equality is term equality).
+    fn hash_seq(seq: &[Cell]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for c in seq {
+            h ^= c.0;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Hash-index duplicate probe without copying anything.
+    pub fn contains(&self, seq: &[Cell]) -> bool {
+        match self.index.get(&Self::hash_seq(seq)) {
+            Some(ids) => ids.iter().any(|&i| self.get(i as usize) == seq),
+            None => false,
+        }
+    }
+
+    /// Appends an answer known to be new (trie mode and the ground fast
+    /// path, where duplicate detection happened elsewhere).
+    fn push_unchecked(&mut self, seq: &[Cell]) {
+        let off = self.cells.len() as u32;
+        self.cells.extend_from_slice(seq);
+        self.spans.push((off, seq.len() as u32));
+    }
+
+    /// Single-walk probe + insert: hashes once, compares only hash-equal
+    /// candidates, and copies into the arena only when genuinely new.
+    fn insert_if_new(&mut self, seq: &[Cell]) -> bool {
+        let h = Self::hash_seq(seq);
+        if let Some(ids) = self.index.get(&h) {
+            if ids.iter().any(|&i| {
+                let (off, len) = self.spans[i as usize];
+                &self.cells[off as usize..(off + len) as usize] == seq
+            }) {
+                return false;
+            }
+        }
+        let id = self.spans.len() as u32;
+        self.push_unchecked(seq);
+        self.index.entry(h).or_default().push(id);
+        true
+    }
+
+    /// Arena cells held (the budget accounting unit in hash-index mode).
+    pub fn cells_len(&self) -> u64 {
+        self.cells.len() as u64
+    }
+
+    /// Takes the arena out so the emulator can bind answers against the
+    /// heap without holding a borrow of the table space. Must be paired
+    /// with [`AnswerStore::put_cells`].
+    pub fn take_cells(&mut self) -> Vec<Cell> {
+        std::mem::take(&mut self.cells)
+    }
+
+    pub fn put_cells(&mut self, cells: Vec<Cell>) {
+        debug_assert!(self.cells.is_empty(), "arena restored exactly once");
+        self.cells = cells;
+    }
+}
 
 /// Completion state of a tabled subgoal.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -56,12 +166,20 @@ pub struct SubgoalFrame {
     pub pred: PredId,
     /// canonical call-argument tuple (variant key)
     pub canon: Rc<[Cell]>,
-    /// number of distinct variables in the call (answer tuple width)
+    /// number of distinct variables in the call (factored answer width)
     pub nvars: u32,
-    /// answers in derivation order (canonical tuples)
-    pub answers: Vec<Rc<[Cell]>>,
-    /// full-argument hash index for duplicate checking
-    pub answer_set: HashSet<Rc<[Cell]>>,
+    /// answers in derivation order, substitution factored: each entry is
+    /// the canonical bindings of the call's distinct variables only
+    pub store: AnswerStore,
+    /// whether this frame's answers are substitution factored (recorded
+    /// at creation; the unfactored store is the bench baseline)
+    pub factored: bool,
+    /// non-variable cells in `canon` — the ground skeleton a full answer
+    /// tuple would repeat (full-size accounting)
+    pub ground_cells: u32,
+    /// occurrences of each distinct call variable in `canon` (len ==
+    /// `nvars`; repeated variables make factoring save even more)
+    pub var_occ: Vec<u32>,
     pub state: SubgoalState,
     pub mode: GenMode,
     /// generator's substitution factor: heap addresses of the call's
@@ -106,7 +224,12 @@ pub struct SubgoalFrame {
 
 impl SubgoalFrame {
     pub fn has_answers(&self) -> bool {
-        !self.answers.is_empty()
+        !self.store.is_empty()
+    }
+
+    /// Number of recorded answers.
+    pub fn answer_count(&self) -> usize {
+        self.store.len()
     }
 }
 
@@ -150,7 +273,7 @@ pub struct NegSusp {
 
 /// The global table space. Completed tables persist across queries;
 /// consumers, suspensions and the completion stack are per-query.
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct TableSpace {
     pub subgoals: Vec<SubgoalFrame>,
     lookup: HashMap<PredId, HashMap<Rc<[Cell]>, SubgoalId>>,
@@ -164,6 +287,10 @@ pub struct TableSpace {
     pub completion_stack: Vec<SubgoalId>,
     dfn_counter: u32,
     pub index: TableIndex,
+    /// whether new frames store answers substitution factored (the
+    /// default) or as full argument tuples (the E14 bench baseline);
+    /// existing frames keep the mode they were created with
+    factored: bool,
     /// frames invalidated while still incomplete: the running query keeps
     /// its call-time view (logical-update semantics); the frames are freed
     /// at [`TableSpace::end_query`] so the *next* query recomputes them
@@ -173,6 +300,25 @@ pub struct TableSpace {
     /// query clock: bumped once per `end_query`, stamped into frames at
     /// creation (`born`) and on completed-table reuse (`last_hit`)
     clock: u64,
+}
+
+impl Default for TableSpace {
+    fn default() -> Self {
+        TableSpace {
+            subgoals: Vec::new(),
+            lookup: HashMap::new(),
+            subgoal_tries: HashMap::new(),
+            consumers: Vec::new(),
+            negs: Vec::new(),
+            completion_stack: Vec::new(),
+            dfn_counter: 0,
+            index: TableIndex::default(),
+            factored: true,
+            pending_invalidation: Vec::new(),
+            budget_cells: None,
+            clock: 0,
+        }
+    }
 }
 
 impl TableSpace {
@@ -186,6 +332,19 @@ impl TableSpace {
             index,
             ..Self::default()
         }
+    }
+
+    /// Switches the answer representation for frames created from now on:
+    /// `true` (the default) stores substitution-factored answers; `false`
+    /// stores full argument tuples — the unfactored baseline the E14
+    /// bench measures against. Existing frames are unaffected (each frame
+    /// records its own mode, so answer return always matches the store).
+    pub fn set_factored(&mut self, factored: bool) {
+        self.factored = factored;
+    }
+
+    pub fn factored(&self) -> bool {
+        self.factored
     }
 
     /// Finds an existing (non-deleted) table for this variant call.
@@ -223,12 +382,30 @@ impl TableSpace {
         self.dfn_counter += 1;
         let dfn = self.dfn_counter;
         let compl_pos = self.completion_stack.len() as u32;
+        // derive the call template statistics: the ground skeleton size
+        // and each distinct variable's occurrence count, which together
+        // give the full-tuple size a factored answer avoids storing
+        let mut var_occ = vec![0u32; subst.len()];
+        let mut ground_cells = 0u32;
+        for c in canon.iter() {
+            if c.tag() == Tag::TVar {
+                let k = c.tvar_index();
+                if k >= var_occ.len() {
+                    var_occ.resize(k + 1, 0);
+                }
+                var_occ[k] += 1;
+            } else {
+                ground_cells += 1;
+            }
+        }
         self.subgoals.push(SubgoalFrame {
             pred,
             canon: canon.clone(),
             nvars: subst.len() as u32,
-            answers: Vec::new(),
-            answer_set: HashSet::new(),
+            store: AnswerStore::default(),
+            factored: self.factored,
+            ground_cells,
+            var_occ,
             state: SubgoalState::Incomplete,
             mode,
             subst,
@@ -271,30 +448,44 @@ impl TableSpace {
         id
     }
 
-    /// Records an answer; returns `true` if it is new.
-    pub fn add_answer(&mut self, sub: SubgoalId, canon: Rc<[Cell]>) -> bool {
+    /// Records an answer given as a borrowed canonical sequence; returns
+    /// `true` if it is new. Probe and insert are one walk — the sequence
+    /// is copied into the frame's arena only when genuinely new, so
+    /// duplicates (the common case on recursive workloads) allocate
+    /// nothing. A ground call's empty sequence is the O(1) boolean fast
+    /// path: no hashing, no trie walk, zero cells stored.
+    pub fn add_answer(&mut self, sub: SubgoalId, seq: &[Cell]) -> bool {
         let f = &mut self.subgoals[sub as usize];
-        if let Some(trie) = &mut f.answer_trie {
-            let (_, fresh) = trie.insert(&canon);
+        if seq.is_empty() {
+            // ground call: at most one (0-width) answer can ever exist
+            if f.store.is_empty() {
+                f.store.push_unchecked(seq);
+                true
+            } else {
+                false
+            }
+        } else if let Some(trie) = &mut f.answer_trie {
+            // the duplicate check and the store are the same trie walk
+            let (_, fresh) = trie.insert(seq);
             if fresh {
-                f.answers.push(canon);
+                f.store.push_unchecked(seq);
             }
             fresh
-        } else if f.answer_set.insert(canon.clone()) {
-            f.answers.push(canon);
-            true
         } else {
-            false
+            f.store.insert_if_new(seq)
         }
     }
 
-    /// Duplicate check without allocating (the common case on recursive
-    /// workloads; paper §4.5's full-argument answer index).
-    pub fn has_answer(&self, sub: SubgoalId, canon: &[Cell]) -> bool {
+    /// Duplicate check without allocating (paper §4.5's answer index,
+    /// now keyed on the factored sequence).
+    pub fn has_answer(&self, sub: SubgoalId, seq: &[Cell]) -> bool {
         let f = &self.subgoals[sub as usize];
+        if seq.is_empty() {
+            return !f.store.is_empty();
+        }
         match &f.answer_trie {
-            Some(trie) => trie.find(canon).is_some(),
-            None => f.answer_set.contains(canon),
+            Some(trie) => trie.find(seq).is_some(),
+            None => f.store.contains(seq),
         }
     }
 
@@ -430,10 +621,10 @@ impl TableSpace {
     /// shrinks. Only safe when no choice point can still reach the answers.
     fn free_frame_memory(&mut self, id: SubgoalId) {
         let f = &mut self.subgoals[id as usize];
-        f.answers = Vec::new();
-        f.answer_set = HashSet::new();
+        f.store = AnswerStore::default();
         f.answer_trie = None;
         f.subst = Vec::new();
+        f.var_occ = Vec::new();
     }
 
     /// Fully frees one frame: unlink + release memory. Only safe between
@@ -520,11 +711,12 @@ impl TableSpace {
         self.budget_cells
     }
 
-    /// Answer-store cells held by one frame.
+    /// Answer-store cells held by one frame: the trie's shared-prefix
+    /// total in trie mode, else the flat arena length.
     fn frame_cells(f: &SubgoalFrame) -> u64 {
         match &f.answer_trie {
             Some(t) => t.stored_cells(),
-            None => f.answers.iter().map(|a| a.len() as u64).sum(),
+            None => f.store.cells_len(),
         }
     }
 
@@ -602,13 +794,7 @@ impl TableSpace {
     /// Total cells held by the answer stores — tries share prefixes, so in
     /// trie mode this is at most (and usually below) the flat total.
     pub fn answer_store_cells(&self) -> u64 {
-        self.subgoals
-            .iter()
-            .map(|f| match &f.answer_trie {
-                Some(t) => t.stored_cells(),
-                None => f.answers.iter().map(|a| a.len() as u64).sum(),
-            })
-            .sum()
+        self.subgoals.iter().map(Self::frame_cells).sum()
     }
 
     /// Number of live (non-deleted) tables.
@@ -678,6 +864,122 @@ pub fn format_canon(canon: &[Cell], syms: &SymbolTable) -> String {
     out
 }
 
+/// Position just past the canonical subterm starting at `pos` (pre-order
+/// skip: a `Fun` cell owes `arity` more subterms).
+pub fn skip_canon_term(seq: &[Cell], mut pos: usize) -> usize {
+    let mut pending = 1usize;
+    while pending > 0 {
+        let c = seq[pos];
+        pending -= 1;
+        if c.tag() == Tag::Fun {
+            pending += c.functor().1;
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// `(offset, len)` of each of the `count` top-level terms of a canonical
+/// sequence, appended to `out` (cleared first). For a factored answer,
+/// entry `k` is variable `k`'s binding.
+pub fn canon_root_spans(seq: &[Cell], count: usize, out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let end = skip_canon_term(seq, pos);
+        out.push((pos as u32, (end - pos) as u32));
+        pos = end;
+    }
+    debug_assert_eq!(pos, seq.len(), "sequence has exactly `count` roots");
+}
+
+/// Renders one *factored* answer back into full call form: the frame's
+/// canonical call template with every variable position replaced by its
+/// binding from the factored sequence. This is what the answer *means*
+/// (and what an unfactored store would hold verbatim) — rendering
+/// re-expands it so listings and traces look identical under both
+/// representations.
+pub fn format_answer(
+    template: &[Cell],
+    answer: &[Cell],
+    nvars: usize,
+    syms: &SymbolTable,
+) -> String {
+    let mut spans: Vec<(u32, u32)> = Vec::with_capacity(nvars);
+    canon_root_spans(answer, nvars, &mut spans);
+    let mut out = String::new();
+    let mut pos = 0;
+    let mut first = true;
+    while pos < template.len() {
+        out.push(if first { '(' } else { ',' });
+        first = false;
+        pos = format_answer_at(template, pos, answer, &spans, syms, &mut out);
+    }
+    if !first {
+        out.push(')');
+    }
+    out
+}
+
+/// Like [`format_canon_at`] over the template, but variable positions
+/// recurse into the factored binding instead of printing `_k`.
+fn format_answer_at(
+    template: &[Cell],
+    pos: usize,
+    answer: &[Cell],
+    spans: &[(u32, u32)],
+    syms: &SymbolTable,
+    out: &mut String,
+) -> usize {
+    let Some(&c) = template.get(pos) else {
+        out.push('?');
+        return pos + 1;
+    };
+    match c.tag() {
+        Tag::TVar => {
+            let (off, _) = spans[c.tvar_index()];
+            format_canon_at(answer, off as usize, syms, out);
+            pos + 1
+        }
+        Tag::Fun => {
+            let (f, arity) = c.functor();
+            out.push_str(syms.name(f));
+            out.push('(');
+            let mut p = pos + 1;
+            for i in 0..arity {
+                if i > 0 {
+                    out.push(',');
+                }
+                p = format_answer_at(template, p, answer, spans, syms, out);
+            }
+            out.push(')');
+            p
+        }
+        _ => format_canon_at(template, pos, syms, out),
+    }
+}
+
+/// One line per answer of a subgoal frame, rendered in full call form
+/// regardless of the stored representation (factored answers are
+/// re-expanded through the call template; the ground call's boolean
+/// answer prints as `yes`).
+pub fn answer_listing(f: &SubgoalFrame, syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    for i in 0..f.store.len() {
+        let ans = f.store.get(i);
+        let line = if !f.factored {
+            format_canon(ans, syms)
+        } else if f.nvars == 0 {
+            "yes".to_string()
+        } else {
+            format_answer(&f.canon, ans, f.nvars as usize, syms)
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 /// One line per live subgoal table: predicate, canonical call, answer
 /// count, completion state. The body of the `tables/0` builtin.
 pub fn table_listing(
@@ -697,7 +999,7 @@ pub fn table_listing(
             syms.name(pred.name),
             pred.arity,
             format_canon(&f.canon, syms),
-            f.answers.len(),
+            f.store.len(),
             state,
         ));
     }
@@ -741,10 +1043,80 @@ mod tests {
     fn answer_dedup() {
         let mut ts = TableSpace::new();
         let id = mk(&mut ts, 0, &[Cell::tvar(0)]);
-        assert!(ts.add_answer(id, canon(&[Cell::int(1)])));
-        assert!(ts.add_answer(id, canon(&[Cell::int(2)])));
-        assert!(!ts.add_answer(id, canon(&[Cell::int(1)])), "duplicate");
-        assert_eq!(ts.frame(id).answers.len(), 2);
+        assert!(ts.add_answer(id, &[Cell::int(1)]));
+        assert!(ts.add_answer(id, &[Cell::int(2)]));
+        assert!(!ts.add_answer(id, &[Cell::int(1)]), "duplicate");
+        assert_eq!(ts.frame(id).store.len(), 2);
+        assert_eq!(ts.frame(id).store.get(0), &[Cell::int(1)]);
+        assert_eq!(ts.frame(id).store.get(1), &[Cell::int(2)]);
+    }
+
+    #[test]
+    fn answers_share_one_arena() {
+        let mut ts = TableSpace::new();
+        let id = mk(&mut ts, 0, &[Cell::tvar(0)]);
+        ts.add_answer(id, &[Cell::fun(xsb_syntax::Sym(5), 1), Cell::int(1)]);
+        ts.add_answer(id, &[Cell::int(7)]);
+        let f = ts.frame(id);
+        assert_eq!(f.store.span(0), (0, 2));
+        assert_eq!(f.store.span(1), (2, 1), "bump allocation, no gaps");
+        assert_eq!(f.store.cells_len(), 3);
+        assert!(ts.has_answer(id, &[Cell::int(7)]));
+        assert!(!ts.has_answer(id, &[Cell::int(8)]));
+    }
+
+    #[test]
+    fn ground_call_boolean_answer_fast_path() {
+        for index in [TableIndex::Hash, TableIndex::Trie] {
+            let mut ts = TableSpace::with_index(index);
+            let id = mk(&mut ts, 0, &[Cell::int(1), Cell::int(2)]);
+            assert!(!ts.has_answer(id, &[]));
+            assert!(ts.add_answer(id, &[]), "first (empty) answer is new");
+            assert!(!ts.add_answer(id, &[]), "a ground call has one answer");
+            assert!(ts.has_answer(id, &[]));
+            assert!(ts.frame(id).has_answers());
+            assert_eq!(ts.frame(id).store.len(), 1);
+            assert_eq!(ts.frame(id).store.get(0), &[] as &[Cell]);
+            assert_eq!(ts.answer_store_cells(), 0, "boolean answers are free");
+        }
+    }
+
+    #[test]
+    fn template_stats_derived_at_creation() {
+        let mut ts = TableSpace::new();
+        // p(f(X, a), X, Y): vars X (twice), Y; ground cells f/2 and a
+        let key = [
+            Cell::fun(xsb_syntax::Sym(9), 2),
+            Cell::tvar(0),
+            Cell::con(xsb_syntax::Sym(3)),
+            Cell::tvar(0),
+            Cell::tvar(1),
+        ];
+        let id = ts.new_subgoal(
+            7,
+            canon(&key),
+            vec![100, 101], // two distinct variables
+            Rc::from(&[][..]),
+            GenMode::Positive,
+            Freeze::default(),
+            NONE,
+        );
+        let f = ts.frame(id);
+        assert_eq!(f.ground_cells, 2);
+        assert_eq!(f.var_occ, vec![2, 1]);
+        assert!(f.factored);
+    }
+
+    #[test]
+    fn unfactored_mode_marks_new_frames_only() {
+        let mut ts = TableSpace::new();
+        let a = mk(&mut ts, 0, &[Cell::tvar(0)]);
+        ts.set_factored(false);
+        let b = mk(&mut ts, 0, &[Cell::int(1), Cell::tvar(0)]);
+        assert!(ts.frame(a).factored, "existing frame keeps its mode");
+        assert!(!ts.frame(b).factored);
+        ts.set_factored(true);
+        assert!(!ts.frame(b).factored);
     }
 
     #[test]
@@ -807,7 +1179,7 @@ mod tests {
     fn invalidate_pred_frees_completed_and_defers_incomplete() {
         let mut ts = TableSpace::new();
         let a = mk(&mut ts, 7, &[Cell::int(1)]);
-        ts.add_answer(a, canon(&[Cell::int(9)]));
+        ts.add_answer(a, &[Cell::int(9)]);
         ts.complete_scc(a);
         let b = mk(&mut ts, 7, &[Cell::int(2)]); // still incomplete
         let other = mk(&mut ts, 8, &[Cell::int(1)]);
@@ -815,7 +1187,7 @@ mod tests {
         assert_eq!(ts.invalidate_pred(7), 2);
         assert!(ts.frame(a).deleted, "completed table hidden immediately");
         assert!(
-            !ts.frame(a).answers.is_empty(),
+            ts.frame(a).has_answers(),
             "answer store kept for in-flight choice points until end_query"
         );
         assert!(
@@ -826,7 +1198,7 @@ mod tests {
         assert_eq!(ts.find(7, &[Cell::int(1)]), None);
         ts.end_query();
         assert!(ts.frame(b).deleted, "deferred invalidation lands");
-        assert_eq!(ts.frame(a).answers.len(), 0, "answer store released");
+        assert_eq!(ts.frame(a).store.len(), 0, "answer store released");
         // double invalidation is a no-op
         assert_eq!(ts.invalidate_pred(7), 0);
     }
@@ -863,13 +1235,13 @@ mod tests {
         let mut ts = TableSpace::new();
         let a = mk(&mut ts, 0, &[Cell::int(1)]);
         for i in 0..4 {
-            ts.add_answer(a, canon(&[Cell::int(i)]));
+            ts.add_answer(a, &[Cell::int(i)]);
         }
         ts.complete_scc(a);
         ts.end_query();
         let b = mk(&mut ts, 0, &[Cell::int(2)]);
         for i in 0..4 {
-            ts.add_answer(b, canon(&[Cell::int(i)]));
+            ts.add_answer(b, &[Cell::int(i)]);
         }
         ts.complete_scc(b);
         ts.touch(b); // b hit in the current query epoch; a never re-hit
@@ -883,6 +1255,46 @@ mod tests {
         assert!(ts.answer_store_cells() <= 6);
         // already under budget: nothing more to do
         assert!(ts.enforce_budget().is_empty());
+    }
+
+    #[test]
+    fn format_answer_expands_factored_bindings_into_call_form() {
+        let mut syms = SymbolTable::new();
+        let f = syms.intern("f");
+        let g = syms.intern("g");
+        let b = syms.intern("b");
+        // call p(f(X), X, b) — template [f/1, _0, _0, b]
+        let template = [Cell::fun(f, 1), Cell::tvar(0), Cell::tvar(0), Cell::con(b)];
+        // answer X = g(1) — factored sequence [g/1, 1]
+        let answer = [Cell::fun(g, 1), Cell::int(1)];
+        assert_eq!(
+            format_answer(&template, &answer, 1, &syms),
+            "(f(g(1)),g(1),b)"
+        );
+        // answer X = g(Y) with Y unbound — answer-local variable prints _0
+        let open = [Cell::fun(g, 1), Cell::tvar(0)];
+        assert_eq!(
+            format_answer(&template, &open, 1, &syms),
+            "(f(g(_0)),g(_0),b)"
+        );
+    }
+
+    #[test]
+    fn skip_and_root_spans_walk_preorder_terms() {
+        let f = xsb_syntax::Sym(4);
+        // two roots: f(1, g(2)) and 7 — g also f-sym, arity differs
+        let seq = [
+            Cell::fun(f, 2),
+            Cell::int(1),
+            Cell::fun(f, 1),
+            Cell::int(2),
+            Cell::int(7),
+        ];
+        assert_eq!(skip_canon_term(&seq, 0), 4);
+        assert_eq!(skip_canon_term(&seq, 4), 5);
+        let mut spans = Vec::new();
+        canon_root_spans(&seq, 2, &mut spans);
+        assert_eq!(spans, vec![(0, 4), (4, 1)]);
     }
 
     #[test]

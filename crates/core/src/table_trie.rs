@@ -12,6 +12,14 @@
 //! v1.3's design, the default) or these tries — see
 //! [`crate::table::TableIndex`]; the `table_index` ablation bench compares
 //! them.
+//!
+//! Answer tries are keyed on *substitution-factored* sequences (bindings
+//! of the call's distinct variables only): with the ground call skeleton
+//! gone, sequences are shorter and shared binding prefixes coincide more
+//! often, so the trie's prefix sharing bites harder. A ground call's
+//! answer is the empty sequence — the root node's own leaf, found and
+//! inserted in O(1) with zero cells stored (the table space short-circuits
+//! that case before even reaching the trie).
 
 use crate::cell::Cell;
 use std::collections::HashMap;
@@ -43,6 +51,7 @@ const NO_LEAF: u32 = u32::MAX;
 const SPILL: usize = 16;
 
 impl Node {
+    #[inline]
     fn get(&self, c: Cell) -> Option<u32> {
         match &self.big {
             Some(m) => m.get(&c).copied(),
@@ -214,6 +223,20 @@ mod tests {
         for i in (0..1000).step_by(97) {
             assert!(t.find(&seq(&[i])).is_some());
         }
+    }
+
+    #[test]
+    fn empty_sequence_is_the_root_leaf() {
+        // a ground call's factored answer: 0-width, stored at the root
+        let mut t = TermTrie::new();
+        assert_eq!(t.find(&[]), None);
+        assert_eq!(t.insert(&[]), (0, true));
+        assert_eq!(t.insert(&[]), (0, false));
+        assert_eq!(t.find(&[]), Some(0));
+        assert_eq!(t.stored_cells(), 0, "boolean answers store no cells");
+        // coexists with non-empty sequences
+        assert_eq!(t.insert(&seq(&[1])), (1, true));
+        assert_eq!(t.find(&[]), Some(0));
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Property tests for substitution-factored answer tables: the factored
+//! store plus the direct-binding return path must round-trip any answer
+//! back to a variant of the original instantiated call, under both table
+//! indexes and with the unfactored-baseline expansion agreeing cell for
+//! cell with a directly canonicalized full tuple.
+
+// Property tests require the external `proptest` crate, which the
+// offline sandbox cannot fetch. Re-add the dev-dependency and enable
+// the `proptest` feature to run these.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use xsb_core::cell::{Cell, Tag};
+use xsb_core::machine::{Freeze, Machine, NONE};
+use xsb_core::table::{canon_root_spans, GenMode, TableIndex, TableSpace};
+use xsb_core::Engine;
+use xsb_syntax::{SymbolTable, Term};
+
+/// Strategy for terms with shared variables (pool 0..3), depth <= 6.
+fn ast_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(Term::Var),
+        (0i64..50).prop_map(Term::Int),
+        // fixed symbol pool: syms 100..104 are interned in with_machine
+        (100u32..104).prop_map(|s| Term::Atom(xsb_syntax::Sym(s))),
+    ];
+    leaf.prop_recursive(5, 24, 3, |inner| {
+        (100u32..104, proptest::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::Compound(xsb_syntax::Sym(f), args))
+    })
+}
+
+fn with_space<R>(index: TableIndex, f: impl FnOnce(&mut Machine) -> R) -> R {
+    let mut syms = SymbolTable::new();
+    while syms.len() < 105 {
+        syms.intern(&format!("s{}", syms.len()));
+    }
+    let mut db = xsb_core::program::Program::new(&mut syms);
+    let mut tables = TableSpace::with_index(index);
+    let mut m = Machine::new(&mut db, &mut tables);
+    f(&mut m)
+}
+
+/// The round-trip core: load a two-argument call with shared variables,
+/// instantiate its distinct variables from `bindings`, store the factored
+/// answer in a real subgoal frame, undo the instantiation, then replay
+/// the answer through the direct-binding return path and check the call
+/// is a variant of the original instance (equal canonical forms).
+fn roundtrip(index: TableIndex, t1: &Term, t2: &Term, bindings: &[Term]) -> Result<(), String> {
+    with_space(index, |m| {
+        let mut vm = Vec::new();
+        let a1 = m.term_to_heap(t1, &mut vm);
+        let a2 = m.term_to_heap(t2, &mut vm); // shared varmap: shared vars
+        let mut var_addrs = Vec::new();
+        let call_canon = m.canonicalize(&[a1, a2], &mut var_addrs);
+        let nvars = var_addrs.len();
+        let sub = m.tables.new_subgoal(
+            0,
+            Rc::from(call_canon.as_ref()),
+            var_addrs.clone(),
+            Rc::from(&[][..]),
+            GenMode::Positive,
+            Freeze::default(),
+            NONE,
+        );
+
+        // instantiate the call's distinct variables (answer terms may
+        // themselves contain — possibly shared — variables)
+        let mark = m.tip;
+        let mut bvm = Vec::new();
+        for (i, &addr) in var_addrs.iter().enumerate() {
+            let b = if bindings.is_empty() {
+                Cell::int(i as i64)
+            } else {
+                m.term_to_heap(&bindings[i % bindings.len()], &mut bvm)
+            };
+            if !m.unify(Cell::r#ref(addr as usize), b) {
+                return Err("binding an unbound call variable cannot fail".into());
+            }
+        }
+        let mut ev = Vec::new();
+        let expected = m.canonicalize(&[a1, a2], &mut ev);
+
+        // store the factored answer (what new_answer does)
+        let roots: Vec<Cell> = var_addrs.iter().map(|&a| Cell::r#ref(a as usize)).collect();
+        let mut av = Vec::new();
+        let ans = m.canonicalize(&roots, &mut av);
+        if !m.tables.add_answer(sub, &ans) {
+            return Err("first insertion is new".into());
+        }
+        if m.tables.add_answer(sub, &ans) {
+            return Err("second insertion is a duplicate".into());
+        }
+        if !m.tables.has_answer(sub, &ans) {
+            return Err("stored answer is findable".into());
+        }
+
+        // the unfactored expansion (template with bindings spliced in)
+        // must equal the directly canonicalized full tuple, cell for cell
+        let mut spans = Vec::new();
+        canon_root_spans(&ans, nvars, &mut spans);
+        let mut expanded: Vec<Cell> = Vec::new();
+        for &c in call_canon.iter() {
+            if c.tag() == Tag::TVar {
+                let (o, l) = spans[c.tvar_index()];
+                expanded.extend_from_slice(&ans[o as usize..(o + l) as usize]);
+            } else {
+                expanded.push(c);
+            }
+        }
+        if expanded.as_slice() != expected.as_ref() {
+            return Err(format!(
+                "expansion {expanded:?} != direct canonical {expected:?}"
+            ));
+        }
+
+        // undo the instantiation, then replay the stored answer through
+        // the zero-copy return path: bind each saved variable address
+        // directly against the factored cells
+        m.unwind_to(mark);
+        let stored = m.tables.frame(sub).store.get(0).to_vec();
+        let mut tvars = Vec::new();
+        let mut pos = 0usize;
+        for &addr in &var_addrs {
+            if !m.unify_canon_one(&stored, &mut pos, &mut tvars, Cell::r#ref(addr as usize)) {
+                return Err("returning a stored answer to its own call cannot fail".into());
+            }
+        }
+        if pos != stored.len() {
+            return Err(format!("answer cells not fully consumed: {pos}"));
+        }
+        let mut rv = Vec::new();
+        let rebound = m.canonicalize(&[a1, a2], &mut rv);
+        if rebound != expected {
+            return Err(format!("rebound {rebound:?} != expected {expected:?}"));
+        }
+        Ok(())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Factored store → direct-binding return rebinds the call to a
+    /// variant of the original instance, under the hash index.
+    #[test]
+    fn factored_roundtrip_hash(
+        t1 in ast_term(),
+        t2 in ast_term(),
+        bs in proptest::collection::vec(ast_term(), 0..4),
+    ) {
+        prop_assert_eq!(roundtrip(TableIndex::Hash, &t1, &t2, &bs), Ok(()));
+    }
+
+    /// Same round trip under the trie index (store = index = one walk).
+    #[test]
+    fn factored_roundtrip_trie(
+        t1 in ast_term(),
+        t2 in ast_term(),
+        bs in proptest::collection::vec(ast_term(), 0..4),
+    ) {
+        prop_assert_eq!(roundtrip(TableIndex::Trie, &t1, &t2, &bs), Ok(()));
+    }
+
+    /// End to end: on random edge relations, a tabled transitive closure
+    /// computes the same answer set in all four store configurations
+    /// (factored/unfactored x hash/trie) and never stores more cells
+    /// factored than unfactored.
+    #[test]
+    fn query_results_agree_across_store_configs(
+        edges in proptest::collection::vec((0i64..6, 0i64..6), 1..14),
+    ) {
+        let mut src = String::from(
+            ":- table path/2.\npath(X,Y) :- path(X,Z), edge(Z,Y).\npath(X,Y) :- edge(X,Y).\n",
+        );
+        for (a, b) in &edges {
+            src.push_str(&format!("edge({a},{b}).\n"));
+        }
+        let mut expected: Option<usize> = None;
+        let mut cells: Vec<(bool, u64)> = Vec::new();
+        for factored in [true, false] {
+            for index in [TableIndex::Hash, TableIndex::Trie] {
+                let mut e = Engine::new();
+                e.set_table_index(index);
+                e.set_answer_factoring(factored);
+                e.consult(&src).unwrap();
+                let n = e.count("path(0, X)").unwrap();
+                match expected {
+                    None => expected = Some(n),
+                    Some(want) => prop_assert_eq!(
+                        n, want,
+                        "factored={} index={:?}", factored, index
+                    ),
+                }
+                cells.push((factored, e.tables.answer_store_cells()));
+            }
+        }
+        // per index kind, factored never stores more than unfactored
+        for i in 0..2 {
+            let (_, fac) = cells[i];
+            let (_, unfac) = cells[i + 2];
+            prop_assert!(fac <= unfac, "factored {} > unfactored {}", fac, unfac);
+        }
+    }
+}

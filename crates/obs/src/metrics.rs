@@ -55,10 +55,18 @@ pub enum Counter {
     TableInvalidations,
     /// Completed tables evicted to stay under the table-space budget.
     TableEvictions,
+    /// Cells actually stored for new answers under substitution
+    /// factoring (bindings of the call's distinct variables only).
+    AnswerCellsFactored,
+    /// Cells the same answers would occupy as full argument tuples
+    /// (call skeleton re-expanded at every variable occurrence).
+    AnswerCellsFull,
+    /// Cells saved by substitution factoring (`full - factored`).
+    AnswerCellsSaved,
 }
 
 impl Counter {
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// `statistics/2` keys, in report order.
     pub const NAMES: [&'static str; Counter::COUNT] = [
@@ -81,6 +89,9 @@ impl Counter {
         "table_misses",
         "table_invalidations",
         "table_evictions",
+        "answer_cells_factored",
+        "answer_cells_full",
+        "answer_cells_saved",
     ];
 
     pub fn name(self) -> &'static str {
@@ -336,9 +347,10 @@ mod tests {
     #[test]
     fn counter_names_match_count() {
         assert_eq!(Counter::NAMES.len(), Counter::COUNT);
-        assert_eq!(Counter::TableEvictions as usize, Counter::COUNT - 1);
+        assert_eq!(Counter::AnswerCellsSaved as usize, Counter::COUNT - 1);
         assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
         assert_eq!(Counter::TableHits.name(), "table_hits");
+        assert_eq!(Counter::AnswerCellsSaved.name(), "answer_cells_saved");
     }
 
     #[test]

@@ -47,4 +47,27 @@ assert s["table_hits"] > 0 and s["table_invalidations"] > 0 \
 PY
 echo "serving artifact: $ARTIFACT_DIR/serving.json"
 
+echo "== factoring smoke run (E14: answer-store cells, cold/warm serving)"
+cargo run --release --offline -p xsb-bench --bin harness -- \
+    factoring --quick --json "$ARTIFACT_DIR/factoring.json"
+python3 - "$ARTIFACT_DIR/factoring.json" <<'PY' || grep -q '"factoring"' "$ARTIFACT_DIR/factoring.json"
+import json, sys
+rows = json.load(open(sys.argv[1]))["factoring"]
+saved = sum(r["answer_cells_saved"] for r in rows if r["factored"])
+print("answer_cells_saved (factored rows): %d" % saved)
+for r in rows:
+    print("n=%-5d index=%-4s store=%-8s store_cells=%-6d cold=%.6fs warm=%.6fs"
+          % (r["n"], r["index"], "factored" if r["factored"] else "full",
+             r["store_cells"], r["cold_secs"], r["warm_secs"]))
+assert saved > 0, "substitution factoring saved no cells"
+by_key = {(r["n"], r["index"], r["factored"]): r for r in rows}
+for (n, index, factored), r in by_key.items():
+    if factored:
+        base = by_key[(n, index, False)]
+        assert r["store_cells"] < base["store_cells"], (
+            "factored store (%d cells) not smaller than unfactored (%d) "
+            "on n=%d %s" % (r["store_cells"], base["store_cells"], n, index))
+PY
+echo "factoring artifact: $ARTIFACT_DIR/factoring.json"
+
 echo "CI OK"
