@@ -1,0 +1,431 @@
+//! Bench-regression gate for CI.
+//!
+//! ```text
+//! cargo run -p xsb-bench --bin bench_gate -- BASELINE.json CURRENT.json [--tolerance PCT]
+//! ```
+//!
+//! Compares a fresh `harness baseline --json` report against the committed
+//! `BENCH_BASELINE.json` and fails (exit 1) if any tracked metric regressed
+//! past its allowance. Every tracked metric carries a *tolerance
+//! multiplier* on top of the base tolerance (`--tolerance`, default 20%):
+//! deterministic cell counts are held tight (1% at the default), while
+//! wall-clock timings and throughputs get headroom for scheduler noise.
+//! The before/after table is printed whether or not the gate passes.
+//!
+//! Exit codes: 0 pass, 1 regression, 2 usage/IO/parse error.
+
+use xsb_obs::Json;
+
+/// One gate-tracked metric: where to find it in the report and how much it
+/// is allowed to move in the bad direction.
+struct Metric {
+    name: &'static str,
+    /// `true` when larger values are better (throughput, speedup, savings);
+    /// `false` when smaller values are better (seconds, cells held).
+    higher_is_better: bool,
+    /// Multiplier on the base tolerance. Deterministic counters use a
+    /// small multiplier; noisy wall-clock measurements a large one.
+    tol_mult: f64,
+    extract: fn(&Json) -> Option<f64>,
+}
+
+/// The tracked set. Adding a metric here makes the gate guard it on every
+/// CI run once it appears in `BENCH_BASELINE.json`.
+const METRICS: &[Metric] = &[
+    Metric {
+        name: "serving.cold_secs",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| num_at(r, &["serving", "cold_secs"]),
+    },
+    Metric {
+        name: "serving.warm_secs",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| num_at(r, &["serving", "warm_secs"]),
+    },
+    Metric {
+        name: "serving.warm_hit_rate",
+        higher_is_better: true,
+        tol_mult: 0.25,
+        extract: |r| {
+            let hits = num_at(r, &["serving", "table_hits"])?;
+            let misses = num_at(r, &["serving", "table_misses"])?;
+            Some(hits / (hits + misses).max(1.0))
+        },
+    },
+    Metric {
+        name: "factoring.cells_saved",
+        higher_is_better: true,
+        tol_mult: 0.05,
+        extract: |r| sum_factoring(r, "answer_cells_saved", true),
+    },
+    Metric {
+        name: "factoring.store_cells",
+        higher_is_better: false,
+        tol_mult: 0.05,
+        extract: |r| sum_factoring(r, "store_cells", true),
+    },
+    Metric {
+        // a ratio of two same-run timings, so machine speed divides out,
+        // but phase-local scheduler noise does not — give it headroom
+        name: "concurrent.shared_speedup",
+        higher_is_better: true,
+        tol_mult: 1.5,
+        extract: |r| num_at(r, &["concurrent", "shared_speedup"]),
+    },
+    Metric {
+        name: "concurrent.warm_qps",
+        higher_is_better: true,
+        tol_mult: 2.5,
+        extract: |r| {
+            let rows = r.get("concurrent")?.get("rows")?;
+            let Json::Arr(rows) = rows else { return None };
+            as_f64(rows.last()?.get("warm_qps")?)
+        },
+    },
+];
+
+fn as_f64(j: &Json) -> Option<f64> {
+    match j {
+        Json::Int(i) => Some(*i as f64),
+        Json::Num(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn num_at(r: &Json, path: &[&str]) -> Option<f64> {
+    let mut cur = r;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    as_f64(cur)
+}
+
+/// Sums `field` over the factoring rows, optionally only the
+/// substitution-factored stores (the gate guards the factored
+/// representation, not the full-tuple baseline).
+fn sum_factoring(r: &Json, field: &str, factored_only: bool) -> Option<f64> {
+    let Json::Arr(rows) = r.get("factoring")? else {
+        return None;
+    };
+    let mut total = 0.0;
+    for row in rows {
+        if factored_only && row.get("factored") != Some(&Json::Bool(true)) {
+            continue;
+        }
+        total += as_f64(row.get(field)?)?;
+    }
+    Some(total)
+}
+
+#[derive(Debug, PartialEq, Clone, Copy)]
+enum Status {
+    Pass,
+    Fail,
+    /// Tracked metric absent from the baseline (newly added — it starts
+    /// being enforced once the baseline is regenerated).
+    NewMetric,
+    /// Present in the baseline but missing from the current report: the
+    /// run lost coverage, which fails the gate.
+    LostMetric,
+}
+
+#[derive(Debug)]
+struct Row {
+    name: &'static str,
+    base: Option<f64>,
+    cur: Option<f64>,
+    /// Signed change in the *bad* direction as a fraction of baseline
+    /// (positive = regressed).
+    regression: f64,
+    allowed: f64,
+    status: Status,
+}
+
+/// Compares the two reports over the tracked set. `base_tol` is the base
+/// fractional tolerance (0.20 = 20%).
+fn compare(baseline: &Json, current: &Json, base_tol: f64) -> Vec<Row> {
+    METRICS
+        .iter()
+        .map(|m| {
+            let base = (m.extract)(baseline);
+            let cur = (m.extract)(current);
+            let allowed = base_tol * m.tol_mult;
+            let (regression, status) = match (base, cur) {
+                (None, _) => (0.0, Status::NewMetric),
+                (Some(_), None) => (f64::INFINITY, Status::LostMetric),
+                (Some(b), Some(c)) => {
+                    let delta = if m.higher_is_better { b - c } else { c - b };
+                    let reg = if b.abs() > 1e-12 {
+                        delta / b.abs()
+                    } else if delta > 1e-12 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    };
+                    let status = if reg > allowed {
+                        Status::Fail
+                    } else {
+                        Status::Pass
+                    };
+                    (reg, status)
+                }
+            };
+            Row {
+                name: m.name,
+                base,
+                cur,
+                regression,
+                allowed,
+                status,
+            }
+        })
+        .collect()
+}
+
+fn gate_passes(rows: &[Row]) -> bool {
+    rows.iter()
+        .all(|r| matches!(r.status, Status::Pass | Status::NewMetric))
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.6}"),
+        None => "-".to_string(),
+    }
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<28} {:>14} {:>14} {:>10} {:>9}  status",
+        "metric", "baseline", "current", "change", "allowed"
+    );
+    for r in rows {
+        let change = if r.regression.is_finite() {
+            // negative regression = the metric improved
+            format!("{:+.1}%", -r.regression * 100.0)
+        } else {
+            "lost".to_string()
+        };
+        println!(
+            "{:<28} {:>14} {:>14} {:>10} {:>8.0}%  {}",
+            r.name,
+            fmt_opt(r.base),
+            fmt_opt(r.cur),
+            change,
+            r.allowed * 100.0,
+            match r.status {
+                Status::Pass => "ok",
+                Status::Fail => "REGRESSED",
+                Status::NewMetric => "new (unenforced)",
+                Status::LostMetric => "MISSING",
+            }
+        );
+    }
+}
+
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.20;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--tolerance" {
+            let pct = argv.get(i + 1).and_then(|s| s.parse::<f64>().ok());
+            match pct {
+                Some(p) if p >= 0.0 => tolerance = p / 100.0,
+                _ => {
+                    eprintln!("bench_gate: --tolerance needs a non-negative percent");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            files.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_gate BASELINE.json CURRENT.json [--tolerance PCT]");
+        std::process::exit(2);
+    }
+    let baseline = read_json(&files[0]);
+    let current = read_json(&files[1]);
+
+    println!(
+        "bench gate: {} vs {} (base tolerance {:.0}%)",
+        files[0],
+        files[1],
+        tolerance * 100.0
+    );
+    let rows = compare(&baseline, &current, tolerance);
+    print_table(&rows);
+    if gate_passes(&rows) {
+        println!("bench gate: PASS");
+    } else {
+        println!("bench gate: FAIL — at least one tracked metric regressed past tolerance");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal report with every tracked section populated.
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        cold: f64,
+        warm: f64,
+        hits: i64,
+        misses: i64,
+        saved: i64,
+        store: i64,
+        speedup: f64,
+        qps: f64,
+    ) -> Json {
+        Json::obj([
+            (
+                "serving",
+                Json::obj([
+                    ("cold_secs", Json::Num(cold)),
+                    ("warm_secs", Json::Num(warm)),
+                    ("table_hits", Json::Int(hits)),
+                    ("table_misses", Json::Int(misses)),
+                ]),
+            ),
+            (
+                "factoring",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("factored", Json::Bool(true)),
+                        ("answer_cells_saved", Json::Int(saved)),
+                        ("store_cells", Json::Int(store)),
+                    ]),
+                    // the unfactored baseline row is ignored by the gate
+                    Json::obj([
+                        ("factored", Json::Bool(false)),
+                        ("answer_cells_saved", Json::Int(0)),
+                        ("store_cells", Json::Int(store * 3)),
+                    ]),
+                ]),
+            ),
+            (
+                "concurrent",
+                Json::obj([
+                    ("shared_speedup", Json::Num(speedup)),
+                    (
+                        "rows",
+                        Json::Arr(vec![Json::obj([("warm_qps", Json::Num(qps))])]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    fn base() -> Json {
+        report(0.10, 0.01, 90, 10, 1000, 500, 4.0, 50_000.0)
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rows = compare(&base(), &base(), 0.20);
+        assert!(gate_passes(&rows), "{rows:?}");
+        assert!(rows.iter().all(|r| r.status == Status::Pass));
+    }
+
+    #[test]
+    fn improvements_pass_even_when_large() {
+        let cur = report(0.01, 0.001, 99, 1, 2000, 250, 10.0, 500_000.0);
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(gate_passes(&rows), "{rows:?}");
+    }
+
+    #[test]
+    fn time_regression_past_allowance_fails() {
+        // cold_secs allowance is 20% × 2.5 = 50%; a 2x slowdown fails
+        let cur = report(0.20, 0.01, 90, 10, 1000, 500, 4.0, 50_000.0);
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(!gate_passes(&rows));
+        let r = rows.iter().find(|r| r.name == "serving.cold_secs").unwrap();
+        assert_eq!(r.status, Status::Fail);
+    }
+
+    #[test]
+    fn time_noise_inside_allowance_passes() {
+        // 30% slower is inside the 50% wall-clock allowance
+        let cur = report(0.13, 0.012, 90, 10, 1000, 500, 4.0, 50_000.0);
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(gate_passes(&rows), "{rows:?}");
+    }
+
+    #[test]
+    fn deterministic_counter_is_held_tight() {
+        // 3% fewer cells saved: inside 20% base tolerance, but the
+        // factoring counter allows only 20% × 0.05 = 1%
+        let cur = report(0.10, 0.01, 90, 10, 970, 500, 4.0, 50_000.0);
+        let rows = compare(&base(), &cur, 0.20);
+        let r = rows
+            .iter()
+            .find(|r| r.name == "factoring.cells_saved")
+            .unwrap();
+        assert_eq!(r.status, Status::Fail, "{rows:?}");
+    }
+
+    #[test]
+    fn qps_regression_fails_and_direction_is_respected() {
+        // warm_qps is higher-is-better with a 20% × 2.5 = 50% allowance:
+        // dropping by 70% fails
+        let cur = report(0.10, 0.01, 90, 10, 1000, 500, 4.0, 15_000.0);
+        let rows = compare(&base(), &cur, 0.20);
+        let r = rows
+            .iter()
+            .find(|r| r.name == "concurrent.warm_qps")
+            .unwrap();
+        assert_eq!(r.status, Status::Fail);
+    }
+
+    #[test]
+    fn metric_missing_from_current_fails_as_lost_coverage() {
+        let mut cur = base();
+        if let Json::Obj(fields) = &mut cur {
+            fields.retain(|(k, _)| k != "concurrent");
+        }
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(!gate_passes(&rows));
+        assert!(rows
+            .iter()
+            .any(|r| r.status == Status::LostMetric && r.name.starts_with("concurrent.")));
+    }
+
+    #[test]
+    fn metric_missing_from_baseline_is_unenforced() {
+        let mut old = base();
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "concurrent");
+        }
+        let rows = compare(&old, &base(), 0.20);
+        assert!(gate_passes(&rows), "{rows:?}");
+        assert!(rows.iter().any(|r| r.status == Status::NewMetric));
+    }
+
+    #[test]
+    fn tolerance_flag_scales_every_allowance() {
+        // at 100% base tolerance the 2x cold slowdown passes (allowance 250%)
+        let cur = report(0.20, 0.01, 90, 10, 1000, 500, 4.0, 50_000.0);
+        let rows = compare(&base(), &cur, 1.0);
+        assert!(gate_passes(&rows), "{rows:?}");
+    }
+}

@@ -5,15 +5,17 @@
 //! ```
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
-//! append hilog dynamic-vs-static bulkload serving factoring wfs all`
-//! (default `all`).
+//! append hilog dynamic-vs-static bulkload serving factoring concurrent
+//! wfs all` (default `all`). `baseline` runs just the gate-tracked subset
+//! (`serving factoring concurrent`) — it is what `scripts/ci.sh` compares
+//! against `BENCH_BASELINE.json`.
 //!
 //! `--json PATH` additionally writes a machine-readable report: per-
 //! experiment wall-clock seconds, an engine-counter snapshot from an
 //! instrumented reference workload (win/1 height 4 + path/2 over a
-//! cycle), and — when the `serving` or `factoring` experiments ran —
-//! their warm-vs-cold timings, table counters, and answer-store cell
-//! accounting.
+//! cycle), and — when the `serving`, `factoring`, or `concurrent`
+//! experiments ran — their warm-vs-cold timings, table counters,
+//! answer-store cell accounting, and pool throughput.
 
 use std::time::Instant;
 use xsb_bench::runners::*;
@@ -41,6 +43,7 @@ fn main() {
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut serving_report: Option<ServingReport> = None;
     let mut factoring_rows: Option<Vec<FactoringRow>> = None;
+    let mut concurrent_report: Option<ConcurrentReport> = None;
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
         f();
@@ -60,6 +63,18 @@ fn main() {
         "bulkload" => run("bulkload", &mut || bulkload(quick)),
         "serving" => run("serving", &mut || serving_report = Some(serving(quick))),
         "factoring" => run("factoring", &mut || factoring_rows = Some(factoring(quick))),
+        "concurrent" => run("concurrent", &mut || {
+            concurrent_report = Some(concurrent(quick))
+        }),
+        "baseline" => {
+            // the gate-tracked subset — ci.sh compares this run's JSON
+            // against the committed BENCH_BASELINE.json
+            run("serving", &mut || serving_report = Some(serving(quick)));
+            run("factoring", &mut || factoring_rows = Some(factoring(quick)));
+            run("concurrent", &mut || {
+                concurrent_report = Some(concurrent(quick))
+            });
+        }
         "wfs" => run("wfs", &mut wfs),
         "ablation-tables" => run("ablation-tables", &mut || ablation_tables(quick)),
         "ablation-seminaive" => run("ablation-seminaive", &mut || ablation_seminaive(quick)),
@@ -76,6 +91,9 @@ fn main() {
             run("bulkload", &mut || bulkload(quick));
             run("serving", &mut || serving_report = Some(serving(quick)));
             run("factoring", &mut || factoring_rows = Some(factoring(quick)));
+            run("concurrent", &mut || {
+                concurrent_report = Some(concurrent(quick))
+            });
             run("ablation-tables", &mut || ablation_tables(quick));
             run("ablation-seminaive", &mut || ablation_seminaive(quick));
             run("wfs", &mut wfs);
@@ -93,6 +111,7 @@ fn main() {
             &timings,
             serving_report.as_ref(),
             factoring_rows.as_deref(),
+            concurrent_report.as_ref(),
         );
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
             eprintln!("failed to write {path}: {e}");
@@ -110,6 +129,7 @@ fn json_report(
     timings: &[(String, f64)],
     serving: Option<&ServingReport>,
     factoring: Option<&[FactoringRow]>,
+    concurrent: Option<&ConcurrentReport>,
 ) -> Json {
     let experiments = Json::Arr(
         timings
@@ -170,6 +190,41 @@ fn json_report(
                     })
                     .collect(),
             ),
+        ));
+    }
+    if let Some(c) = concurrent {
+        fields.push((
+            "concurrent",
+            Json::obj([
+                ("n", Json::Int(c.n)),
+                ("subgoals", Json::Int(c.subgoals as i64)),
+                ("warm_reps", Json::Int(c.warm_reps as i64)),
+                ("churn_rounds", Json::Int(c.churn_rounds as i64)),
+                ("shared_speedup", Json::Num(c.shared_speedup)),
+                ("warm_scaling", Json::Num(c.warm_scaling)),
+                (
+                    "rows",
+                    Json::Arr(
+                        c.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("workers", Json::Int(r.workers as i64)),
+                                    ("cold_qps", Json::Num(r.cold_qps)),
+                                    ("warm_qps", Json::Num(r.warm_qps)),
+                                    ("churn_qps", Json::Num(r.churn_qps)),
+                                    ("shared_hits", Json::Int(r.shared_hits as i64)),
+                                    ("shared_publishes", Json::Int(r.shared_publishes as i64)),
+                                    (
+                                        "shared_invalidations",
+                                        Json::Int(r.shared_invalidations as i64),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ));
     }
     Json::obj(fields)
@@ -442,6 +497,41 @@ fn factoring(quick: bool) -> Vec<FactoringRow> {
         );
     }
     rows
+}
+
+fn concurrent(quick: bool) -> ConcurrentReport {
+    header("E15 — concurrent serving: shared-table engine pool");
+    println!("a table completed by one worker serves warm hits on every worker;");
+    println!("consult_all churn invalidates it everywhere through the epoch bump");
+    let n = if quick { 96 } else { 256 };
+    let subgoals = if quick { 6 } else { 12 };
+    let warm_reps = if quick { 3 } else { 5 };
+    let churn_rounds = if quick { 2 } else { 4 };
+    let r = run_concurrent(n, &[1, 2, 4], subgoals, warm_reps, churn_rounds);
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>8} {:>10} {:>8}",
+        "workers", "cold qps", "warm qps", "churn qps", "hits", "publishes", "invals"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>12.0} {:>8} {:>10} {:>8}",
+            row.workers,
+            row.cold_qps,
+            row.warm_qps,
+            row.churn_qps,
+            row.shared_hits,
+            row.shared_publishes,
+            row.shared_invalidations
+        );
+    }
+    println!(
+        "shared speedup (warm vs cold at {} workers): {:.1}x   warm scaling (vs 1 worker): {:.2}x",
+        r.rows.last().map_or(0, |row| row.workers),
+        r.shared_speedup,
+        r.warm_scaling
+    );
+    println!("(warm scaling reflects host core count; shared speedup does not)");
+    r
 }
 
 fn ablation_tables(quick: bool) {

@@ -943,3 +943,172 @@ pub fn run_seminaive_ablation(sizes: &[i64], reps: usize) -> Vec<SemiNaiveRow> {
     }
     out
 }
+
+// ---------------------------------------------------------------------
+// E15 — concurrent serving: shared-table engine pool
+// ---------------------------------------------------------------------
+
+/// One worker-count configuration of the E15 sweep.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRow {
+    pub workers: usize,
+    /// Aggregate throughput over distinct cold subgoals (every query
+    /// computes its table; nothing to share yet).
+    pub cold_qps: f64,
+    /// Aggregate throughput re-serving those subgoals, each repeat pinned
+    /// to a worker that has *not* computed the table — it must come from
+    /// the shared store.
+    pub warm_qps: f64,
+    /// Aggregate throughput while `consult_all` invalidation churn keeps
+    /// ripping the tables out from under the workers.
+    pub churn_qps: f64,
+    pub shared_hits: u64,
+    pub shared_publishes: u64,
+    pub shared_invalidations: u64,
+}
+
+/// E15 report: the sweep rows plus the two headline ratios.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    pub n: i64,
+    pub subgoals: usize,
+    pub warm_reps: usize,
+    pub churn_rounds: usize,
+    pub rows: Vec<ConcurrentRow>,
+    /// Warm-shared vs cold throughput at the largest worker count. This is
+    /// the core-count-independent measure of what the shared store buys: a
+    /// warm hit imports a completed table instead of recomputing it.
+    pub shared_speedup: f64,
+    /// Aggregate warm qps at the largest worker count vs one worker.
+    /// Thread-level scaling — only meaningful on a multi-core host.
+    pub warm_scaling: f64,
+}
+
+/// `path/2` over an `n`-cycle with a dynamic EDB, so `consult_all` churn
+/// appends facts (rather than replacing the relation).
+fn pool_program(n: i64) -> String {
+    let mut src = String::from(
+        ":- table path/2.\n:- dynamic edge/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- path(X,Z), edge(Z,Y).\n",
+    );
+    for (a, b) in cycle_edges(n) {
+        src.push_str(&format!("edge({a},{b}).\n"));
+    }
+    src
+}
+
+pub fn run_concurrent(
+    n: i64,
+    worker_counts: &[usize],
+    subgoals: usize,
+    warm_reps: usize,
+    churn_rounds: usize,
+) -> ConcurrentReport {
+    use xsb_core::{PoolConfig, ServerPool};
+    use xsb_obs::Counter;
+    let src = pool_program(n);
+    let expected = n as usize; // every node reaches every node on a cycle
+    let mut rows = Vec::new();
+    for &w in worker_counts {
+        let pool = ServerPool::new(
+            &src,
+            PoolConfig {
+                workers: w,
+                ..PoolConfig::default()
+            },
+        )
+        .expect("pool program consults");
+
+        // cold: distinct subgoals path(k, X), spread over the workers —
+        // each is a first call somewhere, so each computes a table
+        let t0 = Instant::now();
+        let tickets: Vec<_> = (0..subgoals)
+            .map(|k| pool.submit_count(&format!("path({}, X)", k as i64 + 1), Some(k % w)))
+            .collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap(), expected);
+        }
+        let cold = secs(t0.elapsed());
+
+        // warm: the same subgoals, each rep shifted to a worker that did
+        // not compute the table — served via the shared store (import on
+        // first touch, local completed table after that)
+        let t0 = Instant::now();
+        for rep in 1..=warm_reps {
+            let tickets: Vec<_> = (0..subgoals)
+                .map(|k| {
+                    pool.submit_count(&format!("path({}, X)", k as i64 + 1), Some((k + rep) % w))
+                })
+                .collect();
+            for t in tickets {
+                assert_eq!(t.wait().unwrap(), expected);
+            }
+        }
+        let warm = secs(t0.elapsed());
+
+        // churn: every round appends a fresh out-edge from node n, which
+        // invalidates path/2 on every worker and in the shared store;
+        // queries race the recomputation across workers
+        let t0 = Instant::now();
+        for round in 0..churn_rounds {
+            pool.consult_all(&format!("edge({n}, {}).", n + 1 + round as i64))
+                .expect("churn fact consults");
+            let tickets: Vec<_> = (0..subgoals)
+                .map(|k| pool.submit_count(&format!("path({}, X)", k as i64 + 1), Some(k % w)))
+                .collect();
+            for t in tickets {
+                // each appended edge makes one more node reachable
+                assert_eq!(t.wait().unwrap(), expected + round + 1);
+            }
+        }
+        let churn = secs(t0.elapsed());
+
+        let m = pool.metrics();
+        rows.push(ConcurrentRow {
+            workers: w,
+            cold_qps: subgoals as f64 / cold.max(1e-9),
+            warm_qps: (subgoals * warm_reps) as f64 / warm.max(1e-9),
+            churn_qps: (subgoals * churn_rounds) as f64 / churn.max(1e-9),
+            shared_hits: m.get(Counter::SharedTableHits),
+            shared_publishes: m.get(Counter::SharedTablePublishes),
+            shared_invalidations: m.get(Counter::SharedTableInvalidations),
+        });
+    }
+    let first = rows.first().expect("at least one worker count");
+    let last = rows.last().expect("at least one worker count");
+    ConcurrentReport {
+        n,
+        subgoals,
+        warm_reps,
+        churn_rounds,
+        shared_speedup: last.warm_qps / last.cold_qps.max(1e-9),
+        warm_scaling: last.warm_qps / first.warm_qps.max(1e-9),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod concurrent_tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_report_exercises_the_shared_store() {
+        let r = run_concurrent(96, &[1, 2], 4, 2, 2);
+        assert_eq!(r.rows.len(), 2);
+        let two = &r.rows[1];
+        assert!(two.shared_publishes >= 1, "tables reach the store: {r:?}");
+        assert!(
+            two.shared_hits >= 1,
+            "shifted warm reps import from the store: {r:?}"
+        );
+        assert!(
+            two.shared_invalidations >= 1,
+            "churn invalidates the store: {r:?}"
+        );
+        assert!(
+            r.shared_speedup > 1.0,
+            "serving a completed shared table beats recomputing it: {r:?}"
+        );
+    }
+}

@@ -84,6 +84,7 @@ pub enum Builtin {
     Statistics0,
     Statistics2,
     TablesB,
+    PoolWorkers,
     // I/O & misc
     WriteB,
     WritelnB,
@@ -173,6 +174,7 @@ impl Builtin {
             ("statistics", 0, Builtin::Statistics0),
             ("statistics", 2, Builtin::Statistics2),
             ("tables", 0, Builtin::TablesB),
+            ("pool_workers", 1, Builtin::PoolWorkers),
             ("write", 1, Builtin::WriteB),
             ("writeln", 1, Builtin::WritelnB),
             ("nl", 0, Builtin::Nl),
@@ -345,6 +347,7 @@ pub fn exec_builtin(
         Builtin::Retractall => builtin_retractall(m, syms),
         Builtin::AbolishAllTables => {
             m.tables.abolish_all();
+            m.tables.shared_clear();
             Ok(BAction::Continue)
         }
         Builtin::AbolishTablePred => builtin_abolish_table_pred(m, syms),
@@ -358,8 +361,11 @@ pub fn exec_builtin(
                 });
             }
             let n = v.int_value();
-            m.tables
-                .set_budget(if n <= 0 { None } else { Some(n as u64) });
+            let budget = if n <= 0 { None } else { Some(n as u64) };
+            m.tables.set_budget(budget);
+            if let Some(h) = m.tables.shared_handle() {
+                h.store.set_budget(budget);
+            }
             Ok(BAction::Continue)
         }
         Builtin::SetAnswerFactoring => {
@@ -385,6 +391,15 @@ pub fn exec_builtin(
         Builtin::TablesB => {
             print!("{}", crate::table::table_listing(m.tables, m.db, syms));
             Ok(BAction::Continue)
+        }
+        Builtin::PoolWorkers => {
+            let val = m.x[0];
+            let n = m.db.pool_workers as i64;
+            Ok(if m.unify(val, Cell::int(n)) {
+                BAction::Continue
+            } else {
+                BAction::Fail
+            })
         }
         Builtin::WriteB => {
             let mut vars = Vec::new();
@@ -912,6 +927,14 @@ fn builtin_abolish_table_pred(m: &mut Machine, syms: &SymbolTable) -> Result<BAc
             m.obs.trace.push(SlgEvent::TableInvalidated { pred });
         }
     }
+    // other pool workers may hold tables for this predicate regardless of
+    // what this worker removed locally
+    let shared = m.tables.shared_invalidate(&[pred]);
+    if shared > 0 {
+        m.obs
+            .metrics
+            .add(Counter::SharedTableInvalidations, shared as u64);
+    }
     Ok(BAction::Continue)
 }
 
@@ -942,6 +965,14 @@ fn builtin_abolish_table_call(m: &mut Machine) -> Result<BAction, EngineError> {
         if m.obs.trace.enabled {
             m.obs.trace.push(SlgEvent::TableInvalidated { pred });
         }
+    }
+    // the shared store has no per-variant invalidation: drop the whole
+    // predicate pool-wide (conservative, always safe)
+    let shared = m.tables.shared_invalidate(&[pred]);
+    if shared > 0 {
+        m.obs
+            .metrics
+            .add(Counter::SharedTableInvalidations, shared as u64);
     }
     Ok(BAction::Continue)
 }

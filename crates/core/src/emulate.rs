@@ -19,6 +19,7 @@ use crate::machine::{Alt, Machine, NONE};
 use crate::program::PredKind;
 use crate::table::{GenMode, NegMode, NegSusp, SubgoalState};
 use std::rc::Rc;
+use std::sync::Arc;
 use xsb_obs::{Counter, SlgEvent};
 use xsb_syntax::{well_known, SymbolTable};
 
@@ -698,7 +699,8 @@ impl Machine<'_> {
     /// consistency hook. Completed tables are freed immediately;
     /// incomplete ones are freed at `end_query`.
     pub fn invalidate_dependents(&mut self, pred: PredId) {
-        for dep in self.db.tabled_dependents(pred) {
+        let deps = self.db.tabled_dependents(pred);
+        for &dep in &deps {
             let n = self.tables.invalidate_pred(dep);
             if n > 0 {
                 self.obs.metrics.add(Counter::TableInvalidations, n as u64);
@@ -708,6 +710,14 @@ impl Machine<'_> {
                         .push(SlgEvent::TableInvalidated { pred: dep });
                 }
             }
+        }
+        // push the same invalidation pool-wide so other workers drop the
+        // affected tables at their next sync
+        let shared = self.tables.shared_invalidate(&deps);
+        if shared > 0 {
+            self.obs
+                .metrics
+                .add(Counter::SharedTableInvalidations, shared as u64);
         }
     }
 
@@ -724,18 +734,32 @@ impl Machine<'_> {
         let found = self.tables.find(pred, &canon);
         let r = match found {
             None => {
-                self.obs.metrics.bump(Counter::TableMisses);
-                let owned: Box<[Cell]> = canon.as_slice().into();
-                self.new_generator(
-                    pred,
-                    arity,
-                    owned,
-                    var_addrs,
-                    GenMode::Positive,
-                    NONE,
-                    None,
-                    syms,
-                )
+                if let Some(sf) = self.tables.shared_probe(pred, &canon) {
+                    // another pool worker already completed this table:
+                    // import it (zero-copy) and serve it like a local
+                    // completed-table hit
+                    self.obs.metrics.bump(Counter::SharedTableHits);
+                    let sub = self.tables.import_shared(&sf);
+                    if self.obs.trace.enabled {
+                        self.obs
+                            .trace
+                            .push(SlgEvent::SubgoalCall { pred, subgoal: sub });
+                    }
+                    self.completed_call(sub, var_addrs)
+                } else {
+                    self.obs.metrics.bump(Counter::TableMisses);
+                    let owned: Box<[Cell]> = canon.as_slice().into();
+                    self.new_generator(
+                        pred,
+                        arity,
+                        owned,
+                        var_addrs,
+                        GenMode::Positive,
+                        NONE,
+                        None,
+                        syms,
+                    )
+                }
             }
             Some(sub) => {
                 if self.tables.frame(sub).state == SubgoalState::Complete {
@@ -778,7 +802,7 @@ impl Machine<'_> {
         let saved_freeze = self.freeze_state();
         let sub = self.tables.new_subgoal(
             pred,
-            Rc::from(canon),
+            Arc::from(canon),
             subst,
             clauses,
             mode,

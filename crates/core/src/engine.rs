@@ -20,9 +20,11 @@ use crate::error::EngineError;
 use crate::instr::PredId;
 use crate::machine::Machine;
 use crate::program::{pred_indicator, table_all_analysis, Program, StaticIndex};
+use crate::shared::SharedTableStore;
 use crate::table::TableSpace;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use xsb_obs::{Counter, Json, Metrics, Obs, SlgEvent, Stopwatch};
 use xsb_syntax::{
     parse_query, well_known, Clause, ProgramReader, ReadItem, Sym, SymbolTable, Term,
@@ -242,6 +244,7 @@ impl Engine {
         q: &str,
         mut f: impl FnMut(&Solution) -> bool,
     ) -> Result<(), EngineError> {
+        self.sync_shared_tables();
         let query = parse_query(q, &mut self.syms, &self.reader.ops)?;
         let goals: Vec<Term> = query
             .goals
@@ -281,6 +284,7 @@ impl Engine {
         drop(machine);
         self.tables.end_query();
         self.enforce_table_budget();
+        self.publish_shared_tables();
         result
     }
 
@@ -309,6 +313,7 @@ impl Engine {
     /// Shared driver for [`Engine::holds`] / [`Engine::count`]: runs the
     /// query without constructing [`Solution`] values.
     fn run_counting(&mut self, q: &str, stop_at_first: bool) -> Result<usize, EngineError> {
+        self.sync_shared_tables();
         let query = parse_query(q, &mut self.syms, &self.reader.ops)?;
         let goals: Vec<Term> = query
             .goals
@@ -342,7 +347,30 @@ impl Engine {
         drop(machine);
         self.tables.end_query();
         self.enforce_table_budget();
+        self.publish_shared_tables();
         result
+    }
+
+    /// Catches up with invalidations other pool workers pushed since this
+    /// engine's last query (no-op without an attached shared store).
+    fn sync_shared_tables(&mut self) {
+        let n = self.tables.sync_shared();
+        if n > 0 {
+            self.obs
+                .metrics
+                .add(Counter::SharedTableInvalidations, n as u64);
+        }
+    }
+
+    /// Promotes tables completed by the finished query into the pool's
+    /// shared store (no-op without an attached shared store).
+    fn publish_shared_tables(&mut self) {
+        let n = self.tables.publish_completed();
+        if n > 0 {
+            self.obs
+                .metrics
+                .add(Counter::SharedTablePublishes, n as u64);
+        }
     }
 
     /// Evicts completed tables (least-recently-hit first) until the
@@ -367,7 +395,8 @@ impl Engine {
     /// invalidates the tables of every tabled predicate that (transitively)
     /// depends on `pred`.
     fn invalidate_dependents(&mut self, pred: PredId) {
-        for dep in self.db.tabled_dependents(pred) {
+        let deps = self.db.tabled_dependents(pred);
+        for &dep in &deps {
             let n = self.tables.invalidate_pred(dep);
             if n > 0 {
                 self.obs.metrics.add(Counter::TableInvalidations, n as u64);
@@ -377,6 +406,12 @@ impl Engine {
                         .push(SlgEvent::TableInvalidated { pred: dep });
                 }
             }
+        }
+        let shared = self.tables.shared_invalidate(&deps);
+        if shared > 0 {
+            self.obs
+                .metrics
+                .add(Counter::SharedTableInvalidations, shared as u64);
         }
     }
 
@@ -470,9 +505,11 @@ impl Engine {
         self.tables.live_tables()
     }
 
-    /// Forgets every table.
+    /// Forgets every table — pool-wide when a shared store is attached
+    /// (every worker fully invalidates at its next query).
     pub fn abolish_all_tables(&mut self) {
         self.tables.abolish_all();
+        self.tables.shared_clear();
     }
 
     /// Selectively forgets the tables of one predicate (programmatic
@@ -492,25 +529,58 @@ impl Engine {
                 self.obs.trace.push(SlgEvent::TableInvalidated { pred });
             }
         }
+        // other workers may hold tables for this predicate even when this
+        // one does not: always push the abolish pool-wide
+        let shared = self.tables.shared_invalidate(&[pred]);
+        if shared > 0 {
+            self.obs
+                .metrics
+                .add(Counter::SharedTableInvalidations, shared as u64);
+        }
         n
     }
 
     /// Sets the table-space answer-store budget in cells (`None` =
     /// unbounded). When a finished query leaves the store over budget,
-    /// completed tables are evicted least-recently-hit first.
+    /// completed tables are evicted least-recently-hit first. With a
+    /// shared store attached, the same budget governs the pool-wide store
+    /// (enforced immediately there, since no query is mid-flight in it).
     pub fn set_table_budget(&mut self, cells: Option<u64>) {
         self.tables.set_budget(cells);
+        if let Some(h) = self.tables.shared_handle() {
+            h.store.set_budget(cells);
+        }
     }
 
     /// Switches the table-space index representation (paper §4.5: hash
     /// indexes, or the in-development trie indexing integrated with answer
-    /// storage). Clears existing tables; keeps the memory budget.
+    /// storage). Clears existing tables; keeps the memory budget and the
+    /// pool-shared store connection.
     pub fn set_table_index(&mut self, index: crate::table::TableIndex) {
         let budget = self.tables.budget();
         let factored = self.tables.factored();
+        let shared = self.tables.take_shared();
         self.tables = TableSpace::with_index(index);
         self.tables.set_budget(budget);
         self.tables.set_factored(factored);
+        self.tables.restore_shared(shared);
+    }
+
+    /// Connects this engine to a pool-wide shared table store. The
+    /// symbol/predicate floors are fixed *now*: every predicate consulted
+    /// so far is shareable with other workers attached at the same point;
+    /// predicates or symbols interned later (e.g. by this engine's own
+    /// queries) stay engine-local. Used by [`crate::engine_pool::ServerPool`].
+    pub fn attach_shared_store(&mut self, store: Arc<SharedTableStore>) {
+        let sym_floor = self.syms.len() as u32;
+        let pred_floor = self.db.preds.len() as PredId;
+        self.tables.attach_shared(store, sym_floor, pred_floor);
+    }
+
+    /// Records the worker count of the pool this engine belongs to
+    /// (reported by the `pool_workers/1` builtin; 0 = standalone engine).
+    pub fn set_pool_workers(&mut self, n: u32) {
+        self.db.pool_workers = n;
     }
 
     /// Switches substitution factoring for *new* tables: `true` (the

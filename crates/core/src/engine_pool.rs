@@ -1,0 +1,392 @@
+//! Concurrent serving: a pool of worker engines over one shared table
+//! store.
+//!
+//! The paper positions XSB as a *server* for deductive-database workloads;
+//! [`ServerPool`] is that serving layer. It owns N OS threads, each
+//! running a full [`Engine`] that consulted the same program, all attached
+//! to one [`SharedTableStore`]. A tabled query answered by any worker
+//! publishes its completed tables into the store, so every other worker
+//! serves the same subgoal as a warm hit — the table is computed once
+//! pool-wide, which is what makes throughput scale with workers on warm
+//! workloads instead of multiplying the evaluation cost.
+//!
+//! The [`Engine`] itself is single-threaded by design (`Rc`/`RefCell`
+//! interior state — the WAM does not want atomics on its hot paths), so
+//! engines are constructed *inside* their worker threads and never move;
+//! only jobs, results, and the `Arc`-held store cross thread boundaries.
+//!
+//! Consistency: updates (assert/abolish/consult) are per-worker state, so
+//! [`ServerPool::consult_all`] broadcasts program text to every worker.
+//! Table invalidation is pool-wide automatically — a worker that asserts
+//! bumps the store epoch through the dependency graph, and every other
+//! worker drops the affected tables at its next query (the same call-time
+//! snapshot semantics a single engine has had since cross-query caching).
+
+use crate::engine::{Engine, Solution};
+use crate::error::EngineError;
+use crate::shared::SharedTableStore;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use xsb_obs::Metrics;
+
+/// Configuration for a [`ServerPool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// number of worker engines (threads)
+    pub workers: usize,
+    /// per-query abstract-machine step limit (None = unlimited)
+    pub step_limit: Option<u64>,
+    /// table budget in answer-store cells, applied to each worker *and*
+    /// the shared store (None = unbounded)
+    pub table_budget: Option<u64>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            step_limit: None,
+            table_budget: None,
+        }
+    }
+}
+
+enum Job {
+    /// run a query, return all solutions
+    Query(String, Sender<Result<Vec<Solution>, EngineError>>),
+    /// run a query to exhaustion, return the solution count
+    Count(String, Sender<Result<usize, EngineError>>),
+    /// consult program text
+    Consult(String, Sender<Result<(), EngineError>>),
+    /// snapshot this worker's metrics (also the join barrier: a reply
+    /// proves the worker drained everything submitted before it)
+    Metrics(Sender<Box<Metrics>>),
+}
+
+struct Worker {
+    tx: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of worker engines serving queries concurrently over one shared
+/// completed-table store. See the module docs for the sharing model.
+pub struct ServerPool {
+    workers: Vec<Worker>,
+    store: Arc<SharedTableStore>,
+    /// round-robin cursor for [`ServerPool::submit`]
+    next: std::sync::atomic::AtomicUsize,
+}
+
+/// A pending result from [`ServerPool::submit`] / [`ServerPool::submit_count`].
+/// `wait()` blocks until the owning worker finishes the job.
+pub struct Ticket<T> {
+    rx: Receiver<Result<T, EngineError>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the job completes. If the worker thread died (engine
+    /// panic), the error surfaces here rather than hanging.
+    pub fn wait(self) -> Result<T, EngineError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(EngineError::Other("pool worker died".into())))
+    }
+}
+
+impl ServerPool {
+    /// Builds a pool of `config.workers` engines, each consulting
+    /// `program`, attached to a fresh shared store. Returns an error if
+    /// the program fails to consult (reported by the first worker; all
+    /// workers run identical text).
+    pub fn new(program: &str, config: PoolConfig) -> Result<ServerPool, EngineError> {
+        let store = Arc::new(SharedTableStore::new());
+        if let Some(b) = config.table_budget {
+            store.set_budget(Some(b));
+        }
+        let nworkers = config.workers.max(1);
+        let mut workers = Vec::with_capacity(nworkers);
+        let (ready_tx, ready_rx) = channel::<Result<(), EngineError>>();
+        for _ in 0..nworkers {
+            let (tx, rx) = channel::<Job>();
+            let program = program.to_string();
+            let config = config.clone();
+            let store = store.clone();
+            let ready = ready_tx.clone();
+            let handle = std::thread::spawn(move || {
+                // the engine lives entirely inside this thread: Engine is
+                // intentionally !Send (Rc/RefCell on the WAM hot paths)
+                let mut e = Engine::new();
+                let setup = e.consult(&program);
+                let ok = setup.is_ok();
+                if ok {
+                    e.set_step_limit(config.step_limit);
+                    e.set_table_budget(config.table_budget);
+                    e.set_pool_workers(nworkers as u32);
+                    // attach after consulting: everything in the program
+                    // is below the sharing floors
+                    e.attach_shared_store(store);
+                }
+                let _ = ready.send(setup);
+                if !ok {
+                    return;
+                }
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Query(q, reply) => {
+                            let _ = reply.send(e.query(&q));
+                        }
+                        Job::Count(q, reply) => {
+                            let _ = reply.send(e.count(&q));
+                        }
+                        Job::Consult(src, reply) => {
+                            let _ = reply.send(e.consult(&src));
+                        }
+                        Job::Metrics(reply) => {
+                            let _ = reply.send(Box::new(e.metrics().clone()));
+                        }
+                    }
+                }
+            });
+            workers.push(Worker {
+                tx,
+                handle: Some(handle),
+            });
+        }
+        drop(ready_tx);
+        // surface the first consult failure (if any) as the pool's error
+        for _ in 0..nworkers {
+            match ready_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(EngineError::Other("pool worker died during setup".into())),
+            }
+        }
+        Ok(ServerPool {
+            workers,
+            store,
+            next: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of worker engines.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The pool's shared completed-table store.
+    pub fn store(&self) -> &Arc<SharedTableStore> {
+        &self.store
+    }
+
+    fn pick(&self, worker: Option<usize>) -> &Worker {
+        let i = match worker {
+            Some(i) => i % self.workers.len(),
+            None => {
+                self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.workers.len()
+            }
+        };
+        &self.workers[i]
+    }
+
+    /// Submits a query round-robin (or to a specific worker) and returns
+    /// a [`Ticket`] for its solutions.
+    pub fn submit(&self, q: &str) -> Ticket<Vec<Solution>> {
+        self.submit_to(q, None)
+    }
+
+    /// Like [`ServerPool::submit`] but pinned to worker `worker % N`.
+    pub fn submit_to(&self, q: &str, worker: Option<usize>) -> Ticket<Vec<Solution>> {
+        let (reply, rx) = channel();
+        let _ = self.pick(worker).tx.send(Job::Query(q.to_string(), reply));
+        Ticket { rx }
+    }
+
+    /// Submits a counting query (solutions are not decoded — the
+    /// fail-loop fast path) round-robin or pinned.
+    pub fn submit_count(&self, q: &str, worker: Option<usize>) -> Ticket<usize> {
+        let (reply, rx) = channel();
+        let _ = self.pick(worker).tx.send(Job::Count(q.to_string(), reply));
+        Ticket { rx }
+    }
+
+    /// Convenience: run a query on one worker and wait for its solutions.
+    pub fn query(&self, q: &str) -> Result<Vec<Solution>, EngineError> {
+        self.submit(q).wait()
+    }
+
+    /// Convenience: count solutions on one worker.
+    pub fn count(&self, q: &str) -> Result<usize, EngineError> {
+        self.submit_count(q, None).wait()
+    }
+
+    /// Consults program text on **every** worker (each engine owns its
+    /// program database). Predicates added here are evaluated per-worker
+    /// but their tables stay worker-local — the sharing floors are fixed
+    /// at pool construction. Returns the first error, if any.
+    pub fn consult_all(&self, src: &str) -> Result<(), EngineError> {
+        let mut pending = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (reply, rx) = channel();
+            let _ = w.tx.send(Job::Consult(src.to_string(), reply));
+            pending.push(rx);
+        }
+        for rx in pending {
+            rx.recv()
+                .map_err(|_| EngineError::Other("pool worker died".into()))??;
+        }
+        Ok(())
+    }
+
+    /// Waits until every worker has drained all jobs submitted so far.
+    pub fn join(&self) {
+        let _ = self.metrics();
+    }
+
+    /// Aggregated metrics across all workers: counters and timers are
+    /// summed, memory gauges take the pool-wide high water mark. Doubles
+    /// as a barrier (each worker replies only after draining its queue).
+    pub fn metrics(&self) -> Metrics {
+        let mut pending = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (reply, rx) = channel();
+            let _ = w.tx.send(Job::Metrics(reply));
+            pending.push(rx);
+        }
+        let mut total = Metrics::default();
+        for rx in pending {
+            if let Ok(m) = rx.recv() {
+                total.merge(&m);
+            }
+        }
+        total
+    }
+}
+
+impl Drop for ServerPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // closing the job channel is the shutdown signal
+            let (tx, _) = channel();
+            drop(std::mem::replace(&mut w.tx, tx));
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsb_obs::Counter;
+
+    const PATH: &str = r#"
+        :- table path/2.
+        path(X,Y) :- edge(X,Y).
+        path(X,Y) :- path(X,Z), edge(Z,Y).
+        edge(1,2). edge(2,3). edge(3,1).
+    "#;
+
+    fn pool(workers: usize) -> ServerPool {
+        ServerPool::new(
+            PATH,
+            PoolConfig {
+                workers,
+                ..PoolConfig::default()
+            },
+        )
+        .expect("program consults")
+    }
+
+    #[test]
+    fn queries_round_robin_and_agree() {
+        let p = pool(3);
+        assert_eq!(p.workers(), 3);
+        let tickets: Vec<_> = (0..6).map(|_| p.submit_count("path(1, X)", None)).collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn table_computed_once_serves_all_workers() {
+        let p = pool(4);
+        // cold: one worker computes and publishes
+        assert_eq!(p.submit_count("path(X, Y)", Some(0)).wait().unwrap(), 9);
+        p.join();
+        assert_eq!(p.store().len(), 1, "completed table published");
+        // warm: every other worker imports instead of recomputing
+        for w in 1..4 {
+            assert_eq!(p.submit_count("path(X, Y)", Some(w)).wait().unwrap(), 9);
+        }
+        let m = p.metrics();
+        assert_eq!(m.get(Counter::SharedTablePublishes), 1);
+        assert_eq!(m.get(Counter::SharedTableHits), 3);
+        // workers 1..4 never ran the generator for path/2's full variant:
+        // one miss pool-wide
+        assert_eq!(m.get(Counter::TableMisses), 1);
+    }
+
+    #[test]
+    fn invalidation_propagates_across_workers() {
+        let p = ServerPool::new(
+            ":- table path/2.\n:- dynamic edge/2.\n\
+             path(X,Y) :- edge(X,Y).\n\
+             path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3).",
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        // worker 0 computes and publishes the table
+        assert_eq!(p.submit_count("path(1, X)", Some(0)).wait().unwrap(), 2);
+        p.join();
+        assert_eq!(p.store().len(), 1);
+        // a data update is broadcast to every worker's EDB; each broadcast
+        // assert also bumps the store epoch, dropping the published table
+        p.consult_all("edge(3,4).").unwrap();
+        assert!(p.store().is_empty(), "stale shared table invalidated");
+        // both workers recompute against the new data — including worker
+        // 0, whose *published* table would otherwise have served stale
+        assert_eq!(p.submit_count("path(1, X)", Some(0)).wait().unwrap(), 3);
+        assert_eq!(p.submit_count("path(1, X)", Some(1)).wait().unwrap(), 3);
+    }
+
+    #[test]
+    fn consult_all_reaches_every_worker() {
+        let p = pool(2);
+        p.consult_all("extra(a). extra(b).").unwrap();
+        for w in 0..2 {
+            assert_eq!(p.submit_count("extra(X)", Some(w)).wait().unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn pool_workers_builtin_reports_size() {
+        let p = pool(3);
+        let sols = p.query("pool_workers(N)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            sols[0].get("N"),
+            Some(&xsb_syntax::Term::Int(3)),
+            "pool_workers/1 reports the worker count"
+        );
+    }
+
+    #[test]
+    fn consult_error_surfaces_at_construction() {
+        let r = ServerPool::new(
+            ":- bogus_directive(nope).",
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        );
+        assert!(r.is_err());
+    }
+}

@@ -32,13 +32,17 @@ pub mod compile;
 pub mod dynamic;
 pub mod emulate;
 pub mod engine;
+pub mod engine_pool;
 pub mod error;
 pub mod instr;
 pub mod machine;
 pub mod objfile;
 pub mod program;
+pub mod shared;
 pub mod table;
 pub mod table_trie;
 
 pub use engine::{Engine, Solution};
+pub use engine_pool::{PoolConfig, ServerPool};
 pub use error::EngineError;
+pub use shared::SharedTableStore;

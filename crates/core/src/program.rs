@@ -80,6 +80,9 @@ pub struct Program {
     /// `assert`; drives table invalidation when a dynamic predicate
     /// changes ([`Program::tabled_dependents`]).
     dep_callers: HashMap<PredId, HashSet<PredId>>,
+    /// Worker count of the engine pool this program serves (0 = not in a
+    /// pool). Reported by the `pool_workers/1` builtin.
+    pub pool_workers: u32,
 }
 
 impl Program {
@@ -93,6 +96,7 @@ impl Program {
             dynamics: Vec::new(),
             snippets: Snippets::default(),
             dep_callers: HashMap::new(),
+            pool_workers: 0,
         };
         p.snippets.fail = p.code.emit(Instr::Fail);
         p.snippets.findall_collect = p.code.emit(Instr::FindallCollect);

@@ -1,0 +1,498 @@
+//! Shared read-only table store for the engine pool.
+//!
+//! Completed tables are immutable by construction (incremental
+//! completion, paper §3.3): once an SCC completes, its answer arena never
+//! changes. That makes a completed table the perfect artifact to share
+//! across worker engines — a [`SharedFrame`] is a frozen snapshot of a
+//! completed subgoal (canonical call, factored answer arena, spans) held
+//! behind an `Arc`, so a table computed once by any worker serves warm
+//! hits on every worker without recomputation and without copying cells.
+//!
+//! Consistency is epoch-based. The store keeps a generation counter that
+//! every invalidation (assert/retract through the dependency graph,
+//! `abolish_*`, budget eviction) bumps under the write lock, plus a log of
+//! `(epoch, pred)` invalidation records. Each worker remembers the last
+//! epoch it observed; before a query it replays the log suffix to
+//! invalidate its *local* tables for the same predicates, and after a
+//! query it publishes its freshly completed tables only if the epoch is
+//! still the one it computed under. A worker that imported a shared frame
+//! mid-query keeps serving from its local copy even if the store frame is
+//! invalidated concurrently — the same call-time-view semantics local
+//! invalidation has had since the cross-query cache landed.
+//!
+//! Safety of the sharing itself is structural: frames are never mutated
+//! after publication, readers hold `Arc`s, and removal from the map only
+//! drops the store's reference. A reader can observe a frame or not
+//! observe it; there is no intermediate state to tear.
+
+use crate::cell::{Cell, Tag};
+use crate::instr::PredId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// An immutable completed table: the publishable subset of a
+/// `SubgoalFrame`, with the answer arena frozen behind an `Arc` so local
+/// imports are zero-copy.
+#[derive(Debug)]
+pub struct SharedFrame {
+    pub pred: PredId,
+    /// canonical call-argument tuple (variant key)
+    pub canon: Arc<[Cell]>,
+    /// number of distinct variables in the call
+    pub nvars: u32,
+    /// whether `cells` holds factored bindings or full tuples
+    pub factored: bool,
+    /// non-variable cells in `canon` (full-size accounting)
+    pub ground_cells: u32,
+    /// occurrences of each distinct call variable in `canon`
+    pub var_occ: Vec<u32>,
+    /// the frozen answer arena
+    pub cells: Arc<[Cell]>,
+    /// `(offset, len)` of each answer in `cells`
+    pub spans: Vec<(u32, u32)>,
+    /// store epoch this frame was computed under
+    pub epoch: u64,
+    /// monotone hit stamp for least-recently-hit eviction
+    last_hit: AtomicU64,
+}
+
+impl SharedFrame {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pred: PredId,
+        canon: Arc<[Cell]>,
+        nvars: u32,
+        factored: bool,
+        ground_cells: u32,
+        var_occ: Vec<u32>,
+        cells: Arc<[Cell]>,
+        spans: Vec<(u32, u32)>,
+        epoch: u64,
+    ) -> SharedFrame {
+        SharedFrame {
+            pred,
+            canon,
+            nvars,
+            factored,
+            ground_cells,
+            var_occ,
+            cells,
+            spans,
+            epoch,
+            last_hit: AtomicU64::new(0),
+        }
+    }
+
+    /// Arena cells held (budget accounting unit).
+    pub fn cells_len(&self) -> u64 {
+        self.cells.len() as u64
+    }
+}
+
+/// True iff every `Con`/`Fun` cell of `seq` names a symbol below `floor`.
+/// Workers intern identically only for the program text they all
+/// consulted; symbols created later (by per-worker queries) may mean
+/// different names on different workers, so frames mentioning them must
+/// stay worker-local.
+pub fn cells_below_sym_floor(seq: &[Cell], floor: u32) -> bool {
+    seq.iter().all(|c| match c.tag() {
+        Tag::Con => c.sym().0 < floor,
+        Tag::Fun => c.functor().0 .0 < floor,
+        _ => true,
+    })
+}
+
+struct Inner {
+    /// current generation; bumped by every invalidation
+    epoch: u64,
+    /// pred → variant → frame
+    frames: HashMap<PredId, HashMap<Arc<[Cell]>, Arc<SharedFrame>>>,
+    /// invalidation records `(epoch-after-bump, pred)`, oldest first
+    log: Vec<(u64, PredId)>,
+    /// epochs at or below this are no longer covered by `log` (the log is
+    /// compacted); a worker that far behind must invalidate everything
+    log_floor: u64,
+    /// answer cells currently held across all frames
+    total_cells: u64,
+    /// answer-store budget in cells; `None` = unbounded
+    budget_cells: Option<u64>,
+}
+
+const LOG_CAP: usize = 4096;
+
+/// The pool-wide store of completed tables. All methods are safe to call
+/// from any thread; the store itself holds no interior `Rc`/`Cell` state.
+pub struct SharedTableStore {
+    inner: RwLock<Inner>,
+    /// monotone probe counter feeding `SharedFrame::last_hit`
+    hit_seq: AtomicU64,
+}
+
+impl Default for SharedTableStore {
+    fn default() -> Self {
+        SharedTableStore {
+            inner: RwLock::new(Inner {
+                epoch: 0,
+                frames: HashMap::new(),
+                log: Vec::new(),
+                log_floor: 0,
+                total_cells: 0,
+                budget_cells: None,
+            }),
+            hit_seq: AtomicU64::new(1),
+        }
+    }
+}
+
+/// What [`SharedTableStore::sync_from`] tells a worker to invalidate
+/// locally.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SyncAction {
+    /// Nothing changed since the worker's last sync.
+    UpToDate,
+    /// Invalidate the local tables of exactly these predicates.
+    Preds(Vec<PredId>),
+    /// The worker is too far behind the compacted log (or the store was
+    /// cleared): invalidate every local table.
+    All,
+}
+
+impl SharedTableStore {
+    pub fn new() -> SharedTableStore {
+        SharedTableStore::default()
+    }
+
+    /// Current generation counter.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().expect("store lock").epoch
+    }
+
+    /// Looks up a completed table for this variant call and stamps it for
+    /// the eviction policy. The returned `Arc` stays valid regardless of
+    /// concurrent invalidation or eviction.
+    pub fn probe(&self, pred: PredId, canon: &[Cell]) -> Option<Arc<SharedFrame>> {
+        let inner = self.inner.read().expect("store lock");
+        let f = inner.frames.get(&pred)?.get(canon)?;
+        f.last_hit.store(
+            self.hit_seq.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        Some(f.clone())
+    }
+
+    /// Existence check without stamping the eviction clock (used by
+    /// publishers to skip variants already in the store).
+    pub fn contains(&self, pred: PredId, canon: &[Cell]) -> bool {
+        let inner = self.inner.read().expect("store lock");
+        inner
+            .frames
+            .get(&pred)
+            .is_some_and(|m| m.contains_key(canon))
+    }
+
+    /// Publishes a completed table. The first publisher of a variant wins
+    /// — concurrent workers that computed the same table keep their local
+    /// copies, which is the safe form of deduplication. The publish is
+    /// rejected (returns `false`) when the store's epoch moved past
+    /// `frame.epoch`, i.e. an invalidation landed while the frame was
+    /// being computed, or when the variant is already present.
+    pub fn publish(&self, frame: Arc<SharedFrame>) -> bool {
+        let mut inner = self.inner.write().expect("store lock");
+        if inner.epoch != frame.epoch {
+            return false;
+        }
+        let by_canon = inner.frames.entry(frame.pred).or_default();
+        if by_canon.contains_key(frame.canon.as_ref()) {
+            return false;
+        }
+        let cells = frame.cells_len();
+        by_canon.insert(frame.canon.clone(), frame);
+        inner.total_cells += cells;
+        self.enforce_budget_locked(&mut inner);
+        true
+    }
+
+    /// Removes every frame of the given predicates, bumps the epoch once,
+    /// and records one log entry per predicate — whether or not any frame
+    /// existed, because other workers may hold *local* tables for them.
+    /// Returns the new epoch.
+    pub fn invalidate_preds(&self, preds: &[PredId]) -> u64 {
+        let mut inner = self.inner.write().expect("store lock");
+        if preds.is_empty() {
+            return inner.epoch;
+        }
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        for &p in preds {
+            if let Some(by_canon) = inner.frames.remove(&p) {
+                let freed: u64 = by_canon.values().map(|f| f.cells_len()).sum();
+                inner.total_cells -= freed;
+            }
+            inner.log.push((epoch, p));
+        }
+        Self::compact_log(&mut inner);
+        epoch
+    }
+
+    /// Drops every frame and forces a full local invalidation on every
+    /// worker at its next sync (the `abolish_all_tables/0` path).
+    pub fn clear(&self) -> u64 {
+        let mut inner = self.inner.write().expect("store lock");
+        inner.epoch += 1;
+        inner.frames.clear();
+        inner.total_cells = 0;
+        inner.log.clear();
+        inner.log_floor = inner.epoch;
+        inner.epoch
+    }
+
+    /// What a worker that last synced at `seen` must invalidate locally.
+    /// Returns the current epoch alongside the action; the worker stores
+    /// that epoch as its new watermark.
+    pub fn sync_from(&self, seen: u64) -> (u64, SyncAction) {
+        let inner = self.inner.read().expect("store lock");
+        if inner.epoch == seen {
+            return (seen, SyncAction::UpToDate);
+        }
+        if seen < inner.log_floor {
+            return (inner.epoch, SyncAction::All);
+        }
+        let mut preds: Vec<PredId> = inner
+            .log
+            .iter()
+            .filter(|&&(e, _)| e > seen)
+            .map(|&(_, p)| p)
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        (inner.epoch, SyncAction::Preds(preds))
+    }
+
+    /// Sets the shared answer-store budget in cells (`None` = unbounded)
+    /// and enforces it immediately.
+    pub fn set_budget(&self, cells: Option<u64>) {
+        let mut inner = self.inner.write().expect("store lock");
+        inner.budget_cells = cells;
+        self.enforce_budget_locked(&mut inner);
+    }
+
+    pub fn budget(&self) -> Option<u64> {
+        self.inner.read().expect("store lock").budget_cells
+    }
+
+    /// Answer cells currently held across all shared frames.
+    pub fn total_cells(&self) -> u64 {
+        self.inner.read().expect("store lock").total_cells
+    }
+
+    /// Number of shared frames.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.read().expect("store lock");
+        inner.frames.values().map(|m| m.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts least-recently-hit frames until the store fits its budget.
+    /// Workers that already imported an evicted frame keep serving from
+    /// their local copies (the data is still valid — eviction is a memory
+    /// decision, not a correctness event), but the epoch bump stops
+    /// in-flight publishes from racing the accounting.
+    fn enforce_budget_locked(&self, inner: &mut Inner) {
+        let Some(budget) = inner.budget_cells else {
+            return;
+        };
+        if inner.total_cells <= budget {
+            return;
+        }
+        let mut candidates: Vec<(u64, PredId, Arc<[Cell]>, u64)> = inner
+            .frames
+            .iter()
+            .flat_map(|(&p, by_canon)| {
+                by_canon.values().map(move |f| {
+                    (
+                        f.last_hit.load(Ordering::Relaxed),
+                        p,
+                        f.canon.clone(),
+                        f.cells_len(),
+                    )
+                })
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|c| (c.0, c.1));
+        let mut evicted_any = false;
+        for (_, pred, canon, cells) in candidates {
+            if inner.total_cells <= budget {
+                break;
+            }
+            if let Some(by_canon) = inner.frames.get_mut(&pred) {
+                if by_canon.remove(canon.as_ref()).is_some() {
+                    inner.total_cells -= cells;
+                    evicted_any = true;
+                }
+            }
+        }
+        if evicted_any {
+            inner.epoch += 1;
+        }
+    }
+
+    fn compact_log(inner: &mut Inner) {
+        if inner.log.len() > LOG_CAP {
+            let drop = inner.log.len() - LOG_CAP;
+            inner.log_floor = inner.log[drop - 1].0;
+            inner.log.drain(..drop);
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedTableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read().expect("store lock");
+        f.debug_struct("SharedTableStore")
+            .field("epoch", &inner.epoch)
+            .field(
+                "frames",
+                &inner.frames.values().map(|m| m.len()).sum::<usize>(),
+            )
+            .field("total_cells", &inner.total_cells)
+            .field("budget_cells", &inner.budget_cells)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(pred: PredId, key: &[Cell], cells: &[Cell], epoch: u64) -> Arc<SharedFrame> {
+        Arc::new(SharedFrame::new(
+            pred,
+            Arc::from(key),
+            1,
+            true,
+            0,
+            vec![1],
+            Arc::from(cells),
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i as u32, 1))
+                .collect(),
+            epoch,
+        ))
+    }
+
+    #[test]
+    fn publish_then_probe_roundtrip() {
+        let s = SharedTableStore::new();
+        let key = [Cell::tvar(0), Cell::int(1)];
+        assert!(s.probe(3, &key).is_none());
+        assert!(s.publish(frame(3, &key, &[Cell::int(7)], 0)));
+        let f = s.probe(3, &key).expect("published frame found");
+        assert_eq!(f.cells.as_ref(), &[Cell::int(7)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_cells(), 1);
+    }
+
+    #[test]
+    fn first_publisher_wins() {
+        let s = SharedTableStore::new();
+        let key = [Cell::tvar(0)];
+        assert!(s.publish(frame(0, &key, &[Cell::int(1)], 0)));
+        assert!(!s.publish(frame(0, &key, &[Cell::int(2)], 0)), "duplicate");
+        assert_eq!(s.probe(0, &key).unwrap().cells.as_ref(), &[Cell::int(1)]);
+        assert_eq!(s.total_cells(), 1, "loser's cells not double-counted");
+    }
+
+    #[test]
+    fn stale_epoch_publish_rejected() {
+        let s = SharedTableStore::new();
+        s.invalidate_preds(&[9]);
+        assert_eq!(s.epoch(), 1);
+        assert!(!s.publish(frame(0, &[Cell::tvar(0)], &[Cell::int(1)], 0)));
+        assert!(s.publish(frame(0, &[Cell::tvar(0)], &[Cell::int(1)], 1)));
+    }
+
+    #[test]
+    fn invalidate_removes_frames_and_logs_preds() {
+        let s = SharedTableStore::new();
+        assert!(s.publish(frame(3, &[Cell::tvar(0)], &[Cell::int(1)], 0)));
+        assert!(s.publish(frame(4, &[Cell::tvar(0)], &[Cell::int(2)], 0)));
+        let e = s.invalidate_preds(&[3, 9]);
+        assert_eq!(e, 1);
+        assert!(s.probe(3, &[Cell::tvar(0)]).is_none());
+        assert!(s.probe(4, &[Cell::tvar(0)]).is_some());
+        assert_eq!(s.total_cells(), 1);
+        // a worker that synced at epoch 0 learns both preds, including the
+        // one that had no shared frame (it may hold local tables for it)
+        let (epoch, action) = s.sync_from(0);
+        assert_eq!(epoch, 1);
+        assert_eq!(action, SyncAction::Preds(vec![3, 9]));
+        // an up-to-date worker gets nothing
+        assert_eq!(s.sync_from(1).1, SyncAction::UpToDate);
+    }
+
+    #[test]
+    fn clear_forces_full_invalidation() {
+        let s = SharedTableStore::new();
+        assert!(s.publish(frame(3, &[Cell::tvar(0)], &[Cell::int(1)], 0)));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.sync_from(0).1, SyncAction::All);
+        assert_eq!(s.sync_from(s.epoch()).1, SyncAction::UpToDate);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_hit_and_bumps_epoch() {
+        let s = SharedTableStore::new();
+        let cells: Vec<Cell> = (0..4).map(Cell::int).collect();
+        assert!(s.publish(frame(1, &[Cell::tvar(0)], &cells, 0)));
+        assert!(s.publish(frame(2, &[Cell::tvar(0)], &cells, 0)));
+        s.probe(2, &[Cell::tvar(0)]).unwrap(); // 2 is hot, 1 is cold
+        let before = s.epoch();
+        s.set_budget(Some(6));
+        assert!(s.probe(1, &[Cell::tvar(0)]).is_none(), "cold frame evicted");
+        assert!(s.probe(2, &[Cell::tvar(0)]).is_some());
+        assert!(s.total_cells() <= 6);
+        assert!(s.epoch() > before, "eviction bumps the epoch");
+        // eviction logs nothing: local copies stay valid
+        assert_eq!(s.sync_from(before).1, SyncAction::Preds(vec![]));
+    }
+
+    #[test]
+    fn sym_floor_guard() {
+        let hi = xsb_syntax::Sym(50);
+        let seq = [Cell::con(hi), Cell::int(1)];
+        assert!(cells_below_sym_floor(&seq, 51));
+        assert!(!cells_below_sym_floor(&seq, 50));
+        assert!(cells_below_sym_floor(&[Cell::int(9), Cell::tvar(0)], 0));
+        assert!(!cells_below_sym_floor(&[Cell::fun(hi, 2)], 10));
+    }
+
+    #[test]
+    fn log_compaction_degrades_to_full_invalidation() {
+        let s = SharedTableStore::new();
+        for i in 0..(LOG_CAP as u32 + 10) {
+            s.invalidate_preds(&[i]);
+        }
+        // a worker at epoch 0 is behind the compacted floor
+        assert_eq!(s.sync_from(0).1, SyncAction::All);
+        // a recent worker still gets a precise pred list
+        let recent = s.epoch() - 2;
+        match s.sync_from(recent).1 {
+            SyncAction::Preds(p) => assert_eq!(p.len(), 2),
+            other => panic!("expected precise sync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedTableStore>();
+        assert_send_sync::<SharedFrame>();
+    }
+}

@@ -24,9 +24,11 @@
 use crate::cell::{Cell, Tag};
 use crate::instr::{CodePtr, PredId};
 use crate::machine::{Freeze, NONE};
+use crate::shared::{cells_below_sym_floor, SharedFrame, SharedTableStore, SyncAction};
 use crate::table_trie::TermTrie;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use xsb_syntax::sym::SymbolTable;
 
 /// How subgoal and answer tables are indexed. `Hash` is XSB v1.3's design
@@ -42,6 +44,34 @@ pub enum TableIndex {
 
 pub type SubgoalId = u32;
 
+/// Backing storage of an answer arena. A table built by this engine owns
+/// its cells (`Local`); a completed table imported from (or published to)
+/// the pool's shared store borrows the pool-wide `Arc` instead
+/// (`Shared`), so cross-worker warm hits copy no answer cells and a
+/// published table's arena is held in memory once. Derefs to `[Cell]`, so
+/// every span-slicing call site works identically on both.
+#[derive(Debug)]
+pub enum Arena {
+    Local(Vec<Cell>),
+    Shared(Arc<[Cell]>),
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::Local(Vec::new())
+    }
+}
+
+impl std::ops::Deref for Arena {
+    type Target = [Cell];
+    fn deref(&self) -> &[Cell] {
+        match self {
+            Arena::Local(v) => v,
+            Arena::Shared(a) => a,
+        }
+    }
+}
+
 /// Bump-arena answer store (substitution factoring). Every answer's
 /// canonical cells live in one contiguous vector; each answer is an
 /// `(offset, len)` span into it. Duplicate detection in hash-index mode
@@ -50,7 +80,7 @@ pub type SubgoalId = u32;
 /// only keeps derivation order.
 #[derive(Debug, Default)]
 pub struct AnswerStore {
-    cells: Vec<Cell>,
+    cells: Arena,
     spans: Vec<(u32, u32)>,
     /// sequence hash → answer ids with that hash (hash-index mode only)
     index: HashMap<u64, Vec<u32>>,
@@ -98,10 +128,15 @@ impl AnswerStore {
     }
 
     /// Appends an answer known to be new (trie mode and the ground fast
-    /// path, where duplicate detection happened elsewhere).
+    /// path, where duplicate detection happened elsewhere). Only tables
+    /// this engine is computing receive answers; shared-backed arenas are
+    /// complete by construction.
     fn push_unchecked(&mut self, seq: &[Cell]) {
-        let off = self.cells.len() as u32;
-        self.cells.extend_from_slice(seq);
+        let Arena::Local(cells) = &mut self.cells else {
+            unreachable!("shared-backed stores are complete and never receive answers");
+        };
+        let off = cells.len() as u32;
+        cells.extend_from_slice(seq);
         self.spans.push((off, seq.len() as u32));
     }
 
@@ -131,13 +166,31 @@ impl AnswerStore {
     /// Takes the arena out so the emulator can bind answers against the
     /// heap without holding a borrow of the table space. Must be paired
     /// with [`AnswerStore::put_cells`].
-    pub fn take_cells(&mut self) -> Vec<Cell> {
+    pub fn take_cells(&mut self) -> Arena {
         std::mem::take(&mut self.cells)
     }
 
-    pub fn put_cells(&mut self, cells: Vec<Cell>) {
+    pub fn put_cells(&mut self, cells: Arena) {
         debug_assert!(self.cells.is_empty(), "arena restored exactly once");
         self.cells = cells;
+    }
+
+    /// An answer store over a pool-shared arena (completed-table import).
+    /// The duplicate index is not rebuilt: imported tables are complete,
+    /// so they never receive or probe for new answers.
+    fn from_shared(cells: Arc<[Cell]>, spans: Vec<(u32, u32)>) -> AnswerStore {
+        AnswerStore {
+            cells: Arena::Shared(cells),
+            spans,
+            index: HashMap::new(),
+        }
+    }
+
+    /// Swaps the local arena for the identical pool-shared copy after a
+    /// successful publish, so the cells live in memory once.
+    fn back_with(&mut self, cells: Arc<[Cell]>) {
+        debug_assert_eq!(&self.cells[..], &cells[..], "shared backing is identical");
+        self.cells = Arena::Shared(cells);
     }
 }
 
@@ -164,8 +217,9 @@ pub enum GenMode {
 #[derive(Debug)]
 pub struct SubgoalFrame {
     pub pred: PredId,
-    /// canonical call-argument tuple (variant key)
-    pub canon: Rc<[Cell]>,
+    /// canonical call-argument tuple (variant key); `Arc` so a completed
+    /// frame's key can be published to the pool-shared store as-is
+    pub canon: Arc<[Cell]>,
     /// number of distinct variables in the call (factored answer width)
     pub nvars: u32,
     /// answers in derivation order, substitution factored: each entry is
@@ -276,7 +330,7 @@ pub struct NegSusp {
 #[derive(Debug)]
 pub struct TableSpace {
     pub subgoals: Vec<SubgoalFrame>,
-    lookup: HashMap<PredId, HashMap<Rc<[Cell]>, SubgoalId>>,
+    lookup: HashMap<PredId, HashMap<Arc<[Cell]>, SubgoalId>>,
     /// per-predicate subgoal tries (when `index == Trie`); the vector maps
     /// trie entry ids to subgoal ids (refreshed when a freed table's
     /// variant is re-created)
@@ -300,6 +354,21 @@ pub struct TableSpace {
     /// query clock: bumped once per `end_query`, stamped into frames at
     /// creation (`born`) and on completed-table reuse (`last_hit`)
     clock: u64,
+    /// connection to the pool-wide shared table store (engine pool only)
+    shared: Option<SharedHandle>,
+}
+
+/// A worker engine's view of the pool's [`SharedTableStore`]: the store
+/// itself, the symbol/predicate floors fixed when the worker attached
+/// (only ids below the floors mean the same thing on every worker — ids
+/// interned later, e.g. by per-worker queries, are worker-local), and the
+/// last store epoch this worker synchronized with.
+#[derive(Debug)]
+pub struct SharedHandle {
+    pub store: Arc<SharedTableStore>,
+    pub sym_floor: u32,
+    pub pred_floor: PredId,
+    pub epoch_seen: u64,
 }
 
 impl Default for TableSpace {
@@ -317,6 +386,7 @@ impl Default for TableSpace {
             pending_invalidation: Vec::new(),
             budget_cells: None,
             clock: 0,
+            shared: None,
         }
     }
 }
@@ -371,7 +441,7 @@ impl TableSpace {
     pub fn new_subgoal(
         &mut self,
         pred: PredId,
-        canon: Rc<[Cell]>,
+        canon: Arc<[Cell]>,
         subst: Vec<u32>,
         clauses: Rc<[CodePtr]>,
         mode: GenMode,
@@ -801,6 +871,224 @@ impl TableSpace {
     pub fn live_tables(&self) -> usize {
         self.subgoals.iter().filter(|f| !f.deleted).count()
     }
+
+    // ---- pool-shared completed-table store ------------------------------
+
+    /// Connects this table space to a pool-wide shared store. The floors
+    /// are the symbol/predicate counts at attach time: every worker that
+    /// consulted the same program before attaching agrees on ids below
+    /// them, so only frames entirely below both floors are shared.
+    pub fn attach_shared(
+        &mut self,
+        store: Arc<SharedTableStore>,
+        sym_floor: u32,
+        pred_floor: PredId,
+    ) {
+        let epoch_seen = store.epoch();
+        self.shared = Some(SharedHandle {
+            store,
+            sym_floor,
+            pred_floor,
+            epoch_seen,
+        });
+    }
+
+    pub fn shared_handle(&self) -> Option<&SharedHandle> {
+        self.shared.as_ref()
+    }
+
+    /// Detaches the shared handle (for table-space rebuilds that must
+    /// carry it over); pair with [`TableSpace::restore_shared`].
+    pub fn take_shared(&mut self) -> Option<SharedHandle> {
+        self.shared.take()
+    }
+
+    pub fn restore_shared(&mut self, h: Option<SharedHandle>) {
+        self.shared = h;
+    }
+
+    /// Probes the pool store for a completed table of this variant call.
+    /// Predicates at or above the attach floor are worker-local by
+    /// definition and never probe.
+    pub fn shared_probe(&self, pred: PredId, canon: &[Cell]) -> Option<Arc<SharedFrame>> {
+        let h = self.shared.as_ref()?;
+        if pred >= h.pred_floor {
+            return None;
+        }
+        h.store.probe(pred, canon)
+    }
+
+    /// Materializes a pool-shared completed table as a local frame: the
+    /// canon and the answer arena are `Arc` clones (zero cell copies), the
+    /// frame is born `Complete` with no clauses and never joins the
+    /// completion stack. It is indexed like any local table, so later
+    /// calls hit it without re-probing the store, and it participates in
+    /// local budget eviction (killing it merely drops the `Arc`s).
+    pub fn import_shared(&mut self, sf: &SharedFrame) -> SubgoalId {
+        let id = self.subgoals.len() as SubgoalId;
+        self.subgoals.push(SubgoalFrame {
+            pred: sf.pred,
+            canon: sf.canon.clone(),
+            nvars: sf.nvars,
+            store: AnswerStore::from_shared(sf.cells.clone(), sf.spans.clone()),
+            factored: sf.factored,
+            ground_cells: sf.ground_cells,
+            var_occ: sf.var_occ.clone(),
+            state: SubgoalState::Complete,
+            mode: GenMode::Positive,
+            subst: Vec::new(),
+            gen_cp: NONE,
+            dfn: 0,
+            dir_link: 0,
+            clause_cursor: 0,
+            clauses: Rc::from(&[][..]),
+            consumers: Vec::new(),
+            negs: Vec::new(),
+            saved_freeze: Freeze::default(),
+            compl_pos: NONE,
+            exist_cut_b: NONE,
+            deleted: false,
+            born: self.clock,
+            last_hit: self.clock,
+            pending_negs: Vec::new(),
+            answer_trie: None,
+        });
+        match self.index {
+            TableIndex::Hash => {
+                self.lookup
+                    .entry(sf.pred)
+                    .or_default()
+                    .insert(sf.canon.clone(), id);
+            }
+            TableIndex::Trie => {
+                let (trie, ids) = self
+                    .subgoal_tries
+                    .entry(sf.pred)
+                    .or_insert_with(|| (TermTrie::new(), Vec::new()));
+                let (tid, fresh) = trie.insert(&sf.canon);
+                if fresh {
+                    debug_assert_eq!(tid as usize, ids.len());
+                    ids.push(id);
+                } else {
+                    ids[tid as usize] = id;
+                }
+            }
+        }
+        id
+    }
+
+    /// Publishes this engine's freshly completed tables into the pool
+    /// store (call between queries, after `end_query`). A frame is
+    /// publishable when it is live, complete, hash-indexed (trie arenas
+    /// keep derivation state in a worker-local trie), still locally
+    /// backed, and entirely below the attach floors. The first worker to
+    /// publish a variant wins; publishes computed under a superseded
+    /// store epoch are rejected and simply retried after the next sync
+    /// confirms the frame survived the invalidation. On success the local
+    /// arena is re-backed by the shared `Arc`, so the cells live once
+    /// pool-wide. Returns the number of tables published.
+    pub fn publish_completed(&mut self) -> usize {
+        let Some(h) = &self.shared else {
+            return 0;
+        };
+        let mut published = 0;
+        for f in &mut self.subgoals {
+            if f.deleted
+                || f.state != SubgoalState::Complete
+                || f.answer_trie.is_some()
+                || f.pred >= h.pred_floor
+                || matches!(f.store.cells, Arena::Shared(_))
+                || !cells_below_sym_floor(&f.canon, h.sym_floor)
+                || !cells_below_sym_floor(&f.store.cells, h.sym_floor)
+            {
+                continue;
+            }
+            if h.store.contains(f.pred, &f.canon) {
+                continue; // someone already published this variant
+            }
+            let cells: Arc<[Cell]> = Arc::from(&f.store.cells[..]);
+            let frame = Arc::new(SharedFrame::new(
+                f.pred,
+                f.canon.clone(),
+                f.nvars,
+                f.factored,
+                f.ground_cells,
+                f.var_occ.clone(),
+                cells.clone(),
+                f.store.spans.clone(),
+                h.epoch_seen,
+            ));
+            if h.store.publish(frame) {
+                f.store.back_with(cells);
+                published += 1;
+            }
+        }
+        published
+    }
+
+    /// Propagates a local invalidation (assert/retract/abolish through the
+    /// dependency graph) to the pool store, so every worker drops the same
+    /// tables at its next sync. Predicates at or above the attach floor
+    /// are worker-local ids that would name a *different* predicate on
+    /// another worker — they are invalidated locally only. Returns the
+    /// number of predicates pushed pool-wide.
+    pub fn shared_invalidate(&mut self, preds: &[PredId]) -> usize {
+        let Some(h) = &mut self.shared else {
+            return 0;
+        };
+        let below: Vec<PredId> = preds
+            .iter()
+            .copied()
+            .filter(|&p| p < h.pred_floor)
+            .collect();
+        if below.is_empty() {
+            return 0;
+        }
+        h.epoch_seen = h.store.invalidate_preds(&below);
+        below.len()
+    }
+
+    /// Drops every table pool-wide (the `abolish_all_tables/0` path).
+    pub fn shared_clear(&mut self) {
+        if let Some(h) = &mut self.shared {
+            h.epoch_seen = h.store.clear();
+        }
+    }
+
+    /// Catches this worker up with invalidations other workers pushed
+    /// since its last sync (call at query start). Local tables of the
+    /// affected predicates are invalidated with the same deferred-free
+    /// semantics as a local assert. Returns the number of local frames
+    /// invalidated.
+    pub fn sync_shared(&mut self) -> usize {
+        let (epoch, action) = {
+            let Some(h) = &self.shared else {
+                return 0;
+            };
+            h.store.sync_from(h.epoch_seen)
+        };
+        if let Some(h) = &mut self.shared {
+            h.epoch_seen = epoch;
+        }
+        let preds: Vec<PredId> = match action {
+            SyncAction::UpToDate => return 0,
+            SyncAction::Preds(preds) => preds,
+            SyncAction::All => {
+                // too far behind the store's compacted log (or the store
+                // was cleared): invalidate every live local table
+                let mut preds: Vec<PredId> = self
+                    .subgoals
+                    .iter()
+                    .filter(|f| !f.deleted)
+                    .map(|f| f.pred)
+                    .collect();
+                preds.sort_unstable();
+                preds.dedup();
+                preds
+            }
+        };
+        preds.into_iter().map(|p| self.invalidate_pred(p)).sum()
+    }
 }
 
 /// Renders one canonical term from the flattened pre-order cell sequence
@@ -1013,8 +1301,8 @@ pub fn table_listing(
 mod tests {
     use super::*;
 
-    fn canon(cells: &[Cell]) -> Rc<[Cell]> {
-        Rc::from(cells)
+    fn canon(cells: &[Cell]) -> Arc<[Cell]> {
+        Arc::from(cells)
     }
 
     fn mk(ts: &mut TableSpace, pred: PredId, key: &[Cell]) -> SubgoalId {
@@ -1295,6 +1583,121 @@ mod tests {
         let mut spans = Vec::new();
         canon_root_spans(&seq, 2, &mut spans);
         assert_eq!(spans, vec![(0, 4), (4, 1)]);
+    }
+
+    fn attach(ts: &mut TableSpace) -> Arc<SharedTableStore> {
+        let store = Arc::new(SharedTableStore::new());
+        // generous floors: everything in these tests is shareable
+        ts.attach_shared(store.clone(), 1000, 1000);
+        store
+    }
+
+    #[test]
+    fn publish_then_import_roundtrips_answers() {
+        let mut a = TableSpace::new();
+        let store = attach(&mut a);
+        let id = mk(&mut a, 3, &[Cell::tvar(0)]);
+        a.add_answer(id, &[Cell::int(1)]);
+        a.add_answer(id, &[Cell::int(2)]);
+        a.complete_scc(id);
+        a.end_query();
+        assert_eq!(a.publish_completed(), 1);
+        assert!(
+            matches!(a.frame(id).store.cells, Arena::Shared(_)),
+            "publisher re-backed by the shared arena"
+        );
+        assert_eq!(a.publish_completed(), 0, "already published: no rework");
+
+        // a second worker imports the table without recomputing
+        let mut b = TableSpace::new();
+        b.attach_shared(store, 1000, 1000);
+        assert!(b.find(3, &[Cell::tvar(0)]).is_none());
+        let sf = b.shared_probe(3, &[Cell::tvar(0)]).expect("shared hit");
+        let bid = b.import_shared(&sf);
+        assert_eq!(b.find(3, &[Cell::tvar(0)]), Some(bid));
+        let f = b.frame(bid);
+        assert_eq!(f.state, SubgoalState::Complete);
+        assert_eq!(f.store.len(), 2);
+        assert_eq!(f.store.get(0), &[Cell::int(1)]);
+        assert_eq!(f.store.get(1), &[Cell::int(2)]);
+        // importing copies no cells: same Arc as the publisher's arena
+        match (&f.store.cells, &sf.cells) {
+            (Arena::Shared(l), r) => assert!(Arc::ptr_eq(l, r)),
+            _ => panic!("imported arena is shared-backed"),
+        }
+    }
+
+    #[test]
+    fn floors_keep_local_only_frames_out_of_the_store() {
+        let mut ts = TableSpace::new();
+        let store = Arc::new(SharedTableStore::new());
+        ts.attach_shared(store.clone(), 5, 5);
+        let below = mk(&mut ts, 3, &[Cell::con(xsb_syntax::Sym(2))]);
+        let pred_above = mk(&mut ts, 9, &[Cell::tvar(0)]);
+        let sym_above = mk(&mut ts, 4, &[Cell::con(xsb_syntax::Sym(7))]);
+        for id in [below, pred_above, sym_above] {
+            ts.add_answer(id, &[]);
+        }
+        ts.complete_scc(below); // whole stack segment
+        ts.end_query();
+        assert_eq!(ts.publish_completed(), 1, "only the below-floor frame");
+        assert!(store.contains(3, &[Cell::con(xsb_syntax::Sym(2))]));
+        assert!(!store.contains(9, &[Cell::tvar(0)]));
+        assert!(ts.shared_probe(9, &[Cell::tvar(0)]).is_none());
+        // an answer above the sym floor also blocks publication
+        let mut other = TableSpace::new();
+        other.attach_shared(store.clone(), 5, 5);
+        let id = mk(&mut other, 4, &[Cell::tvar(0)]);
+        other.add_answer(id, &[Cell::con(xsb_syntax::Sym(7))]);
+        other.complete_scc(id);
+        other.end_query();
+        assert_eq!(other.publish_completed(), 0);
+    }
+
+    #[test]
+    fn sync_invalidates_local_tables_for_remote_changes() {
+        let store = Arc::new(SharedTableStore::new());
+        let mut a = TableSpace::new();
+        a.attach_shared(store.clone(), 1000, 1000);
+        let mut b = TableSpace::new();
+        b.attach_shared(store.clone(), 1000, 1000);
+
+        let id = mk(&mut b, 7, &[Cell::int(1)]);
+        b.add_answer(id, &[]);
+        b.complete_scc(id);
+        b.end_query();
+        b.publish_completed();
+
+        // worker a invalidates pred 7 (an assert hit its dependency)
+        assert_eq!(a.shared_invalidate(&[7]), 1);
+        assert!(!store.contains(7, &[Cell::int(1)]));
+        // a's own watermark advanced with its write: nothing to redo
+        assert_eq!(a.sync_shared(), 0);
+        // b syncs and drops its local completed table
+        assert_eq!(b.sync_shared(), 1);
+        assert!(b.find(7, &[Cell::int(1)]).is_none());
+        b.end_query();
+        // local-only predicate ids (>= pred_floor) never leak pool-wide
+        let mut c = TableSpace::new();
+        c.attach_shared(store, 10, 10);
+        assert_eq!(c.shared_invalidate(&[42]), 0);
+    }
+
+    #[test]
+    fn shared_clear_forces_full_resync() {
+        let store = Arc::new(SharedTableStore::new());
+        let mut a = TableSpace::new();
+        a.attach_shared(store.clone(), 1000, 1000);
+        let mut b = TableSpace::new();
+        b.attach_shared(store, 1000, 1000);
+        let id = mk(&mut b, 3, &[Cell::int(1)]);
+        b.add_answer(id, &[]);
+        b.complete_scc(id);
+        b.end_query();
+        b.publish_completed();
+        a.shared_clear();
+        assert_eq!(b.sync_shared(), 1, "full invalidation reaches b");
+        assert!(b.find(3, &[Cell::int(1)]).is_none());
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn roundtrip(index: TableIndex, t1: &Term, t2: &Term, bindings: &[Term]) -> Resu
         let nvars = var_addrs.len();
         let sub = m.tables.new_subgoal(
             0,
-            Rc::from(call_canon.as_ref()),
+            std::sync::Arc::from(call_canon.as_ref()),
             var_addrs.clone(),
             Rc::from(&[][..]),
             GenMode::Positive,

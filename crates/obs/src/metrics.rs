@@ -63,10 +63,17 @@ pub enum Counter {
     AnswerCellsFull,
     /// Cells saved by substitution factoring (`full - factored`).
     AnswerCellsSaved,
+    /// Tabled calls answered by importing a completed table from the
+    /// pool's shared store (cross-worker warm hits).
+    SharedTableHits,
+    /// Completed tables this engine promoted into the shared store.
+    SharedTablePublishes,
+    /// Predicates invalidated in (or synced out of) the shared store.
+    SharedTableInvalidations,
 }
 
 impl Counter {
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     /// `statistics/2` keys, in report order.
     pub const NAMES: [&'static str; Counter::COUNT] = [
@@ -92,6 +99,9 @@ impl Counter {
         "answer_cells_factored",
         "answer_cells_full",
         "answer_cells_saved",
+        "shared_table_hits",
+        "shared_table_publishes",
+        "shared_table_invalidations",
     ];
 
     pub fn name(self) -> &'static str {
@@ -298,6 +308,35 @@ impl Metrics {
     pub fn reset(&mut self) {
         *self = Metrics::default();
     }
+
+    /// Folds another registry into this one — the pool-wide aggregation
+    /// over per-worker snapshots. Counters, timers, and per-predicate
+    /// counts are summed; gauges keep the maximum (each worker has its own
+    /// stacks, so a sum would not describe any real machine).
+    pub fn merge(&mut self, other: &Metrics) {
+        for i in 0..Counter::COUNT {
+            self.counters[i] += other.counters[i];
+        }
+        for (g, o) in [
+            (&mut self.heap, &other.heap),
+            (&mut self.choice_points, &other.choice_points),
+            (&mut self.trail, &other.trail),
+            (&mut self.frames, &other.frames),
+        ] {
+            g.current = g.current.max(o.current);
+            g.high_water = g.high_water.max(o.high_water);
+        }
+        self.query_time.nanos += other.query_time.nanos;
+        self.query_time.count += other.query_time.count;
+        if other.per_pred.len() > self.per_pred.len() {
+            self.per_pred
+                .resize(other.per_pred.len(), PredCounters::default());
+        }
+        for (p, o) in self.per_pred.iter_mut().zip(other.per_pred.iter()) {
+            p.calls += o.calls;
+            p.subgoals += o.subgoals;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,10 +386,41 @@ mod tests {
     #[test]
     fn counter_names_match_count() {
         assert_eq!(Counter::NAMES.len(), Counter::COUNT);
-        assert_eq!(Counter::AnswerCellsSaved as usize, Counter::COUNT - 1);
+        assert_eq!(
+            Counter::SharedTableInvalidations as usize,
+            Counter::COUNT - 1
+        );
         assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
         assert_eq!(Counter::TableHits.name(), "table_hits");
         assert_eq!(Counter::AnswerCellsSaved.name(), "answer_cells_saved");
+        assert_eq!(Counter::SharedTableHits.name(), "shared_table_hits");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_gauge_maxima() {
+        let mut a = Metrics::new();
+        a.bump(Counter::Calls);
+        a.heap.set(100);
+        a.count_call(3);
+        a.query_time.nanos = 5;
+        a.query_time.count = 1;
+        let mut b = Metrics::new();
+        b.add(Counter::Calls, 2);
+        b.bump(Counter::SharedTableHits);
+        b.heap.set(40);
+        b.count_call(3);
+        b.count_call(7);
+        b.query_time.nanos = 7;
+        b.query_time.count = 2;
+        a.merge(&b);
+        // a: bump + count_call = 2; b: add(2) + two count_calls = 4
+        assert_eq!(a.get(Counter::Calls), 6);
+        assert_eq!(a.get(Counter::SharedTableHits), 1);
+        assert_eq!(a.heap.high_water, 100);
+        assert_eq!(a.pred(3).calls, 2);
+        assert_eq!(a.pred(7).calls, 1);
+        assert_eq!(a.query_time.nanos, 12);
+        assert_eq!(a.query_time.count, 3);
     }
 
     #[test]
