@@ -700,6 +700,10 @@ impl Machine<'_> {
     /// incomplete ones are freed at `end_query`.
     pub fn invalidate_dependents(&mut self, pred: PredId) {
         let deps = self.db.tabled_dependents(pred);
+        // assert/retract during a query is never a pool broadcast: if it
+        // reaches a shared-floor predicate, this worker's EDB has
+        // diverged and it detaches from answer sharing
+        self.tables.note_local_mutation(pred, &deps);
         for &dep in &deps {
             let n = self.tables.invalidate_pred(dep);
             if n > 0 {

@@ -396,6 +396,10 @@ impl Engine {
     /// depends on `pred`.
     fn invalidate_dependents(&mut self, pred: PredId) {
         let deps = self.db.tabled_dependents(pred);
+        // unless this is a pool broadcast (`consult_broadcast`), a
+        // mutation reaching a shared-floor predicate diverges this
+        // worker's EDB and detaches it from answer sharing
+        self.tables.note_local_mutation(pred, &deps);
         for &dep in &deps {
             let n = self.tables.invalidate_pred(dep);
             if n > 0 {
@@ -575,6 +579,25 @@ impl Engine {
         let sym_floor = self.syms.len() as u32;
         let pred_floor = self.db.preds.len() as PredId;
         self.tables.attach_shared(store, sym_floor, pred_floor);
+    }
+
+    /// Consults program text as one leg of a pool-wide broadcast
+    /// (`ServerPool::consult_all`): every worker applies the same update,
+    /// so the mutation does not mark this worker's EDB as diverged from
+    /// the pool's common program. Identical to [`Engine::consult`] for a
+    /// standalone engine.
+    pub fn consult_broadcast(&mut self, src: &str) -> Result<(), EngineError> {
+        self.tables.set_shared_broadcast(true);
+        let r = self.consult(src);
+        self.tables.set_shared_broadcast(false);
+        r
+    }
+
+    /// True when a non-broadcast update detached this pooled engine from
+    /// answer sharing (its EDB diverged from the pool's common program;
+    /// it still answers correctly from its own database).
+    pub fn shared_diverged(&self) -> bool {
+        self.tables.shared_diverged()
     }
 
     /// Records the worker count of the pool this engine belongs to

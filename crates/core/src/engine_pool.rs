@@ -21,6 +21,11 @@
 //! bumps the store epoch through the dependency graph, and every other
 //! worker drops the affected tables at its next query (the same call-time
 //! snapshot semantics a single engine has had since cross-query caching).
+//! A *non-broadcast* update (e.g. a query calling `assert/1` on one
+//! worker) diverges that worker's database from the pool's common
+//! program; the worker then detaches from answer sharing — it neither
+//! publishes nor imports shared tables again, answering from its own EDB
+//! — while the other workers keep sharing among themselves.
 
 use crate::engine::{Engine, Solution};
 use crate::error::EngineError;
@@ -140,7 +145,10 @@ impl ServerPool {
                             let _ = reply.send(e.count(&q));
                         }
                         Job::Consult(src, reply) => {
-                            let _ = reply.send(e.consult(&src));
+                            // consult_all is a broadcast: every worker
+                            // applies the same update, so it does not
+                            // diverge any worker's EDB from the pool
+                            let _ = reply.send(e.consult_broadcast(&src));
                         }
                         Job::Metrics(reply) => {
                             let _ = reply.send(Box::new(e.metrics().clone()));
@@ -221,9 +229,13 @@ impl ServerPool {
     }
 
     /// Consults program text on **every** worker (each engine owns its
-    /// program database). Predicates added here are evaluated per-worker
-    /// but their tables stay worker-local — the sharing floors are fixed
-    /// at pool construction. Returns the first error, if any.
+    /// program database). This is the supported way to update the pool's
+    /// data: as a broadcast it keeps all EDBs identical, so no worker is
+    /// marked diverged (contrast a query calling `assert/1`, which
+    /// detaches its worker from answer sharing). Predicates added here
+    /// are evaluated per-worker but their tables stay worker-local — the
+    /// sharing floors are fixed at pool construction. Returns the first
+    /// error, if any.
     pub fn consult_all(&self, src: &str) -> Result<(), EngineError> {
         let mut pending = Vec::with_capacity(self.workers.len());
         for w in &self.workers {
@@ -355,6 +367,51 @@ mod tests {
         // 0, whose *published* table would otherwise have served stale
         assert_eq!(p.submit_count("path(1, X)", Some(0)).wait().unwrap(), 3);
         assert_eq!(p.submit_count("path(1, X)", Some(1)).wait().unwrap(), 3);
+    }
+
+    #[test]
+    fn single_worker_assert_detaches_that_worker_from_sharing() {
+        let p = ServerPool::new(
+            ":- table path/2.\n:- dynamic edge/2.\n\
+             path(X,Y) :- edge(X,Y).\n\
+             path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3).",
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        // worker 0 computes and publishes the table
+        assert_eq!(p.submit_count("path(1, X)", Some(0)).wait().unwrap(), 2);
+        p.join();
+        assert_eq!(p.store().len(), 1);
+        // a NON-broadcast update: a query on worker 0 alone asserts a new
+        // edge — its EDB now differs from worker 1's
+        assert_eq!(
+            p.submit_count("assert(edge(3,4))", Some(0)).wait().unwrap(),
+            1
+        );
+        p.join();
+        assert!(p.store().is_empty(), "dependent shared tables dropped");
+        // worker 1 recomputes from its own (unchanged) EDB and keeps
+        // sharing with the rest of the pool
+        assert_eq!(p.submit_count("path(1, X)", Some(1)).wait().unwrap(), 2);
+        p.join();
+        assert_eq!(p.store().len(), 1, "undiverged worker still publishes");
+        // worker 0 answers from its own diverged EDB: it must neither
+        // import worker 1's frame (2 answers — stale relative to worker
+        // 0's database) nor republish its 3-answer table into the pool
+        assert_eq!(p.submit_count("path(1, X)", Some(0)).wait().unwrap(), 3);
+        p.join();
+        assert_eq!(p.store().len(), 1, "diverged worker published nothing");
+        let m = p.metrics();
+        assert_eq!(m.get(Counter::SharedTablePublishes), 2);
+        assert_eq!(
+            m.get(Counter::SharedTableHits),
+            0,
+            "diverged worker never imported the inconsistent frame"
+        );
     }
 
     #[test]

@@ -10,15 +10,19 @@
 //!
 //! Consistency is epoch-based. The store keeps a generation counter that
 //! every invalidation (assert/retract through the dependency graph,
-//! `abolish_*`, budget eviction) bumps under the write lock, plus a log of
-//! `(epoch, pred)` invalidation records. Each worker remembers the last
-//! epoch it observed; before a query it replays the log suffix to
-//! invalidate its *local* tables for the same predicates, and after a
-//! query it publishes its freshly completed tables only if the epoch is
-//! still the one it computed under. A worker that imported a shared frame
+//! `abolish_*`) bumps under the write lock, plus a log of `(epoch, pred)`
+//! invalidation records. Each worker remembers the last epoch it
+//! observed; before a query it replays the log suffix to invalidate its
+//! *local* tables for the same predicates, and after a query it publishes
+//! its freshly completed tables only if the epoch is still the one it
+//! observed at query start. A worker that imported a shared frame
 //! mid-query keeps serving from its local copy even if the store frame is
 //! invalidated concurrently — the same call-time-view semantics local
-//! invalidation has had since the cross-query cache landed.
+//! invalidation has had since the cross-query cache landed. Budget
+//! eviction removes frames *without* touching the epoch: an evicted frame
+//! was valid data, so local copies may keep serving and in-flight
+//! publishes need not be rejected (the cell accounting is already
+//! serialized by the write lock).
 //!
 //! Safety of the sharing itself is structural: frames are never mutated
 //! after publication, readers hold `Arc`s, and removal from the map only
@@ -216,11 +220,15 @@ impl SharedTableStore {
     /// Removes every frame of the given predicates, bumps the epoch once,
     /// and records one log entry per predicate — whether or not any frame
     /// existed, because other workers may hold *local* tables for them.
-    /// Returns the new epoch.
-    pub fn invalidate_preds(&self, preds: &[PredId]) -> u64 {
+    /// Returns `(previous_epoch, new_epoch)`: the caller may fast-forward
+    /// its sync watermark to `new_epoch` only when `previous_epoch`
+    /// matches the watermark, otherwise other workers logged entries in
+    /// between that its next sync must still replay.
+    pub fn invalidate_preds(&self, preds: &[PredId]) -> (u64, u64) {
         let mut inner = self.inner.write().expect("store lock");
+        let prev = inner.epoch;
         if preds.is_empty() {
-            return inner.epoch;
+            return (prev, prev);
         }
         inner.epoch += 1;
         let epoch = inner.epoch;
@@ -232,7 +240,7 @@ impl SharedTableStore {
             inner.log.push((epoch, p));
         }
         Self::compact_log(&mut inner);
-        epoch
+        (prev, epoch)
     }
 
     /// Drops every frame and forces a full local invalidation on every
@@ -298,9 +306,13 @@ impl SharedTableStore {
 
     /// Evicts least-recently-hit frames until the store fits its budget.
     /// Workers that already imported an evicted frame keep serving from
-    /// their local copies (the data is still valid — eviction is a memory
-    /// decision, not a correctness event), but the epoch bump stops
-    /// in-flight publishes from racing the accounting.
+    /// their local copies: the data is still valid — eviction is a memory
+    /// decision, not a correctness event — so the epoch is deliberately
+    /// not bumped. Bumping it would reject every in-flight publish
+    /// pool-wide after each eviction; the accounting an eviction changes
+    /// (`total_cells`) is already serialized by the write lock, and a
+    /// publish that re-adds an evicted variant just triggers another
+    /// round of eviction.
     fn enforce_budget_locked(&self, inner: &mut Inner) {
         let Some(budget) = inner.budget_cells else {
             return;
@@ -323,7 +335,6 @@ impl SharedTableStore {
             })
             .collect();
         candidates.sort_unstable_by_key(|c| (c.0, c.1));
-        let mut evicted_any = false;
         for (_, pred, canon, cells) in candidates {
             if inner.total_cells <= budget {
                 break;
@@ -331,12 +342,8 @@ impl SharedTableStore {
             if let Some(by_canon) = inner.frames.get_mut(&pred) {
                 if by_canon.remove(canon.as_ref()).is_some() {
                     inner.total_cells -= cells;
-                    evicted_any = true;
                 }
             }
-        }
-        if evicted_any {
-            inner.epoch += 1;
         }
     }
 
@@ -422,8 +429,8 @@ mod tests {
         let s = SharedTableStore::new();
         assert!(s.publish(frame(3, &[Cell::tvar(0)], &[Cell::int(1)], 0)));
         assert!(s.publish(frame(4, &[Cell::tvar(0)], &[Cell::int(2)], 0)));
-        let e = s.invalidate_preds(&[3, 9]);
-        assert_eq!(e, 1);
+        let (prev, e) = s.invalidate_preds(&[3, 9]);
+        assert_eq!((prev, e), (0, 1));
         assert!(s.probe(3, &[Cell::tvar(0)]).is_none());
         assert!(s.probe(4, &[Cell::tvar(0)]).is_some());
         assert_eq!(s.total_cells(), 1);
@@ -447,7 +454,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_evicts_least_recently_hit_and_bumps_epoch() {
+    fn budget_evicts_least_recently_hit_without_epoch_bump() {
         let s = SharedTableStore::new();
         let cells: Vec<Cell> = (0..4).map(Cell::int).collect();
         assert!(s.publish(frame(1, &[Cell::tvar(0)], &cells, 0)));
@@ -458,9 +465,13 @@ mod tests {
         assert!(s.probe(1, &[Cell::tvar(0)]).is_none(), "cold frame evicted");
         assert!(s.probe(2, &[Cell::tvar(0)]).is_some());
         assert!(s.total_cells() <= 6);
-        assert!(s.epoch() > before, "eviction bumps the epoch");
-        // eviction logs nothing: local copies stay valid
-        assert_eq!(s.sync_from(before).1, SyncAction::Preds(vec![]));
+        // eviction is a memory decision, not a correctness event: the
+        // epoch and the log are untouched, so worker watermarks stay
+        // valid and nothing resyncs
+        assert_eq!(s.epoch(), before);
+        assert_eq!(s.sync_from(before).1, SyncAction::UpToDate);
+        // an in-flight publish computed before the eviction still lands
+        assert!(s.publish(frame(3, &[Cell::tvar(0)], &[Cell::int(9)], before)));
     }
 
     #[test]

@@ -368,7 +368,22 @@ pub struct SharedHandle {
     pub store: Arc<SharedTableStore>,
     pub sym_floor: u32,
     pub pred_floor: PredId,
+    /// sync watermark: invalidation-log entries at or below this epoch
+    /// have been replayed against this worker's local tables
     pub epoch_seen: u64,
+    /// store epoch observed at the start of the current query; published
+    /// frames are stamped with it, so a frame computed while *any*
+    /// invalidation landed mid-query (even this worker's own) is rejected
+    /// by the store's epoch guard instead of entering at the new epoch
+    pub query_epoch: u64,
+    /// true while applying a pool-broadcast update (`consult_all`): every
+    /// worker applies the same mutation, so it diverges nobody's EDB
+    pub broadcast: bool,
+    /// set when a non-broadcast mutation touched a shared-floor
+    /// predicate: this worker's EDB no longer matches the program the
+    /// pool consulted, so tables it computes (or imports) would be
+    /// inconsistent with one side — it detaches from answer sharing
+    pub diverged: bool,
 }
 
 impl Default for TableSpace {
@@ -890,6 +905,9 @@ impl TableSpace {
             sym_floor,
             pred_floor,
             epoch_seen,
+            query_epoch: epoch_seen,
+            broadcast: false,
+            diverged: false,
         });
     }
 
@@ -909,13 +927,46 @@ impl TableSpace {
 
     /// Probes the pool store for a completed table of this variant call.
     /// Predicates at or above the attach floor are worker-local by
-    /// definition and never probe.
+    /// definition and never probe; a diverged worker (see
+    /// [`TableSpace::note_local_mutation`]) never probes either — shared
+    /// frames reflect the pool's common database, not its own.
     pub fn shared_probe(&self, pred: PredId, canon: &[Cell]) -> Option<Arc<SharedFrame>> {
         let h = self.shared.as_ref()?;
-        if pred >= h.pred_floor {
+        if h.diverged || pred >= h.pred_floor {
             return None;
         }
         h.store.probe(pred, canon)
+    }
+
+    /// Marks this worker's EDB as diverged from the pool's common program
+    /// when a *non-broadcast* mutation of `pred` reaches a shared-floor
+    /// predicate — either the mutated predicate itself or any of its
+    /// tabled dependents `deps` lies below the floor. A diverged worker
+    /// detaches from answer sharing permanently: it neither publishes nor
+    /// imports (its answers would be inconsistent with the other workers'
+    /// EDBs, and theirs with its own), but it keeps answering from its
+    /// own database and keeps pushing invalidations pool-wide.
+    pub fn note_local_mutation(&mut self, pred: PredId, deps: &[PredId]) {
+        if let Some(h) = &mut self.shared {
+            if !h.broadcast && (pred < h.pred_floor || deps.iter().any(|&d| d < h.pred_floor)) {
+                h.diverged = true;
+            }
+        }
+    }
+
+    /// Brackets a pool-broadcast update (`ServerPool::consult_all`):
+    /// while set, mutations do not mark this worker as diverged, because
+    /// every worker applies the same update.
+    pub fn set_shared_broadcast(&mut self, on: bool) {
+        if let Some(h) = &mut self.shared {
+            h.broadcast = on;
+        }
+    }
+
+    /// True when this worker has detached from answer sharing because its
+    /// EDB diverged from the pool's common program.
+    pub fn shared_diverged(&self) -> bool {
+        self.shared.as_ref().is_some_and(|h| h.diverged)
     }
 
     /// Materializes a pool-shared completed table as a local frame: the
@@ -984,13 +1035,21 @@ impl TableSpace {
     /// backed, and entirely below the attach floors. The first worker to
     /// publish a variant wins; publishes computed under a superseded
     /// store epoch are rejected and simply retried after the next sync
-    /// confirms the frame survived the invalidation. On success the local
-    /// arena is re-backed by the shared `Arc`, so the cells live once
-    /// pool-wide. Returns the number of tables published.
+    /// confirms the frame survived the invalidation. Frames are stamped
+    /// with the epoch observed at *query start* — a mid-query
+    /// invalidation (even this worker's own) moves the store past that
+    /// stamp, so nothing computed astride an update can slip in at the
+    /// new epoch. A diverged worker (see
+    /// [`TableSpace::note_local_mutation`]) publishes nothing. On success
+    /// the local arena is re-backed by the shared `Arc`, so the cells
+    /// live once pool-wide. Returns the number of tables published.
     pub fn publish_completed(&mut self) -> usize {
         let Some(h) = &self.shared else {
             return 0;
         };
+        if h.diverged {
+            return 0;
+        }
         let mut published = 0;
         for f in &mut self.subgoals {
             if f.deleted
@@ -1016,7 +1075,7 @@ impl TableSpace {
                 f.var_occ.clone(),
                 cells.clone(),
                 f.store.spans.clone(),
-                h.epoch_seen,
+                h.query_epoch,
             ));
             if h.store.publish(frame) {
                 f.store.back_with(cells);
@@ -1044,11 +1103,22 @@ impl TableSpace {
         if below.is_empty() {
             return 0;
         }
-        h.epoch_seen = h.store.invalidate_preds(&below);
+        let (prev, new_epoch) = h.store.invalidate_preds(&below);
+        // Fast-forward the sync watermark only when no other worker
+        // logged entries since our last sync; otherwise leave it behind
+        // so the next sync replays the interleaved entries (replaying our
+        // own entries too is a harmless no-op — those tables are already
+        // invalidated locally).
+        if prev == h.epoch_seen {
+            h.epoch_seen = new_epoch;
+        }
         below.len()
     }
 
     /// Drops every table pool-wide (the `abolish_all_tables/0` path).
+    /// Fast-forwarding the watermark here is safe even past other
+    /// workers' interleaved log entries: the caller just abolished every
+    /// local table, so there is nothing left for a replay to invalidate.
     pub fn shared_clear(&mut self) {
         if let Some(h) = &mut self.shared {
             h.epoch_seen = h.store.clear();
@@ -1069,6 +1139,9 @@ impl TableSpace {
         };
         if let Some(h) = &mut self.shared {
             h.epoch_seen = epoch;
+            // the epoch this query's completed tables will be stamped
+            // with at publication (see `publish_completed`)
+            h.query_epoch = epoch;
         }
         let preds: Vec<PredId> = match action {
             SyncAction::UpToDate => return 0,
@@ -1698,6 +1771,93 @@ mod tests {
         a.shared_clear();
         assert_eq!(b.sync_shared(), 1, "full invalidation reaches b");
         assert!(b.find(3, &[Cell::int(1)]).is_none());
+    }
+
+    #[test]
+    fn mid_query_invalidate_keeps_remote_entries_replayable() {
+        let store = Arc::new(SharedTableStore::new());
+        let mut a = TableSpace::new();
+        a.attach_shared(store.clone(), 1000, 1000);
+        let mut b = TableSpace::new();
+        b.attach_shared(store.clone(), 1000, 1000);
+        // a holds a local completed table for pred 8
+        let id = mk(&mut a, 8, &[Cell::int(1)]);
+        a.add_answer(id, &[]);
+        a.complete_scc(id);
+        a.end_query();
+        // b pushes an invalidation of pred 8 that a has not yet seen...
+        assert_eq!(b.shared_invalidate(&[8]), 1);
+        // ...then a logs its own invalidation of pred 7 (a mid-query
+        // assert). a's watermark must NOT leapfrog b's log entry:
+        assert_eq!(a.shared_invalidate(&[7]), 1);
+        // the next sync still replays it and drops a's pred-8 table
+        assert_eq!(a.sync_shared(), 1);
+        assert!(a.find(8, &[Cell::int(1)]).is_none());
+    }
+
+    #[test]
+    fn mid_query_invalidate_blocks_stale_publish_until_resync() {
+        let store = Arc::new(SharedTableStore::new());
+        let mut a = TableSpace::new();
+        a.attach_shared(store.clone(), 1000, 1000);
+        // a completes a table, then the same query performs an update
+        // (invalidating some other predicate pool-wide)
+        let id = mk(&mut a, 3, &[Cell::tvar(0)]);
+        a.add_answer(id, &[Cell::int(1)]);
+        a.complete_scc(id);
+        assert_eq!(a.shared_invalidate(&[7]), 1);
+        a.end_query();
+        // the frame is stamped with the query-start epoch; the store has
+        // moved past it, so the publish is rejected rather than entering
+        // at the post-update epoch
+        assert_eq!(a.publish_completed(), 0);
+        assert!(!store.contains(3, &[Cell::tvar(0)]));
+        // the next query's sync confirms the frame survived: the retry
+        // publishes at the new epoch
+        assert_eq!(a.sync_shared(), 0);
+        a.end_query();
+        assert_eq!(a.publish_completed(), 1);
+        assert!(store.contains(3, &[Cell::tvar(0)]));
+    }
+
+    #[test]
+    fn diverged_worker_neither_publishes_nor_imports() {
+        let store = Arc::new(SharedTableStore::new());
+        let mut a = TableSpace::new();
+        a.attach_shared(store.clone(), 1000, 1000);
+        let mut b = TableSpace::new();
+        b.attach_shared(store.clone(), 1000, 1000);
+        let id = mk(&mut b, 3, &[Cell::tvar(0)]);
+        b.add_answer(id, &[Cell::int(1)]);
+        b.complete_scc(id);
+        b.end_query();
+        assert_eq!(b.publish_completed(), 1);
+        // a broadcast update (consult_all) diverges nobody
+        a.set_shared_broadcast(true);
+        a.note_local_mutation(5, &[3]);
+        a.set_shared_broadcast(false);
+        assert!(!a.shared_diverged());
+        assert!(a.shared_probe(3, &[Cell::tvar(0)]).is_some());
+        // mutations that stay above the floors diverge nobody either
+        a.note_local_mutation(2000, &[2001]);
+        assert!(!a.shared_diverged());
+        // a non-broadcast mutation below the floor detaches a
+        a.note_local_mutation(5, &[3]);
+        assert!(a.shared_diverged());
+        assert!(a.shared_probe(3, &[Cell::tvar(0)]).is_none(), "no imports");
+        let aid = mk(&mut a, 4, &[Cell::tvar(0)]);
+        a.add_answer(aid, &[Cell::int(2)]);
+        a.complete_scc(aid);
+        a.end_query();
+        assert_eq!(a.publish_completed(), 0, "no publishes");
+        // an above-floor mutation with a below-floor tabled dependent
+        // diverges too (a consult_all-added clause can wire that up)
+        let mut c = TableSpace::new();
+        c.attach_shared(store, 10, 10);
+        c.note_local_mutation(42, &[3]);
+        assert!(c.shared_diverged());
+        // b is unaffected throughout
+        assert!(!b.shared_diverged());
     }
 
     #[test]
