@@ -84,6 +84,20 @@ const METRICS: &[Metric] = &[
             as_f64(rows.last()?.get("warm_qps")?)
         },
     },
+    Metric {
+        // warm-phase median serving latency at the largest worker count
+        name: "concurrent.p50_ns",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| num_at(r, &["concurrent", "p50_ns"]),
+    },
+    Metric {
+        // the tail is the noisiest tracked number — widest allowance
+        name: "concurrent.p99_ns",
+        higher_is_better: false,
+        tol_mult: 3.0,
+        extract: |r| num_at(r, &["concurrent", "p99_ns"]),
+    },
 ];
 
 fn as_f64(j: &Json) -> Option<f64> {
@@ -326,6 +340,8 @@ mod tests {
                 "concurrent",
                 Json::obj([
                     ("shared_speedup", Json::Num(speedup)),
+                    ("p50_ns", Json::Int(200_000)),
+                    ("p99_ns", Json::Int(900_000)),
                     (
                         "rows",
                         Json::Arr(vec![Json::obj([("warm_qps", Json::Num(qps))])]),
@@ -333,6 +349,27 @@ mod tests {
                 ]),
             ),
         ])
+    }
+
+    /// Overrides the concurrent latency percentiles of a report.
+    fn with_latency(mut r: Json, p50: i64, p99: i64) -> Json {
+        if let Some(Json::Obj(fields)) = match &mut r {
+            Json::Obj(top) => top
+                .iter_mut()
+                .find(|(k, _)| k == "concurrent")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            for (k, v) in fields.iter_mut() {
+                if k == "p50_ns" {
+                    *v = Json::Int(p50);
+                }
+                if k == "p99_ns" {
+                    *v = Json::Int(p99);
+                }
+            }
+        }
+        r
     }
 
     fn base() -> Json {
@@ -395,6 +432,26 @@ mod tests {
             .find(|r| r.name == "concurrent.warm_qps")
             .unwrap();
         assert_eq!(r.status, Status::Fail);
+    }
+
+    #[test]
+    fn tail_latency_regression_fails() {
+        // p99_ns allowance is 20% × 3.0 = 60%: doubling the tail fails,
+        // while the p50 stays inside its allowance
+        let cur = with_latency(base(), 220_000, 1_800_000);
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(!gate_passes(&rows));
+        let p99 = rows.iter().find(|r| r.name == "concurrent.p99_ns").unwrap();
+        assert_eq!(p99.status, Status::Fail);
+        let p50 = rows.iter().find(|r| r.name == "concurrent.p50_ns").unwrap();
+        assert_eq!(p50.status, Status::Pass);
+    }
+
+    #[test]
+    fn latency_improvement_passes() {
+        let cur = with_latency(base(), 50_000, 100_000);
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(gate_passes(&rows), "{rows:?}");
     }
 
     #[test]

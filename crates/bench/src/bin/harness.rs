@@ -8,7 +8,10 @@
 //! append hilog dynamic-vs-static bulkload serving factoring concurrent
 //! wfs all` (default `all`). `baseline` runs just the gate-tracked subset
 //! (`serving factoring concurrent`) — it is what `scripts/ci.sh` compares
-//! against `BENCH_BASELINE.json`.
+//! against `BENCH_BASELINE.json`. `trace` runs the reference workload
+//! with span tracing and opcode profiling on; its `--json` artifact is a
+//! Chrome trace-event object (load it at <https://ui.perfetto.dev>) with
+//! the opcode profile attached under the extra `profile` key.
 //!
 //! `--json PATH` additionally writes a machine-readable report: per-
 //! experiment wall-clock seconds, an engine-counter snapshot from an
@@ -44,6 +47,7 @@ fn main() {
     let mut serving_report: Option<ServingReport> = None;
     let mut factoring_rows: Option<Vec<FactoringRow>> = None;
     let mut concurrent_report: Option<ConcurrentReport> = None;
+    let mut trace_json: Option<Json> = None;
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
         f();
@@ -75,6 +79,7 @@ fn main() {
                 concurrent_report = Some(concurrent(quick))
             });
         }
+        "trace" => run("trace", &mut || trace_json = Some(trace_experiment())),
         "wfs" => run("wfs", &mut wfs),
         "ablation-tables" => run("ablation-tables", &mut || ablation_tables(quick)),
         "ablation-seminaive" => run("ablation-seminaive", &mut || ablation_seminaive(quick)),
@@ -105,14 +110,17 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let report = json_report(
-            &arg,
-            quick,
-            &timings,
-            serving_report.as_ref(),
-            factoring_rows.as_deref(),
-            concurrent_report.as_ref(),
-        );
+        // the trace experiment's artifact IS the Chrome trace object
+        let report = trace_json.unwrap_or_else(|| {
+            json_report(
+                &arg,
+                quick,
+                &timings,
+                serving_report.as_ref(),
+                factoring_rows.as_deref(),
+                concurrent_report.as_ref(),
+            )
+        });
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -142,12 +150,14 @@ fn json_report(
             })
             .collect(),
     );
+    let (counters, profile) = reference_snapshot();
     let mut fields = vec![
         ("schema", Json::Int(1)),
         ("experiment", Json::str(experiment)),
         ("quick", Json::Bool(quick)),
         ("experiments", experiments),
-        ("engine_counters", reference_counters()),
+        ("engine_counters", counters),
+        ("opcode_profile", profile),
     ];
     if let Some(s) = serving {
         fields.push((
@@ -202,6 +212,8 @@ fn json_report(
                 ("churn_rounds", Json::Int(c.churn_rounds as i64)),
                 ("shared_speedup", Json::Num(c.shared_speedup)),
                 ("warm_scaling", Json::Num(c.warm_scaling)),
+                ("p50_ns", Json::Int(c.p50_ns as i64)),
+                ("p99_ns", Json::Int(c.p99_ns as i64)),
                 (
                     "rows",
                     Json::Arr(
@@ -219,6 +231,14 @@ fn json_report(
                                         "shared_invalidations",
                                         Json::Int(r.shared_invalidations as i64),
                                     ),
+                                    ("cold_p50_ns", Json::Int(r.cold_p50_ns as i64)),
+                                    ("cold_p99_ns", Json::Int(r.cold_p99_ns as i64)),
+                                    ("warm_p50_ns", Json::Int(r.warm_p50_ns as i64)),
+                                    ("warm_p99_ns", Json::Int(r.warm_p99_ns as i64)),
+                                    ("churn_p50_ns", Json::Int(r.churn_p50_ns as i64)),
+                                    ("churn_p99_ns", Json::Int(r.churn_p99_ns as i64)),
+                                    ("queue_p50_ns", Json::Int(r.queue_p50_ns as i64)),
+                                    ("queue_p99_ns", Json::Int(r.queue_p99_ns as i64)),
                                 ])
                             })
                             .collect(),
@@ -230,9 +250,9 @@ fn json_report(
     Json::obj(fields)
 }
 
-/// Runs win/1 on a height-4 binary tree and path/2 on a 64-node cycle with
-/// the metrics registry on, and snapshots every counter.
-fn reference_counters() -> Json {
+/// The instrumented reference workload: win/1 on a height-4 binary tree
+/// and path/2 on a 64-node cycle.
+fn reference_src() -> String {
     let mut src = String::from(":- table win/1.\nwin(X) :- move(X,Y), tnot win(Y).\n");
     for n in 1i64..=15 {
         src.push_str(&format!("move({n},{}). move({n},{}).\n", 2 * n, 2 * n + 1));
@@ -241,11 +261,50 @@ fn reference_counters() -> Json {
     for i in 1i64..=64 {
         src.push_str(&format!("edge({i},{}).\n", if i == 64 { 1 } else { i + 1 }));
     }
+    src
+}
+
+/// Snapshots every counter from a default-config run of the reference
+/// workload (profiling off, so `query_time_ns` reflects the shipping hot
+/// path), then the opcode profile from a second, profiled run.
+fn reference_snapshot() -> (Json, Json) {
     let mut e = Engine::new();
-    e.consult(&src).expect("reference workload consults");
+    e.consult(&reference_src())
+        .expect("reference workload consults");
     e.holds("win(1)").expect("win/1 evaluates");
     e.count("path(1, X)").expect("path/2 evaluates");
-    e.metrics_json()
+    let counters = e.metrics_json();
+    e.reset_metrics();
+    e.abolish_all_tables();
+    e.set_profiling(true);
+    e.holds("win(1)").expect("win/1 re-evaluates");
+    e.count("path(1, X)").expect("path/2 re-evaluates");
+    (counters, e.profile_json())
+}
+
+/// The `trace` experiment: the reference workload with span tracing and
+/// profiling on. Returns a Chrome trace-event object — `traceEvents` as
+/// Perfetto expects, with the opcode profile under the (legal) extra
+/// top-level key `profile`.
+fn trace_experiment() -> Json {
+    header("trace — span-traced reference workload (open the JSON in Perfetto)");
+    let mut e = Engine::new();
+    e.consult(&reference_src())
+        .expect("reference workload consults");
+    e.set_tracing(true);
+    e.set_profiling(true);
+    e.holds("win(1)").expect("win/1 evaluates");
+    e.count("path(1, X)").expect("path/2 evaluates");
+    let mut trace = e.chrome_trace_json();
+    if let Json::Obj(fields) = &mut trace {
+        fields.push(("profile".to_string(), e.profile_json()));
+    }
+    let spans = trace
+        .get("spanCount")
+        .map(|j| format!("{j}"))
+        .unwrap_or_default();
+    println!("recorded {spans} spans over 2 queries (pass --json PATH to export)");
+    trace
 }
 
 fn header(title: &str) {
@@ -509,19 +568,31 @@ fn concurrent(quick: bool) -> ConcurrentReport {
     let churn_rounds = if quick { 2 } else { 4 };
     let r = run_concurrent(n, &[1, 2, 4], subgoals, warm_reps, churn_rounds);
     println!(
-        "{:>8} {:>12} {:>12} {:>12} {:>8} {:>10} {:>8}",
-        "workers", "cold qps", "warm qps", "churn qps", "hits", "publishes", "invals"
+        "{:>8} {:>12} {:>12} {:>12} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "workers",
+        "cold qps",
+        "warm qps",
+        "churn qps",
+        "hits",
+        "publishes",
+        "invals",
+        "p50 (µs)",
+        "p99 (µs)",
+        "queue p99"
     );
     for row in &r.rows {
         println!(
-            "{:>8} {:>12.0} {:>12.0} {:>12.0} {:>8} {:>10} {:>8}",
+            "{:>8} {:>12.0} {:>12.0} {:>12.0} {:>8} {:>10} {:>8} {:>10.0} {:>10.0} {:>10.0}",
             row.workers,
             row.cold_qps,
             row.warm_qps,
             row.churn_qps,
             row.shared_hits,
             row.shared_publishes,
-            row.shared_invalidations
+            row.shared_invalidations,
+            row.warm_p50_ns as f64 / 1e3,
+            row.warm_p99_ns as f64 / 1e3,
+            row.queue_p99_ns as f64 / 1e3
         );
     }
     println!(

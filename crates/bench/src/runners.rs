@@ -965,6 +965,18 @@ pub struct ConcurrentRow {
     pub shared_hits: u64,
     pub shared_publishes: u64,
     pub shared_invalidations: u64,
+    /// Per-job serving latency percentiles (worker-side run time), carved
+    /// per phase from the pool's cumulative histograms by snapshot
+    /// subtraction.
+    pub cold_p50_ns: u64,
+    pub cold_p99_ns: u64,
+    pub warm_p50_ns: u64,
+    pub warm_p99_ns: u64,
+    pub churn_p50_ns: u64,
+    pub churn_p99_ns: u64,
+    /// Queue wait (submit → worker pickup) over all three phases.
+    pub queue_p50_ns: u64,
+    pub queue_p99_ns: u64,
 }
 
 /// E15 report: the sweep rows plus the two headline ratios.
@@ -982,6 +994,10 @@ pub struct ConcurrentReport {
     /// Aggregate warm qps at the largest worker count vs one worker.
     /// Thread-level scaling — only meaningful on a multi-core host.
     pub warm_scaling: f64,
+    /// Headline tail latency: warm-phase per-job serving latency at the
+    /// largest worker count (the `bench_gate` guarded metrics).
+    pub p50_ns: u64,
+    pub p99_ns: u64,
 }
 
 /// `path/2` over an `n`-cycle with a dynamic EDB, so `consult_all` churn
@@ -1030,6 +1046,7 @@ pub fn run_concurrent(
             assert_eq!(t.wait().unwrap(), expected);
         }
         let cold = secs(t0.elapsed());
+        let m_cold = pool.metrics();
 
         // warm: the same subgoals, each rep shifted to a worker that did
         // not compute the table — served via the shared store (import on
@@ -1046,6 +1063,7 @@ pub fn run_concurrent(
             }
         }
         let warm = secs(t0.elapsed());
+        let m_warm = pool.metrics();
 
         // churn: every round appends a fresh out-edge from node n, which
         // invalidates path/2 on every worker and in the shared store;
@@ -1065,6 +1083,11 @@ pub fn run_concurrent(
         let churn = secs(t0.elapsed());
 
         let m = pool.metrics();
+        // the histograms are cumulative: carve each phase out by
+        // subtracting the previous snapshot (churn also counts its
+        // broadcast consults — serving latency under churn, as served)
+        let warm_hist = m_warm.run_time.diff(&m_cold.run_time);
+        let churn_hist = m.run_time.diff(&m_warm.run_time);
         rows.push(ConcurrentRow {
             workers: w,
             cold_qps: subgoals as f64 / cold.max(1e-9),
@@ -1073,6 +1096,14 @@ pub fn run_concurrent(
             shared_hits: m.get(Counter::SharedTableHits),
             shared_publishes: m.get(Counter::SharedTablePublishes),
             shared_invalidations: m.get(Counter::SharedTableInvalidations),
+            cold_p50_ns: m_cold.run_time.p50(),
+            cold_p99_ns: m_cold.run_time.p99(),
+            warm_p50_ns: warm_hist.p50(),
+            warm_p99_ns: warm_hist.p99(),
+            churn_p50_ns: churn_hist.p50(),
+            churn_p99_ns: churn_hist.p99(),
+            queue_p50_ns: m.queue_wait.p50(),
+            queue_p99_ns: m.queue_wait.p99(),
         });
     }
     let first = rows.first().expect("at least one worker count");
@@ -1084,6 +1115,8 @@ pub fn run_concurrent(
         churn_rounds,
         shared_speedup: last.warm_qps / last.cold_qps.max(1e-9),
         warm_scaling: last.warm_qps / first.warm_qps.max(1e-9),
+        p50_ns: last.warm_p50_ns,
+        p99_ns: last.warm_p99_ns,
         rows,
     }
 }
@@ -1110,5 +1143,11 @@ mod concurrent_tests {
             r.shared_speedup > 1.0,
             "serving a completed shared table beats recomputing it: {r:?}"
         );
+        // per-phase latency percentiles are populated and ordered
+        assert!(two.cold_p50_ns > 0 && two.warm_p50_ns > 0 && two.churn_p50_ns > 0);
+        assert!(two.cold_p99_ns >= two.cold_p50_ns);
+        assert!(two.warm_p99_ns >= two.warm_p50_ns);
+        assert_eq!(r.p50_ns, two.warm_p50_ns, "headline = last row's warm");
+        assert_eq!(r.p99_ns, two.warm_p99_ns);
     }
 }

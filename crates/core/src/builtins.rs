@@ -85,6 +85,10 @@ pub enum Builtin {
     Statistics2,
     TablesB,
     PoolWorkers,
+    SetProfiling,
+    Profile0,
+    ProfileReset,
+    SetSlowQueryThreshold,
     // I/O & misc
     WriteB,
     WritelnB,
@@ -175,6 +179,14 @@ impl Builtin {
             ("statistics", 2, Builtin::Statistics2),
             ("tables", 0, Builtin::TablesB),
             ("pool_workers", 1, Builtin::PoolWorkers),
+            ("set_profiling", 1, Builtin::SetProfiling),
+            ("profile", 0, Builtin::Profile0),
+            ("profile_reset", 0, Builtin::ProfileReset),
+            (
+                "set_slow_query_threshold",
+                1,
+                Builtin::SetSlowQueryThreshold,
+            ),
             ("write", 1, Builtin::WriteB),
             ("writeln", 1, Builtin::WritelnB),
             ("nl", 0, Builtin::Nl),
@@ -401,6 +413,51 @@ pub fn exec_builtin(
                 BAction::Fail
             })
         }
+        Builtin::SetProfiling => {
+            let v = m.deref(m.x[0]);
+            let name = (v.tag() == Tag::Con).then(|| syms.name(v.sym()).to_string());
+            match name.as_deref() {
+                Some("on") => m.obs.metrics.profile.enabled = true,
+                Some("off") => m.obs.metrics.profile.enabled = false,
+                _ => {
+                    return Err(EngineError::Type {
+                        expected: "'on' or 'off'",
+                        found: format!("{v:?}"),
+                    })
+                }
+            }
+            Ok(BAction::Continue)
+        }
+        Builtin::Profile0 => {
+            print!(
+                "{}",
+                m.obs
+                    .metrics
+                    .profile
+                    .report(&crate::instr::Instr::OPCODE_NAMES)
+            );
+            Ok(BAction::Continue)
+        }
+        Builtin::ProfileReset => {
+            m.obs.metrics.profile.reset();
+            Ok(BAction::Continue)
+        }
+        Builtin::SetSlowQueryThreshold => {
+            let v = m.deref(m.x[0]);
+            if v.tag() == Tag::Con && syms.name(v.sym()) == "off" {
+                m.obs.slow_query_threshold_ns = None;
+            } else if v.tag() == Tag::Int && v.int_value() >= 0 {
+                // integer milliseconds; 0 logs every query
+                m.obs.slow_query_threshold_ns = Some(v.int_value() as u64 * 1_000_000);
+            } else {
+                return Err(EngineError::Type {
+                    expected: "milliseconds (integer >= 0) or 'off'",
+                    found: format!("{v:?}"),
+                });
+            }
+            m.obs.spans.enabled = m.obs.trace.enabled || m.obs.slow_query_threshold_ns.is_some();
+            Ok(BAction::Continue)
+        }
         Builtin::WriteB => {
             let mut vars = Vec::new();
             let t = m.heap_to_ast(m.x[0], &mut vars);
@@ -430,8 +487,14 @@ fn builtin_statistics2(m: &mut Machine, syms: &SymbolTable) -> Result<BAction, E
     if key.tag() != Tag::Con {
         return Err(EngineError::Instantiation("statistics/2"));
     }
-    let Some(v) = m.obs.metrics.lookup(syms.name(key.sym())) else {
-        return Ok(BAction::Fail);
+    // trace-ring truncation counters live outside the metrics registry
+    let v = match syms.name(key.sym()) {
+        "trace_events_total" => m.obs.trace.total(),
+        "trace_events_dropped" => m.obs.trace.dropped(),
+        name => match m.obs.metrics.lookup(name) {
+            Some(v) => v,
+            None => return Ok(BAction::Fail),
+        },
     };
     let val = m.x[1];
     Ok(if m.unify(val, Cell::int(v as i64)) {

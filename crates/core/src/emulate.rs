@@ -20,7 +20,7 @@ use crate::program::PredKind;
 use crate::table::{GenMode, NegMode, NegSusp, SubgoalState};
 use std::rc::Rc;
 use std::sync::Arc;
-use xsb_obs::{Counter, SlgEvent};
+use xsb_obs::{Counter, SlgEvent, Stopwatch};
 use xsb_syntax::{well_known, SymbolTable};
 
 /// Result of running the machine.
@@ -99,6 +99,11 @@ impl Machine<'_> {
             }
             let instr = self.db.code.code[self.p as usize].clone();
             self.p += 1;
+            // opcode profiler: one predicted branch when off; two array
+            // increments when on
+            if self.obs.metrics.profile.enabled {
+                self.obs.metrics.profile.record(instr.opcode());
+            }
             match instr {
                 // ---- get ----
                 Instr::GetVariableX { x, a } => self.x[x as usize] = self.x[a as usize],
@@ -743,7 +748,16 @@ impl Machine<'_> {
                     // import it (zero-copy) and serve it like a local
                     // completed-table hit
                     self.obs.metrics.bump(Counter::SharedTableHits);
+                    let sw = Stopwatch::new();
                     let sub = self.tables.import_shared(&sf);
+                    let import_ns = sw.elapsed_nanos();
+                    self.obs.metrics.shared_import.record(import_ns);
+                    if self.obs.spans.enabled {
+                        let answers = self.tables.frame(sub).store.len() as u32;
+                        self.obs
+                            .spans
+                            .record("import", pred, sub, import_ns, answers);
+                    }
                     if self.obs.trace.enabled {
                         self.obs
                             .trace
@@ -814,6 +828,9 @@ impl Machine<'_> {
             exist_cut_b,
         );
         self.obs.metrics.count_subgoal(pred as usize);
+        if self.obs.spans.enabled {
+            self.obs.spans.begin_subgoal(pred, sub);
+        }
         if self.obs.trace.enabled {
             self.obs
                 .trace
@@ -877,6 +894,16 @@ impl Machine<'_> {
                             leader: sub,
                             members: members.len() as u32,
                         });
+                    }
+                    if self.obs.spans.enabled {
+                        for &m in &members {
+                            let answers = self.tables.frame(m).store.len() as u32;
+                            self.obs.spans.end_subgoal(m, answers);
+                        }
+                        let pred = self.tables.frame(sub).pred;
+                        self.obs
+                            .spans
+                            .record("complete", pred, sub, 0, members.len() as u32);
                     }
                     let mut queue: Vec<u32> = Vec::new();
                     for &m in &members {

@@ -25,7 +25,7 @@ use crate::table::TableSpace;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
-use xsb_obs::{Counter, Json, Metrics, Obs, SlgEvent, Stopwatch};
+use xsb_obs::{Counter, Json, Metrics, Obs, SlgEvent, Stopwatch, NO_ID, NO_SPAN};
 use xsb_syntax::{
     parse_query, well_known, Clause, ProgramReader, ReadItem, Sym, SymbolTable, Term,
 };
@@ -85,7 +85,13 @@ pub struct Engine {
     /// Observability: the metrics registry and SLG event tracer. Counters
     /// accumulate across queries until [`Engine::reset_metrics`].
     pub obs: Obs,
+    /// Rendered span trees of queries that crossed the slow-query
+    /// threshold, oldest first (bounded at [`SLOW_QUERY_LOG_CAP`]).
+    slow_query_log: Vec<String>,
 }
+
+/// Retained slow-query log entries; older entries are dropped first.
+pub const SLOW_QUERY_LOG_CAP: usize = 64;
 
 impl Engine {
     /// A fresh engine with builtins and the library prelude loaded.
@@ -100,6 +106,7 @@ impl Engine {
             step_limit: None,
             hilog_specialization: true,
             obs: Obs::new(),
+            slow_query_log: Vec::new(),
         };
         e.consult(PRELUDE).expect("prelude compiles");
         e
@@ -254,15 +261,18 @@ impl Engine {
         let nvars = query.var_names.len() as u32;
         let qpred = compile_query(&mut self.db, &mut self.syms, &goals, nvars)?;
 
+        let qspan = self.obs.spans.begin("query", NO_ID);
         let mut machine = Machine::new(&mut self.db, &mut self.tables);
         machine.step_limit = self.step_limit;
         machine.obs = std::mem::take(&mut self.obs);
         let sw = Stopwatch::new();
         let vars = machine.setup_query(qpred, nvars);
 
+        let mut nsol: u64 = 0;
         let result = (|| -> Result<(), EngineError> {
             let mut outcome = machine.run(&mut self.syms)?;
             while outcome == Outcome::Solution {
+                nsol += 1;
                 let mut bindings = Vec::new();
                 for (i, name) in query.var_names.iter().enumerate() {
                     if name == "_" {
@@ -279,12 +289,15 @@ impl Engine {
             Ok(())
         })();
 
+        let elapsed_ns = sw.elapsed_nanos();
         machine.obs.metrics.query_time.record(sw);
+        machine.obs.metrics.query_latency.record(elapsed_ns);
         self.obs = std::mem::take(&mut machine.obs);
         drop(machine);
         self.tables.end_query();
         self.enforce_table_budget();
         self.publish_shared_tables();
+        self.finish_query_obs(qspan, elapsed_ns, nsol);
         result
     }
 
@@ -323,6 +336,7 @@ impl Engine {
         let nvars = query.var_names.len() as u32;
         let qpred = compile_query(&mut self.db, &mut self.syms, &goals, nvars)?;
 
+        let qspan = self.obs.spans.begin("query", NO_ID);
         let mut machine = Machine::new(&mut self.db, &mut self.tables);
         machine.step_limit = self.step_limit;
         machine.obs = std::mem::take(&mut self.obs);
@@ -342,19 +356,32 @@ impl Engine {
             Ok(n)
         })();
 
+        let elapsed_ns = sw.elapsed_nanos();
         machine.obs.metrics.query_time.record(sw);
+        machine.obs.metrics.query_latency.record(elapsed_ns);
         self.obs = std::mem::take(&mut machine.obs);
         drop(machine);
         self.tables.end_query();
         self.enforce_table_budget();
         self.publish_shared_tables();
+        let answers = result.as_ref().copied().unwrap_or(0) as u64;
+        self.finish_query_obs(qspan, elapsed_ns, answers);
         result
     }
 
     /// Catches up with invalidations other pool workers pushed since this
     /// engine's last query (no-op without an attached shared store).
     fn sync_shared_tables(&mut self) {
+        if self.tables.shared_handle().is_none() {
+            return;
+        }
+        let sw = Stopwatch::new();
         let n = self.tables.sync_shared();
+        let ns = sw.elapsed_nanos();
+        self.obs.metrics.shared_sync.record(ns);
+        if self.obs.spans.enabled {
+            self.obs.spans.record("sync", NO_ID, NO_ID, ns, n as u32);
+        }
         if n > 0 {
             self.obs
                 .metrics
@@ -365,12 +392,61 @@ impl Engine {
     /// Promotes tables completed by the finished query into the pool's
     /// shared store (no-op without an attached shared store).
     fn publish_shared_tables(&mut self) {
+        if self.tables.shared_handle().is_none() {
+            return;
+        }
+        let sw = Stopwatch::new();
         let n = self.tables.publish_completed();
+        let ns = sw.elapsed_nanos();
+        self.obs.metrics.shared_publish.record(ns);
+        if self.obs.spans.enabled {
+            self.obs.spans.record("publish", NO_ID, NO_ID, ns, n as u32);
+        }
         if n > 0 {
             self.obs
                 .metrics
                 .add(Counter::SharedTablePublishes, n as u64);
         }
+    }
+
+    /// Closes the per-query span (plus any subgoal spans the run left
+    /// open) and feeds the slow-query log when the query's evaluation
+    /// time reaches the configured threshold.
+    fn finish_query_obs(&mut self, qspan: u32, elapsed_ns: u64, answers: u64) {
+        if self.obs.spans.enabled || qspan != NO_SPAN {
+            self.obs.spans.end_open_subgoals();
+            self.obs.spans.end(qspan, answers as u32);
+        }
+        let Some(threshold) = self.obs.slow_query_threshold_ns else {
+            return;
+        };
+        if elapsed_ns < threshold {
+            return;
+        }
+        let header = format!(
+            "%% slow query: {:.3} ms, {} solutions",
+            elapsed_ns as f64 / 1e6,
+            answers
+        );
+        let tree = if qspan == NO_SPAN {
+            String::new()
+        } else {
+            let db = &self.db;
+            let syms = &self.syms;
+            self.obs
+                .spans
+                .render_tree(qspan, |p| pred_display(db, syms, p))
+        };
+        let entry = if tree.is_empty() {
+            header
+        } else {
+            format!("{header}\n{tree}")
+        };
+        eprintln!("{entry}");
+        if self.slow_query_log.len() >= SLOW_QUERY_LOG_CAP {
+            self.slow_query_log.remove(0);
+        }
+        self.slow_query_log.push(entry);
     }
 
     /// Evicts completed tables (least-recently-hit first) until the
@@ -630,10 +706,11 @@ impl Engine {
         self.obs.reset();
     }
 
-    /// Enables/disables SLG event tracing (disabled cost: one branch per
-    /// traced operation).
+    /// Enables/disables SLG event tracing and span collection (disabled
+    /// cost: one branch per traced operation).
     pub fn set_tracing(&mut self, enabled: bool) {
         self.obs.trace.enabled = enabled;
+        self.obs.spans.enabled = enabled || self.obs.slow_query_threshold_ns.is_some();
     }
 
     /// Resizes the trace ring buffer (discards buffered events).
@@ -653,13 +730,97 @@ impl Engine {
 
     /// The `statistics/0` report text.
     pub fn statistics_report(&self) -> String {
-        self.obs.metrics.report()
+        let mut s = self.obs.metrics.report();
+        s.push_str(&format!(
+            "  {:<28}{}\n  {:<28}{}\n",
+            "trace_events_total",
+            self.obs.trace.total(),
+            "trace_events_dropped",
+            self.obs.trace.dropped(),
+        ));
+        s
     }
 
     /// Snapshot of every scalar metric as a JSON object (the harness
-    /// `--json` payload).
+    /// `--json` payload), plus the trace ring's truncation counters:
+    /// `trace_events_total` is every event ever pushed,
+    /// `trace_events_dropped` the oldest ones overwritten because the
+    /// ring was full (the buffer keeps the most recent `capacity`).
     pub fn metrics_json(&self) -> Json {
-        self.obs.metrics.to_json()
+        let mut j = self.obs.metrics.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.push((
+                "trace_events_total".into(),
+                Json::Int(self.obs.trace.total() as i64),
+            ));
+            fields.push((
+                "trace_events_dropped".into(),
+                Json::Int(self.obs.trace.dropped() as i64),
+            ));
+        }
+        j
+    }
+
+    /// Enables/disables the emulator opcode profiler (disabled cost: one
+    /// predicted branch per dispatched instruction).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.obs.metrics.profile.enabled = on;
+    }
+
+    /// The `profile/0` report: hottest opcodes and adjacent dispatch
+    /// pairs since the last [`Engine::reset_profile`].
+    pub fn profile_report(&self) -> String {
+        self.obs
+            .metrics
+            .profile
+            .report(&crate::instr::Instr::OPCODE_NAMES)
+    }
+
+    /// Opcode profile as JSON (the harness `--json` payload).
+    pub fn profile_json(&self) -> Json {
+        self.obs
+            .metrics
+            .profile
+            .to_json(&crate::instr::Instr::OPCODE_NAMES)
+    }
+
+    /// Zeroes profile samples, keeping the toggle (`profile_reset/0`).
+    pub fn reset_profile(&mut self) {
+        self.obs.metrics.profile.reset();
+    }
+
+    /// Sets the slow-query threshold (`None` disables, `Some(0)` logs
+    /// every query). A set threshold implies span collection even with
+    /// tracing off.
+    pub fn set_slow_query_threshold_ns(&mut self, t: Option<u64>) {
+        self.obs.slow_query_threshold_ns = t;
+        self.obs.spans.enabled = self.obs.trace.enabled || t.is_some();
+    }
+
+    /// Rendered span trees of queries that crossed the slow-query
+    /// threshold, oldest first (bounded; oldest entries dropped).
+    pub fn slow_query_log(&self) -> &[String] {
+        &self.slow_query_log
+    }
+
+    /// Recorded spans as Chrome trace-event JSON — write to a file and
+    /// load in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> Json {
+        let db = &self.db;
+        let syms = &self.syms;
+        self.obs.spans.chrome_trace(|p| pred_display(db, syms, p))
+    }
+
+    /// Records one pool job's queue wait (submit → worker pickup) in this
+    /// engine's metrics. Instrumentation hook for
+    /// [`crate::engine_pool::ServerPool`].
+    pub fn note_queue_wait(&mut self, ns: u64) {
+        self.obs.metrics.queue_wait.record(ns);
+    }
+
+    /// Records one pool job's execution time in this engine's metrics.
+    pub fn note_run_time(&mut self, ns: u64) {
+        self.obs.metrics.run_time.record(ns);
     }
 
     /// Calls dispatched to `name/arity` (cumulative) — the instrumentation
@@ -714,6 +875,16 @@ impl Default for Engine {
 
 fn flatten_commas(t: &Term) -> Vec<&Term> {
     t.conjuncts()
+}
+
+/// `name/arity` display of a predicate id for span rendering (`NO_ID`
+/// and out-of-range ids have no name).
+fn pred_display(db: &Program, syms: &SymbolTable, pred: u32) -> Option<String> {
+    if pred == NO_ID || pred as usize >= db.preds.len() {
+        return None;
+    }
+    let p = db.pred(pred);
+    Some(format!("{}/{}", syms.name(p.name), p.arity))
 }
 
 /// Converts an AST clause directly to its canonical cell run plus index

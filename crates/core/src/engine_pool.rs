@@ -33,7 +33,8 @@ use crate::shared::SharedTableStore;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use xsb_obs::Metrics;
+use std::time::Instant;
+use xsb_obs::{Metrics, Stopwatch};
 
 /// Configuration for a [`ServerPool`].
 #[derive(Clone, Debug)]
@@ -58,12 +59,13 @@ impl Default for PoolConfig {
 }
 
 enum Job {
-    /// run a query, return all solutions
-    Query(String, Sender<Result<Vec<Solution>, EngineError>>),
+    /// run a query, return all solutions (the `Instant` is the submit
+    /// time — the worker records the queue wait before running)
+    Query(String, Instant, Sender<Result<Vec<Solution>, EngineError>>),
     /// run a query to exhaustion, return the solution count
-    Count(String, Sender<Result<usize, EngineError>>),
+    Count(String, Instant, Sender<Result<usize, EngineError>>),
     /// consult program text
-    Consult(String, Sender<Result<(), EngineError>>),
+    Consult(String, Instant, Sender<Result<(), EngineError>>),
     /// snapshot this worker's metrics (also the join barrier: a reply
     /// proves the worker drained everything submitted before it)
     Metrics(Sender<Box<Metrics>>),
@@ -138,17 +140,29 @@ impl ServerPool {
                 }
                 while let Ok(job) = rx.recv() {
                     match job {
-                        Job::Query(q, reply) => {
-                            let _ = reply.send(e.query(&q));
+                        Job::Query(q, submitted, reply) => {
+                            e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                            let sw = Stopwatch::new();
+                            let r = e.query(&q);
+                            e.note_run_time(sw.elapsed_nanos());
+                            let _ = reply.send(r);
                         }
-                        Job::Count(q, reply) => {
-                            let _ = reply.send(e.count(&q));
+                        Job::Count(q, submitted, reply) => {
+                            e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                            let sw = Stopwatch::new();
+                            let r = e.count(&q);
+                            e.note_run_time(sw.elapsed_nanos());
+                            let _ = reply.send(r);
                         }
-                        Job::Consult(src, reply) => {
+                        Job::Consult(src, submitted, reply) => {
                             // consult_all is a broadcast: every worker
                             // applies the same update, so it does not
                             // diverge any worker's EDB from the pool
-                            let _ = reply.send(e.consult_broadcast(&src));
+                            e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                            let sw = Stopwatch::new();
+                            let r = e.consult_broadcast(&src);
+                            e.note_run_time(sw.elapsed_nanos());
+                            let _ = reply.send(r);
                         }
                         Job::Metrics(reply) => {
                             let _ = reply.send(Box::new(e.metrics().clone()));
@@ -206,7 +220,10 @@ impl ServerPool {
     /// Like [`ServerPool::submit`] but pinned to worker `worker % N`.
     pub fn submit_to(&self, q: &str, worker: Option<usize>) -> Ticket<Vec<Solution>> {
         let (reply, rx) = channel();
-        let _ = self.pick(worker).tx.send(Job::Query(q.to_string(), reply));
+        let _ = self
+            .pick(worker)
+            .tx
+            .send(Job::Query(q.to_string(), Instant::now(), reply));
         Ticket { rx }
     }
 
@@ -214,7 +231,10 @@ impl ServerPool {
     /// fail-loop fast path) round-robin or pinned.
     pub fn submit_count(&self, q: &str, worker: Option<usize>) -> Ticket<usize> {
         let (reply, rx) = channel();
-        let _ = self.pick(worker).tx.send(Job::Count(q.to_string(), reply));
+        let _ = self
+            .pick(worker)
+            .tx
+            .send(Job::Count(q.to_string(), Instant::now(), reply));
         Ticket { rx }
     }
 
@@ -240,7 +260,8 @@ impl ServerPool {
         let mut pending = Vec::with_capacity(self.workers.len());
         for w in &self.workers {
             let (reply, rx) = channel();
-            let _ = w.tx.send(Job::Consult(src.to_string(), reply));
+            let _ =
+                w.tx.send(Job::Consult(src.to_string(), Instant::now(), reply));
             pending.push(rx);
         }
         for rx in pending {
@@ -433,6 +454,23 @@ mod tests {
             Some(&xsb_syntax::Term::Int(3)),
             "pool_workers/1 reports the worker count"
         );
+    }
+
+    #[test]
+    fn pool_metrics_include_latency_histograms() {
+        let p = pool(2);
+        for _ in 0..4 {
+            assert_eq!(p.count("path(1, X)").unwrap(), 3);
+        }
+        let m = p.metrics();
+        // every job passes through the queue-wait and run-time histograms
+        assert_eq!(m.queue_wait.count(), 4);
+        assert_eq!(m.run_time.count(), 4);
+        assert_eq!(m.query_latency.count(), 4);
+        assert!(m.run_time.p99() >= m.run_time.p50());
+        // shared-store sync runs before (and publish after) each query
+        assert_eq!(m.shared_sync.count(), 4);
+        assert_eq!(m.shared_publish.count(), 4);
     }
 
     #[test]

@@ -205,6 +205,109 @@ pub enum Instr {
     HaltSolution,
 }
 
+impl Instr {
+    /// Number of distinct opcodes (the profiler's table size basis).
+    pub const OPCODE_COUNT: usize = 43;
+
+    /// Profiler mnemonics, indexed by [`Instr::opcode`].
+    pub const OPCODE_NAMES: [&'static str; Instr::OPCODE_COUNT] = [
+        "get_variable_x",
+        "get_variable_y",
+        "get_value_x",
+        "get_value_y",
+        "get_constant",
+        "get_structure",
+        "get_list",
+        "unify_variable_x",
+        "unify_variable_y",
+        "unify_value_x",
+        "unify_value_y",
+        "unify_constant",
+        "unify_void",
+        "put_variable_x",
+        "put_variable_y",
+        "put_value_x",
+        "put_value_y",
+        "put_constant",
+        "put_structure",
+        "put_list",
+        "allocate",
+        "deallocate",
+        "call",
+        "execute",
+        "proceed",
+        "fail",
+        "try_me_else",
+        "retry_me_else",
+        "trust_me",
+        "try",
+        "retry",
+        "trust",
+        "switch_on_term",
+        "trie_dispatch",
+        "get_level",
+        "cut_y",
+        "table_call",
+        "save_generator",
+        "new_answer",
+        "new_answer_direct",
+        "findall_collect",
+        "naf_cut_fail",
+        "halt_solution",
+    ];
+
+    /// Dense opcode index for the emulator profiler, in declaration
+    /// order; always below the profiler's 64-slot table size.
+    #[inline]
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Instr::GetVariableX { .. } => 0,
+            Instr::GetVariableY { .. } => 1,
+            Instr::GetValueX { .. } => 2,
+            Instr::GetValueY { .. } => 3,
+            Instr::GetConstant { .. } => 4,
+            Instr::GetStructure { .. } => 5,
+            Instr::GetList { .. } => 6,
+            Instr::UnifyVariableX { .. } => 7,
+            Instr::UnifyVariableY { .. } => 8,
+            Instr::UnifyValueX { .. } => 9,
+            Instr::UnifyValueY { .. } => 10,
+            Instr::UnifyConstant { .. } => 11,
+            Instr::UnifyVoid { .. } => 12,
+            Instr::PutVariableX { .. } => 13,
+            Instr::PutVariableY { .. } => 14,
+            Instr::PutValueX { .. } => 15,
+            Instr::PutValueY { .. } => 16,
+            Instr::PutConstant { .. } => 17,
+            Instr::PutStructure { .. } => 18,
+            Instr::PutList { .. } => 19,
+            Instr::Allocate { .. } => 20,
+            Instr::Deallocate => 21,
+            Instr::Call { .. } => 22,
+            Instr::Execute { .. } => 23,
+            Instr::Proceed => 24,
+            Instr::Fail => 25,
+            Instr::TryMeElse { .. } => 26,
+            Instr::RetryMeElse { .. } => 27,
+            Instr::TrustMe => 28,
+            Instr::Try { .. } => 29,
+            Instr::Retry { .. } => 30,
+            Instr::Trust { .. } => 31,
+            Instr::SwitchOnTerm { .. } => 32,
+            Instr::TrieDispatch { .. } => 33,
+            Instr::GetLevel { .. } => 34,
+            Instr::CutY { .. } => 35,
+            Instr::TableCall { .. } => 36,
+            Instr::SaveGenerator { .. } => 37,
+            Instr::NewAnswer { .. } => 38,
+            Instr::NewAnswerDirect => 39,
+            Instr::FindallCollect => 40,
+            Instr::NafCutFail => 41,
+            Instr::HaltSolution => 42,
+        }
+    }
+}
+
 /// A static hash table for `switch_on_constant` (keys are CON/INT cells).
 /// `miss` is where unmatched constants go (the variable-headed clause
 /// chain, or the fail snippet).
@@ -277,6 +380,26 @@ mod tests {
         assert_eq!(c.emit(Instr::Proceed), 0);
         assert_eq!(c.emit(Instr::Fail), 1);
         assert_eq!(c.here(), 2);
+    }
+
+    #[test]
+    fn opcode_indices_are_dense_and_named() {
+        assert_eq!(Instr::OPCODE_NAMES.len(), Instr::OPCODE_COUNT);
+        // spot-check the mapping at both ends and the tabling group
+        assert_eq!(Instr::GetVariableX { x: 0, a: 0 }.opcode(), 0);
+        assert_eq!(
+            Instr::OPCODE_NAMES[Instr::TableCall { pred: 0, arity: 0 }.opcode() as usize],
+            "table_call"
+        );
+        assert_eq!(
+            Instr::HaltSolution.opcode() as usize,
+            Instr::OPCODE_COUNT - 1
+        );
+        // dense: every name is distinct
+        let mut names = Instr::OPCODE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Instr::OPCODE_COUNT);
     }
 
     #[test]

@@ -263,3 +263,141 @@ fn metrics_json_round_trips_and_matches_registry() {
         Some(&xsb_obs::Json::Int(e.metrics().trail.high_water as i64))
     );
 }
+
+// ---------------------------------------------------------------------
+// latency histograms
+// ---------------------------------------------------------------------
+
+#[test]
+fn query_latency_histogram_counts_queries() {
+    let mut e = engine(&cycle_src(8));
+    assert_eq!(e.count("path(1, X)").unwrap(), 8);
+    assert!(e.holds("path(1, 3)").unwrap());
+    let h = &e.metrics().query_latency;
+    assert_eq!(h.count(), 2, "one sample per query");
+    assert!(h.sum() > 0);
+    assert!(h.p99() >= h.p50());
+    // percentile keys ride along in the JSON export
+    let text = e.metrics_json().to_string();
+    let parsed = xsb_obs::Json::parse(&text).unwrap();
+    assert!(parsed.get("query_p50_ns").is_some());
+    assert!(parsed.get("query_p99_ns").is_some());
+}
+
+// ---------------------------------------------------------------------
+// trace-ring truncation counters (statistics/2 and JSON export)
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_truncation_surfaces_in_statistics_and_json() {
+    let mut e = engine(&cycle_src(32));
+    e.set_trace_capacity(8);
+    e.set_tracing(true);
+    assert_eq!(e.count("path(1, X)").unwrap(), 32);
+    let dropped = e.trace_dropped();
+    assert!(dropped > 0);
+    let total = dropped + e.trace_events().len() as u64;
+    assert!(e
+        .holds(&format!("statistics(trace_events_dropped, {dropped})"))
+        .unwrap());
+    assert!(e
+        .holds(&format!("statistics(trace_events_total, {total})"))
+        .unwrap());
+    let parsed = xsb_obs::Json::parse(&e.metrics_json().to_string()).unwrap();
+    assert_eq!(
+        parsed.get("trace_events_dropped"),
+        Some(&xsb_obs::Json::Int(dropped as i64))
+    );
+    assert_eq!(
+        parsed.get("trace_events_total"),
+        Some(&xsb_obs::Json::Int(total as i64))
+    );
+    let report = e.statistics_report();
+    assert!(report.contains("trace_events_dropped"));
+}
+
+// ---------------------------------------------------------------------
+// span traces and the slow-query log
+// ---------------------------------------------------------------------
+
+#[test]
+fn traced_query_exports_valid_chrome_trace() {
+    let mut e = engine(&win_src("tnot", 3));
+    e.set_tracing(true);
+    assert!(e.holds("win(1)").unwrap());
+    let text = e.chrome_trace_json().to_string();
+    let parsed = xsb_obs::Json::parse(&text).expect("valid JSON");
+    let Some(xsb_obs::Json::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("traceEvents array missing: {text}");
+    };
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|ev| match ev.get("name") {
+            Some(xsb_obs::Json::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(names.contains(&"query"), "names: {names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("subgoal")),
+        "names: {names:?}"
+    );
+    // every event is a complete (ph:"X") event with numeric ts/dur
+    for ev in events {
+        assert_eq!(ev.get("ph"), Some(&xsb_obs::Json::Str("X".into())));
+        assert!(ev.get("ts").is_some() && ev.get("dur").is_some());
+    }
+}
+
+#[test]
+fn slow_query_log_captures_span_tree_at_zero_threshold() {
+    let mut e = engine(&cycle_src(6));
+    // threshold 0 ms ⇒ every query is "slow"
+    assert!(e.holds("set_slow_query_threshold(0)").unwrap());
+    assert_eq!(e.count("path(1, X)").unwrap(), 6);
+    let log = e.slow_query_log();
+    assert!(!log.is_empty());
+    let entry = log.last().unwrap();
+    assert!(entry.contains("slow query"), "entry: {entry}");
+    assert!(entry.contains("query ["), "span tree rendered: {entry}");
+    assert!(entry.contains("path/2"), "subgoal named: {entry}");
+    // 'off' disables the log again
+    assert!(e.holds("set_slow_query_threshold(off)").unwrap());
+    let n = e.slow_query_log().len();
+    assert_eq!(e.count("path(1, 2)").unwrap(), 1);
+    assert_eq!(e.slow_query_log().len(), n);
+}
+
+// ---------------------------------------------------------------------
+// opcode profiler
+// ---------------------------------------------------------------------
+
+#[test]
+fn profiler_counts_opcodes_only_when_enabled() {
+    let mut e = engine(&cycle_src(8));
+    assert_eq!(e.count("path(1, X)").unwrap(), 8);
+    assert!(e.metrics().profile.is_empty(), "off by default");
+    assert!(e.holds("set_profiling(on)").unwrap());
+    assert_eq!(e.count("path(2, X)").unwrap(), 8);
+    let total = e.metrics().profile.total();
+    assert!(total > 0, "profiler sampled the run");
+    let report = e.profile_report();
+    assert!(report.contains("table_call"), "report: {report}");
+    // profile/0 builtin prints without error; profile_reset/0 zeroes
+    // (the reset query's own tail still records a handful of opcodes)
+    assert!(e.holds("profile").unwrap());
+    assert!(e.holds("profile_reset").unwrap());
+    let after_reset = e.metrics().profile.total();
+    assert!(after_reset < total, "reset zeroed accumulated samples");
+    // still enabled after reset: the next query records again
+    assert_eq!(e.count("path(3, X)").unwrap(), 8);
+    assert!(e.metrics().profile.total() > after_reset);
+    assert!(e.holds("set_profiling(off)").unwrap());
+    let frozen = e.metrics().profile.total();
+    assert_eq!(e.count("path(4, X)").unwrap(), 8);
+    assert_eq!(e.metrics().profile.total(), frozen, "off records nothing");
+    // JSON export carries opcode names
+    let parsed = xsb_obs::Json::parse(&e.profile_json().to_string()).unwrap();
+    assert!(parsed.get("opcodes").is_some());
+}

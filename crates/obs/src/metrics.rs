@@ -8,7 +8,9 @@
 //! mark that never regresses. Timers accumulate monotonic elapsed time via
 //! [`Stopwatch`].
 
+use crate::hist::Histogram;
 use crate::json::Json;
+use crate::profile::OpcodeProfile;
 use std::time::Instant;
 
 /// Machine-wide monotonic counters. The discriminant order defines the
@@ -194,6 +196,21 @@ pub struct Metrics {
     pub frames: Gauge,
     /// Accumulated query evaluation time.
     pub query_time: Timer,
+    /// Per-query wall-time distribution (nanoseconds).
+    pub query_latency: Histogram,
+    /// Pool worker: submit-to-dequeue wait per job (nanoseconds).
+    pub queue_wait: Histogram,
+    /// Pool worker: job execution time (nanoseconds).
+    pub run_time: Histogram,
+    /// Shared store: per-call publish latency (nanoseconds).
+    pub shared_publish: Histogram,
+    /// Shared store: per-table import latency (nanoseconds).
+    pub shared_import: Histogram,
+    /// Shared store: per-call sync latency (nanoseconds).
+    pub shared_sync: Histogram,
+    /// Emulator opcode profiler (off by default; [`Metrics::reset`]
+    /// preserves the toggle).
+    pub profile: OpcodeProfile,
     /// Per-predicate counters, indexed by predicate id (grown on demand).
     pub per_pred: Vec<PredCounters>,
 }
@@ -207,6 +224,13 @@ impl Default for Metrics {
             trail: Gauge::default(),
             frames: Gauge::default(),
             query_time: Timer::default(),
+            query_latency: Histogram::default(),
+            queue_wait: Histogram::default(),
+            run_time: Histogram::default(),
+            shared_publish: Histogram::default(),
+            shared_import: Histogram::default(),
+            shared_sync: Histogram::default(),
+            profile: OpcodeProfile::default(),
             per_pred: Vec::new(),
         }
     }
@@ -273,7 +297,49 @@ impl Metrics {
         out.push(("frame_high_water", self.frames.high_water));
         out.push(("query_time_ns", self.query_time.nanos));
         out.push(("queries", self.query_time.count));
+        for (name_p50, name_p99, h) in self.histograms() {
+            out.push((name_p50, h.p50()));
+            out.push((name_p99, h.p99()));
+        }
         out
+    }
+
+    /// The latency histograms with their `statistics/2` p50/p99 key
+    /// names, in report order.
+    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 6] {
+        [
+            ("query_p50_ns", "query_p99_ns", &self.query_latency),
+            ("queue_wait_p50_ns", "queue_wait_p99_ns", &self.queue_wait),
+            ("run_p50_ns", "run_p99_ns", &self.run_time),
+            (
+                "shared_publish_p50_ns",
+                "shared_publish_p99_ns",
+                &self.shared_publish,
+            ),
+            (
+                "shared_import_p50_ns",
+                "shared_import_p99_ns",
+                &self.shared_import,
+            ),
+            (
+                "shared_sync_p50_ns",
+                "shared_sync_p99_ns",
+                &self.shared_sync,
+            ),
+        ]
+    }
+
+    /// Full histogram summaries as a JSON object (count/min/max/mean and
+    /// the p50/p95/p99 points per distribution).
+    pub fn histograms_json(&self) -> Json {
+        Json::obj([
+            ("query_latency", self.query_latency.to_json()),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("run_time", self.run_time.to_json()),
+            ("shared_publish", self.shared_publish.to_json()),
+            ("shared_import", self.shared_import.to_json()),
+            ("shared_sync", self.shared_sync.to_json()),
+        ])
     }
 
     /// Looks up a scalar entry by its `statistics/2` key.
@@ -304,15 +370,20 @@ impl Metrics {
     }
 
     /// Zeroes everything, including per-predicate counters and high-water
-    /// marks.
+    /// marks. Configuration toggles (the opcode profiler's `enabled`
+    /// flag) survive the reset — a reset must not silently disable
+    /// profiling the user turned on.
     pub fn reset(&mut self) {
+        let profiling = self.profile.enabled;
         *self = Metrics::default();
+        self.profile.enabled = profiling;
     }
 
     /// Folds another registry into this one — the pool-wide aggregation
-    /// over per-worker snapshots. Counters, timers, and per-predicate
-    /// counts are summed; gauges keep the maximum (each worker has its own
-    /// stacks, so a sum would not describe any real machine).
+    /// over per-worker snapshots. Counters, timers, histograms, opcode
+    /// profiles, and per-predicate counts are summed; gauges keep the
+    /// maximum (each worker has its own stacks, so a sum would not
+    /// describe any real machine).
     pub fn merge(&mut self, other: &Metrics) {
         for i in 0..Counter::COUNT {
             self.counters[i] += other.counters[i];
@@ -328,6 +399,13 @@ impl Metrics {
         }
         self.query_time.nanos += other.query_time.nanos;
         self.query_time.count += other.query_time.count;
+        self.query_latency.merge(&other.query_latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.run_time.merge(&other.run_time);
+        self.shared_publish.merge(&other.shared_publish);
+        self.shared_import.merge(&other.shared_import);
+        self.shared_sync.merge(&other.shared_sync);
+        self.profile.merge(&other.profile);
         if other.per_pred.len() > self.per_pred.len() {
             self.per_pred
                 .resize(other.per_pred.len(), PredCounters::default());
@@ -421,6 +499,80 @@ mod tests {
         assert_eq!(a.pred(7).calls, 1);
         assert_eq!(a.query_time.nanos, 12);
         assert_eq!(a.query_time.count, 3);
+    }
+
+    #[test]
+    fn merge_audit_gauges_max_histograms_sum_no_double_reset() {
+        // gauge semantics: merge must take the max even when the other
+        // side's *current* is lower but its high-water is higher, and
+        // vice versa — never last-write-wins
+        let mut a = Metrics::new();
+        a.heap.set(50); // current 50, hw 50
+        a.trail.set(90);
+        a.trail.set(10); // current 10, hw 90
+        let mut b = Metrics::new();
+        b.heap.set(80);
+        b.heap.set(5); // current 5, hw 80
+        b.trail.set(60); // current 60, hw 60
+        a.merge(&b);
+        assert_eq!(a.heap.current, 50, "max, not last-write");
+        assert_eq!(a.heap.high_water, 80);
+        assert_eq!(a.trail.current, 60);
+        assert_eq!(a.trail.high_water, 90);
+
+        // histograms and profiles merge by summation
+        let mut x = Metrics::new();
+        x.query_latency.record(100);
+        x.profile.record(1);
+        let mut y = Metrics::new();
+        y.query_latency.record(5000);
+        y.query_latency.record(5000);
+        y.profile.record(1);
+        y.profile.record(2);
+        x.merge(&y);
+        assert_eq!(x.query_latency.count(), 3);
+        assert_eq!(x.query_latency.max(), 5000);
+        assert_eq!(x.profile.count(1), 2);
+        assert_eq!(x.profile.pair_count(1, 2), 1);
+
+        // merging a snapshot twice must double the counters (merge takes
+        // a borrowed snapshot: it must never reset or consume `other`)
+        let mut acc = Metrics::new();
+        let mut w = Metrics::new();
+        w.bump(Counter::Calls);
+        w.query_time.nanos = 10;
+        w.query_time.count = 1;
+        acc.merge(&w);
+        acc.merge(&w);
+        assert_eq!(acc.get(Counter::Calls), 2);
+        assert_eq!(acc.query_time.nanos, 20);
+        assert_eq!(w.get(Counter::Calls), 1, "other side untouched");
+
+        // reset zeroes samples but preserves the profiling toggle
+        let mut r = Metrics::new();
+        r.profile.enabled = true;
+        r.profile.record(3);
+        r.query_latency.record(7);
+        r.reset();
+        assert!(r.profile.is_empty());
+        assert!(r.profile.enabled, "reset must not disable profiling");
+        assert!(r.query_latency.is_empty());
+    }
+
+    #[test]
+    fn entries_include_latency_percentiles() {
+        let mut m = Metrics::new();
+        m.query_latency.record(1000);
+        m.query_latency.record(1000);
+        assert_eq!(m.lookup("query_p50_ns"), Some(m.query_latency.p50()));
+        assert_eq!(m.lookup("query_p99_ns"), Some(m.query_latency.p99()));
+        assert_eq!(m.lookup("queue_wait_p50_ns"), Some(0));
+        let hj = m.histograms_json().to_string();
+        let parsed = Json::parse(&hj).unwrap();
+        assert_eq!(
+            parsed.get("query_latency").and_then(|h| h.get("count")),
+            Some(&Json::Int(2))
+        );
     }
 
     #[test]

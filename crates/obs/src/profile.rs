@@ -1,0 +1,295 @@
+//! Emulator opcode profiler: per-opcode and adjacent-opcode-pair
+//! execution counts.
+//!
+//! The dispatch loop feeds one small integer per instruction into
+//! [`OpcodeProfile::record`]; the profile keeps a flat count per opcode
+//! and a 64×64 matrix of adjacent pairs (`prev → current`), the input a
+//! dispatch-flattening / superinstruction pass needs: the hottest pairs
+//! are the fusion candidates.
+//!
+//! The profiler is off by default. When off, the emulator's cost is one
+//! predicted branch per instruction; when on, two array increments. The
+//! crate is opcode-agnostic — callers pass a name table (the emulator's
+//! `Instr` mnemonics) at report/export time.
+
+use crate::json::Json;
+
+/// Maximum opcode index (exclusive); indices are masked to this range.
+pub const MAX_OPCODES: usize = 64;
+
+/// Sentinel "no previous opcode" marker.
+const NO_OP: u8 = u8::MAX;
+
+/// Per-opcode and adjacent-pair execution counts.
+#[derive(Debug, Clone)]
+pub struct OpcodeProfile {
+    /// Fast-path flag checked by the dispatch loop.
+    pub enabled: bool,
+    counts: Vec<u64>,
+    /// Row-major `prev * MAX_OPCODES + cur` pair counts.
+    pairs: Vec<u64>,
+    prev: u8,
+}
+
+impl Default for OpcodeProfile {
+    fn default() -> OpcodeProfile {
+        OpcodeProfile {
+            enabled: false,
+            counts: vec![0; MAX_OPCODES],
+            pairs: vec![0; MAX_OPCODES * MAX_OPCODES],
+            prev: NO_OP,
+        }
+    }
+}
+
+impl OpcodeProfile {
+    pub fn new() -> OpcodeProfile {
+        OpcodeProfile::default()
+    }
+
+    /// Counts one dispatched instruction and the `prev → op` pair.
+    #[inline]
+    pub fn record(&mut self, op: u8) {
+        let cur = (op as usize) & (MAX_OPCODES - 1);
+        self.counts[cur] += 1;
+        if self.prev != NO_OP {
+            self.pairs[(self.prev as usize) * MAX_OPCODES + cur] += 1;
+        }
+        self.prev = cur as u8;
+    }
+
+    /// Breaks the pair chain (call between queries so the last opcode of
+    /// one query does not pair with the first of the next).
+    pub fn break_chain(&mut self) {
+        self.prev = NO_OP;
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    pub fn count(&self, op: u8) -> u64 {
+        self.counts
+            .get((op as usize) & (MAX_OPCODES - 1))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn pair_count(&self, prev: u8, cur: u8) -> u64 {
+        let p = (prev as usize) & (MAX_OPCODES - 1);
+        let c = (cur as usize) & (MAX_OPCODES - 1);
+        self.pairs[p * MAX_OPCODES + c]
+    }
+
+    /// Opcode indices with nonzero counts, hottest first.
+    pub fn top_opcodes(&self, n: usize) -> Vec<(u8, u64)> {
+        let mut v: Vec<(u8, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u8, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Adjacent pairs with nonzero counts, hottest first.
+    pub fn top_pairs(&self, n: usize) -> Vec<(u8, u8, u64)> {
+        let mut v: Vec<(u8, u8, u64)> = self
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| ((i / MAX_OPCODES) as u8, (i % MAX_OPCODES) as u8, c))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        v.truncate(n);
+        v
+    }
+
+    /// Zeroes counts and the pair chain; keeps `enabled`.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.pairs.iter_mut().for_each(|c| *c = 0);
+        self.prev = NO_OP;
+    }
+
+    /// Folds another profile into this one (pool aggregation).
+    pub fn merge(&mut self, other: &OpcodeProfile) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.pairs.iter_mut().zip(other.pairs.iter()) {
+            *a += b;
+        }
+    }
+
+    fn name_of<'n>(names: &'n [&'n str], op: u8) -> &'n str {
+        names.get(op as usize).copied().unwrap_or("?")
+    }
+
+    /// Human-readable report: hottest opcodes, then hottest pairs — the
+    /// body of the `profile/0` builtin.
+    pub fn report(&self, names: &[&str]) -> String {
+        let total = self.total();
+        let mut s = format!("opcode profile ({total} instructions):\n");
+        if total == 0 {
+            s.push_str("  (empty — enable with set_profiling(on))\n");
+            return s;
+        }
+        for (op, c) in self.top_opcodes(20) {
+            s.push_str(&format!(
+                "  {:<18} {:>12}  {:5.1}%\n",
+                Self::name_of(names, op),
+                c,
+                c as f64 * 100.0 / total as f64
+            ));
+        }
+        s.push_str("hottest adjacent pairs:\n");
+        for (a, b, c) in self.top_pairs(15) {
+            s.push_str(&format!(
+                "  {:<18} -> {:<18} {:>12}\n",
+                Self::name_of(names, a),
+                Self::name_of(names, b),
+                c
+            ));
+        }
+        s
+    }
+
+    /// JSON export: total, per-opcode counts, and the hottest adjacent
+    /// pairs (the harness `--json` payload feeding the dispatch-
+    /// flattening work).
+    pub fn to_json(&self, names: &[&str]) -> Json {
+        let opcodes = self
+            .top_opcodes(MAX_OPCODES)
+            .into_iter()
+            .map(|(op, c)| {
+                Json::Obj(vec![
+                    ("op".to_string(), Json::str(Self::name_of(names, op))),
+                    ("count".to_string(), Json::Int(c as i64)),
+                ])
+            })
+            .collect();
+        let pairs = self
+            .top_pairs(32)
+            .into_iter()
+            .map(|(a, b, c)| {
+                Json::Obj(vec![
+                    ("first".to_string(), Json::str(Self::name_of(names, a))),
+                    ("second".to_string(), Json::str(Self::name_of(names, b))),
+                    ("count".to_string(), Json::Int(c as i64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("total", Json::Int(self.total() as i64)),
+            ("opcodes", Json::Arr(opcodes)),
+            ("pairs", Json::Arr(pairs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+    #[test]
+    fn counts_opcodes_and_adjacent_pairs() {
+        let mut p = OpcodeProfile::new();
+        for op in [0u8, 1, 0, 1, 2] {
+            p.record(op);
+        }
+        assert_eq!(p.total(), 5);
+        assert_eq!(p.count(0), 2);
+        assert_eq!(p.count(1), 2);
+        assert_eq!(p.count(2), 1);
+        assert_eq!(p.pair_count(0, 1), 2);
+        assert_eq!(p.pair_count(1, 0), 1);
+        assert_eq!(p.pair_count(1, 2), 1);
+        assert_eq!(p.pair_count(2, 0), 0);
+        assert_eq!(p.top_pairs(1), vec![(0, 1, 2)]);
+        assert_eq!(p.top_opcodes(1)[0].1, 2);
+    }
+
+    #[test]
+    fn break_chain_stops_cross_boundary_pairs() {
+        let mut p = OpcodeProfile::new();
+        p.record(0);
+        p.break_chain();
+        p.record(1);
+        assert_eq!(p.pair_count(0, 1), 0);
+        assert_eq!(p.total(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_enabled() {
+        let mut p = OpcodeProfile::new();
+        p.enabled = true;
+        p.record(2);
+        p.record(2);
+        p.reset();
+        assert!(p.is_empty());
+        assert_eq!(p.pair_count(2, 2), 0);
+        assert!(p.enabled, "reset must preserve the toggle");
+        // the chain is broken too: no pair with the pre-reset opcode
+        p.record(1);
+        assert_eq!(p.pair_count(2, 1), 0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_pairs() {
+        let mut a = OpcodeProfile::new();
+        a.record(0);
+        a.record(1);
+        let mut b = OpcodeProfile::new();
+        b.record(0);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.pair_count(0, 1), 2);
+        assert_eq!(a.pair_count(1, 1), 1);
+    }
+
+    #[test]
+    fn report_and_json_surface_names() {
+        let mut p = OpcodeProfile::new();
+        for op in [0u8, 1, 1, 2] {
+            p.record(op);
+        }
+        let r = p.report(&NAMES);
+        assert!(r.contains("beta"), "{r}");
+        assert!(r.contains("->"), "{r}");
+        let j = p.to_json(&NAMES);
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("total"), Some(&Json::Int(4)));
+        match parsed.get("opcodes") {
+            Some(Json::Arr(ops)) => assert_eq!(ops.len(), 3),
+            other => panic!("expected opcodes array, got {other:?}"),
+        }
+        match parsed.get("pairs") {
+            Some(Json::Arr(ps)) => assert!(!ps.is_empty()),
+            other => panic!("expected pairs array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_profile_reports_emptiness() {
+        let p = OpcodeProfile::new();
+        assert!(p.is_empty());
+        assert!(p.report(&NAMES).contains("empty"));
+        let j = p.to_json(&NAMES);
+        assert_eq!(j.get("total"), Some(&Json::Int(0)));
+    }
+}

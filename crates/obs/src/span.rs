@@ -1,0 +1,466 @@
+//! Span-based query tracing: a bounded arena of timed spans forming a
+//! per-query tree, exportable as Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`).
+//!
+//! The engine opens a `query` span per query; the emulator hangs
+//! `subgoal`, `complete`, and `import` spans under it, and the engine
+//! adds `sync`/`publish` phases around the shared-store traffic. Spans
+//! carry the predicate id, subgoal index, and the answer count observed
+//! when the span closed.
+//!
+//! The arena is bounded: once `capacity` spans are recorded, further
+//! `begin`s return [`NO_SPAN`] and are counted in `dropped` (ends on
+//! `NO_SPAN` are no-ops), so a runaway trace degrades to truncation,
+//! never to unbounded memory. Like the event ring, the disabled cost is
+//! a single branch on [`SpanArena::enabled`].
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// Sentinel span id: returned when disabled or at capacity.
+pub const NO_SPAN: u32 = u32::MAX;
+
+/// Sentinel for "no predicate" / "no subgoal" on a span.
+pub const NO_ID: u32 = u32::MAX;
+
+/// Default span-arena capacity (spans per trace session).
+pub const DEFAULT_SPAN_CAPACITY: usize = 16384;
+
+/// One timed span. `dur_ns == u64::MAX` marks a still-open span.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Span kind: `query`, `subgoal`, `complete`, `import`, `sync`,
+    /// `publish`.
+    pub name: &'static str,
+    /// Predicate id, or [`NO_ID`].
+    pub pred: u32,
+    /// Subgoal-frame index, or [`NO_ID`].
+    pub subgoal: u32,
+    /// Answers observed when the span closed (span-kind specific: table
+    /// answers for `subgoal`/`import`, solutions for `query`, SCC members
+    /// for `complete`, tables moved for `sync`/`publish`).
+    pub answers: u32,
+    /// Parent span index in the arena, or [`NO_SPAN`] for roots.
+    pub parent: u32,
+    /// Start offset from the arena epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; `u64::MAX` while open.
+    pub dur_ns: u64,
+}
+
+impl Span {
+    pub fn is_open(&self) -> bool {
+        self.dur_ns == u64::MAX
+    }
+}
+
+/// Bounded arena of [`Span`]s plus the open-span bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SpanArena {
+    /// Fast-path flag checked before any span work.
+    pub enabled: bool,
+    spans: Vec<Span>,
+    /// Stack of open *nesting* spans (query/sync/publish phases).
+    stack: Vec<u32>,
+    /// Open subgoal spans `(subgoal, span id)` — subgoals overlap freely,
+    /// so they live outside the nesting stack.
+    open_subgoals: Vec<(u32, u32)>,
+    capacity: usize,
+    dropped: u64,
+    epoch: Instant,
+}
+
+impl Default for SpanArena {
+    fn default() -> SpanArena {
+        SpanArena {
+            enabled: false,
+            spans: Vec::new(),
+            stack: Vec::new(),
+            open_subgoals: Vec::new(),
+            capacity: DEFAULT_SPAN_CAPACITY,
+            dropped: 0,
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl SpanArena {
+    pub fn new(capacity: usize) -> SpanArena {
+        SpanArena {
+            capacity: capacity.max(1),
+            ..SpanArena::default()
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn alloc(&mut self, name: &'static str, pred: u32, subgoal: u32, parent: u32) -> u32 {
+        if !self.enabled {
+            return NO_SPAN;
+        }
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            return NO_SPAN;
+        }
+        let id = self.spans.len() as u32;
+        let start_ns = self.now_ns();
+        self.spans.push(Span {
+            name,
+            pred,
+            subgoal,
+            answers: 0,
+            parent,
+            start_ns,
+            dur_ns: u64::MAX,
+        });
+        id
+    }
+
+    /// Opens a nesting span (child of the innermost open one) and makes
+    /// it the current parent for subsequent spans.
+    pub fn begin(&mut self, name: &'static str, pred: u32) -> u32 {
+        let parent = self.stack.last().copied().unwrap_or(NO_SPAN);
+        let id = self.alloc(name, pred, NO_ID, parent);
+        if id != NO_SPAN {
+            self.stack.push(id);
+        }
+        id
+    }
+
+    /// Closes a nesting span opened by [`SpanArena::begin`].
+    pub fn end(&mut self, id: u32, answers: u32) {
+        if id == NO_SPAN {
+            return;
+        }
+        let now = self.now_ns();
+        if let Some(s) = self.spans.get_mut(id as usize) {
+            s.dur_ns = now.saturating_sub(s.start_ns);
+            s.answers = answers;
+        }
+        self.stack.retain(|&x| x != id);
+    }
+
+    /// Opens a leaf span under the current parent without making it the
+    /// parent of later spans (overlapping subgoal evaluations).
+    pub fn begin_subgoal(&mut self, pred: u32, subgoal: u32) {
+        let parent = self.stack.last().copied().unwrap_or(NO_SPAN);
+        let id = self.alloc("subgoal", pred, subgoal, parent);
+        if id != NO_SPAN {
+            self.open_subgoals.push((subgoal, id));
+        }
+    }
+
+    /// Closes the open subgoal span for `subgoal`, recording its answer
+    /// count. No-op if the subgoal has no open span.
+    pub fn end_subgoal(&mut self, subgoal: u32, answers: u32) {
+        if let Some(pos) = self.open_subgoals.iter().position(|&(s, _)| s == subgoal) {
+            let (_, id) = self.open_subgoals.swap_remove(pos);
+            let now = self.now_ns();
+            if let Some(s) = self.spans.get_mut(id as usize) {
+                s.dur_ns = now.saturating_sub(s.start_ns);
+                s.answers = answers;
+            }
+        }
+    }
+
+    /// Closes every still-open subgoal span (the query ended before its
+    /// SCC completed — e.g. an early-stopped or failed query).
+    pub fn end_open_subgoals(&mut self) {
+        let now = self.now_ns();
+        for &(_, id) in &self.open_subgoals {
+            if let Some(s) = self.spans.get_mut(id as usize) {
+                s.dur_ns = now.saturating_sub(s.start_ns);
+            }
+        }
+        self.open_subgoals.clear();
+    }
+
+    /// Records an already-measured leaf span (used when the caller timed
+    /// the operation itself, e.g. a shared-table import).
+    pub fn record(
+        &mut self,
+        name: &'static str,
+        pred: u32,
+        subgoal: u32,
+        dur_ns: u64,
+        answers: u32,
+    ) {
+        let parent = self.stack.last().copied().unwrap_or(NO_SPAN);
+        if !self.enabled {
+            return;
+        }
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let end = self.now_ns();
+        self.spans.push(Span {
+            name,
+            pred,
+            subgoal,
+            answers,
+            parent,
+            start_ns: end.saturating_sub(dur_ns),
+            dur_ns,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans rejected because the arena was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Drops recorded spans and the dropped count; keeps `enabled`, the
+    /// capacity, and the time epoch.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.stack.clear();
+        self.open_subgoals.clear();
+        self.dropped = 0;
+    }
+
+    /// Resizes the arena, discarding recorded spans.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.clear();
+    }
+
+    /// Chrome trace-event JSON for every recorded span: an object with a
+    /// `traceEvents` array of `ph:"X"` (complete) events, timestamps in
+    /// microseconds — the format Perfetto and `chrome://tracing` load
+    /// directly. `pred_name` maps predicate ids to display names (`None`
+    /// falls back to the numeric id). Open spans are exported with zero
+    /// duration. Nesting spans share track 0; overlapping subgoal spans
+    /// are spread over a bounded set of sibling tracks.
+    pub fn chrome_trace(&self, mut pred_name: impl FnMut(u32) -> Option<String>) -> Json {
+        let mut events = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let label = if s.pred == NO_ID {
+                s.name.to_string()
+            } else {
+                match pred_name(s.pred) {
+                    Some(p) => format!("{} {}", s.name, p),
+                    None => format!("{} pred#{}", s.name, s.pred),
+                }
+            };
+            let tid = if s.name == "subgoal" || s.name == "import" {
+                1 + (s.subgoal % 32) as i64
+            } else {
+                0
+            };
+            let dur = if s.is_open() { 0 } else { s.dur_ns };
+            let mut args = vec![("answers".to_string(), Json::Int(s.answers as i64))];
+            if s.pred != NO_ID {
+                args.push(("pred".to_string(), Json::Int(s.pred as i64)));
+            }
+            if s.subgoal != NO_ID {
+                args.push(("subgoal".to_string(), Json::Int(s.subgoal as i64)));
+            }
+            if s.parent != NO_SPAN {
+                args.push(("parent".to_string(), Json::Int(s.parent as i64)));
+            }
+            events.push(Json::Obj(vec![
+                ("name".to_string(), Json::Str(label)),
+                ("cat".to_string(), Json::str("slg")),
+                ("ph".to_string(), Json::str("X")),
+                ("ts".to_string(), Json::Num(s.start_ns as f64 / 1000.0)),
+                ("dur".to_string(), Json::Num(dur as f64 / 1000.0)),
+                ("pid".to_string(), Json::Int(0)),
+                ("tid".to_string(), Json::Int(tid)),
+                ("args".to_string(), Json::Obj(args)),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ns")),
+            ("spanCount", Json::Int(self.spans.len() as i64)),
+            ("spansDropped", Json::Int(self.dropped as i64)),
+        ])
+    }
+
+    /// Indented text rendering of the span tree rooted at `root` — the
+    /// slow-query log format. Children are the spans recorded after
+    /// `root` whose parent chain reaches it.
+    pub fn render_tree(
+        &self,
+        root: u32,
+        mut pred_name: impl FnMut(u32) -> Option<String>,
+    ) -> String {
+        let mut out = String::new();
+        if (root as usize) >= self.spans.len() {
+            return out;
+        }
+        // children lists for the slice from root onward
+        let base = root as usize;
+        let n = self.spans.len() - base;
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots: Vec<usize> = vec![0]; // root itself, base-relative
+        for (rel, s) in self.spans[base..].iter().enumerate().skip(1) {
+            if s.parent != NO_SPAN && (s.parent as usize) >= base {
+                children[s.parent as usize - base].push(rel);
+            } else {
+                roots.push(rel);
+            }
+        }
+        let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|r| (r, 0)).collect();
+        while let Some((rel, depth)) = stack.pop() {
+            let s = &self.spans[base + rel];
+            let label = if s.pred == NO_ID {
+                s.name.to_string()
+            } else {
+                match pred_name(s.pred) {
+                    Some(p) => format!("{} {}", s.name, p),
+                    None => format!("{} pred#{}", s.name, s.pred),
+                }
+            };
+            let dur = if s.is_open() {
+                "open".to_string()
+            } else {
+                format!("{:.3}ms", s.dur_ns as f64 / 1e6)
+            };
+            out.push_str(&format!(
+                "{:indent$}{label} [{dur}] answers={}\n",
+                "",
+                s.answers,
+                indent = depth * 2
+            ));
+            for &c in children[rel].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_arena(cap: usize) -> SpanArena {
+        let mut a = SpanArena::new(cap);
+        a.enabled = true;
+        a
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut a = SpanArena::new(8);
+        let q = a.begin("query", NO_ID);
+        assert_eq!(q, NO_SPAN);
+        a.begin_subgoal(1, 0);
+        a.record("import", 1, 0, 100, 2);
+        a.end(q, 0);
+        assert!(a.is_empty());
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    fn builds_a_query_tree() {
+        let mut a = enabled_arena(64);
+        let q = a.begin("query", NO_ID);
+        a.begin_subgoal(7, 0);
+        a.begin_subgoal(7, 1);
+        a.end_subgoal(1, 3);
+        a.end_subgoal(0, 5);
+        let p = a.begin("publish", NO_ID);
+        a.end(p, 1);
+        a.end(q, 8);
+        assert_eq!(a.len(), 4);
+        let spans = a.spans();
+        assert_eq!(spans[0].name, "query");
+        assert_eq!(spans[0].parent, NO_SPAN);
+        assert!(!spans[0].is_open());
+        assert_eq!(spans[0].answers, 8);
+        // both subgoals and the publish phase hang off the query
+        assert!(spans[1..].iter().all(|s| s.parent == q));
+        assert_eq!(spans[1].answers, 5);
+        assert_eq!(spans[2].answers, 3);
+        assert_eq!(spans[3].name, "publish");
+    }
+
+    #[test]
+    fn capacity_bounds_the_arena() {
+        let mut a = enabled_arena(2);
+        let q = a.begin("query", NO_ID);
+        a.begin_subgoal(1, 0);
+        a.begin_subgoal(1, 1); // over capacity
+        a.record("import", 1, 2, 10, 0); // over capacity
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 2);
+        a.end_subgoal(1, 0); // never recorded: no-op
+        a.end(q, 0);
+        assert_eq!(a.len(), 2);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.dropped(), 0);
+        assert!(a.enabled, "clear keeps config");
+        assert_eq!(a.capacity(), 2);
+    }
+
+    #[test]
+    fn end_open_subgoals_closes_strays() {
+        let mut a = enabled_arena(16);
+        let q = a.begin("query", NO_ID);
+        a.begin_subgoal(3, 0);
+        a.begin_subgoal(3, 1);
+        a.end_open_subgoals();
+        a.end(q, 0);
+        assert!(a.spans().iter().all(|s| !s.is_open()));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let mut a = enabled_arena(16);
+        let q = a.begin("query", NO_ID);
+        a.begin_subgoal(2, 0);
+        a.end_subgoal(0, 4);
+        a.end(q, 4);
+        let j = a.chrome_trace(|p| Some(format!("pred{p}")));
+        let text = j.to_string();
+        let parsed = Json::parse(&text).expect("valid chrome trace JSON");
+        match parsed.get("traceEvents") {
+            Some(Json::Arr(events)) => {
+                assert_eq!(events.len(), 2);
+                for e in events {
+                    assert_eq!(e.get("ph"), Some(&Json::str("X")));
+                    assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                }
+                assert_eq!(events[1].get("name"), Some(&Json::str("subgoal pred2")));
+            }
+            other => panic!("expected traceEvents array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let mut a = enabled_arena(16);
+        let q = a.begin("query", NO_ID);
+        a.begin_subgoal(5, 0);
+        a.end_subgoal(0, 2);
+        a.end(q, 2);
+        let text = a.render_tree(q, |_| Some("win/1".to_string()));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("query ["), "{text}");
+        assert!(lines[1].starts_with("  subgoal win/1 ["), "{text}");
+        assert!(lines[1].contains("answers=2"), "{text}");
+    }
+}

@@ -131,6 +131,30 @@ assert c["shared_speedup"] >= 2.0, (
 PY
 fi
 
+echo "== traced query run (Chrome trace-event export + opcode profile)"
+cargo run --release --offline -p xsb-bench --bin harness -- \
+    trace --json "$ARTIFACT_DIR/trace.json"
+validate_json "$ARTIFACT_DIR/trace.json" '"traceEvents"'
+if [ "$HAVE_PYTHON3" = 1 ]; then
+python3 - "$ARTIFACT_DIR/trace.json" <<'PY'
+import json, sys
+t = json.load(open(sys.argv[1]))
+ev = t["traceEvents"]
+assert ev, "traced query produced no spans"
+assert all(e["ph"] == "X" and "ts" in e and "dur" in e for e in ev), (
+    "malformed trace event")
+names = {e["name"] for e in ev}
+assert "query" in names, "no query span: %s" % sorted(names)
+assert any(n.startswith("subgoal") for n in names), (
+    "no subgoal span: %s" % sorted(names))
+prof = t["profile"]
+assert prof["opcodes"], "set_profiling(on) recorded no opcodes"
+print("trace: %d spans (%s); profile: %d dispatches, hottest %s"
+      % (len(ev), ", ".join(sorted(names)[:4]), prof["total"],
+         prof["opcodes"][0]["op"]))
+PY
+fi
+
 echo "== bench-regression gate (vs BENCH_BASELINE.json, tolerance ${BENCH_TOLERANCE}%)"
 # the committed baseline was produced by this same invocation, so the two
 # reports are parameter-for-parameter comparable
