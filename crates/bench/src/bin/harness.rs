@@ -223,6 +223,8 @@ fn json_report(
                                 Json::obj([
                                     ("workers", Json::Int(r.workers as i64)),
                                     ("cold_qps", Json::Num(r.cold_qps)),
+                                    ("cold_dup_computes", Json::Int(r.cold_dup_computes as i64)),
+                                    ("claim_waits", Json::Int(r.claim_waits as i64)),
                                     ("warm_qps", Json::Num(r.warm_qps)),
                                     ("churn_qps", Json::Num(r.churn_qps)),
                                     ("shared_hits", Json::Int(r.shared_hits as i64)),
@@ -560,17 +562,19 @@ fn factoring(quick: bool) -> Vec<FactoringRow> {
 
 fn concurrent(quick: bool) -> ConcurrentReport {
     header("E15 — concurrent serving: shared-table engine pool");
-    println!("a table completed by one worker serves warm hits on every worker;");
-    println!("consult_all churn invalidates it everywhere through the epoch bump");
+    println!("contended cold: every worker races every first call — claim/wait dedups");
+    println!("to one compute per subgoal; warm hits then serve on every worker, and");
+    println!("consult_all churn invalidates the tables everywhere through the epoch bump");
     let n = if quick { 96 } else { 256 };
     let subgoals = if quick { 6 } else { 12 };
     let warm_reps = if quick { 3 } else { 5 };
     let churn_rounds = if quick { 2 } else { 4 };
     let r = run_concurrent(n, &[1, 2, 4], subgoals, warm_reps, churn_rounds);
     println!(
-        "{:>8} {:>12} {:>12} {:>12} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "{:>8} {:>12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
         "workers",
         "cold qps",
+        "dup",
         "warm qps",
         "churn qps",
         "hits",
@@ -582,9 +586,10 @@ fn concurrent(quick: bool) -> ConcurrentReport {
     );
     for row in &r.rows {
         println!(
-            "{:>8} {:>12.0} {:>12.0} {:>12.0} {:>8} {:>10} {:>8} {:>10.0} {:>10.0} {:>10.0}",
+            "{:>8} {:>12.0} {:>8} {:>12.0} {:>12.0} {:>8} {:>10} {:>8} {:>10.0} {:>10.0} {:>10.0}",
             row.workers,
             row.cold_qps,
+            row.cold_dup_computes,
             row.warm_qps,
             row.churn_qps,
             row.shared_hits,

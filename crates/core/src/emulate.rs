@@ -17,7 +17,8 @@ use crate::error::EngineError;
 use crate::instr::{CodePtr, Instr, PredId};
 use crate::machine::{Alt, Machine, NONE};
 use crate::program::PredKind;
-use crate::table::{GenMode, NegMode, NegSusp, SubgoalState};
+use crate::shared::SharedFrame;
+use crate::table::{GenMode, NegMode, NegSusp, SharedClaim, SubgoalId, SubgoalState};
 use std::rc::Rc;
 use std::sync::Arc;
 use xsb_obs::{Counter, SlgEvent, Stopwatch};
@@ -730,6 +731,37 @@ impl Machine<'_> {
         }
     }
 
+    /// Materializes a pool-published frame locally, with the import
+    /// stopwatch/span/trace bookkeeping shared by the probe-hit and
+    /// claim-wait import paths.
+    fn import_shared_frame(&mut self, pred: PredId, sf: &SharedFrame) -> SubgoalId {
+        let sw = Stopwatch::new();
+        let sub = self.tables.import_shared(sf);
+        let import_ns = sw.elapsed_nanos();
+        self.obs.metrics.shared_import.record(import_ns);
+        if self.obs.spans.enabled {
+            let answers = self.tables.frame(sub).store.len() as u32;
+            self.obs
+                .spans
+                .record("import", pred, sub, import_ns, answers);
+        }
+        if self.obs.trace.enabled {
+            self.obs
+                .trace
+                .push(SlgEvent::SubgoalCall { pred, subgoal: sub });
+        }
+        sub
+    }
+
+    /// Records one parked claim wait (counter + latency histogram). A
+    /// claim resolved without parking costs nothing observable.
+    fn note_claim_wait(&mut self, parked: bool, waited_ns: u64) {
+        if parked {
+            self.obs.metrics.bump(Counter::ClaimWaits);
+            self.obs.metrics.claim_wait.record(waited_ns);
+        }
+    }
+
     fn table_call(
         &mut self,
         pred: PredId,
@@ -748,35 +780,54 @@ impl Machine<'_> {
                     // import it (zero-copy) and serve it like a local
                     // completed-table hit
                     self.obs.metrics.bump(Counter::SharedTableHits);
-                    let sw = Stopwatch::new();
-                    let sub = self.tables.import_shared(&sf);
-                    let import_ns = sw.elapsed_nanos();
-                    self.obs.metrics.shared_import.record(import_ns);
-                    if self.obs.spans.enabled {
-                        let answers = self.tables.frame(sub).store.len() as u32;
-                        self.obs
-                            .spans
-                            .record("import", pred, sub, import_ns, answers);
-                    }
-                    if self.obs.trace.enabled {
-                        self.obs
-                            .trace
-                            .push(SlgEvent::SubgoalCall { pred, subgoal: sub });
-                    }
+                    let sub = self.import_shared_frame(pred, &sf);
                     self.completed_call(sub, var_addrs)
                 } else {
-                    self.obs.metrics.bump(Counter::TableMisses);
-                    let owned: Box<[Cell]> = canon.as_slice().into();
-                    self.new_generator(
-                        pred,
-                        arity,
-                        owned,
-                        var_addrs,
-                        GenMode::Positive,
-                        NONE,
-                        None,
-                        syms,
-                    )
+                    // cold miss on a shareable subgoal: claim it in the
+                    // pool's in-progress registry, or park until the
+                    // first claimant publishes (see DESIGN.md §2.9)
+                    match self.tables.shared_claim_or_wait(pred, &canon) {
+                        SharedClaim::Published {
+                            frame,
+                            parked,
+                            waited_ns,
+                        } => {
+                            // a concurrent claimant computed it while we
+                            // waited — import instead of recomputing
+                            self.note_claim_wait(parked, waited_ns);
+                            self.obs.metrics.bump(Counter::SharedTableHits);
+                            let sub = self.import_shared_frame(pred, &frame);
+                            self.completed_call(sub, var_addrs)
+                        }
+                        outcome => {
+                            match outcome {
+                                SharedClaim::Claimed { parked, waited_ns } => {
+                                    self.obs.metrics.bump(Counter::SharedClaims);
+                                    self.note_claim_wait(parked, waited_ns);
+                                }
+                                SharedClaim::TimedOut { parked, waited_ns } => {
+                                    // bounded wait expired behind a stuck
+                                    // claimant: compute locally so the
+                                    // pool never wedges
+                                    self.obs.metrics.bump(Counter::ClaimFallbacks);
+                                    self.note_claim_wait(parked, waited_ns);
+                                }
+                                SharedClaim::Unshared | SharedClaim::Published { .. } => {}
+                            }
+                            self.obs.metrics.bump(Counter::TableMisses);
+                            let owned: Box<[Cell]> = canon.as_slice().into();
+                            self.new_generator(
+                                pred,
+                                arity,
+                                owned,
+                                var_addrs,
+                                GenMode::Positive,
+                                NONE,
+                                None,
+                                syms,
+                            )
+                        }
+                    }
                 }
             }
             Some(sub) => {

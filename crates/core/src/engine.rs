@@ -666,12 +666,36 @@ impl Engine {
         self.tables.set_shared_broadcast(true);
         let r = self.consult(src);
         self.tables.set_shared_broadcast(false);
+        // a broadcast re-establishes the pool's common program: a worker
+        // that had diverged via a query-level assert is coherent again
+        // once the same update reached everyone, so re-attach it to
+        // answer sharing instead of leaving it detached forever
+        if r.is_ok() && self.tables.shared_diverged() {
+            self.resync();
+        }
         r
+    }
+
+    /// Re-attaches a diverged pooled engine to answer sharing: clears
+    /// the divergence flag, invalidates every shared-floor local table
+    /// (they were computed against the private EDB), and fast-forwards
+    /// the sync watermark to the store's current epoch. Call once the
+    /// worker's program is coherent with the pool again — the pool's
+    /// blessed path is [`Engine::consult_broadcast`], which resyncs
+    /// automatically; this entry point covers callers that restored
+    /// coherence some other way (e.g. retracting the stray fact).
+    pub fn resync(&mut self) {
+        let n = self.tables.resync_shared();
+        if n > 0 {
+            self.obs.metrics.add(Counter::TableInvalidations, n as u64);
+        }
     }
 
     /// True when a non-broadcast update detached this pooled engine from
     /// answer sharing (its EDB diverged from the pool's common program;
-    /// it still answers correctly from its own database).
+    /// it still answers correctly from its own database). No longer
+    /// permanent: a later [`Engine::consult_broadcast`] or explicit
+    /// [`Engine::resync`] re-attaches the worker.
     pub fn shared_diverged(&self) -> bool {
         self.tables.shared_diverged()
     }

@@ -25,7 +25,17 @@
 //! worker) diverges that worker's database from the pool's common
 //! program; the worker then detaches from answer sharing — it neither
 //! publishes nor imports shared tables again, answering from its own EDB
-//! — while the other workers keep sharing among themselves.
+//! — while the other workers keep sharing among themselves. Divergence
+//! is not permanent: the next [`ServerPool::consult_all`] broadcast
+//! re-establishes a common program, and the diverged worker resyncs
+//! (shared-floor local tables invalidated, divergence flag cleared) and
+//! rejoins sharing.
+//!
+//! Cold-miss coordination: when several workers race the *same* cold
+//! subgoal, the store's claim/wait protocol (DESIGN.md §2.9) lets the
+//! first claimant compute while the rest park and import the published
+//! table — one compute pool-wide instead of N, with a bounded wait and
+//! local-compute fallback so a stuck claimant can never wedge the pool.
 
 use crate::engine::{Engine, Solution};
 use crate::error::EngineError;
@@ -69,6 +79,19 @@ enum Job {
     /// snapshot this worker's metrics (also the join barrier: a reply
     /// proves the worker drained everything submitted before it)
     Metrics(Sender<Box<Metrics>>),
+}
+
+impl Job {
+    /// Submit time for jobs that count toward queue-wait latency; `None`
+    /// for the metrics barrier, which is bookkeeping rather than served
+    /// work. Recording happens at exactly one site in the worker loop so
+    /// no job kind can double-record or skip the sample.
+    fn submitted(&self) -> Option<Instant> {
+        match self {
+            Job::Query(_, t, _) | Job::Count(_, t, _) | Job::Consult(_, t, _) => Some(*t),
+            Job::Metrics(_) => None,
+        }
+    }
 }
 
 struct Worker {
@@ -139,26 +162,30 @@ impl ServerPool {
                     return;
                 }
                 while let Ok(job) = rx.recv() {
+                    // single queue-wait recording site: every timed job
+                    // kind samples exactly once, the metrics barrier never
+                    if let Some(submitted) = job.submitted() {
+                        e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                    }
                     match job {
-                        Job::Query(q, submitted, reply) => {
-                            e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                        Job::Query(q, _, reply) => {
                             let sw = Stopwatch::new();
                             let r = e.query(&q);
                             e.note_run_time(sw.elapsed_nanos());
                             let _ = reply.send(r);
                         }
-                        Job::Count(q, submitted, reply) => {
-                            e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                        Job::Count(q, _, reply) => {
                             let sw = Stopwatch::new();
                             let r = e.count(&q);
                             e.note_run_time(sw.elapsed_nanos());
                             let _ = reply.send(r);
                         }
-                        Job::Consult(src, submitted, reply) => {
+                        Job::Consult(src, _, reply) => {
                             // consult_all is a broadcast: every worker
                             // applies the same update, so it does not
-                            // diverge any worker's EDB from the pool
-                            e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                            // diverge any worker's EDB from the pool —
+                            // and it re-attaches a previously diverged
+                            // worker (see `Engine::consult_broadcast`)
                             let sw = Stopwatch::new();
                             let r = e.consult_broadcast(&src);
                             e.note_run_time(sw.elapsed_nanos());
@@ -433,6 +460,62 @@ mod tests {
             0,
             "diverged worker never imported the inconsistent frame"
         );
+    }
+
+    #[test]
+    fn diverged_worker_rejoins_after_broadcast() {
+        let p = ServerPool::new(
+            ":- table path/2.\n:- dynamic edge/2.\n\
+             path(X,Y) :- edge(X,Y).\n\
+             path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3).",
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        // a query-level assert on worker 0 alone diverges it from the pool
+        assert_eq!(
+            p.submit_count("assert(edge(3,4))", Some(0)).wait().unwrap(),
+            1
+        );
+        p.join();
+        // broadcast the same fact: every worker now has edge(3,4) (worker
+        // 0 holds a duplicate clause — harmless under tabled answer
+        // dedup), so the pool's program is coherent again and the
+        // broadcast re-attaches worker 0 to sharing
+        p.consult_all("edge(3,4).").unwrap();
+        // the rejoined worker publishes again ...
+        assert_eq!(p.submit_count("path(1, X)", Some(0)).wait().unwrap(), 3);
+        p.join();
+        assert_eq!(p.store().len(), 1, "rejoined worker publishes again");
+        // ... and its frame serves the other worker as a warm import
+        assert_eq!(p.submit_count("path(1, X)", Some(1)).wait().unwrap(), 3);
+        p.join();
+        let m = p.metrics();
+        assert_eq!(m.get(Counter::SharedTablePublishes), 1);
+        assert_eq!(
+            m.get(Counter::SharedTableHits),
+            1,
+            "other workers import the rejoined worker's table"
+        );
+    }
+
+    #[test]
+    fn queue_wait_samples_once_per_timed_job() {
+        let p = pool(2);
+        // 2 queries + 1 count = 3 timed jobs; consult_all broadcasts one
+        // timed consult job to each of the 2 workers = 2 more; the metrics
+        // barrier jobs must not sample at all
+        assert_eq!(p.submit("path(1, X)").wait().unwrap().len(), 3);
+        assert_eq!(p.submit("path(2, X)").wait().unwrap().len(), 3);
+        assert_eq!(p.submit_count("path(3, X)", None).wait().unwrap(), 3);
+        p.consult_all("extra(a).").unwrap();
+        p.join();
+        let m = p.metrics();
+        assert_eq!(m.queue_wait.count(), 5, "3 queries + 2 consult legs");
+        assert_eq!(m.run_time.count(), 5);
     }
 
     #[test]

@@ -24,11 +24,14 @@
 use crate::cell::{Cell, Tag};
 use crate::instr::{CodePtr, PredId};
 use crate::machine::{Freeze, NONE};
-use crate::shared::{cells_below_sym_floor, SharedFrame, SharedTableStore, SyncAction};
+use crate::shared::{
+    cells_below_sym_floor, ClaimOutcome, SharedFrame, SharedTableStore, SyncAction,
+};
 use crate::table_trie::TermTrie;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 use xsb_syntax::sym::SymbolTable;
 
 /// How subgoal and answer tables are indexed. `Hash` is XSB v1.3's design
@@ -383,7 +386,37 @@ pub struct SharedHandle {
     /// predicate: this worker's EDB no longer matches the program the
     /// pool consulted, so tables it computes (or imports) would be
     /// inconsistent with one side — it detaches from answer sharing
+    /// until a broadcast (or explicit resync) restores a coherent view
+    /// (see [`TableSpace::resync_shared`])
     pub diverged: bool,
+    /// in-progress claims this worker holds (`pred`, variant, epoch
+    /// stamp); every claim is ended within the query that acquired it —
+    /// by the publish of its variant or by the release sweep in
+    /// [`TableSpace::publish_completed`] — so parked waiters on other
+    /// workers never outwait a finished query
+    pub claims: Vec<(PredId, Arc<[Cell]>, u64)>,
+}
+
+/// What [`TableSpace::shared_claim_or_wait`] resolved a shared-floor cold
+/// miss to. `waited_ns` is the time spent in the registry (effectively
+/// zero unless `parked`).
+#[derive(Debug)]
+pub enum SharedClaim {
+    /// The call cannot use the shared store at all (no handle, diverged
+    /// worker, or above a sharing floor): plain local computation.
+    Unshared,
+    /// This worker elected itself the pool-wide computer of the variant.
+    Claimed { parked: bool, waited_ns: u64 },
+    /// The variant's frame is available — published earlier or by the
+    /// claimant this worker parked behind. Import instead of computing.
+    Published {
+        frame: Arc<SharedFrame>,
+        parked: bool,
+        waited_ns: u64,
+    },
+    /// Parked behind a claim that never produced a frame within the
+    /// bounded wait: compute locally so the pool cannot wedge.
+    TimedOut { parked: bool, waited_ns: u64 },
 }
 
 impl Default for TableSpace {
@@ -908,6 +941,7 @@ impl TableSpace {
             query_epoch: epoch_seen,
             broadcast: false,
             diverged: false,
+            claims: Vec::new(),
         });
     }
 
@@ -936,6 +970,39 @@ impl TableSpace {
             return None;
         }
         h.store.probe(pred, canon)
+    }
+
+    /// Cold-miss coordination: probe the store, and on a miss claim the
+    /// variant or wait behind the worker already computing it (see
+    /// [`SharedTableStore::claim_or_wait`]). Calls that cannot be shared
+    /// at all — no handle, diverged worker, above the predicate floor, or
+    /// a canon mentioning above-floor symbols (worker-local ids that
+    /// would collide bit-for-bit with *different* names on other
+    /// workers) — return [`SharedClaim::Unshared`] without touching the
+    /// registry. A granted claim is recorded on the handle and released
+    /// no later than this query's [`TableSpace::publish_completed`].
+    pub fn shared_claim_or_wait(&mut self, pred: PredId, canon: &[Cell]) -> SharedClaim {
+        let Some(h) = &mut self.shared else {
+            return SharedClaim::Unshared;
+        };
+        if h.diverged || pred >= h.pred_floor || !cells_below_sym_floor(canon, h.sym_floor) {
+            return SharedClaim::Unshared;
+        }
+        let sw = Instant::now();
+        let outcome = h.store.claim_or_wait(pred, canon);
+        let waited_ns = sw.elapsed().as_nanos() as u64;
+        match outcome {
+            ClaimOutcome::Claimed { parked, epoch } => {
+                h.claims.push((pred, Arc::from(canon), epoch));
+                SharedClaim::Claimed { parked, waited_ns }
+            }
+            ClaimOutcome::Published { frame, parked } => SharedClaim::Published {
+                frame,
+                parked,
+                waited_ns,
+            },
+            ClaimOutcome::TimedOut { parked } => SharedClaim::TimedOut { parked, waited_ns },
+        }
     }
 
     /// Marks this worker's EDB as diverged from the pool's common program
@@ -1044,10 +1111,17 @@ impl TableSpace {
     /// the local arena is re-backed by the shared `Arc`, so the cells
     /// live once pool-wide. Returns the number of tables published.
     pub fn publish_completed(&mut self) -> usize {
-        let Some(h) = &self.shared else {
+        let Some(h) = &mut self.shared else {
             return 0;
         };
+        // end every claim this query acquired, whatever happens below: a
+        // published variant's claim is already gone (the publish removed
+        // it), and the release of the rest is what lets parked waiters
+        // take over variants this worker claimed but never published
+        // (failed query, divergence, unpublishable frame)
+        let held = std::mem::take(&mut h.claims);
         if h.diverged {
+            h.store.release_claims(&held);
             return 0;
         }
         let mut published = 0;
@@ -1082,6 +1156,10 @@ impl TableSpace {
                 published += 1;
             }
         }
+        // claims whose variant was published above are already gone from
+        // the registry (the publish ended them); this sweep releases the
+        // ones that never became publishable frames
+        h.store.release_claims(&held);
         published
     }
 
@@ -1160,6 +1238,42 @@ impl TableSpace {
                 preds
             }
         };
+        preds.into_iter().map(|p| self.invalidate_pred(p)).sum()
+    }
+
+    /// Re-attaches a diverged worker to answer sharing. The worker's
+    /// local tables of shared-floor predicates were computed against its
+    /// private EDB, so every one of them is invalidated (deferred-free,
+    /// like a local assert); the sync watermark fast-forwards to the
+    /// store's current epoch since nothing older can affect a worker
+    /// with no live shared-floor tables. Call only once the worker's
+    /// program is coherent with the pool again (e.g. right after a
+    /// `consult_broadcast` applied the same update everywhere). Returns
+    /// the number of local frames invalidated, or 0 when the worker was
+    /// not diverged (the flag is cleared either way).
+    pub fn resync_shared(&mut self) -> usize {
+        let (was_diverged, pred_floor) = {
+            let Some(h) = &mut self.shared else {
+                return 0;
+            };
+            let was = h.diverged;
+            h.diverged = false;
+            let epoch = h.store.epoch();
+            h.epoch_seen = epoch;
+            h.query_epoch = epoch;
+            (was, h.pred_floor)
+        };
+        if !was_diverged {
+            return 0;
+        }
+        let mut preds: Vec<PredId> = self
+            .subgoals
+            .iter()
+            .filter(|f| !f.deleted && f.pred < pred_floor)
+            .map(|f| f.pred)
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
         preds.into_iter().map(|p| self.invalidate_pred(p)).sum()
     }
 }

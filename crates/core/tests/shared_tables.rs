@@ -147,9 +147,9 @@ fn concurrent_publishes_of_one_variant_dedup_to_first_winner() {
 }
 
 /// Pool-level cold-start race: every worker gets the same query at once.
-/// Losers may each compute the table locally (safe duplication), but the
-/// shared store ends with exactly one copy and all workers agree on the
-/// answers.
+/// The claim/wait protocol guarantees exactly ONE worker computes — the
+/// first claimant — while every other worker parks and imports the
+/// published frame. No duplicated cold work, pool-wide.
 #[test]
 fn cold_query_race_across_workers_dedups_in_the_store() {
     const WORKERS: usize = 4;
@@ -167,7 +167,7 @@ fn cold_query_race_across_workers_dedups_in_the_store() {
     )
     .unwrap();
     // pin one copy of the same cold query to every worker, submitted
-    // before any can finish: all race the publish
+    // before any can finish: all race the claim
     let tickets: Vec<_> = (0..WORKERS)
         .map(|w| p.submit_count("path(X, Y)", Some(w)))
         .collect();
@@ -177,13 +177,133 @@ fn cold_query_race_across_workers_dedups_in_the_store() {
     p.join();
     assert_eq!(p.store().len(), 1, "one shared copy of path(X,Y)");
     let m = p.metrics();
-    let publishes = m.get(Counter::SharedTablePublishes);
+    assert_eq!(
+        m.get(Counter::SharedTablePublishes),
+        1,
+        "exactly one worker publishes"
+    );
+    assert_eq!(
+        m.get(Counter::TableMisses),
+        1,
+        "exactly one worker computes — the claim/wait protocol parks the rest"
+    );
+    assert_eq!(
+        m.get(Counter::SharedTableHits),
+        (WORKERS - 1) as u64,
+        "every losing racer imports the claimant's published table"
+    );
+    assert_eq!(m.get(Counter::SharedClaims), 1, "one claim granted");
+}
+
+/// Stress the claim/wait protocol: many distinct cold goals, each
+/// submitted to every worker, in a deterministically scrambled order so
+/// claim/park/publish/import interleave across goals. Each goal must be
+/// computed exactly once pool-wide, and nothing may hang (the ci.sh
+/// watchdog turns a claim/wait deadlock into a hard failure).
+#[test]
+fn scrambled_cold_goals_each_compute_once_pool_wide() {
+    const WORKERS: usize = 6;
+    const NODES: usize = 12; // a 12-cycle: path(k,X) has 12 answers
+    let mut program = String::from(
+        ":- table path/2.\n\
+         path(X,Y) :- edge(X,Y).\n\
+         path(X,Y) :- path(X,Z), edge(Z,Y).\n",
+    );
+    for k in 1..=NODES {
+        program.push_str(&format!("edge({},{}).\n", k, k % NODES + 1));
+    }
+    let p = ServerPool::new(
+        &program,
+        PoolConfig {
+            workers: WORKERS,
+            ..PoolConfig::default()
+        },
+    )
+    .unwrap();
+    // every (goal, worker) pair, Fisher-Yates-scrambled by a fixed LCG so
+    // the submit order is adversarial but reproducible
+    let mut jobs: Vec<(usize, usize)> = (1..=NODES)
+        .flat_map(|k| (0..WORKERS).map(move |w| (k, w)))
+        .collect();
+    let mut seed: u64 = 0x5DEECE66D;
+    for i in (1..jobs.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        jobs.swap(i, (seed >> 33) as usize % (i + 1));
+    }
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|&(k, w)| p.submit_count(&format!("path({k}, X)"), Some(w)))
+        .collect();
+    for t in tickets {
+        assert_eq!(
+            t.wait().unwrap(),
+            NODES,
+            "every goal reaches the full cycle"
+        );
+    }
+    p.join();
+    assert_eq!(p.store().len(), NODES, "one shared frame per goal");
+    let m = p.metrics();
+    assert_eq!(
+        m.get(Counter::TableMisses),
+        NODES as u64,
+        "each goal computed exactly once pool-wide"
+    );
+    assert_eq!(m.get(Counter::SharedTablePublishes), NODES as u64);
+    assert_eq!(
+        m.get(Counter::SharedTableHits),
+        (NODES * (WORKERS - 1)) as u64,
+        "every non-claimant serves every goal by import"
+    );
+}
+
+/// With the claim-wait timeout forced to zero, losers of a claim race
+/// never park: they fall back to local computation immediately (the
+/// stuck-claimant escape hatch, exercised deterministically at the store
+/// level in `shared::tests`). Whatever the interleaving, the cold-path
+/// outcome identity must hold and the store still dedups to one frame.
+#[test]
+fn zero_wait_timeout_falls_back_to_local_compute() {
+    const WORKERS: usize = 4;
+    let p = ServerPool::new(
+        r#"
+        :- table path/2.
+        path(X,Y) :- edge(X,Y).
+        path(X,Y) :- path(X,Z), edge(Z,Y).
+        edge(1,2). edge(2,3). edge(3,4). edge(4,1).
+        "#,
+        PoolConfig {
+            workers: WORKERS,
+            ..PoolConfig::default()
+        },
+    )
+    .unwrap();
+    p.store().set_claim_wait_timeout(std::time::Duration::ZERO);
+    let tickets: Vec<_> = (0..WORKERS)
+        .map(|w| p.submit_count("path(X, Y)", Some(w)))
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap(), 16, "fallback answers are correct");
+    }
+    p.join();
+    assert_eq!(p.store().len(), 1, "duplicate publishes still dedup");
+    let m = p.metrics();
+    let claims = m.get(Counter::SharedClaims);
+    let fallbacks = m.get(Counter::ClaimFallbacks);
     let hits = m.get(Counter::SharedTableHits);
     let misses = m.get(Counter::TableMisses);
-    assert_eq!(publishes, 1, "exactly one worker publishes");
-    // every worker either computed (miss) or imported (shared hit)
-    assert_eq!(hits + misses, WORKERS as u64);
-    assert!(misses >= 1);
+    assert_eq!(m.get(Counter::SharedTablePublishes), 1);
+    // every worker's cold call resolves exactly one way: granted the
+    // claim, served a published frame, or timed out into local compute
+    assert_eq!(claims + fallbacks + hits, WORKERS as u64);
+    assert_eq!(
+        misses,
+        claims + fallbacks,
+        "each claim or fallback computes"
+    );
+    assert_eq!(m.get(Counter::ClaimWaits), 0, "zero timeout never parks");
 }
 
 /// A reader that imported a table keeps serving its local copy even after

@@ -72,10 +72,20 @@ pub enum Counter {
     SharedTablePublishes,
     /// Predicates invalidated in (or synced out of) the shared store.
     SharedTableInvalidations,
+    /// In-progress claims acquired on cold shared subgoals (this worker
+    /// elected itself the one computing the table pool-wide).
+    SharedClaims,
+    /// Times a worker parked on another worker's in-progress claim
+    /// instead of duplicating the computation.
+    ClaimWaits,
+    /// Parked waits that ended without an importable frame (bounded wait
+    /// expired or the claimant released without publishing) — the worker
+    /// fell back to computing the table locally.
+    ClaimFallbacks,
 }
 
 impl Counter {
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// `statistics/2` keys, in report order.
     pub const NAMES: [&'static str; Counter::COUNT] = [
@@ -104,6 +114,9 @@ impl Counter {
         "shared_table_hits",
         "shared_table_publishes",
         "shared_table_invalidations",
+        "shared_claims",
+        "claim_waits",
+        "claim_fallbacks",
     ];
 
     pub fn name(self) -> &'static str {
@@ -208,6 +221,9 @@ pub struct Metrics {
     pub shared_import: Histogram,
     /// Shared store: per-call sync latency (nanoseconds).
     pub shared_sync: Histogram,
+    /// Shared store: time parked on another worker's in-progress claim
+    /// (nanoseconds).
+    pub claim_wait: Histogram,
     /// Emulator opcode profiler (off by default; [`Metrics::reset`]
     /// preserves the toggle).
     pub profile: OpcodeProfile,
@@ -230,6 +246,7 @@ impl Default for Metrics {
             shared_publish: Histogram::default(),
             shared_import: Histogram::default(),
             shared_sync: Histogram::default(),
+            claim_wait: Histogram::default(),
             profile: OpcodeProfile::default(),
             per_pred: Vec::new(),
         }
@@ -306,7 +323,7 @@ impl Metrics {
 
     /// The latency histograms with their `statistics/2` p50/p99 key
     /// names, in report order.
-    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 6] {
+    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 7] {
         [
             ("query_p50_ns", "query_p99_ns", &self.query_latency),
             ("queue_wait_p50_ns", "queue_wait_p99_ns", &self.queue_wait),
@@ -326,6 +343,7 @@ impl Metrics {
                 "shared_sync_p99_ns",
                 &self.shared_sync,
             ),
+            ("claim_wait_p50_ns", "claim_wait_p99_ns", &self.claim_wait),
         ]
     }
 
@@ -339,6 +357,7 @@ impl Metrics {
             ("shared_publish", self.shared_publish.to_json()),
             ("shared_import", self.shared_import.to_json()),
             ("shared_sync", self.shared_sync.to_json()),
+            ("claim_wait", self.claim_wait.to_json()),
         ])
     }
 
@@ -405,6 +424,7 @@ impl Metrics {
         self.shared_publish.merge(&other.shared_publish);
         self.shared_import.merge(&other.shared_import);
         self.shared_sync.merge(&other.shared_sync);
+        self.claim_wait.merge(&other.claim_wait);
         self.profile.merge(&other.profile);
         if other.per_pred.len() > self.per_pred.len() {
             self.per_pred
@@ -464,14 +484,14 @@ mod tests {
     #[test]
     fn counter_names_match_count() {
         assert_eq!(Counter::NAMES.len(), Counter::COUNT);
-        assert_eq!(
-            Counter::SharedTableInvalidations as usize,
-            Counter::COUNT - 1
-        );
+        assert_eq!(Counter::ClaimFallbacks as usize, Counter::COUNT - 1);
         assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
         assert_eq!(Counter::TableHits.name(), "table_hits");
         assert_eq!(Counter::AnswerCellsSaved.name(), "answer_cells_saved");
         assert_eq!(Counter::SharedTableHits.name(), "shared_table_hits");
+        assert_eq!(Counter::SharedClaims.name(), "shared_claims");
+        assert_eq!(Counter::ClaimWaits.name(), "claim_waits");
+        assert_eq!(Counter::ClaimFallbacks.name(), "claim_fallbacks");
     }
 
     #[test]

@@ -49,6 +49,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo build --release"
 cargo build --release --workspace --offline
 
+echo "== pool/shared concurrency tests under watchdog"
+# a claim/wait bug shows up as a hang, not a failure: run the racing test
+# binaries under a hard timeout first, so a deadlock is a loud CI failure
+# instead of a stuck job (falls back to unguarded runs without coreutils)
+WATCHDOG=""
+command -v timeout >/dev/null 2>&1 && WATCHDOG="timeout -k 15 180"
+$WATCHDOG cargo test -q --offline -p xsb-core --test shared_tables
+$WATCHDOG cargo test -q --offline -p xsb-core --lib engine_pool
+$WATCHDOG cargo test -q --offline -p xsb-core --lib shared
+
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
@@ -118,16 +128,22 @@ python3 - "$ARTIFACT_DIR/concurrent.json" <<'PY'
 import json, sys
 c = json.load(open(sys.argv[1]))["concurrent"]
 last = c["rows"][-1]
-print("pool @%d workers: warm_qps=%.0f shared_hits=%d publishes=%d "
-      "invalidations=%d shared_speedup=%.1fx"
-      % (last["workers"], last["warm_qps"], last["shared_hits"],
-         last["shared_publishes"], last["shared_invalidations"],
-         c["shared_speedup"]))
+print("pool @%d workers: cold_qps=%.0f dup_computes=%d warm_qps=%.0f "
+      "shared_hits=%d publishes=%d invalidations=%d shared_speedup=%.1fx"
+      % (last["workers"], last["cold_qps"], last["cold_dup_computes"],
+         last["warm_qps"], last["shared_hits"], last["shared_publishes"],
+         last["shared_invalidations"], c["shared_speedup"]))
 assert last["shared_hits"] > 0, "no worker imported a shared table"
 assert last["shared_publishes"] > 0, "no worker published a table"
 assert last["shared_invalidations"] > 0, "churn did not invalidate"
-assert c["shared_speedup"] >= 2.0, (
-    "warm shared serving under 2x cold compute: %.2f" % c["shared_speedup"])
+assert last["cold_dup_computes"] == 0, (
+    "claim/wait let %d duplicated cold computes through"
+    % last["cold_dup_computes"])
+# the contended cold phase already amortizes one compute over N served
+# queries, so warm/cold sits well under the old detached-cold ratio; the
+# hard dedup guarantee is the cold_dup_computes == 0 assert above
+assert c["shared_speedup"] >= 1.2, (
+    "warm serving did not beat contended cold: %.2f" % c["shared_speedup"])
 PY
 fi
 
