@@ -130,7 +130,59 @@ const METRICS: &[Metric] = &[
         tol_mult: 5.5,
         extract: |r| num_at(r, &["concurrent", "p99_ns"]),
     },
+    // E16 emulator raw speed: instructions/sec counts unfused work units
+    // retired per second on the fused (shipping) engine — higher is
+    // better, and the per-workload wall time guards the same ground from
+    // the other side. Best-of-reps timings still carry scheduler noise,
+    // so both use the wide wall-clock multiplier.
+    Metric {
+        name: "emulator.e2_win_ips",
+        higher_is_better: true,
+        tol_mult: 2.5,
+        extract: |r| emulator_field(r, "e2_win", "instructions_per_sec"),
+    },
+    Metric {
+        name: "emulator.e6_path_ips",
+        higher_is_better: true,
+        tol_mult: 2.5,
+        extract: |r| emulator_field(r, "e6_path", "instructions_per_sec"),
+    },
+    Metric {
+        name: "emulator.e7_append_ips",
+        higher_is_better: true,
+        tol_mult: 2.5,
+        extract: |r| emulator_field(r, "e7_append", "instructions_per_sec"),
+    },
+    Metric {
+        name: "emulator.e2_win_query_ns",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| emulator_field(r, "e2_win", "query_time_ns"),
+    },
+    Metric {
+        name: "emulator.e6_path_query_ns",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| emulator_field(r, "e6_path", "query_time_ns"),
+    },
+    Metric {
+        name: "emulator.e7_append_query_ns",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| emulator_field(r, "e7_append", "query_time_ns"),
+    },
 ];
+
+/// Looks up `field` in the emulator row whose `workload` matches.
+fn emulator_field(r: &Json, workload: &str, field: &str) -> Option<f64> {
+    let Json::Arr(rows) = r.get("emulator")? else {
+        return None;
+    };
+    let row = rows
+        .iter()
+        .find(|row| row.get("workload") == Some(&Json::str(workload)))?;
+    as_f64(row.get(field)?)
+}
 
 fn as_f64(j: &Json) -> Option<f64> {
     match j {
@@ -383,6 +435,21 @@ mod tests {
                         ])]),
                     ),
                 ]),
+            ),
+            (
+                "emulator",
+                Json::Arr(
+                    ["e2_win", "e6_path", "e7_append"]
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("workload", Json::str(*w)),
+                                ("instructions_per_sec", Json::Num(qps * 2.0)),
+                                ("query_time_ns", Json::Int(400_000)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }

@@ -6,9 +6,9 @@
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
 //! append hilog dynamic-vs-static bulkload serving factoring concurrent
-//! wfs all` (default `all`). `baseline` runs just the gate-tracked subset
-//! (`serving factoring concurrent`) — it is what `scripts/ci.sh` compares
-//! against `BENCH_BASELINE.json`. `trace` runs the reference workload
+//! emulator wfs all` (default `all`). `baseline` runs just the
+//! gate-tracked subset (`serving factoring concurrent emulator`) — it is
+//! what `scripts/ci.sh` compares against `BENCH_BASELINE.json`. `trace` runs the reference workload
 //! with span tracing and opcode profiling on; its `--json` artifact is a
 //! Chrome trace-event object (load it at <https://ui.perfetto.dev>) with
 //! the opcode profile attached under the extra `profile` key.
@@ -45,6 +45,7 @@ fn main() {
 
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut serving_report: Option<ServingReport> = None;
+    let mut emulator_rows: Option<Vec<EmulatorRow>> = None;
     let mut factoring_rows: Option<Vec<FactoringRow>> = None;
     let mut concurrent_report: Option<ConcurrentReport> = None;
     let mut trace_json: Option<Json> = None;
@@ -70,6 +71,7 @@ fn main() {
         "concurrent" => run("concurrent", &mut || {
             concurrent_report = Some(concurrent(quick))
         }),
+        "emulator" => run("emulator", &mut || emulator_rows = Some(emulator(quick))),
         "baseline" => {
             // the gate-tracked subset — ci.sh compares this run's JSON
             // against the committed BENCH_BASELINE.json
@@ -78,6 +80,7 @@ fn main() {
             run("concurrent", &mut || {
                 concurrent_report = Some(concurrent(quick))
             });
+            run("emulator", &mut || emulator_rows = Some(emulator(quick)));
         }
         "trace" => run("trace", &mut || trace_json = Some(trace_experiment())),
         "wfs" => run("wfs", &mut wfs),
@@ -99,6 +102,7 @@ fn main() {
             run("concurrent", &mut || {
                 concurrent_report = Some(concurrent(quick))
             });
+            run("emulator", &mut || emulator_rows = Some(emulator(quick)));
             run("ablation-tables", &mut || ablation_tables(quick));
             run("ablation-seminaive", &mut || ablation_seminaive(quick));
             run("wfs", &mut wfs);
@@ -119,6 +123,7 @@ fn main() {
                 serving_report.as_ref(),
                 factoring_rows.as_deref(),
                 concurrent_report.as_ref(),
+                emulator_rows.as_deref(),
             )
         });
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
@@ -138,6 +143,7 @@ fn json_report(
     serving: Option<&ServingReport>,
     factoring: Option<&[FactoringRow]>,
     concurrent: Option<&ConcurrentReport>,
+    emulator: Option<&[EmulatorRow]>,
 ) -> Json {
     let experiments = Json::Arr(
         timings
@@ -247,6 +253,33 @@ fn json_report(
                     ),
                 ),
             ]),
+        ));
+    }
+    if let Some(rows) = emulator {
+        fields.push((
+            "emulator",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workload", Json::str(r.workload)),
+                            ("work_instructions", Json::Int(r.work_instructions as i64)),
+                            ("fused_instructions", Json::Int(r.fused_instructions as i64)),
+                            ("query_time_ns", Json::Int(r.query_time_ns as i64)),
+                            (
+                                "unfused_query_time_ns",
+                                Json::Int(r.unfused_query_time_ns as i64),
+                            ),
+                            ("instructions_per_sec", Json::Num(r.instructions_per_sec)),
+                            (
+                                "unfused_instructions_per_sec",
+                                Json::Num(r.unfused_instructions_per_sec),
+                            ),
+                            ("speedup", Json::Num(r.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ));
     }
     Json::obj(fields)
@@ -608,6 +641,38 @@ fn concurrent(quick: bool) -> ConcurrentReport {
     );
     println!("(warm scaling reflects host core count; shared speedup does not)");
     r
+}
+
+fn emulator(quick: bool) -> Vec<EmulatorRow> {
+    header("E16 — emulator raw speed: fused superinstructions vs plain dispatch");
+    println!("instructions/sec counts *unfused* work units retired per second, so");
+    println!("the fused column credits superinstructions for retiring several at once");
+    let rows = run_emulator(quick);
+    println!(
+        "{:>10} {:>14} {:>12} {:>14} {:>14} {:>14} {:>14} {:>8}",
+        "workload",
+        "work instrs",
+        "fused disp",
+        "before (ns)",
+        "after (ns)",
+        "before ips",
+        "after ips",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>14} {:>12} {:>14} {:>14} {:>14.0} {:>14.0} {:>8.2}",
+            r.workload,
+            r.work_instructions,
+            r.fused_instructions,
+            r.unfused_query_time_ns,
+            r.query_time_ns,
+            r.unfused_instructions_per_sec,
+            r.instructions_per_sec,
+            r.speedup
+        );
+    }
+    rows
 }
 
 fn ablation_tables(quick: bool) {

@@ -614,9 +614,143 @@ pub fn run_serving(n: i64, warm_queries: usize) -> ServingReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// E16 — emulator raw speed: fused vs unfused dispatch on E2/E6/E7 cores
+// ---------------------------------------------------------------------
+
+/// One emulator workload measured on a fused and an unfused engine.
+///
+/// `work_instructions` is the number of instructions one evaluation
+/// dispatches on the *unfused* engine — the workload's work in original
+/// instruction units, independent of how many superinstructions the
+/// fused engine folds them into. `instructions_per_sec` is that work
+/// divided by the fused engine's wall time, so the metric rises both
+/// when dispatch gets cheaper and when fusion retires more work per
+/// dispatch — a higher-is-better raw-speed gauge the bench gate tracks.
+#[derive(Debug, Clone)]
+pub struct EmulatorRow {
+    pub workload: &'static str,
+    pub work_instructions: u64,
+    /// dispatches the fused engine needs for the same evaluation
+    /// (superinstructions retire several work units at once)
+    pub fused_instructions: u64,
+    /// best-of-reps wall time of one evaluation, fused engine
+    pub query_time_ns: u64,
+    pub unfused_query_time_ns: u64,
+    pub instructions_per_sec: f64,
+    pub unfused_instructions_per_sec: f64,
+    pub speedup: f64,
+}
+
+fn measure_emulator(
+    workload: &'static str,
+    src: &str,
+    reps: usize,
+    eval: &dyn Fn(&mut Engine),
+) -> EmulatorRow {
+    let build = |fused: bool| {
+        let mut e = Engine::with_fusion(fused);
+        e.consult(src).expect("emulator workload consults");
+        e
+    };
+    let instr_count = |e: &mut Engine| {
+        eval(e); // warm up (compiles the query predicate, fills caches)
+        e.reset_metrics();
+        eval(e);
+        e.metrics().get(xsb_obs::Counter::Instructions)
+    };
+    let mut fused = build(true);
+    let mut plain = build(false);
+    let fused_instructions = instr_count(&mut fused);
+    let work_instructions = instr_count(&mut plain);
+    let fused_t = time_best(reps, || eval(&mut fused));
+    let plain_t = time_best(reps, || eval(&mut plain));
+    let fused_ns = fused_t.as_nanos() as u64;
+    let plain_ns = plain_t.as_nanos() as u64;
+    EmulatorRow {
+        workload,
+        work_instructions,
+        fused_instructions,
+        query_time_ns: fused_ns,
+        unfused_query_time_ns: plain_ns,
+        instructions_per_sec: work_instructions as f64 / secs(fused_t).max(1e-9),
+        unfused_instructions_per_sec: work_instructions as f64 / secs(plain_t).max(1e-9),
+        speedup: plain_ns as f64 / fused_ns.max(1) as f64,
+    }
+}
+
+/// Runs the three core emulator workloads (the E2 win/1 game, the E6
+/// left-recursive chain, and an E7-style append enumeration) on a fused
+/// and an unfused engine. Facts are consulted as *static* source so the
+/// compiled fact code exercises the `get_constant_proceed` and unify-run
+/// superinstructions like user programs do.
+pub fn run_emulator(quick: bool) -> Vec<EmulatorRow> {
+    let reps = if quick { 5 } else { 8 };
+    let win_h: u32 = if quick { 8 } else { 10 };
+    let chain_n: i64 = if quick { 512 } else { 2048 };
+    let app_n: i64 = if quick { 160 } else { 400 };
+
+    let mut win_src = String::from(":- table win/1.\nwin(X) :- move(X,Y), tnot win(Y).\n");
+    for &(a, b) in &binary_tree_moves(win_h) {
+        win_src.push_str(&format!("move({a},{b}).\n"));
+    }
+    let win_expected = win_h % 2 == 1;
+
+    let mut path_src = String::from(PATH_LEFT_TABLED);
+    for &(a, b) in &chain_edges(chain_n) {
+        path_src.push_str(&format!("edge({a},{b}).\n"));
+    }
+    let path_expected = (chain_n - 1) as usize;
+
+    // E7 core, driven as naive reverse: n(n+1)/2 append steps of pure SLD
+    // emulator work — the classic WAM raw-dispatch benchmark
+    let app_src = format!(
+        "app([], L, L).\n\
+         app([H|T], L, [H|R]) :- app(T, L, R).\n\
+         nrev([], []).\n\
+         nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n\
+         mylist([{}]).",
+        (1..=app_n)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    vec![
+        measure_emulator("e2_win", &win_src, reps, &|e| {
+            e.abolish_all_tables();
+            assert_eq!(e.holds("win(1)").unwrap(), win_expected);
+        }),
+        measure_emulator("e6_path", &path_src, reps, &|e| {
+            e.abolish_all_tables();
+            assert_eq!(e.count("path(1, X)").unwrap(), path_expected);
+        }),
+        measure_emulator("e7_append", &app_src, reps, &|e| {
+            assert_eq!(e.count("mylist(L), nrev(L, R)").unwrap(), 1);
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn emulator_measure_counts_fused_dispatch_savings() {
+        // fact retrieval compiles to get_constant;proceed sequences the
+        // peephole pass fuses: the fused engine must dispatch strictly
+        // fewer instructions for identical answers
+        let src = "edge(1,2). edge(2,3). edge(3,4).";
+        let row = measure_emulator("smoke", src, 2, &|e| {
+            assert_eq!(e.count("edge(X, Y)").unwrap(), 3);
+        });
+        assert!(
+            row.fused_instructions < row.work_instructions,
+            "fusion did not reduce dispatches: {row:?}"
+        );
+        assert!(row.instructions_per_sec > 0.0);
+        assert!(row.query_time_ns > 0);
+    }
 
     #[test]
     fn serving_warm_hits_invalidation_and_eviction() {

@@ -80,6 +80,7 @@ pub enum Builtin {
     AbolishTableCall,
     SetTableBudget,
     SetAnswerFactoring,
+    SetFusion,
     // observability
     Statistics0,
     Statistics2,
@@ -175,6 +176,7 @@ impl Builtin {
             ("abolish_table_call", 1, Builtin::AbolishTableCall),
             ("set_table_budget", 1, Builtin::SetTableBudget),
             ("set_answer_factoring", 1, Builtin::SetAnswerFactoring),
+            ("set_fusion", 1, Builtin::SetFusion),
             ("statistics", 0, Builtin::Statistics0),
             ("statistics", 2, Builtin::Statistics2),
             ("tables", 0, Builtin::TablesB),
@@ -386,6 +388,23 @@ pub fn exec_builtin(
             match name.as_deref() {
                 Some("on") => m.tables.set_factored(true),
                 Some("off") => m.tables.set_factored(false),
+                _ => {
+                    return Err(EngineError::Type {
+                        expected: "'on' or 'off'",
+                        found: format!("{v:?}"),
+                    })
+                }
+            }
+            Ok(BAction::Continue)
+        }
+        Builtin::SetFusion => {
+            // affects code compiled after the call (including subsequent
+            // queries); already-compiled predicates keep their shape
+            let v = m.deref(m.x[0]);
+            let name = (v.tag() == Tag::Con).then(|| syms.name(v.sym()).to_string());
+            match name.as_deref() {
+                Some("on") => m.db.fusion_enabled = true,
+                Some("off") => m.db.fusion_enabled = false,
                 _ => {
                     return Err(EngineError::Type {
                         expected: "'on' or 'off'",

@@ -66,6 +66,7 @@ pub fn compile_predicate(
         ));
     }
     let tabled = db.pred(pred).tabled;
+    let fuse_from = db.code.here();
 
     // 1. extract disjunctions into auxiliary predicates
     let mut aux: Vec<(Sym, u16, Vec<Clause>)> = Vec::new();
@@ -91,7 +92,11 @@ pub fn compile_predicate(
         clauses: Rc::from(addrs.into_boxed_slice()),
     };
 
-    // 4. auxiliary predicates
+    // 4. superinstruction fusion over the freshly emitted range (clauses +
+    // dispatch block); the aux predicates below fuse their own ranges
+    db.fuse_range(fuse_from);
+
+    // 5. auxiliary predicates
     for (aname, aarity, aclauses) in aux {
         compile_predicate(db, syms, aname, aarity, &aclauses)?;
     }
@@ -874,6 +879,8 @@ mod tests {
 
     #[test]
     fn fact_compiles_to_gets_and_proceed() {
+        // the peephole pass fuses the trailing GetConstant;Proceed pair in
+        // place; the shadowed originals remain at their addresses
         let (db, syms) = compile_src("edge(1,2).");
         let e = entry_of(&db, &syms, "edge", 2);
         assert_eq!(
@@ -883,6 +890,29 @@ mod tests {
                 a: 0
             }
         );
+        assert_eq!(
+            db.code.code[e as usize + 1],
+            Instr::GetConstantProceed {
+                c: Cell::int(2),
+                a: 1
+            }
+        );
+        assert_eq!(db.code.code[e as usize + 2], Instr::Proceed);
+    }
+
+    #[test]
+    fn fusion_disabled_keeps_unfused_code() {
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        db.fusion_enabled = false;
+        let ops = OpTable::standard();
+        let items = parse_program("edge(1,2).", &mut syms, &ops).unwrap();
+        let Some(Item::Clause(c)) = items.into_iter().next() else {
+            panic!("expected a clause");
+        };
+        let (f, n) = c.head.functor().unwrap();
+        compile_predicate(&mut db, &mut syms, f, n as u16, &[c]).unwrap();
+        let e = entry_of(&db, &syms, "edge", 2);
         assert_eq!(
             db.code.code[e as usize + 1],
             Instr::GetConstant {

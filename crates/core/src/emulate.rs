@@ -78,8 +78,56 @@ impl Machine<'_> {
         }
     }
 
-    /// The instruction loop.
+    /// The instruction loop. Wraps [`Machine::run_loop`] so spent fuel is
+    /// folded into `steps` and the `Instructions` counter on *every* exit
+    /// path (solution, exhaustion, or error).
     pub fn run(&mut self, syms: &mut SymbolTable) -> Result<Outcome, EngineError> {
+        let r = self.run_loop(syms);
+        self.flush_steps();
+        r
+    }
+
+    /// Folds dispatches spent from the current fuel block into `steps` and
+    /// the cumulative `Instructions` counter. Cheap (two adds) and called
+    /// at block refills, builtin dispatch (so `statistics/2` observes an
+    /// exact count mid-query), and run-loop exit.
+    #[inline]
+    pub(crate) fn flush_steps(&mut self) {
+        let spent = self.fuel_block - self.fuel;
+        if spent > 0 {
+            self.steps += spent;
+            self.obs.metrics.add(Counter::Instructions, spent);
+            self.fuel_block = self.fuel;
+        }
+    }
+
+    /// Issues the next accounting block. With a step limit the grant never
+    /// exceeds the remaining budget, so the limit trips at exactly the
+    /// same dispatch boundary as per-instruction checking did (and with
+    /// the same observable `steps`/`Instructions` count of `limit + 1`,
+    /// charging the dispatch that was about to run).
+    #[cold]
+    fn refill_fuel(&mut self) -> Result<(), EngineError> {
+        // dispatches per block: the hot loop pays one decrement and one
+        // predicted branch per instruction instead of a metrics bump plus
+        // two step-limit branches
+        const FUEL_BLOCK: u64 = 2048;
+        self.flush_steps();
+        let grant = match self.step_limit {
+            Some(limit) if self.steps >= limit => {
+                self.steps += 1;
+                self.obs.metrics.bump(Counter::Instructions);
+                return Err(EngineError::StepLimit);
+            }
+            Some(limit) => (limit - self.steps).min(FUEL_BLOCK),
+            None => FUEL_BLOCK,
+        };
+        self.fuel = grant;
+        self.fuel_block = grant;
+        Ok(())
+    }
+
+    fn run_loop(&mut self, syms: &mut SymbolTable) -> Result<Outcome, EngineError> {
         macro_rules! fail {
             () => {
                 match self.backtrack(syms)? {
@@ -89,16 +137,14 @@ impl Machine<'_> {
             };
         }
         loop {
-            self.obs.metrics.bump(Counter::Instructions);
-            // the step limit is per-query: count on the machine, not the
-            // (cumulative) metrics registry
-            self.steps += 1;
-            if let Some(limit) = self.step_limit {
-                if self.steps > limit {
-                    return Err(EngineError::StepLimit);
-                }
+            // block-granular step accounting (see refill_fuel)
+            if self.fuel == 0 {
+                self.refill_fuel()?;
             }
-            let instr = self.db.code.code[self.p as usize].clone();
+            self.fuel -= 1;
+            // clone-free fetch: `Instr` is `Copy` (scalar operands only),
+            // so decode is a plain indexed load
+            let instr = self.db.code.code[self.p as usize];
             self.p += 1;
             // opcode profiler: one predicted branch when off; two array
             // increments when on
@@ -181,69 +227,14 @@ impl Machine<'_> {
                 }
 
                 // ---- unify ----
-                Instr::UnifyVariableX { x } => {
-                    if self.write_mode {
-                        let v = self.new_var();
-                        self.x[x as usize] = v;
-                    } else {
-                        self.x[x as usize] = self.heap[self.s];
-                        self.s += 1;
-                    }
-                }
-                Instr::UnifyVariableY { y } => {
-                    if self.write_mode {
-                        let v = self.new_var();
-                        self.set_y(y, v);
-                    } else {
-                        let v = self.heap[self.s];
-                        self.s += 1;
-                        self.set_y(y, v);
-                    }
-                }
-                Instr::UnifyValueX { x } => {
-                    if self.write_mode {
-                        let v = self.x[x as usize];
-                        self.heap.push(v);
-                    } else {
-                        let (u, v) = (self.x[x as usize], self.heap[self.s]);
-                        self.s += 1;
-                        if !self.unify(u, v) {
-                            fail!();
-                        }
-                    }
-                }
-                Instr::UnifyValueY { y } => {
-                    if self.write_mode {
-                        let v = self.get_y(y);
-                        self.heap.push(v);
-                    } else {
-                        let (u, v) = (self.get_y(y), self.heap[self.s]);
-                        self.s += 1;
-                        if !self.unify(u, v) {
-                            fail!();
-                        }
-                    }
-                }
-                Instr::UnifyConstant { c } => {
-                    if self.write_mode {
-                        self.heap.push(c);
-                    } else {
-                        let d = self.deref(self.heap[self.s]);
-                        self.s += 1;
-                        match d.tag() {
-                            Tag::Ref => self.bind(d.addr(), c),
-                            _ if d == c => {}
-                            _ => fail!(),
-                        }
-                    }
-                }
-                Instr::UnifyVoid { n } => {
-                    if self.write_mode {
-                        for _ in 0..n {
-                            self.new_var();
-                        }
-                    } else {
-                        self.s += n as usize;
+                Instr::UnifyVariableX { .. }
+                | Instr::UnifyVariableY { .. }
+                | Instr::UnifyValueX { .. }
+                | Instr::UnifyValueY { .. }
+                | Instr::UnifyConstant { .. }
+                | Instr::UnifyVoid { .. } => {
+                    if !self.exec_unify_op(instr) {
+                        fail!();
                     }
                 }
 
@@ -431,7 +422,263 @@ impl Machine<'_> {
                     fail!();
                 }
                 Instr::HaltSolution => return Ok(Outcome::Solution),
+
+                // ---- fused superinstructions (peephole pass) ----
+                // Each executes the exact original sequence, then continues
+                // after the shadowed instruction(s). `self.p` currently
+                // points at the first shadowed op.
+                Instr::PutValueXCall { x, a, pred } => {
+                    self.x[a as usize] = self.x[x as usize];
+                    self.p += 1; // continuation is after the shadowed Call
+                    match self.dispatch(pred, syms, false)? {
+                        Disp::Ok => {}
+                        Disp::Failed => fail!(),
+                    }
+                }
+                Instr::PutValueYCall { y, a, pred } => {
+                    self.x[a as usize] = self.get_y(y);
+                    self.p += 1;
+                    match self.dispatch(pred, syms, false)? {
+                        Disp::Ok => {}
+                        Disp::Failed => fail!(),
+                    }
+                }
+                Instr::PutValueY2 { y1, a1, y2, a2 } => {
+                    self.x[a1 as usize] = self.get_y(y1);
+                    self.x[a2 as usize] = self.get_y(y2);
+                    self.p += 1;
+                }
+                Instr::AllocateSaveGenerator { nperms, y } => {
+                    self.allocate(nperms);
+                    let g = self.executing_gen;
+                    self.set_y(y, Cell::int(g as i64));
+                    self.p += 1;
+                }
+                Instr::DeallocateProceed => {
+                    // Deallocate restores `cont`; Proceed then jumps to it
+                    self.deallocate();
+                    self.p = self.cont;
+                }
+                Instr::GetConstantProceed { c, a } => {
+                    let d = self.deref(self.x[a as usize]);
+                    match d.tag() {
+                        Tag::Ref => self.bind(d.addr(), c),
+                        _ if d == c => {}
+                        _ => fail!(),
+                    }
+                    self.p = self.cont;
+                }
+                Instr::GetStructureUnify { f, n, a, len } => {
+                    let d = self.deref(self.x[a as usize]);
+                    match d.tag() {
+                        Tag::Ref => {
+                            let base = self.heap.len();
+                            self.heap.push(Cell::fun(f, n as usize));
+                            self.bind(d.addr(), Cell::str(base));
+                            self.write_mode = true;
+                        }
+                        Tag::Str => {
+                            let pa = d.addr();
+                            if self.heap[pa] != Cell::fun(f, n as usize) {
+                                fail!();
+                            }
+                            self.s = pa + 1;
+                            self.write_mode = false;
+                        }
+                        Tag::Lis if f == well_known::DOT && n == 2 => {
+                            self.s = d.addr();
+                            self.write_mode = false;
+                        }
+                        _ => fail!(),
+                    }
+                    // the unify tail is the shadowed originals at p..p+len,
+                    // executed in place with the mode resolved above; the
+                    // mode split lets the (infallible) write loop drop the
+                    // failure bookkeeping
+                    let start = self.p as usize;
+                    self.p += len as u32;
+                    if self.write_mode {
+                        for j in start..start + len as usize {
+                            let op = self.db.code.code[j];
+                            self.exec_unify_write(op);
+                        }
+                    } else {
+                        let mut ok = true;
+                        for j in start..start + len as usize {
+                            let op = self.db.code.code[j];
+                            if !self.exec_unify_read(op) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            fail!();
+                        }
+                    }
+                }
+                Instr::GetListUnify { a, len } => {
+                    let d = self.deref(self.x[a as usize]);
+                    match d.tag() {
+                        Tag::Ref => {
+                            let base = self.heap.len();
+                            self.bind(d.addr(), Cell::lis(base));
+                            self.write_mode = true;
+                        }
+                        Tag::Lis => {
+                            self.s = d.addr();
+                            self.write_mode = false;
+                        }
+                        Tag::Str => {
+                            let pa = d.addr();
+                            if self.heap[pa] != Cell::fun(well_known::DOT, 2) {
+                                fail!();
+                            }
+                            self.s = pa + 1;
+                            self.write_mode = false;
+                        }
+                        _ => fail!(),
+                    }
+                    // in-place shadowed tail, as in GetStructureUnify
+                    let start = self.p as usize;
+                    self.p += len as u32;
+                    if self.write_mode {
+                        for j in start..start + len as usize {
+                            let op = self.db.code.code[j];
+                            self.exec_unify_write(op);
+                        }
+                    } else {
+                        let mut ok = true;
+                        for j in start..start + len as usize {
+                            let op = self.db.code.code[j];
+                            if !self.exec_unify_read(op) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            fail!();
+                        }
+                    }
+                }
+                Instr::UnifyRun { run, len } => {
+                    // the gathered run in the side pool replaces ops
+                    // [p-1, p-1+len); continue after the shadowed tail
+                    self.p += len as u32 - 1;
+                    let start = run as usize;
+                    if self.write_mode {
+                        for j in start..start + len as usize {
+                            let op = self.db.code.unify_runs[j];
+                            self.exec_unify_write(op);
+                        }
+                    } else {
+                        let mut ok = true;
+                        for j in start..start + len as usize {
+                            let op = self.db.code.unify_runs[j];
+                            if !self.exec_unify_read(op) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            fail!();
+                        }
+                    }
+                }
             }
+        }
+    }
+
+    /// Executes one unify-group instruction (shared by the plain dispatch
+    /// arms and the fused [`Instr::GetStructureUnify`]/[`Instr::UnifyRun`]
+    /// run executors). Returns `false` on unification failure.
+    /// `inline(always)` so each caller specializes the match instead of
+    /// paying a call per unify op.
+    #[inline(always)]
+    fn exec_unify_op(&mut self, op: Instr) -> bool {
+        if self.write_mode {
+            self.exec_unify_write(op);
+            true
+        } else {
+            self.exec_unify_read(op)
+        }
+    }
+
+    /// Write-mode unify op: builds the structure being constructed on the
+    /// heap. No write-mode op can fail, so the fused run executors skip
+    /// failure bookkeeping entirely on this path. `write_mode` is only
+    /// flipped by the get/put structure ops, never by a unify op, so the
+    /// mode chosen at the head of a run holds for the whole run.
+    #[inline(always)]
+    fn exec_unify_write(&mut self, op: Instr) {
+        match op {
+            Instr::UnifyVariableX { x } => {
+                let v = self.new_var();
+                self.x[x as usize] = v;
+            }
+            Instr::UnifyVariableY { y } => {
+                let v = self.new_var();
+                self.set_y(y, v);
+            }
+            Instr::UnifyValueX { x } => {
+                let v = self.x[x as usize];
+                self.heap.push(v);
+            }
+            Instr::UnifyValueY { y } => {
+                let v = self.get_y(y);
+                self.heap.push(v);
+            }
+            Instr::UnifyConstant { c } => self.heap.push(c),
+            Instr::UnifyVoid { n } => {
+                for _ in 0..n {
+                    self.new_var();
+                }
+            }
+            _ => unreachable!("non-unify op {op:?} in a unify run"),
+        }
+    }
+
+    /// Read-mode unify op: matches against the existing structure at `s`.
+    /// Returns `false` on unification failure.
+    #[inline(always)]
+    fn exec_unify_read(&mut self, op: Instr) -> bool {
+        match op {
+            Instr::UnifyVariableX { x } => {
+                self.x[x as usize] = self.heap[self.s];
+                self.s += 1;
+                true
+            }
+            Instr::UnifyVariableY { y } => {
+                let v = self.heap[self.s];
+                self.s += 1;
+                self.set_y(y, v);
+                true
+            }
+            Instr::UnifyValueX { x } => {
+                let (u, v) = (self.x[x as usize], self.heap[self.s]);
+                self.s += 1;
+                self.unify(u, v)
+            }
+            Instr::UnifyValueY { y } => {
+                let (u, v) = (self.get_y(y), self.heap[self.s]);
+                self.s += 1;
+                self.unify(u, v)
+            }
+            Instr::UnifyConstant { c } => {
+                let d = self.deref(self.heap[self.s]);
+                self.s += 1;
+                match d.tag() {
+                    Tag::Ref => {
+                        self.bind(d.addr(), c);
+                        true
+                    }
+                    _ => d == c,
+                }
+            }
+            Instr::UnifyVoid { n } => {
+                self.s += n as usize;
+                true
+            }
+            _ => unreachable!("non-unify op {op:?} in a unify run"),
         }
     }
 
@@ -446,8 +693,10 @@ impl Machine<'_> {
         is_tail: bool,
     ) -> Result<Disp, EngineError> {
         self.obs.metrics.count_call(pred as usize);
-        let kind = self.db.pred(pred).kind.clone();
-        match kind {
+        // match on the place directly: every binding below is `Copy`, so no
+        // clone of the kind (and no `Rc<[CodePtr]>` refcount bump) happens
+        // on this per-call path
+        match self.db.pred(pred).kind {
             PredKind::Static { entry, .. } => {
                 if !is_tail {
                     self.cont = self.p;
@@ -464,6 +713,9 @@ impl Machine<'_> {
                 self.dyn_call(pred, syms)
             }
             PredKind::Builtin(b) => {
+                // builtins like statistics/2 read the step counters; fold
+                // the fuel block in so they observe exact counts
+                self.flush_steps();
                 let resume = if is_tail { self.cont } else { self.p };
                 match exec_builtin(self, syms, b, resume, is_tail)? {
                     BAction::Continue => {
@@ -1200,6 +1452,25 @@ impl Machine<'_> {
         nvars: usize,
         tvars: &mut Vec<Option<Cell>>,
     ) -> bool {
+        // flat-ground fast path: a canonical root is either atomic (one
+        // cell), an answer variable (one TVAR cell), or a structure
+        // (functor cell + args, always > 1 cell). `ans.len() == nvars`
+        // with no TVAR therefore means every binding is one atomic cell:
+        // bind it straight onto the saved slot without the canonical
+        // walker or the tvars scratch. Trailing is identical to the
+        // general path (same `bind` calls, same TrailOps counts).
+        if ans.len() == nvars && ans.iter().all(|c| c.tag() != Tag::TVar) {
+            for (k, &slot) in subst.iter().take(nvars).enumerate() {
+                let c = ans[k];
+                let d = self.deref(Cell::r#ref(slot as usize));
+                match d.tag() {
+                    Tag::Ref => self.bind(d.addr(), c),
+                    _ if d == c => {}
+                    _ => return false,
+                }
+            }
+            return true;
+        }
         tvars.clear();
         let mut pos = 0usize;
         for &slot in subst.iter().take(nvars) {

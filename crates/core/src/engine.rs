@@ -96,8 +96,19 @@ pub const SLOW_QUERY_LOG_CAP: usize = 64;
 impl Engine {
     /// A fresh engine with builtins and the library prelude loaded.
     pub fn new() -> Engine {
+        Engine::with_fusion(true)
+    }
+
+    /// Like [`Engine::new`], but with superinstruction fusion set *before*
+    /// the prelude is consulted — `with_fusion(false)` yields a fully
+    /// unfused baseline engine (the prelude itself compiles unfused),
+    /// which the fused-vs-unfused differential tests and benchmarks rely
+    /// on. `set_fusion` after construction only affects code compiled
+    /// later.
+    pub fn with_fusion(fusion: bool) -> Engine {
         let mut syms = SymbolTable::new();
-        let db = Program::new(&mut syms);
+        let mut db = Program::new(&mut syms);
+        db.fusion_enabled = fusion;
         let mut e = Engine {
             syms,
             reader: ProgramReader::new(),
@@ -110,6 +121,13 @@ impl Engine {
         };
         e.consult(PRELUDE).expect("prelude compiles");
         e
+    }
+
+    /// Enables/disables the post-compile superinstruction fusion pass for
+    /// code compiled from now on (matching the `set_fusion/1` builtin).
+    /// Already-compiled predicates keep their current shape.
+    pub fn set_fusion(&mut self, on: bool) {
+        self.db.fusion_enabled = on;
     }
 
     /// Limits each query to at most `limit` abstract machine steps

@@ -7,6 +7,19 @@
 //! [`Instr::TableCall`], [`Instr::SaveGenerator`], [`Instr::NewAnswer`] /
 //! [`Instr::NewAnswerDirect`], plus the first-string-indexing dispatch
 //! [`Instr::TrieDispatch`] (paper §4.5).
+//!
+//! A post-compile peephole pass ([`crate::program::Program::fuse_range`])
+//! additionally rewrites the hottest adjacent instruction pairs of freshly
+//! compiled code into *superinstructions* (the `…2`/`…Call`/`…Proceed` /
+//! [`Instr::UnifyRun`] variants below): one dispatch executes the whole
+//! sequence. Fusion overwrites only the **first** instruction of a fused
+//! sequence — the shadowed originals stay in place, so any jump landing in
+//! the middle of a sequence still executes the original tail unchanged and
+//! no code address ever moves.
+//!
+//! `Instr` is `Copy`: every operand is a scalar (`u16`/`u32`/[`Cell`]/
+//! [`Sym`]), so the emulator's fetch is a plain indexed load with no clone
+//! of operand payloads.
 
 use crate::cell::Cell;
 use xsb_syntax::Sym;
@@ -17,7 +30,7 @@ pub type CodePtr = u32;
 pub type PredId = u32;
 
 /// One decoded SLG-WAM instruction.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Instr {
     // ----- head (get) instructions -----
     /// `Xn := Ai`
@@ -203,11 +216,68 @@ pub enum Instr {
     NafCutFail,
     /// top-level query success
     HaltSolution,
+
+    // ----- fused superinstructions (peephole pass; see module docs) -----
+    /// `PutValueX; Call` — last-argument load plus the call
+    PutValueXCall {
+        x: u16,
+        a: u16,
+        pred: PredId,
+    },
+    /// `PutValueY; Call` — last-argument load plus the call
+    PutValueYCall {
+        y: u16,
+        a: u16,
+        pred: PredId,
+    },
+    /// two adjacent `PutValueY` (argument-loading runs of body goals)
+    PutValueY2 {
+        y1: u16,
+        a1: u16,
+        y2: u16,
+        a2: u16,
+    },
+    /// `Allocate; SaveGenerator` — tabled-rule entry sequence
+    AllocateSaveGenerator {
+        nperms: u16,
+        y: u16,
+    },
+    /// `Deallocate; Proceed` — the common clause epilogue
+    DeallocateProceed,
+    /// `GetConstant; Proceed` — last head constant of a fact
+    GetConstantProceed {
+        c: Cell,
+        a: u16,
+    },
+    /// `GetStructure` followed by `len` unify instructions. The shadowed
+    /// originals still sit at `p..p+len`, so the executor reads them in
+    /// place (write/read mode is resolved once for the whole run).
+    GetStructureUnify {
+        f: Sym,
+        n: u16,
+        a: u16,
+        len: u16,
+    },
+    /// `GetList` followed by `len` unify instructions — the list analogue
+    /// of [`Instr::GetStructureUnify`] (and the hottest pair of all: every
+    /// list cell a program walks or builds goes through it). Same shadowed
+    /// in-place tail contract.
+    GetListUnify {
+        a: u16,
+        len: u16,
+    },
+    /// a run of `len` unify instructions gathered into the side pool
+    /// [`CodeArea::unify_runs`] at `run..run+len` (the first original op is
+    /// overwritten by this instruction, so the run executes from the pool)
+    UnifyRun {
+        run: u32,
+        len: u16,
+    },
 }
 
 impl Instr {
     /// Number of distinct opcodes (the profiler's table size basis).
-    pub const OPCODE_COUNT: usize = 43;
+    pub const OPCODE_COUNT: usize = 52;
 
     /// Profiler mnemonics, indexed by [`Instr::opcode`].
     pub const OPCODE_NAMES: [&'static str; Instr::OPCODE_COUNT] = [
@@ -254,6 +324,15 @@ impl Instr {
         "findall_collect",
         "naf_cut_fail",
         "halt_solution",
+        "put_value_x_call",
+        "put_value_y_call",
+        "put_value_y2",
+        "allocate_save_generator",
+        "deallocate_proceed",
+        "get_constant_proceed",
+        "get_structure_unify",
+        "get_list_unify",
+        "unify_run",
     ];
 
     /// Dense opcode index for the emulator profiler, in declaration
@@ -304,6 +383,66 @@ impl Instr {
             Instr::FindallCollect => 40,
             Instr::NafCutFail => 41,
             Instr::HaltSolution => 42,
+            Instr::PutValueXCall { .. } => 43,
+            Instr::PutValueYCall { .. } => 44,
+            Instr::PutValueY2 { .. } => 45,
+            Instr::AllocateSaveGenerator { .. } => 46,
+            Instr::DeallocateProceed => 47,
+            Instr::GetConstantProceed { .. } => 48,
+            Instr::GetStructureUnify { .. } => 49,
+            Instr::GetListUnify { .. } => 50,
+            Instr::UnifyRun { .. } => 51,
+        }
+    }
+
+    /// `true` for the unify-group instructions a peephole pass may gather
+    /// into a [`Instr::UnifyRun`] / [`Instr::GetStructureUnify`] sequence.
+    #[inline]
+    pub fn is_unify_op(&self) -> bool {
+        matches!(
+            self,
+            Instr::UnifyVariableX { .. }
+                | Instr::UnifyVariableY { .. }
+                | Instr::UnifyValueX { .. }
+                | Instr::UnifyValueY { .. }
+                | Instr::UnifyConstant { .. }
+                | Instr::UnifyVoid { .. }
+        )
+    }
+
+    /// Expands a fused superinstruction back into the original instruction
+    /// sequence it replaces (`unify_runs` is the owning code area's side
+    /// pool). Plain instructions expand to themselves. This is the
+    /// correctness contract of the peephole pass — fusion is semantics-
+    /// preserving iff the expansion of the rewritten code equals the
+    /// original code — and what the property tests check.
+    pub fn expand(&self, unify_runs: &[Instr]) -> Vec<Instr> {
+        match *self {
+            Instr::PutValueXCall { x, a, pred } => {
+                vec![Instr::PutValueX { x, a }, Instr::Call { pred }]
+            }
+            Instr::PutValueYCall { y, a, pred } => {
+                vec![Instr::PutValueY { y, a }, Instr::Call { pred }]
+            }
+            Instr::PutValueY2 { y1, a1, y2, a2 } => vec![
+                Instr::PutValueY { y: y1, a: a1 },
+                Instr::PutValueY { y: y2, a: a2 },
+            ],
+            Instr::AllocateSaveGenerator { nperms, y } => {
+                vec![Instr::Allocate { nperms }, Instr::SaveGenerator { y }]
+            }
+            Instr::DeallocateProceed => vec![Instr::Deallocate, Instr::Proceed],
+            Instr::GetConstantProceed { c, a } => {
+                vec![Instr::GetConstant { c, a }, Instr::Proceed]
+            }
+            // the shadowed unify tail still sits in the code area right
+            // after the fused op — only the head is re-materialized here
+            Instr::GetStructureUnify { f, n, a, .. } => vec![Instr::GetStructure { f, n, a }],
+            Instr::GetListUnify { a, .. } => vec![Instr::GetList { a }],
+            Instr::UnifyRun { run, len } => {
+                unify_runs[run as usize..run as usize + len as usize].to_vec()
+            }
+            other => vec![other],
         }
     }
 }
@@ -332,6 +471,10 @@ pub struct CodeArea {
     pub const_tables: Vec<ConstTable>,
     pub struct_tables: Vec<StructTable>,
     pub tries: Vec<crate::compile::first_string::Trie>,
+    /// Side pool of gathered unify sequences for [`Instr::UnifyRun`]: each
+    /// run is a contiguous `run..run+len` slice of original unify
+    /// instructions, executed in one dispatch.
+    pub unify_runs: Vec<Instr>,
 }
 
 impl CodeArea {
@@ -392,7 +535,7 @@ mod tests {
             "table_call"
         );
         assert_eq!(
-            Instr::HaltSolution.opcode() as usize,
+            Instr::UnifyRun { run: 0, len: 0 }.opcode() as usize,
             Instr::OPCODE_COUNT - 1
         );
         // dense: every name is distinct
@@ -400,6 +543,141 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Instr::OPCODE_COUNT);
+    }
+
+    /// One representative of every `Instr` variant, fused superinstructions
+    /// included. Any new variant must be added here (the coverage assert
+    /// below pins the count).
+    fn one_of_each() -> Vec<Instr> {
+        use crate::cell::Cell;
+        let c = Cell::int(7);
+        let s = Sym(3);
+        vec![
+            Instr::GetVariableX { x: 1, a: 0 },
+            Instr::GetVariableY { y: 1, a: 0 },
+            Instr::GetValueX { x: 1, a: 0 },
+            Instr::GetValueY { y: 1, a: 0 },
+            Instr::GetConstant { c, a: 0 },
+            Instr::GetStructure { f: s, n: 2, a: 0 },
+            Instr::GetList { a: 0 },
+            Instr::UnifyVariableX { x: 1 },
+            Instr::UnifyVariableY { y: 1 },
+            Instr::UnifyValueX { x: 1 },
+            Instr::UnifyValueY { y: 1 },
+            Instr::UnifyConstant { c },
+            Instr::UnifyVoid { n: 2 },
+            Instr::PutVariableX { x: 1, a: 0 },
+            Instr::PutVariableY { y: 1, a: 0 },
+            Instr::PutValueX { x: 1, a: 0 },
+            Instr::PutValueY { y: 1, a: 0 },
+            Instr::PutConstant { c, a: 0 },
+            Instr::PutStructure { f: s, n: 2, a: 0 },
+            Instr::PutList { a: 0 },
+            Instr::Allocate { nperms: 2 },
+            Instr::Deallocate,
+            Instr::Call { pred: 0 },
+            Instr::Execute { pred: 0 },
+            Instr::Proceed,
+            Instr::Fail,
+            Instr::TryMeElse { next: 0, arity: 0 },
+            Instr::RetryMeElse { next: 0 },
+            Instr::TrustMe,
+            Instr::Try {
+                target: 0,
+                arity: 0,
+            },
+            Instr::Retry { target: 0 },
+            Instr::Trust { target: 0 },
+            Instr::SwitchOnTerm {
+                var: 0,
+                con: 0,
+                lis: 0,
+                str: 0,
+            },
+            Instr::TrieDispatch { trie: 0, arity: 0 },
+            Instr::GetLevel { y: 0 },
+            Instr::CutY { y: 0 },
+            Instr::TableCall { pred: 0, arity: 0 },
+            Instr::SaveGenerator { y: 0 },
+            Instr::NewAnswer { y: 0 },
+            Instr::NewAnswerDirect,
+            Instr::FindallCollect,
+            Instr::NafCutFail,
+            Instr::HaltSolution,
+            Instr::PutValueXCall {
+                x: 1,
+                a: 0,
+                pred: 0,
+            },
+            Instr::PutValueYCall {
+                y: 1,
+                a: 0,
+                pred: 0,
+            },
+            Instr::PutValueY2 {
+                y1: 0,
+                a1: 0,
+                y2: 1,
+                a2: 1,
+            },
+            Instr::AllocateSaveGenerator { nperms: 2, y: 0 },
+            Instr::DeallocateProceed,
+            Instr::GetConstantProceed { c, a: 0 },
+            Instr::GetStructureUnify {
+                f: s,
+                n: 2,
+                a: 0,
+                len: 1,
+            },
+            Instr::GetListUnify { a: 0, len: 2 },
+            Instr::UnifyRun { run: 0, len: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_unique_dense_opcode_and_name() {
+        let all = one_of_each();
+        assert_eq!(
+            all.len(),
+            Instr::OPCODE_COUNT,
+            "one_of_each() must list every variant exactly once"
+        );
+        let mut seen = [false; Instr::OPCODE_COUNT];
+        for i in &all {
+            let op = i.opcode() as usize;
+            assert!(op < Instr::OPCODE_COUNT, "opcode {op} out of range");
+            assert!(
+                op < xsb_obs::profile::MAX_OPCODES,
+                "opcode {op} overflows the profiler table"
+            );
+            assert!(!seen[op], "duplicate opcode {op} ({:?})", i);
+            seen[op] = true;
+            assert!(
+                !Instr::OPCODE_NAMES[op].is_empty(),
+                "opcode {op} has no mnemonic"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "opcode numbering has gaps");
+    }
+
+    #[test]
+    fn fused_expansion_round_trips() {
+        let pool = [Instr::UnifyVariableX { x: 3 }, Instr::UnifyVoid { n: 1 }];
+        assert_eq!(
+            Instr::PutValueYCall {
+                y: 2,
+                a: 1,
+                pred: 9
+            }
+            .expand(&pool),
+            vec![Instr::PutValueY { y: 2, a: 1 }, Instr::Call { pred: 9 }]
+        );
+        assert_eq!(
+            Instr::UnifyRun { run: 0, len: 2 }.expand(&pool),
+            pool.to_vec()
+        );
+        // a plain instruction expands to itself
+        assert_eq!(Instr::Proceed.expand(&pool), vec![Instr::Proceed]);
     }
 
     #[test]

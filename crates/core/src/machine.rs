@@ -184,8 +184,16 @@ pub struct Machine<'p> {
     /// so counters accumulate across queries).
     pub obs: Obs,
     pub step_limit: Option<u64>,
-    /// instructions dispatched by this machine (the step-limit basis)
+    /// instructions dispatched by this machine (the step-limit basis).
+    /// Block-granular: the hot loop spends `fuel` and the spent part is
+    /// folded in by [`Machine::flush_steps`] — accurate at every refill,
+    /// builtin call, and run-loop exit.
     pub steps: u64,
+    /// dispatches left in the current accounting block
+    pub(crate) fuel: u64,
+    /// size the current block was issued at (`fuel_block - fuel` = spent
+    /// dispatches not yet folded into `steps`/the metrics counter)
+    pub(crate) fuel_block: u64,
     scratch_pdl: Vec<(Cell, Cell)>,
     /// reusable buffers for dynamic-predicate dispatch
     pub(crate) scratch_tokens: Vec<Option<Cell>>,
@@ -231,6 +239,8 @@ impl<'p> Machine<'p> {
             obs: Obs::new(),
             step_limit: None,
             steps: 0,
+            fuel: 0,
+            fuel_block: 0,
             scratch_pdl: Vec::new(),
             scratch_tokens: Vec::new(),
             scratch_cands: Vec::new(),

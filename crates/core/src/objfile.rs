@@ -17,6 +17,13 @@
 //!
 //! CON and FUN cells store *local* symbol ids on disk and are remapped on
 //! load.
+//!
+//! Object files never contain [`crate::instr::Instr`] code — only the
+//! canonical cells of dynamic facts — so superinstruction fusion (a
+//! post-compile peephole pass over emitted code) can never appear in, or
+//! be affected by, an object file. Fusion applies when *static* code is
+//! compiled at consult time; fact loading through this module bypasses
+//! compilation entirely. A test below pins this.
 
 use crate::cell::{Cell, Tag};
 use crate::dynamic::IndexSpec;
@@ -345,5 +352,36 @@ mod tests {
         let dp2 = db2.dyn_of(pred2).unwrap();
         let c = dp2.clause(dp2.all_live()[0]);
         assert_eq!(c.canon[0], Cell::con(alice2));
+    }
+
+    #[test]
+    fn object_files_carry_no_instruction_code() {
+        // pins the fusion/objfile contract documented in the module docs:
+        // the format serializes canonical fact cells only, so round-tripping
+        // is identical whether the engine that wrote or reads the file has
+        // fusion enabled. The code area of the loading program gains no
+        // instructions from a load.
+        let mut syms = SymbolTable::new();
+        let mut db = Program::new(&mut syms);
+        db.fusion_enabled = true;
+        let e = syms.intern("edge");
+        let pred = db.declare_dynamic(e, 2).unwrap();
+        db.dyn_of_mut(pred).unwrap().insert(
+            vec![Some(Cell::int(1)), Some(Cell::int(2))],
+            Rc::from(vec![Cell::int(1), Cell::int(2)].into_boxed_slice()),
+            false,
+            false,
+        );
+        let bytes = encode(&db, &syms, e, 2).unwrap();
+
+        let mut syms2 = SymbolTable::new();
+        let mut db2 = Program::new(&mut syms2);
+        db2.fusion_enabled = false;
+        let code_before = db2.code.code.len();
+        let unify_runs_before = db2.code.unify_runs.len();
+        let (name, arity, loaded) = decode(&mut db2, &mut syms2, &bytes).unwrap();
+        assert_eq!((syms2.name(name), arity, loaded), ("edge", 2, 1));
+        assert_eq!(db2.code.code.len(), code_before);
+        assert_eq!(db2.code.unify_runs.len(), unify_runs_before);
     }
 }

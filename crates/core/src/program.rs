@@ -83,6 +83,12 @@ pub struct Program {
     /// Worker count of the engine pool this program serves (0 = not in a
     /// pool). Reported by the `pool_workers/1` builtin.
     pub pool_workers: u32,
+    /// Superinstruction fusion toggle (`set_fusion/1`). When on (the
+    /// default), [`Program::fuse_range`] peephole-rewrites freshly compiled
+    /// code; when off, newly compiled code stays unfused — the baseline the
+    /// differential tests compare against. Already-compiled code is never
+    /// rewritten by the toggle.
+    pub fusion_enabled: bool,
 }
 
 impl Program {
@@ -97,6 +103,7 @@ impl Program {
             snippets: Snippets::default(),
             dep_callers: HashMap::new(),
             pool_workers: 0,
+            fusion_enabled: true,
         };
         p.snippets.fail = p.code.emit(Instr::Fail);
         p.snippets.findall_collect = p.code.emit(Instr::FindallCollect);
@@ -109,6 +116,126 @@ impl Program {
             p.preds[id as usize].kind = PredKind::Builtin(b);
         }
         p
+    }
+
+    /// Post-compile superinstruction fusion: peephole-rewrites the hottest
+    /// adjacent instruction sequences of `code[start..]` (chosen from the
+    /// committed opcode-pair profile) into fused variants. Only the
+    /// *first* instruction of each fused sequence is overwritten; the
+    /// shadowed originals remain in place, so no code address moves and a
+    /// jump landing mid-sequence executes the original tail unchanged.
+    /// Returns the number of superinstructions installed.
+    ///
+    /// Rules, in match order (first-op occurrences only):
+    ///
+    /// | sequence                         | superinstruction         |
+    /// |----------------------------------|--------------------------|
+    /// | `get_structure; unify…{k≥1}`     | `get_structure_unify`    |
+    /// | `get_list; unify…{k≥1}`          | `get_list_unify`         |
+    /// | `unify…{k≥2}`                    | `unify_run` (side pool)  |
+    /// | `put_value_x; call`              | `put_value_x_call`       |
+    /// | `put_value_y; call`              | `put_value_y_call`       |
+    /// | `put_value_y; put_value_y`       | `put_value_y2`           |
+    /// | `allocate; save_generator`       | `allocate_save_generator`|
+    /// | `deallocate; proceed`            | `deallocate_proceed`     |
+    /// | `get_constant; proceed`          | `get_constant_proceed`   |
+    pub fn fuse_range(&mut self, start: CodePtr) -> usize {
+        if !self.fusion_enabled {
+            return 0;
+        }
+        let end = self.code.code.len();
+        let mut i = start as usize;
+        let mut installed = 0usize;
+        while i + 1 < end {
+            let (fst, snd) = (self.code.code[i], self.code.code[i + 1]);
+            // get_structure followed by its unify sequence: read/write mode
+            // is resolved once, then the tail executes in place
+            if let Instr::GetStructure { f, n, a } = fst {
+                let mut k = 0usize;
+                while i + 1 + k < end
+                    && k < u16::MAX as usize
+                    && self.code.code[i + 1 + k].is_unify_op()
+                {
+                    k += 1;
+                }
+                if k > 0 {
+                    self.code.code[i] = Instr::GetStructureUnify {
+                        f,
+                        n,
+                        a,
+                        len: k as u16,
+                    };
+                    installed += 1;
+                    i += 1 + k; // shadowed tail must stay original: executed live
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            // get_list likewise absorbs its unify tail — the hottest pair
+            // in the committed opcode-pair profile (every list cell walked
+            // or built dispatches it)
+            if let Instr::GetList { a } = fst {
+                let mut k = 0usize;
+                while i + 1 + k < end
+                    && k < u16::MAX as usize
+                    && self.code.code[i + 1 + k].is_unify_op()
+                {
+                    k += 1;
+                }
+                if k > 0 {
+                    self.code.code[i] = Instr::GetListUnify { a, len: k as u16 };
+                    installed += 1;
+                    i += 1 + k; // shadowed tail must stay original: executed live
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            // a standalone unify run (write-mode argument building after
+            // put_structure): gather the whole run into the side pool, since
+            // the first op is overwritten by the UnifyRun itself
+            if fst.is_unify_op() && snd.is_unify_op() {
+                let mut k = 2usize;
+                while i + k < end && k < u16::MAX as usize && self.code.code[i + k].is_unify_op() {
+                    k += 1;
+                }
+                let run = self.code.unify_runs.len() as u32;
+                let slice: Vec<Instr> = self.code.code[i..i + k].to_vec();
+                self.code.unify_runs.extend_from_slice(&slice);
+                self.code.code[i] = Instr::UnifyRun { run, len: k as u16 };
+                installed += 1;
+                i += k;
+                continue;
+            }
+            let rewritten = match (fst, snd) {
+                (Instr::PutValueX { x, a }, Instr::Call { pred }) => {
+                    Some(Instr::PutValueXCall { x, a, pred })
+                }
+                (Instr::PutValueY { y, a }, Instr::Call { pred }) => {
+                    Some(Instr::PutValueYCall { y, a, pred })
+                }
+                (Instr::PutValueY { y: y1, a: a1 }, Instr::PutValueY { y: y2, a: a2 }) => {
+                    Some(Instr::PutValueY2 { y1, a1, y2, a2 })
+                }
+                (Instr::Allocate { nperms }, Instr::SaveGenerator { y }) => {
+                    Some(Instr::AllocateSaveGenerator { nperms, y })
+                }
+                (Instr::Deallocate, Instr::Proceed) => Some(Instr::DeallocateProceed),
+                (Instr::GetConstant { c, a }, Instr::Proceed) => {
+                    Some(Instr::GetConstantProceed { c, a })
+                }
+                _ => None,
+            };
+            if let Some(r) = rewritten {
+                self.code.code[i] = r;
+                installed += 1;
+                i += 2; // the shadowed second op stays for jump-ins
+            } else {
+                i += 1;
+            }
+        }
+        installed
     }
 
     /// Looks up or creates the predicate `name/arity`.

@@ -147,6 +147,30 @@ assert c["shared_speedup"] >= 1.2, (
 PY
 fi
 
+echo "== emulator perf smoke (E16: fused superinstructions vs plain dispatch)"
+cargo run --release --offline -p xsb-bench --bin harness -- \
+    emulator --quick --json "$ARTIFACT_DIR/emulator.json"
+validate_json "$ARTIFACT_DIR/emulator.json" '"emulator"'
+if [ "$HAVE_PYTHON3" = 1 ]; then
+python3 - "$ARTIFACT_DIR/emulator.json" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))["emulator"]
+print("%-10s %12s %12s %14s %14s" % (
+    "workload", "before ips", "after ips", "before (ns)", "after (ns)"))
+for r in rows:
+    print("%-10s %12.0f %12.0f %14d %14d" % (
+        r["workload"], r["unfused_instructions_per_sec"],
+        r["instructions_per_sec"], r["unfused_query_time_ns"],
+        r["query_time_ns"]))
+    # instruction counts are deterministic (wall times are not): fusion
+    # must retire the same work in strictly fewer dispatches
+    assert r["fused_instructions"] < r["work_instructions"], (
+        "%s: fusion did not reduce dispatches (%d vs %d)"
+        % (r["workload"], r["fused_instructions"], r["work_instructions"]))
+    assert r["instructions_per_sec"] > 0, "%s: zero throughput" % r["workload"]
+PY
+fi
+
 echo "== traced query run (Chrome trace-event export + opcode profile)"
 cargo run --release --offline -p xsb-bench --bin harness -- \
     trace --json "$ARTIFACT_DIR/trace.json"
