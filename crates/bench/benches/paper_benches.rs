@@ -252,7 +252,7 @@ fn dynamic_vs_static() {
 
 /// E10 — the three bulk-load paths (n = 5000).
 fn bulk_load() {
-    use xsb_storage::bulkload::*;
+    use xsb_bench::bulkload::*;
     let n = 5000usize;
     let group = "bulk_load_5000";
     bench(group, "general_reader", || {

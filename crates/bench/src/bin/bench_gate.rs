@@ -171,6 +171,29 @@ const METRICS: &[Metric] = &[
         tol_mult: 2.5,
         extract: |r| emulator_field(r, "e7_append", "query_time_ns"),
     },
+    // E17 durability: commit throughput at the widest group-commit
+    // window and recovery wall time for the largest log — both real
+    // timings, so both use the wide wall-clock multiplier.
+    Metric {
+        name: "durability.commit_qps",
+        higher_is_better: true,
+        tol_mult: 2.5,
+        extract: |r| num_at(r, &["durability", "commit_qps"]),
+    },
+    Metric {
+        name: "durability.recovery_ms",
+        higher_is_better: false,
+        tol_mult: 2.5,
+        extract: |r| num_at(r, &["durability", "recovery_ms"]),
+    },
+    Metric {
+        // deterministic and zero-tolerance: a baseline of 0 makes any
+        // torn fact after recovery an infinite regression
+        name: "durability.recovery_torn_facts",
+        higher_is_better: false,
+        tol_mult: 0.0,
+        extract: |r| num_at(r, &["durability", "recovery_torn_facts"]),
+    },
 ];
 
 /// Looks up `field` in the emulator row whose `workload` matches.
@@ -451,6 +474,14 @@ mod tests {
                         .collect(),
                 ),
             ),
+            (
+                "durability",
+                Json::obj([
+                    ("commit_qps", Json::Num(qps)),
+                    ("recovery_ms", Json::Num(5.0)),
+                    ("recovery_torn_facts", Json::Int(0)),
+                ]),
+            ),
         ])
     }
 
@@ -581,6 +612,28 @@ mod tests {
         let r = rows
             .iter()
             .find(|r| r.name == "concurrent.cold_dup_computes")
+            .unwrap();
+        assert_eq!(r.status, Status::Fail);
+        assert!(r.regression.is_infinite());
+    }
+
+    #[test]
+    fn a_single_torn_fact_fails_from_a_zero_baseline() {
+        let mut cur = base();
+        if let Json::Obj(top) = &mut cur {
+            if let Some((_, Json::Obj(dur))) = top.iter_mut().find(|(k, _)| k == "durability") {
+                for (k, v) in dur.iter_mut() {
+                    if k == "recovery_torn_facts" {
+                        *v = Json::Int(1);
+                    }
+                }
+            }
+        }
+        let rows = compare(&base(), &cur, 0.20);
+        assert!(!gate_passes(&rows));
+        let r = rows
+            .iter()
+            .find(|r| r.name == "durability.recovery_torn_facts")
             .unwrap();
         assert_eq!(r.status, Status::Fail);
         assert!(r.regression.is_infinite());

@@ -6,8 +6,9 @@
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
 //! append hilog dynamic-vs-static bulkload serving factoring concurrent
-//! emulator wfs all` (default `all`). `baseline` runs just the
-//! gate-tracked subset (`serving factoring concurrent emulator`) — it is
+//! emulator durability wfs all` (default `all`). `baseline` runs just the
+//! gate-tracked subset (`serving factoring concurrent emulator
+//! durability`) — it is
 //! what `scripts/ci.sh` compares against `BENCH_BASELINE.json`. `trace` runs the reference workload
 //! with span tracing and opcode profiling on; its `--json` artifact is a
 //! Chrome trace-event object (load it at <https://ui.perfetto.dev>) with
@@ -48,6 +49,7 @@ fn main() {
     let mut emulator_rows: Option<Vec<EmulatorRow>> = None;
     let mut factoring_rows: Option<Vec<FactoringRow>> = None;
     let mut concurrent_report: Option<ConcurrentReport> = None;
+    let mut durability_report: Option<DurabilityReport> = None;
     let mut trace_json: Option<Json> = None;
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
@@ -72,6 +74,9 @@ fn main() {
             concurrent_report = Some(concurrent(quick))
         }),
         "emulator" => run("emulator", &mut || emulator_rows = Some(emulator(quick))),
+        "durability" => run("durability", &mut || {
+            durability_report = Some(durability(quick))
+        }),
         "baseline" => {
             // the gate-tracked subset — ci.sh compares this run's JSON
             // against the committed BENCH_BASELINE.json
@@ -81,6 +86,9 @@ fn main() {
                 concurrent_report = Some(concurrent(quick))
             });
             run("emulator", &mut || emulator_rows = Some(emulator(quick)));
+            run("durability", &mut || {
+                durability_report = Some(durability(quick))
+            });
         }
         "trace" => run("trace", &mut || trace_json = Some(trace_experiment())),
         "wfs" => run("wfs", &mut wfs),
@@ -103,6 +111,9 @@ fn main() {
                 concurrent_report = Some(concurrent(quick))
             });
             run("emulator", &mut || emulator_rows = Some(emulator(quick)));
+            run("durability", &mut || {
+                durability_report = Some(durability(quick))
+            });
             run("ablation-tables", &mut || ablation_tables(quick));
             run("ablation-seminaive", &mut || ablation_seminaive(quick));
             run("wfs", &mut wfs);
@@ -124,6 +135,7 @@ fn main() {
                 factoring_rows.as_deref(),
                 concurrent_report.as_ref(),
                 emulator_rows.as_deref(),
+                durability_report.as_ref(),
             )
         });
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
@@ -136,6 +148,7 @@ fn main() {
 
 /// Builds the `--json` payload: per-experiment wall times plus an engine
 /// metrics snapshot from a small instrumented reference workload.
+#[allow(clippy::too_many_arguments)] // one optional section per experiment
 fn json_report(
     experiment: &str,
     quick: bool,
@@ -144,6 +157,7 @@ fn json_report(
     factoring: Option<&[FactoringRow]>,
     concurrent: Option<&ConcurrentReport>,
     emulator: Option<&[EmulatorRow]>,
+    durability: Option<&DurabilityReport>,
 ) -> Json {
     let experiments = Json::Arr(
         timings
@@ -280,6 +294,61 @@ fn json_report(
                     })
                     .collect(),
             ),
+        ));
+    }
+    if let Some(d) = durability {
+        fields.push((
+            "durability",
+            Json::obj([
+                ("commit_qps", Json::Num(d.commit_qps)),
+                ("recovery_ms", Json::Num(d.recovery_ms)),
+                (
+                    "recovery_torn_facts",
+                    Json::Int(d.recovery_torn_facts as i64),
+                ),
+                (
+                    "checkpoint_bytes_before",
+                    Json::Int(d.checkpoint_bytes_before as i64),
+                ),
+                (
+                    "checkpoint_bytes_after",
+                    Json::Int(d.checkpoint_bytes_after as i64),
+                ),
+                (
+                    "windows",
+                    Json::Arr(
+                        d.windows
+                            .iter()
+                            .map(|w| {
+                                Json::obj([
+                                    ("window_us", Json::Int(w.window_us as i64)),
+                                    ("commits", Json::Int(w.commits as i64)),
+                                    ("commit_qps", Json::Num(w.commit_qps)),
+                                    ("fsyncs", Json::Int(w.fsyncs as i64)),
+                                    ("commit_p50_ns", Json::Int(w.commit_p50_ns as i64)),
+                                    ("commit_p99_ns", Json::Int(w.commit_p99_ns as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "recovery",
+                    Json::Arr(
+                        d.recovery
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("facts", Json::Int(r.facts as i64)),
+                                    ("log_bytes", Json::Int(r.log_bytes as i64)),
+                                    ("recovery_ms", Json::Num(r.recovery_ms)),
+                                    ("replayed", Json::Int(r.replayed as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ));
     }
     Json::obj(fields)
@@ -673,6 +742,43 @@ fn emulator(quick: bool) -> Vec<EmulatorRow> {
         );
     }
     rows
+}
+
+fn durability(quick: bool) -> DurabilityReport {
+    header("E17 — durable EDB: group commit, crash recovery, checkpoint");
+    println!("commit throughput is measured against a real file (true fsync cost);");
+    println!("recovery replays the WAL through full ARIES analysis/redo/undo");
+    let r = run_durability(quick);
+    println!(
+        "{:>10} {:>10} {:>12} {:>8} {:>12} {:>12}",
+        "window µs", "commits", "commit qps", "fsyncs", "p50 (µs)", "p99 (µs)"
+    );
+    for w in &r.windows {
+        println!(
+            "{:>10} {:>10} {:>12.0} {:>8} {:>12.1} {:>12.1}",
+            w.window_us,
+            w.commits,
+            w.commit_qps,
+            w.fsyncs,
+            w.commit_p50_ns as f64 / 1e3,
+            w.commit_p99_ns as f64 / 1e3
+        );
+    }
+    println!(
+        "{:>10} {:>12} {:>14} {:>10}",
+        "facts", "log bytes", "recovery (ms)", "replayed"
+    );
+    for row in &r.recovery {
+        println!(
+            "{:>10} {:>12} {:>14.2} {:>10}",
+            row.facts, row.log_bytes, row.recovery_ms, row.replayed
+        );
+    }
+    println!(
+        "checkpoint truncation: {} -> {} bytes   torn facts after recovery: {}",
+        r.checkpoint_bytes_before, r.checkpoint_bytes_after, r.recovery_torn_facts
+    );
+    r
 }
 
 fn ablation_tables(quick: bool) {

@@ -6,6 +6,7 @@
 //! the dependency-free micro-benches. See DESIGN.md §3 for the
 //! experiment ↔ paper mapping.
 
+pub mod bulkload;
 pub mod prng;
 pub mod runners;
 pub mod workloads;

@@ -515,7 +515,7 @@ pub struct BulkloadRow {
 }
 
 pub fn run_bulkload(n: usize, reps: usize) -> BulkloadRow {
-    use xsb_storage::bulkload::*;
+    use crate::bulkload::*;
     let t_general = time_best(reps, || {
         let mut e = Engine::new();
         assert_eq!(load_general(&mut e, "emp", n).unwrap(), n);
@@ -1306,5 +1306,164 @@ mod concurrent_tests {
         assert!(two.warm_p99_ns >= two.warm_p50_ns);
         assert_eq!(r.p50_ns, two.warm_p50_ns, "headline = last row's warm");
         assert_eq!(r.p99_ns, two.warm_p99_ns);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E17 — durability: group-commit throughput, recovery time, checkpoint
+// ---------------------------------------------------------------------
+
+/// One group-commit configuration: `window_us == 0` fsyncs at every
+/// commit point, wider windows batch commits into fewer fsyncs.
+#[derive(Debug, Clone)]
+pub struct DurabilityWindowRow {
+    pub window_us: u64,
+    pub commits: usize,
+    pub commit_qps: f64,
+    pub fsyncs: u64,
+    pub commit_p50_ns: u64,
+    pub commit_p99_ns: u64,
+}
+
+/// One recovery measurement: reopen a log holding `facts` committed
+/// asserts and time the full ARIES replay.
+#[derive(Debug, Clone)]
+pub struct DurabilityRecoveryRow {
+    pub facts: usize,
+    pub log_bytes: u64,
+    pub recovery_ms: f64,
+    pub replayed: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    pub windows: Vec<DurabilityWindowRow>,
+    pub recovery: Vec<DurabilityRecoveryRow>,
+    /// headline commit throughput: the widest group-commit window
+    pub commit_qps: f64,
+    /// headline recovery latency: the largest log
+    pub recovery_ms: f64,
+    /// facts present after recovery that were never durably committed —
+    /// must be identically zero (tracked by the bench gate)
+    pub recovery_torn_facts: u64,
+    pub checkpoint_bytes_before: u64,
+    pub checkpoint_bytes_after: u64,
+}
+
+/// E17: measures (a) committed-assert throughput against a **real file**
+/// (true fsync cost) across group-commit windows, (b) recovery wall time
+/// as a function of log size, and (c) checkpoint truncation. Recovery
+/// correctness is asserted inline: the recovered EDB must hold exactly
+/// the committed facts.
+pub fn run_durability(quick: bool) -> DurabilityReport {
+    use xsb_core::DurableLog;
+    use xsb_storage::{shared_failpoint, CrashMode, MemVfs};
+
+    let commits = if quick { 200 } else { 1000 };
+    let mut windows = Vec::new();
+    for window_us in [0u64, 100, 1000] {
+        let path =
+            std::env::temp_dir().join(format!("xsb_e17_{}_{window_us}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = Arc::new(DurableLog::open_path(&path).expect("open wal file"));
+        let mut e = Engine::create_durable(":- dynamic f/1.\n", log).expect("create");
+        e.set_group_commit_window_us(window_us);
+        let t0 = Instant::now();
+        for i in 0..commits {
+            e.query(&format!("assert(f({i}))")).expect("assert");
+        }
+        e.wal_flush().expect("flush");
+        let secs = t0.elapsed().as_secs_f64();
+        let m = e.metrics();
+        windows.push(DurabilityWindowRow {
+            window_us,
+            commits,
+            commit_qps: commits as f64 / secs.max(1e-9),
+            fsyncs: m.get(xsb_obs::Counter::WalFsyncs),
+            commit_p50_ns: m.commit_latency.p50(),
+            commit_p99_ns: m.commit_latency.quantile(0.99),
+        });
+        drop(e);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    let sizes: &[usize] = if quick {
+        &[200, 800]
+    } else {
+        &[500, 2000, 8000]
+    };
+    let mut recovery = Vec::new();
+    let mut torn_total = 0u64;
+    let mut checkpoint_bytes = (0u64, 0u64);
+    for (i, &facts) in sizes.iter().enumerate() {
+        // build the log in memory (fsync cost is not what's measured here)
+        let fs = shared_failpoint();
+        let log = Arc::new(DurableLog::open(Box::new(fs.clone())).expect("open"));
+        let mut e = Engine::create_durable(":- dynamic f/1.\n", log).expect("create");
+        e.set_group_commit_window_us(10_000_000);
+        for v in 0..facts {
+            e.query(&format!("assert(f({v}))")).expect("assert");
+        }
+        e.wal_flush().expect("flush");
+        drop(e);
+        let img = fs
+            .lock()
+            .unwrap()
+            .crash_image(CrashMode::Exact { at: u64::MAX });
+        let log_bytes = img.len() as u64;
+        let log2 = Arc::new(DurableLog::open(Box::new(MemVfs::from_bytes(img))).expect("reopen"));
+        let t0 = Instant::now();
+        let (mut e2, report) = Engine::open_durable(log2).expect("recover");
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // exactness check: |recovered| must equal |committed|
+        let recovered = e2.count("f(X)").expect("count") as i64;
+        torn_total += (recovered - facts as i64).unsigned_abs();
+        recovery.push(DurabilityRecoveryRow {
+            facts,
+            log_bytes,
+            recovery_ms,
+            replayed: report.replayed,
+        });
+        if i == sizes.len() - 1 {
+            checkpoint_bytes = e2.checkpoint().expect("checkpoint");
+        }
+    }
+
+    DurabilityReport {
+        commit_qps: windows.last().map_or(0.0, |w| w.commit_qps),
+        recovery_ms: recovery.last().map_or(0.0, |r| r.recovery_ms),
+        recovery_torn_facts: torn_total,
+        checkpoint_bytes_before: checkpoint_bytes.0,
+        checkpoint_bytes_after: checkpoint_bytes.1,
+        windows,
+        recovery,
+    }
+}
+
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+
+    #[test]
+    fn durability_report_is_exact_and_checkpoint_shrinks() {
+        let r = run_durability(true);
+        assert_eq!(r.windows.len(), 3);
+        assert_eq!(r.recovery.len(), 2);
+        assert_eq!(r.recovery_torn_facts, 0, "recovered ≠ committed: {r:?}");
+        assert!(r.commit_qps > 0.0);
+        assert!(r.recovery_ms > 0.0);
+        assert!(
+            r.checkpoint_bytes_after < r.checkpoint_bytes_before,
+            "checkpoint must truncate: {r:?}"
+        );
+        // the fsync-per-commit row syncs ~once per commit; wide windows
+        // batch (strictly fewer fsyncs than commits)
+        let w0 = &r.windows[0];
+        assert!(w0.fsyncs as usize >= w0.commits, "window 0 defers: {r:?}");
+        let w2 = &r.windows[2];
+        assert!(
+            (w2.fsyncs as usize) < w2.commits,
+            "wide window failed to batch: {r:?}"
+        );
     }
 }

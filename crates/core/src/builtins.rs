@@ -81,6 +81,13 @@ pub enum Builtin {
     SetTableBudget,
     SetAnswerFactoring,
     SetFusion,
+    // durability (DESIGN.md §2.11)
+    SetDurability,
+    SetGroupCommit,
+    Checkpoint0,
+    BeginTxn,
+    CommitTxn,
+    AbortTxn,
     // observability
     Statistics0,
     Statistics2,
@@ -177,6 +184,12 @@ impl Builtin {
             ("set_table_budget", 1, Builtin::SetTableBudget),
             ("set_answer_factoring", 1, Builtin::SetAnswerFactoring),
             ("set_fusion", 1, Builtin::SetFusion),
+            ("set_durability", 1, Builtin::SetDurability),
+            ("set_group_commit", 1, Builtin::SetGroupCommit),
+            ("checkpoint", 0, Builtin::Checkpoint0),
+            ("begin_transaction", 0, Builtin::BeginTxn),
+            ("commit_transaction", 0, Builtin::CommitTxn),
+            ("abort_transaction", 0, Builtin::AbortTxn),
             ("statistics", 0, Builtin::Statistics0),
             ("statistics", 2, Builtin::Statistics2),
             ("tables", 0, Builtin::TablesB),
@@ -411,6 +424,59 @@ pub fn exec_builtin(
                         found: format!("{v:?}"),
                     })
                 }
+            }
+            Ok(BAction::Continue)
+        }
+        Builtin::SetDurability => {
+            // toggles WAL logging on a durable engine; silently succeeds
+            // on engines with no log attached (benches toggle it blindly)
+            let v = m.deref(m.x[0]);
+            let name = (v.tag() == Tag::Con).then(|| syms.name(v.sym()).to_string());
+            let on = match name.as_deref() {
+                Some("on") => true,
+                Some("off") => false,
+                _ => {
+                    return Err(EngineError::Type {
+                        expected: "'on' or 'off'",
+                        found: format!("{v:?}"),
+                    })
+                }
+            };
+            if let Some(c) = m.db.durable.as_mut() {
+                c.enabled = on;
+            }
+            Ok(BAction::Continue)
+        }
+        Builtin::SetGroupCommit => {
+            // group-commit window in microseconds; 0 = fsync every commit
+            let v = m.deref(m.x[0]);
+            if v.tag() != Tag::Int || v.int_value() < 0 {
+                return Err(EngineError::Type {
+                    expected: "non-negative integer (microseconds)",
+                    found: format!("{v:?}"),
+                });
+            }
+            if let Some(c) = m.db.durable.as_ref() {
+                c.log.set_group_window_us(v.int_value() as u64);
+            }
+            Ok(BAction::Continue)
+        }
+        Builtin::Checkpoint0 => {
+            crate::durable::checkpoint(m.db, syms, &mut m.obs.metrics)?;
+            Ok(BAction::Continue)
+        }
+        Builtin::BeginTxn => {
+            crate::durable::begin_txn(m.db)?;
+            Ok(BAction::Continue)
+        }
+        Builtin::CommitTxn => {
+            crate::durable::commit_txn(m.db, syms, &mut m.obs.metrics)?;
+            Ok(BAction::Continue)
+        }
+        Builtin::AbortTxn => {
+            let touched = crate::durable::abort_txn(m.db, syms, &mut m.obs.metrics)?;
+            for pred in touched {
+                m.invalidate_dependents(pred);
             }
             Ok(BAction::Continue)
         }
@@ -916,8 +982,27 @@ fn builtin_assert(
         .map(|i| outer_token(m.deref(m.arg_of(head, i)), &m.heap))
         .collect();
     let tokens = if arity == 0 { vec![] } else { tokens };
+    // WAL-before-data: the redo record must be on the log before the
+    // clause store changes
+    crate::durable::log_mutation(
+        m.db,
+        syms,
+        &mut m.obs.metrics,
+        crate::durable::MutOp::Assert {
+            name: f,
+            arity: arity as u16,
+            at_front,
+            has_body,
+            canon: &canon,
+        },
+    )?;
     let dp = m.db.dyn_of_mut(pred).expect("dynamic");
-    dp.insert(tokens, Rc::from(canon), has_body, at_front);
+    let id = dp.insert(tokens, Rc::from(canon), has_body, at_front);
+    crate::durable::track_txn_mutation(
+        m.db,
+        pred,
+        crate::durable::UndoEntry::Assert { pred, clause: id },
+    );
     // maintain the dependency graph for the new clause's body, then
     // invalidate any tables made stale by the new clause
     if let Some(b) = body {
@@ -1115,20 +1200,28 @@ fn builtin_retractall(m: &mut Machine, syms: &mut SymbolTable) -> Result<BAction
         Tag::Str => m.functor_of(head),
         _ => return Err(EngineError::Instantiation("retractall/1")),
     };
-    let _ = syms;
     if let Some(pred) = m.db.lookup_pred(f, arity as u16) {
         // fully open pattern → predicate-level retraction fast path
         let all_vars =
             (0..arity).all(|i| m.deref(m.arg_of(head, i)).tag() == Tag::Ref) || arity == 0;
+        // WAL logging and transaction undo both need per-clause records,
+        // so the destructive fast path is reserved for plain engines
+        let logged =
+            m.db.durable.as_ref().map(|c| c.active()).unwrap_or(false) || m.db.txn.is_some();
         let mut removed_any = false;
         if m.db.dyn_of(pred).is_some() {
-            if all_vars {
+            if all_vars && !logged {
                 removed_any = !m.db.dyn_of(pred).expect("dynamic").all_live().is_empty();
                 m.db.dyn_of_mut(pred).expect("dynamic").retract_all();
             } else {
                 // conservative: decode and unify each candidate
                 let ids = m.db.dyn_of(pred).expect("dynamic").all_live();
+                let mut matched: Vec<u32> = Vec::new();
                 for id in ids {
+                    if all_vars {
+                        matched.push(id);
+                        continue;
+                    }
                     let (hc, _bc, nroots) = {
                         let c = m.db.dyn_of(pred).expect("dynamic").clause(id);
                         (c.canon.clone(), c.has_body, arity)
@@ -1147,9 +1240,33 @@ fn builtin_retractall(m: &mut Machine, syms: &mut SymbolTable) -> Result<BAction
                     m.unwind_to(mark);
                     m.heap.truncate(hlen.max(m.freeze.heap as usize));
                     if ok {
-                        m.db.dyn_of_mut(pred).expect("dynamic").remove(id);
-                        removed_any = true;
+                        matched.push(id);
                     }
+                }
+                // redo records first (WAL-before-data), then remove
+                let items: Vec<(bool, Rc<[Cell]>)> = matched
+                    .iter()
+                    .map(|&id| {
+                        let c = m.db.dyn_of(pred).expect("dynamic").clause(id);
+                        (c.has_body, c.canon.clone())
+                    })
+                    .collect();
+                crate::durable::log_retract_batch(
+                    m.db,
+                    syms,
+                    &mut m.obs.metrics,
+                    f,
+                    arity as u16,
+                    &items,
+                )?;
+                for &id in &matched {
+                    m.db.dyn_of_mut(pred).expect("dynamic").remove(id);
+                    crate::durable::track_txn_mutation(
+                        m.db,
+                        pred,
+                        crate::durable::UndoEntry::Retract { pred, clause: id },
+                    );
+                    removed_any = true;
                 }
             }
         }

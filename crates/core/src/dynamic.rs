@@ -180,6 +180,17 @@ impl DynPred {
         }
     }
 
+    /// Undoes a [`DynPred::remove`] (transaction rollback / recovery undo).
+    /// Safe because `remove` is a logical delete: the clause body and its
+    /// index entries are retained, and candidate lookup filters on `live`.
+    pub fn revive(&mut self, id: u32) {
+        let c = &mut self.clauses[id as usize];
+        if !c.live {
+            c.live = true;
+            self.live_count += 1;
+        }
+    }
+
     /// Candidate clause ids for a call whose argument outer tokens are
     /// `call_tokens` (`None` = unbound). Uses the first index whose fields
     /// are all bound; otherwise scans. Results are live clauses in clause

@@ -2136,7 +2136,29 @@ impl Machine<'_> {
                         continue;
                     }
                     if self.retract_match(pred, id)? {
+                        // redo record before the store changes
+                        let (name, arity, has_body, canon) = {
+                            let p = self.db.pred(pred);
+                            let c = self.db.dyn_of(pred).expect("dynamic").clause(id);
+                            (p.name, p.arity, c.has_body, c.canon.clone())
+                        };
+                        crate::durable::log_mutation(
+                            self.db,
+                            syms,
+                            &mut self.obs.metrics,
+                            crate::durable::MutOp::Retract {
+                                name,
+                                arity,
+                                has_body,
+                                canon: &canon,
+                            },
+                        )?;
                         self.db.dyn_of_mut(pred).expect("dynamic").remove(id);
+                        crate::durable::track_txn_mutation(
+                            self.db,
+                            pred,
+                            crate::durable::UndoEntry::Retract { pred, clause: id },
+                        );
                         self.invalidate_dependents(pred);
                         self.p = resume;
                         return Ok(Bt::Resumed);

@@ -22,7 +22,7 @@ use crate::machine::Machine;
 use crate::program::{pred_indicator, table_all_analysis, Program, StaticIndex};
 use crate::shared::SharedTableStore;
 use crate::table::TableSpace;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 use xsb_obs::{Counter, Json, Metrics, Obs, SlgEvent, Stopwatch, NO_ID, NO_SPAN};
@@ -138,8 +138,23 @@ impl Engine {
     }
 
     /// Consults program text: handles directives, compiles static
-    /// predicates, asserts clauses of dynamic predicates.
+    /// predicates, asserts clauses of dynamic predicates. On a durable
+    /// engine the source text is logged as one Broadcast record (the text
+    /// subsumes the per-clause assert records, which are suppressed).
     pub fn consult(&mut self, src: &str) -> Result<(), EngineError> {
+        let logged =
+            crate::durable::log_consult_text(&mut self.db, &self.syms, &mut self.obs.metrics, src)?;
+        if logged {
+            self.db.durable.as_mut().expect("logged").suspended += 1;
+        }
+        let r = self.consult_inner(src);
+        if logged {
+            self.db.durable.as_mut().expect("logged").suspended -= 1;
+        }
+        r
+    }
+
+    fn consult_inner(&mut self, src: &str) -> Result<(), EngineError> {
         let items = self.reader.read(src, &mut self.syms)?;
         let mut clauses: Vec<Clause> = Vec::new();
         let mut directives: Vec<Term> = Vec::new();
@@ -553,10 +568,28 @@ impl Engine {
             ));
         }
         let (tokens, canon, has_body) = ast_clause_to_canon(&c.head, c.body.first());
-        self.db
+        crate::durable::log_mutation(
+            &mut self.db,
+            &self.syms,
+            &mut self.obs.metrics,
+            crate::durable::MutOp::Assert {
+                name: f,
+                arity: n as u16,
+                at_front,
+                has_body,
+                canon: &canon,
+            },
+        )?;
+        let id = self
+            .db
             .dyn_of_mut(pred)
             .expect("declared dynamic")
             .insert(tokens, canon, has_body, at_front);
+        crate::durable::track_txn_mutation(
+            &mut self.db,
+            pred,
+            crate::durable::UndoEntry::Assert { pred, clause: id },
+        );
         if let Some(b) = c.body.first() {
             self.db.record_goal_deps(pred, b);
         }
@@ -681,9 +714,17 @@ impl Engine {
     /// the pool's common program. Identical to [`Engine::consult`] for a
     /// standalone engine.
     pub fn consult_broadcast(&mut self, src: &str) -> Result<(), EngineError> {
+        // the pool logs the broadcast text once at pool level; a worker
+        // leg must not re-log it (or its interior asserts)
+        if let Some(c) = self.db.durable.as_mut() {
+            c.suspended += 1;
+        }
         self.tables.set_shared_broadcast(true);
         let r = self.consult(src);
         self.tables.set_shared_broadcast(false);
+        if let Some(c) = self.db.durable.as_mut() {
+            c.suspended -= 1;
+        }
         // a broadcast re-establishes the pool's common program: a worker
         // that had diverged via a query-level assert is coherent again
         // once the same update reached everyone, so re-attach it to
@@ -722,6 +763,259 @@ impl Engine {
     /// (reported by the `pool_workers/1` builtin; 0 = standalone engine).
     pub fn set_pool_workers(&mut self, n: u32) {
         self.db.pool_workers = n;
+    }
+
+    // ------------------------------------------------------------------
+    // durability (WAL attachment, transactions, recovery) — paper §4.6
+    // extended with ARIES-style logging; see DESIGN.md §2.11
+    // ------------------------------------------------------------------
+
+    /// Attaches a write-ahead log: every later EDB mutation is logged
+    /// before it is applied. `worker` is this engine's pool worker id
+    /// ([`crate::durable::WORKER_ALL`] for standalone engines).
+    pub fn attach_wal(&mut self, log: Arc<crate::durable::DurableLog>, worker: u16) {
+        self.db.durable = Some(crate::durable::DurableConn {
+            log,
+            worker,
+            enabled: true,
+            suspended: 0,
+            applied_lsn: 0,
+        });
+    }
+
+    /// The attached durable log, if any.
+    pub fn wal(&self) -> Option<&Arc<crate::durable::DurableLog>> {
+        self.db.durable.as_ref().map(|c| &c.log)
+    }
+
+    /// `set_durability(on/off)`: toggles mutation logging without
+    /// detaching the log. No-op on engines with no WAL attached.
+    pub fn set_durability(&mut self, on: bool) {
+        if let Some(c) = self.db.durable.as_mut() {
+            c.enabled = on;
+        }
+    }
+
+    /// Sets the group-commit window in microseconds (0 = fsync at every
+    /// commit point). No-op with no WAL attached.
+    pub fn set_group_commit_window_us(&mut self, us: u64) {
+        if let Some(c) = self.db.durable.as_ref() {
+            c.log.set_group_window_us(us);
+        }
+    }
+
+    /// Forces any deferred group-commit fsync to disk.
+    pub fn wal_flush(&mut self) -> Result<(), EngineError> {
+        if let Some(conn) = self.db.durable.as_ref() {
+            let (synced, batched) = conn.log.flush().map_err(crate::durable::werr)?;
+            if synced {
+                self.obs.metrics.bump(Counter::WalFsyncs);
+                self.obs.metrics.add(Counter::GroupCommitBatch, batched);
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a durable standalone engine over a fresh log: consults
+    /// `program`, attaches the log, and writes the Program record the
+    /// next [`Engine::open_durable`] will replay from.
+    pub fn create_durable(
+        program: &str,
+        log: Arc<crate::durable::DurableLog>,
+    ) -> Result<Engine, EngineError> {
+        if !log.is_fresh() {
+            return Err(EngineError::Other(
+                "create_durable: log already holds a program; use open_durable".into(),
+            ));
+        }
+        let mut e = Engine::new();
+        e.consult(program)?;
+        e.attach_wal(log, crate::durable::WORKER_ALL);
+        crate::durable::log_program(&mut e.db, &e.syms, &mut e.obs.metrics, program)?;
+        Ok(e)
+    }
+
+    /// Reopens a durable engine from its log: replays the Program record,
+    /// every surviving committed mutation, and undoes loser transactions.
+    pub fn open_durable(
+        log: Arc<crate::durable::DurableLog>,
+    ) -> Result<(Engine, crate::durable::RecoveryReport), EngineError> {
+        let mut e = Engine::new();
+        e.attach_wal(log, crate::durable::WORKER_ALL);
+        let report = e.replay_wal()?;
+        Ok((e, report))
+    }
+
+    /// ARIES-style recovery over the attached log: an analysis pass
+    /// classifies transactions as winners (Commit record on the surviving
+    /// log) or losers, a redo pass repeats history in LSN order (filtered
+    /// to records addressed to this worker), and an undo pass rolls the
+    /// losers back in reverse. Records below the connection's
+    /// `applied_lsn` high-water mark are skipped, so calling this twice
+    /// replays nothing the second time (duplicate-replay idempotence).
+    pub fn replay_wal(&mut self) -> Result<crate::durable::RecoveryReport, EngineError> {
+        use crate::durable::{self as dur, Record, UndoEntry};
+        let (log, worker, floor) = {
+            let c = self
+                .db
+                .durable
+                .as_ref()
+                .ok_or_else(|| EngineError::Other("replay_wal: no WAL attached".into()))?;
+            (Arc::clone(&c.log), c.worker, c.applied_lsn)
+        };
+        let raw = log.raw_records().map_err(dur::werr)?;
+        // analysis: which explicit transactions won
+        let mut committed: HashSet<u64> = HashSet::new();
+        for (_, p) in &raw {
+            if let Some((dur::KIND_COMMIT, tx)) = dur::record_header(p) {
+                committed.insert(tx);
+            }
+        }
+        let mut report = dur::RecoveryReport {
+            committed_txns: committed.len() as u64,
+            ..Default::default()
+        };
+        // redo: repeat history in LSN order, logging suppressed
+        self.db.durable.as_mut().expect("attached").suspended += 1;
+        let mut loser_ops: Vec<UndoEntry> = Vec::new();
+        let mut applied_end = floor;
+        let redo = (|| -> Result<(), EngineError> {
+            for (lsn, payload) in &raw {
+                let end = lsn + (payload.len() + xsb_storage::log::FRAME_OVERHEAD) as u64;
+                applied_end = applied_end.max(end);
+                if *lsn < floor {
+                    continue;
+                }
+                report.scanned += 1;
+                let rec = Record::decode(payload, &mut self.syms).map_err(EngineError::Other)?;
+                match rec {
+                    Record::Begin { .. } | Record::Commit { .. } | Record::Abort { .. } => {}
+                    Record::Program { text } | Record::Broadcast { text } => {
+                        self.consult(&text)?;
+                        report.replayed += 1;
+                    }
+                    Record::Assert {
+                        tx,
+                        worker: w,
+                        name,
+                        arity,
+                        at_front,
+                        has_body,
+                        canon,
+                    } => {
+                        if w != dur::WORKER_ALL && w != worker {
+                            continue;
+                        }
+                        let pred = self
+                            .db
+                            .declare_dynamic(name, arity)
+                            .map_err(EngineError::Other)?;
+                        let tokens = dur::canon_tokens(&canon, arity);
+                        let id = self.db.dyn_of_mut(pred).expect("dynamic").insert(
+                            tokens,
+                            Rc::from(canon),
+                            has_body,
+                            at_front,
+                        );
+                        self.invalidate_dependents(pred);
+                        report.replayed += 1;
+                        if w == worker && worker != dur::WORKER_ALL {
+                            report.own_worker_ops += 1;
+                        }
+                        if tx != 0 && !committed.contains(&tx) {
+                            loser_ops.push(UndoEntry::Assert { pred, clause: id });
+                        }
+                    }
+                    Record::Retract {
+                        tx,
+                        worker: w,
+                        name,
+                        arity,
+                        has_body,
+                        canon,
+                    } => {
+                        if w != dur::WORKER_ALL && w != worker {
+                            continue;
+                        }
+                        let pred = self
+                            .db
+                            .declare_dynamic(name, arity)
+                            .map_err(EngineError::Other)?;
+                        let found = {
+                            let dp = self.db.dyn_of(pred).expect("dynamic");
+                            dp.all_live().into_iter().find(|&id| {
+                                let c = dp.clause(id);
+                                c.has_body == has_body && c.canon[..] == canon[..]
+                            })
+                        };
+                        if let Some(id) = found {
+                            self.db.dyn_of_mut(pred).expect("dynamic").remove(id);
+                            self.invalidate_dependents(pred);
+                            report.replayed += 1;
+                            if w == worker && worker != dur::WORKER_ALL {
+                                report.own_worker_ops += 1;
+                            }
+                            if tx != 0 && !committed.contains(&tx) {
+                                loser_ops.push(UndoEntry::Retract { pred, clause: id });
+                            }
+                        }
+                    }
+                    Record::Checkpoint { preds } => {
+                        for sp in preds {
+                            let pred = self
+                                .db
+                                .declare_dynamic(sp.name, sp.arity)
+                                .map_err(EngineError::Other)?;
+                            let dp = self.db.dyn_of_mut(pred).expect("dynamic");
+                            dp.retract_all();
+                            for (has_body, canon) in sp.clauses {
+                                let tokens = dur::canon_tokens(&canon, sp.arity);
+                                dp.insert(tokens, Rc::from(canon), has_body, false);
+                            }
+                            self.invalidate_dependents(pred);
+                        }
+                        report.checkpoint_restored = true;
+                        report.replayed += 1;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.db.durable.as_mut().expect("attached").suspended -= 1;
+        redo?;
+        // undo: roll loser transactions back, newest op first
+        for u in loser_ops.into_iter().rev() {
+            match u {
+                UndoEntry::Assert { pred, clause } => {
+                    if let Some(dp) = self.db.dyn_of_mut(pred) {
+                        dp.remove(clause);
+                    }
+                    self.invalidate_dependents(pred);
+                }
+                UndoEntry::Retract { pred, clause } => {
+                    if let Some(dp) = self.db.dyn_of_mut(pred) {
+                        dp.revive(clause);
+                    }
+                    self.invalidate_dependents(pred);
+                }
+            }
+            report.losers_undone += 1;
+        }
+        self.obs
+            .metrics
+            .add(Counter::RecoveryReplayed, report.replayed);
+        self.db.durable.as_mut().expect("attached").applied_lsn = applied_end;
+        Ok(report)
+    }
+
+    /// Fuzzy checkpoint (`checkpoint/0`): snapshots every dynamic
+    /// predicate and atomically truncates the log to
+    /// `[Program, Broadcast…, Checkpoint]`. Refused inside a transaction
+    /// and on pool workers (a worker's snapshot cannot speak for its
+    /// siblings' worker-tagged records). Returns log bytes
+    /// `(before, after)`.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64), EngineError> {
+        crate::durable::checkpoint(&mut self.db, &self.syms, &mut self.obs.metrics)
     }
 
     /// Switches substitution factoring for *new* tables: `true` (the

@@ -37,6 +37,7 @@
 //! table — one compute pool-wide instead of N, with a bounded wait and
 //! local-compute fallback so a stuck claimant can never wedge the pool.
 
+use crate::durable::{werr, DurableLog, Record};
 use crate::engine::{Engine, Solution};
 use crate::error::EngineError;
 use crate::shared::SharedTableStore;
@@ -45,6 +46,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use xsb_obs::{Metrics, Stopwatch};
+use xsb_syntax::SymbolTable;
 
 /// Configuration for a [`ServerPool`].
 #[derive(Clone, Debug)]
@@ -104,6 +106,8 @@ struct Worker {
 pub struct ServerPool {
     workers: Vec<Worker>,
     store: Arc<SharedTableStore>,
+    /// the pool's durable log, when built via the durable constructors
+    log: Option<Arc<DurableLog>>,
     /// round-robin cursor for [`ServerPool::submit`]
     next: std::sync::atomic::AtomicUsize,
 }
@@ -130,6 +134,62 @@ impl ServerPool {
     /// the program fails to consult (reported by the first worker; all
     /// workers run identical text).
     pub fn new(program: &str, config: PoolConfig) -> Result<ServerPool, EngineError> {
+        Self::build(Some(program.to_string()), config, None)
+    }
+
+    /// Builds a **durable** pool: `program` is appended to the (fresh)
+    /// WAL as its base `Program` record, and every worker attaches to
+    /// the log before consulting anything — workers load the program by
+    /// replaying the log, so a fresh pool and a reopened one take the
+    /// exact same code path. Errors if the log already holds a program
+    /// (use [`ServerPool::reopen_log`] for that).
+    pub fn new_durable(
+        program: &str,
+        config: PoolConfig,
+        log: Arc<DurableLog>,
+    ) -> Result<ServerPool, EngineError> {
+        if !log.is_fresh() {
+            return Err(EngineError::Other(
+                "durable log already holds a program; use ServerPool::reopen".into(),
+            ));
+        }
+        log.append_record(
+            &Record::Program {
+                text: program.to_string(),
+            },
+            &SymbolTable::new(),
+            true,
+        )
+        .map_err(werr)?;
+        Self::build(None, config, Some(log))
+    }
+
+    /// Reopens a durable pool from the WAL at `path`: each worker
+    /// replays the log (program, broadcasts, and its own worker-tagged
+    /// mutations) back to the last committed state. A worker whose
+    /// replay included worker-local mutations rejoins the pool already
+    /// marked diverged, exactly as it was before the crash.
+    pub fn reopen(path: &std::path::Path, config: PoolConfig) -> Result<ServerPool, EngineError> {
+        let log = Arc::new(DurableLog::open_path(path).map_err(werr)?);
+        Self::reopen_log(log, config)
+    }
+
+    /// Like [`ServerPool::reopen`] but over an already-open log (any
+    /// [`xsb_storage::Vfs`] backend — used by the fault-injection tests).
+    pub fn reopen_log(log: Arc<DurableLog>, config: PoolConfig) -> Result<ServerPool, EngineError> {
+        if log.is_fresh() {
+            return Err(EngineError::Other(
+                "durable log holds no program; use ServerPool::new_durable".into(),
+            ));
+        }
+        Self::build(None, config, Some(log))
+    }
+
+    fn build(
+        program: Option<String>,
+        config: PoolConfig,
+        log: Option<Arc<DurableLog>>,
+    ) -> Result<ServerPool, EngineError> {
         let store = Arc::new(SharedTableStore::new());
         if let Some(b) = config.table_budget {
             store.set_budget(Some(b));
@@ -137,9 +197,10 @@ impl ServerPool {
         let nworkers = config.workers.max(1);
         let mut workers = Vec::with_capacity(nworkers);
         let (ready_tx, ready_rx) = channel::<Result<(), EngineError>>();
-        for _ in 0..nworkers {
+        for wid in 0..nworkers {
             let (tx, rx) = channel::<Job>();
-            let program = program.to_string();
+            let program = program.clone();
+            let log = log.clone();
             let config = config.clone();
             let store = store.clone();
             let ready = ready_tx.clone();
@@ -147,7 +208,19 @@ impl ServerPool {
                 // the engine lives entirely inside this thread: Engine is
                 // intentionally !Send (Rc/RefCell on the WAM hot paths)
                 let mut e = Engine::new();
-                let setup = e.consult(&program);
+                let mut recovered_local_ops = false;
+                let setup = match (&log, &program) {
+                    (Some(l), _) => {
+                        e.attach_wal(l.clone(), wid as u16);
+                        // replay consults the Program record and re-applies
+                        // this worker's committed mutations (plus broadcasts)
+                        e.replay_wal().map(|rep| {
+                            recovered_local_ops = rep.own_worker_ops > 0;
+                        })
+                    }
+                    (None, Some(p)) => e.consult(p),
+                    (None, None) => Err(EngineError::Other("pool built with no program".into())),
+                };
                 let ok = setup.is_ok();
                 if ok {
                     e.set_step_limit(config.step_limit);
@@ -156,6 +229,12 @@ impl ServerPool {
                     // attach after consulting: everything in the program
                     // is below the sharing floors
                     e.attach_shared_store(store);
+                    if recovered_local_ops {
+                        // replayed worker-local mutations mean this EDB
+                        // already differs from its siblings' — rejoin in
+                        // the diverged state the crash interrupted
+                        e.tables.force_diverge();
+                    }
                 }
                 let _ = ready.send(setup);
                 if !ok {
@@ -214,8 +293,14 @@ impl ServerPool {
         Ok(ServerPool {
             workers,
             store,
+            log,
             next: std::sync::atomic::AtomicUsize::new(0),
         })
+    }
+
+    /// The pool's durable log, if it was built with one.
+    pub fn wal(&self) -> Option<&Arc<DurableLog>> {
+        self.log.as_ref()
     }
 
     /// Number of worker engines.
@@ -284,6 +369,19 @@ impl ServerPool {
     /// sharing floors are fixed at pool construction. Returns the first
     /// error, if any.
     pub fn consult_all(&self, src: &str) -> Result<(), EngineError> {
+        // durable pools log the broadcast text once at pool level; the
+        // per-worker consult legs run with per-mutation logging
+        // suspended (see `Engine::consult_broadcast`)
+        if let Some(log) = &self.log {
+            log.append_record(
+                &Record::Broadcast {
+                    text: src.to_string(),
+                },
+                &SymbolTable::new(),
+                true,
+            )
+            .map_err(werr)?;
+        }
         let mut pending = Vec::with_capacity(self.workers.len());
         for w in &self.workers {
             let (reply, rx) = channel();
@@ -334,6 +432,11 @@ impl Drop for ServerPool {
             if let Some(h) = w.handle.take() {
                 let _ = h.join();
             }
+        }
+        // workers have drained: push any group-commit window remainder
+        // to stable storage before the log handle goes away
+        if let Some(log) = &self.log {
+            let _ = log.flush();
         }
     }
 }

@@ -29,6 +29,7 @@
 pub mod builtins;
 pub mod cell;
 pub mod compile;
+pub mod durable;
 pub mod dynamic;
 pub mod emulate;
 pub mod engine;
@@ -42,6 +43,7 @@ pub mod shared;
 pub mod table;
 pub mod table_trie;
 
+pub use durable::{DurableLog, RecoveryReport};
 pub use engine::{Engine, Solution};
 pub use engine_pool::{PoolConfig, ServerPool};
 pub use error::EngineError;

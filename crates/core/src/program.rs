@@ -89,6 +89,13 @@ pub struct Program {
     /// differential tests compare against. Already-compiled code is never
     /// rewritten by the toggle.
     pub fusion_enabled: bool,
+    /// Write-ahead-log attachment; `None` for purely in-memory engines.
+    pub durable: Option<crate::durable::DurableConn>,
+    /// Open explicit transaction (`begin_transaction/0`), if any. Spans
+    /// queries: begin in one query, commit or abort in a later one.
+    pub txn: Option<crate::durable::ActiveTxn>,
+    /// txid allocator for transactions on engines with no WAL attached.
+    pub next_local_tx: u64,
 }
 
 impl Program {
@@ -104,6 +111,9 @@ impl Program {
             dep_callers: HashMap::new(),
             pool_workers: 0,
             fusion_enabled: true,
+            durable: None,
+            txn: None,
+            next_local_tx: 1,
         };
         p.snippets.fail = p.code.emit(Instr::Fail);
         p.snippets.findall_collect = p.code.emit(Instr::FindallCollect);

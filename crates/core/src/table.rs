@@ -1021,6 +1021,16 @@ impl TableSpace {
         }
     }
 
+    /// Marks this worker diverged regardless of floors. Used after WAL
+    /// recovery replayed worker-*local* mutations: the recovered EDB
+    /// differs from its siblings' the moment the worker rejoins the pool,
+    /// exactly as if the original non-broadcast mutation had just run.
+    pub fn force_diverge(&mut self) {
+        if let Some(h) = &mut self.shared {
+            h.diverged = true;
+        }
+    }
+
     /// Brackets a pool-broadcast update (`ServerPool::consult_all`):
     /// while set, mutations do not mark this worker as diverged, because
     /// every worker applies the same update.

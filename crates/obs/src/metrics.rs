@@ -82,10 +82,20 @@ pub enum Counter {
     /// expired or the claimant released without publishing) — the worker
     /// fell back to computing the table locally.
     ClaimFallbacks,
+    /// WAL records appended (begin/commit/abort, assert/retract images,
+    /// consult text, checkpoints).
+    WalAppends,
+    /// WAL fsyncs issued (commit-point durability barriers).
+    WalFsyncs,
+    /// Commits made durable by group-commit fsyncs, cumulatively — the
+    /// average batch size is `group_commit_batch / wal_fsyncs`.
+    GroupCommitBatch,
+    /// WAL records re-applied by crash recovery / restart replay.
+    RecoveryReplayed,
 }
 
 impl Counter {
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 32;
 
     /// `statistics/2` keys, in report order.
     pub const NAMES: [&'static str; Counter::COUNT] = [
@@ -117,6 +127,10 @@ impl Counter {
         "shared_claims",
         "claim_waits",
         "claim_fallbacks",
+        "wal_appends",
+        "wal_fsyncs",
+        "group_commit_batch",
+        "recovery_replayed",
     ];
 
     pub fn name(self) -> &'static str {
@@ -224,6 +238,9 @@ pub struct Metrics {
     /// Shared store: time parked on another worker's in-progress claim
     /// (nanoseconds).
     pub claim_wait: Histogram,
+    /// Durability: append+sync latency per commit point (nanoseconds) —
+    /// auto-commit mutations and explicit `commit_transaction/0`.
+    pub commit_latency: Histogram,
     /// Emulator opcode profiler (off by default; [`Metrics::reset`]
     /// preserves the toggle).
     pub profile: OpcodeProfile,
@@ -247,6 +264,7 @@ impl Default for Metrics {
             shared_import: Histogram::default(),
             shared_sync: Histogram::default(),
             claim_wait: Histogram::default(),
+            commit_latency: Histogram::default(),
             profile: OpcodeProfile::default(),
             per_pred: Vec::new(),
         }
@@ -323,7 +341,7 @@ impl Metrics {
 
     /// The latency histograms with their `statistics/2` p50/p99 key
     /// names, in report order.
-    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 7] {
+    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 8] {
         [
             ("query_p50_ns", "query_p99_ns", &self.query_latency),
             ("queue_wait_p50_ns", "queue_wait_p99_ns", &self.queue_wait),
@@ -344,6 +362,7 @@ impl Metrics {
                 &self.shared_sync,
             ),
             ("claim_wait_p50_ns", "claim_wait_p99_ns", &self.claim_wait),
+            ("commit_p50_ns", "commit_p99_ns", &self.commit_latency),
         ]
     }
 
@@ -358,6 +377,7 @@ impl Metrics {
             ("shared_import", self.shared_import.to_json()),
             ("shared_sync", self.shared_sync.to_json()),
             ("claim_wait", self.claim_wait.to_json()),
+            ("commit_latency", self.commit_latency.to_json()),
         ])
     }
 
@@ -425,6 +445,7 @@ impl Metrics {
         self.shared_import.merge(&other.shared_import);
         self.shared_sync.merge(&other.shared_sync);
         self.claim_wait.merge(&other.claim_wait);
+        self.commit_latency.merge(&other.commit_latency);
         self.profile.merge(&other.profile);
         if other.per_pred.len() > self.per_pred.len() {
             self.per_pred
@@ -484,7 +505,7 @@ mod tests {
     #[test]
     fn counter_names_match_count() {
         assert_eq!(Counter::NAMES.len(), Counter::COUNT);
-        assert_eq!(Counter::ClaimFallbacks as usize, Counter::COUNT - 1);
+        assert_eq!(Counter::RecoveryReplayed as usize, Counter::COUNT - 1);
         assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
         assert_eq!(Counter::TableHits.name(), "table_hits");
         assert_eq!(Counter::AnswerCellsSaved.name(), "answer_cells_saved");
@@ -492,6 +513,10 @@ mod tests {
         assert_eq!(Counter::SharedClaims.name(), "shared_claims");
         assert_eq!(Counter::ClaimWaits.name(), "claim_waits");
         assert_eq!(Counter::ClaimFallbacks.name(), "claim_fallbacks");
+        assert_eq!(Counter::WalAppends.name(), "wal_appends");
+        assert_eq!(Counter::WalFsyncs.name(), "wal_fsyncs");
+        assert_eq!(Counter::GroupCommitBatch.name(), "group_commit_batch");
+        assert_eq!(Counter::RecoveryReplayed.name(), "recovery_replayed");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::page::{Page, PAGE_SIZE};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 
@@ -22,7 +22,22 @@ struct Frame {
     pin_count: AtomicU32,
     referenced: AtomicBool,
     dirty: AtomicBool,
+    /// LSN of the latest logged update to this page (0 = unlogged).
+    /// WAL-before-data: the page may not be written back while this
+    /// exceeds the WAL's flushed LSN.
+    page_lsn: AtomicU64,
     page: RwLock<Page>,
+}
+
+/// Connection from the buffer pool to a write-ahead log, enforcing the
+/// WAL-before-data rule: before any dirty page is written back, the log
+/// must be durable up to that page's `page_lsn`.
+pub struct WalLink {
+    /// Highest LSN known durable (owned by the log; the pool only reads).
+    pub flushed_lsn: Arc<AtomicU64>,
+    /// Forces the log durable up to at least the given LSN (and must
+    /// advance `flushed_lsn` accordingly before returning).
+    pub force: Arc<dyn Fn(u64) + Send + Sync>,
 }
 
 /// The simulated disk: stable page storage.
@@ -59,6 +74,9 @@ pub struct BufferPool {
     frames: Vec<Frame>,
     table: Mutex<HashMap<PageId, usize>>,
     clock_hand: AtomicU32,
+    /// WAL hookup; when present, every dirty write-back first forces the
+    /// log up to the page's LSN (WAL-before-data).
+    wal: Mutex<Option<WalLink>>,
     /// statistics
     pub hits: AtomicU32,
     pub misses: AtomicU32,
@@ -85,6 +103,17 @@ impl PinnedPage<'_> {
             .store(true, Ordering::Release);
         f(&mut guard)
     }
+
+    /// Like [`write`](PinnedPage::write), but stamps the frame with the
+    /// LSN of the log record describing this update. The page cannot
+    /// reach disk until the WAL is durable past `lsn`.
+    pub fn write_logged<R>(&self, lsn: u64, f: impl FnOnce(&mut Page) -> R) -> R {
+        let fr = &self.pool.frames[self.frame];
+        let mut guard = fr.page.write().unwrap();
+        fr.dirty.store(true, Ordering::Release);
+        fr.page_lsn.fetch_max(lsn, Ordering::AcqRel);
+        f(&mut guard)
+    }
 }
 
 impl Drop for PinnedPage<'_> {
@@ -104,6 +133,7 @@ impl BufferPool {
                 pin_count: AtomicU32::new(0),
                 referenced: AtomicBool::new(false),
                 dirty: AtomicBool::new(false),
+                page_lsn: AtomicU64::new(0),
                 page: RwLock::new(Page::new()),
             })
             .collect();
@@ -112,8 +142,34 @@ impl BufferPool {
             frames,
             table: Mutex::new(HashMap::new()),
             clock_hand: AtomicU32::new(0),
+            wal: Mutex::new(None),
             hits: AtomicU32::new(0),
             misses: AtomicU32::new(0),
+        }
+    }
+
+    /// Attaches a WAL: from now on no page with `page_lsn` above the
+    /// log's flushed LSN is written back without forcing the log first.
+    pub fn set_wal(&self, link: WalLink) {
+        *self.wal.lock().unwrap() = Some(link);
+    }
+
+    /// WAL-before-data guard: called immediately before writing frame `f`
+    /// back to disk. Forces the log if the page's LSN outruns it.
+    fn ensure_wal_durable(&self, f: usize) {
+        let lsn = self.frames[f].page_lsn.load(Ordering::Acquire);
+        if lsn == 0 {
+            return;
+        }
+        let wal = self.wal.lock().unwrap();
+        if let Some(link) = wal.as_ref() {
+            if link.flushed_lsn.load(Ordering::Acquire) < lsn {
+                (link.force)(lsn);
+            }
+            debug_assert!(
+                link.flushed_lsn.load(Ordering::Acquire) >= lsn,
+                "WAL force failed to reach page LSN {lsn}"
+            );
         }
     }
 
@@ -153,10 +209,12 @@ impl BufferPool {
         let old_id = self.frames[victim].page_id.load(Ordering::Acquire);
         if old_id != NO_PAGE {
             if self.frames[victim].dirty.swap(false, Ordering::AcqRel) {
+                self.ensure_wal_durable(victim);
                 let page = self.frames[victim].page.read().unwrap();
                 self.disk.write(old_id, &page);
             }
             table.remove(&old_id);
+            self.frames[victim].page_lsn.store(0, Ordering::Release);
         }
         {
             let mut page = self.frames[victim].page.write().unwrap();
@@ -176,11 +234,13 @@ impl BufferPool {
         }
     }
 
-    /// Flushes all dirty frames to disk.
+    /// Flushes all dirty frames to disk, forcing the WAL ahead of each
+    /// page whose LSN outruns the flushed LSN (WAL-before-data).
     pub fn flush_all(&self) {
         let table = self.table.lock().unwrap();
         for (&pid, &f) in table.iter() {
             if self.frames[f].dirty.swap(false, Ordering::AcqRel) {
+                self.ensure_wal_durable(f);
                 let page = self.frames[f].page.read().unwrap();
                 self.disk.write(pid, &page);
             }
@@ -232,6 +292,70 @@ mod tests {
             let pinned = pool.pin(id);
             pinned.read(|pg| assert_eq!(pg.get(0), &[i as u8; 8]));
         }
+    }
+
+    #[test]
+    fn flush_forces_wal_before_data() {
+        let disk = Arc::new(Disk::default());
+        let p_logged = disk.allocate();
+        let p_clean = disk.allocate();
+        let pool = BufferPool::new(disk, 4);
+        let flushed = Arc::new(AtomicU64::new(5));
+        let forced = Arc::new(Mutex::new(Vec::new()));
+        let (fl, fo) = (flushed.clone(), forced.clone());
+        pool.set_wal(WalLink {
+            flushed_lsn: flushed.clone(),
+            force: Arc::new(move |lsn| {
+                fo.lock().unwrap().push(lsn);
+                fl.fetch_max(lsn, Ordering::AcqRel);
+            }),
+        });
+        // page with LSN 42 > flushed 5: flush must force the WAL first
+        pool.pin(p_logged).write_logged(42, |pg| {
+            pg.insert(b"logged").unwrap();
+        });
+        // page with LSN 3 <= flushed 5: no force needed
+        pool.pin(p_clean).write_logged(3, |pg| {
+            pg.insert(b"clean").unwrap();
+        });
+        pool.flush_all();
+        assert_eq!(*forced.lock().unwrap(), vec![42]);
+        assert!(flushed.load(Ordering::Acquire) >= 42);
+        // second flush: nothing dirty, no further forces
+        pool.flush_all();
+        assert_eq!(forced.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn eviction_forces_wal_before_writeback() {
+        let disk = Arc::new(Disk::default());
+        let ids: Vec<PageId> = (0..4).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::new(disk, 2);
+        let flushed = Arc::new(AtomicU64::new(0));
+        let forced = Arc::new(Mutex::new(Vec::new()));
+        let (fl, fo) = (flushed.clone(), forced.clone());
+        pool.set_wal(WalLink {
+            flushed_lsn: flushed.clone(),
+            force: Arc::new(move |lsn| {
+                fo.lock().unwrap().push(lsn);
+                fl.fetch_max(lsn, Ordering::AcqRel);
+            }),
+        });
+        for (i, &id) in ids.iter().enumerate() {
+            pool.pin(id).write_logged((i as u64 + 1) * 10, |pg| {
+                pg.insert(&[i as u8; 4]).unwrap();
+            });
+        }
+        // the 2-frame pool evicted dirty pages; each write-back forced
+        // the WAL to at least that page's LSN first
+        let forced = forced.lock().unwrap();
+        assert!(!forced.is_empty());
+        let mut hi = 0;
+        for &lsn in forced.iter() {
+            assert!(lsn > hi, "forces must be monotonically increasing");
+            hi = lsn;
+        }
+        assert!(flushed.load(Ordering::Acquire) >= hi);
     }
 
     #[test]

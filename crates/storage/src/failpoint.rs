@@ -1,0 +1,280 @@
+//! Deterministic fault injection for the WAL: a [`Vfs`] that models a
+//! kernel page cache over a disk, and can crash at any point.
+//!
+//! `FailpointFs` keeps the full written stream plus a *synced* watermark
+//! (everything at or below it reached "disk"). Faults:
+//!
+//! * **kill-at-byte** — writes past a configured byte offset fail
+//!   (partial data up to the offset is kept, modelling a torn write);
+//!   every subsequent operation returns an error, like a pulled plug.
+//! * **dropped fsyncs** — `sync` returns success without advancing the
+//!   watermark, modelling a lying disk / missing barrier.
+//! * **crash images** — [`crash_image`] produces the byte stream a
+//!   restarted process would read, under a chosen [`CrashMode`]:
+//!   everything written (clean kill of the *process* only), the synced
+//!   prefix (power loss with an honest disk), or the synced prefix plus
+//!   a garbled torn final sector (power loss mid-sector-write).
+//!
+//! All behaviour is deterministic — the sector garbling uses a fixed
+//! byte pattern, not randomness — so crash-matrix tests are replayable.
+
+use crate::log::Vfs;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Disk sector size used for torn-write simulation.
+pub const SECTOR: usize = 512;
+
+/// What a restarted process finds on "disk".
+#[derive(Clone, Copy, Debug)]
+pub enum CrashMode {
+    /// Process death only: every written byte survives (the page cache
+    /// was flushed by the OS). Image = full stream, clipped to `at`.
+    Exact { at: u64 },
+    /// Power loss, honest disk: only explicitly synced bytes survive.
+    SyncedOnly,
+    /// Power loss mid-write: synced bytes survive, plus the unsynced tail
+    /// with its final sector garbled (torn write).
+    TornTail,
+}
+
+/// Fault-injecting [`Vfs`]. Dependency-free and fully deterministic.
+pub struct FailpointFs {
+    data: Vec<u8>,
+    synced: u64,
+    /// Writes that would extend the stream past this offset die.
+    kill_at: Option<u64>,
+    /// When set, `sync` lies: returns Ok without advancing the watermark.
+    drop_syncs: bool,
+    /// Set after a kill fires: all further operations error.
+    dead: bool,
+    /// Number of successful syncs (observability for tests).
+    pub syncs: u64,
+}
+
+impl FailpointFs {
+    pub fn new() -> FailpointFs {
+        FailpointFs {
+            data: Vec::new(),
+            synced: 0,
+            kill_at: None,
+            drop_syncs: false,
+            dead: false,
+            syncs: 0,
+        }
+    }
+
+    /// Arms the kill switch: any write extending the stream past byte
+    /// `offset` writes the prefix up to `offset`, then fails — and the
+    /// store is dead from then on.
+    pub fn kill_at_byte(&mut self, offset: u64) {
+        self.kill_at = Some(offset);
+    }
+
+    /// Makes `sync` lie (return Ok, advance nothing).
+    pub fn set_drop_syncs(&mut self, drop: bool) {
+        self.drop_syncs = drop;
+    }
+
+    /// True once a kill has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Bytes written so far (including unsynced tail).
+    pub fn written_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes known durable.
+    pub fn synced_len(&self) -> u64 {
+        self.synced
+    }
+
+    /// The byte stream a restarted process would read after a crash.
+    pub fn crash_image(&self, mode: CrashMode) -> Vec<u8> {
+        match mode {
+            CrashMode::Exact { at } => {
+                let n = (at as usize).min(self.data.len());
+                self.data[..n].to_vec()
+            }
+            CrashMode::SyncedOnly => self.data[..self.synced as usize].to_vec(),
+            CrashMode::TornTail => {
+                let mut img = self.data.clone();
+                let tail = img.len().saturating_sub(self.synced as usize);
+                if tail > 0 {
+                    let torn = tail.min(SECTOR);
+                    let start = img.len() - torn;
+                    for (i, b) in img[start..].iter_mut().enumerate() {
+                        // deterministic garble: invert and mix in position
+                        *b = !*b ^ (i as u8).wrapping_mul(0x9d);
+                    }
+                }
+                img
+            }
+        }
+    }
+}
+
+impl Default for FailpointFs {
+    fn default() -> Self {
+        FailpointFs::new()
+    }
+}
+
+impl Vfs for FailpointFs {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint: store is dead",
+            ));
+        }
+        if let Some(k) = self.kill_at {
+            let end = self.data.len() as u64 + data.len() as u64;
+            if end > k {
+                // torn write: the prefix up to the kill point lands
+                let keep = (k as usize).saturating_sub(self.data.len());
+                self.data.extend_from_slice(&data[..keep.min(data.len())]);
+                self.dead = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "failpoint: killed write at configured byte",
+                ));
+            }
+        }
+        self.data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint: store is dead",
+            ));
+        }
+        if !self.drop_syncs {
+            self.synced = self.data.len() as u64;
+            self.syncs += 1;
+        }
+        Ok(())
+    }
+
+    fn read_all(&self) -> io::Result<Vec<u8>> {
+        Ok(self.data.clone())
+    }
+
+    fn rewrite(&mut self, data: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint: store is dead",
+            ));
+        }
+        if let Some(k) = self.kill_at {
+            if data.len() as u64 > k {
+                self.dead = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "failpoint: killed rewrite at configured byte",
+                ));
+            }
+        }
+        // rewrite is atomic (tmp+rename in FileVfs): all-or-nothing
+        self.data = data.to_vec();
+        self.synced = self.data.len() as u64;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+/// A shareable failpoint store: hand one clone to a `Wal` (it implements
+/// [`Vfs`]) and keep the other to arm faults / take crash images while the
+/// log is live.
+pub type SharedFailpoint = Arc<Mutex<FailpointFs>>;
+
+pub fn shared_failpoint() -> SharedFailpoint {
+    Arc::new(Mutex::new(FailpointFs::new()))
+}
+
+impl Vfs for SharedFailpoint {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.lock().unwrap().append(data)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.lock().unwrap().sync()
+    }
+    fn read_all(&self) -> io::Result<Vec<u8>> {
+        self.lock().unwrap().read_all()
+    }
+    fn rewrite(&mut self, data: &[u8]) -> io::Result<()> {
+        self.lock().unwrap().rewrite(data)
+    }
+    fn len(&self) -> u64 {
+        self.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{scan_records, Wal};
+
+    #[test]
+    fn kill_at_byte_tears_write() {
+        let mut fs = FailpointFs::new();
+        fs.kill_at_byte(10);
+        fs.append(b"12345678").unwrap();
+        let err = fs.append(b"abcdef").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(fs.is_dead());
+        assert_eq!(fs.read_all().unwrap(), b"12345678ab"); // torn at byte 10
+        assert!(fs.append(b"more").is_err()); // dead stays dead
+    }
+
+    #[test]
+    fn dropped_fsync_loses_unsynced_tail() {
+        let mut fs = FailpointFs::new();
+        fs.append(b"durable!").unwrap();
+        fs.sync().unwrap();
+        fs.set_drop_syncs(true);
+        fs.append(b"lost").unwrap();
+        fs.sync().unwrap(); // lies
+        assert_eq!(fs.synced_len(), 8);
+        assert_eq!(fs.crash_image(CrashMode::SyncedOnly), b"durable!");
+    }
+
+    #[test]
+    fn torn_tail_garbles_final_sector_deterministically() {
+        let mut fs = FailpointFs::new();
+        fs.append(&[7u8; 100]).unwrap();
+        fs.sync().unwrap();
+        fs.append(&[9u8; 600]).unwrap();
+        let a = fs.crash_image(CrashMode::TornTail);
+        let b = fs.crash_image(CrashMode::TornTail);
+        assert_eq!(a, b); // deterministic
+        assert_eq!(a.len(), 700);
+        assert_eq!(&a[..100], &[7u8; 100]); // synced prefix intact
+        assert_eq!(&a[100..188], &[9u8; 88]); // unsynced but un-torn middle
+        assert_ne!(&a[188..], &[9u8; 512]); // final sector garbled
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_to_synced_prefix() {
+        let fs = shared_failpoint();
+        // write two records through the real Wal framing, sync after first
+        let (mut wal, _) = Wal::open(Box::new(fs.clone())).unwrap();
+        wal.append(b"committed").unwrap();
+        wal.sync().unwrap();
+        wal.append(b"in flight").unwrap();
+        drop(wal);
+        let img = fs.lock().unwrap().crash_image(CrashMode::TornTail);
+        let scan = scan_records(&img);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated);
+    }
+}

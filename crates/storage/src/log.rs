@@ -1,0 +1,429 @@
+//! Append-only write-ahead log: record framing, checksums, and the
+//! backing-store abstraction.
+//!
+//! The WAL is a flat byte stream: an 8-byte magic header followed by
+//! records. Each record is framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc: u64 LE = FNV-1a(payload)] [payload: len bytes]
+//! ```
+//!
+//! The **LSN** of a record is the byte offset of its first frame byte in
+//! the stream; LSNs are therefore strictly increasing and directly
+//! comparable to file sizes ("everything below offset N is durable").
+//! Payload bytes are opaque here — the engine layer defines the record
+//! schema (begin/commit/abort, assert/retract images, checkpoint).
+//!
+//! [`scan_records`] is the recovery-side reader: it walks the stream and
+//! stops at the first frame whose length runs past the end of the file or
+//! whose checksum does not match — the *truncate-at-corruption* rule. A
+//! torn tail (partial final write) is indistinguishable from corruption
+//! and is discarded the same way; everything before it is intact by
+//! construction.
+//!
+//! Backing stores implement [`Vfs`]: a real file ([`FileVfs`]), an
+//! in-memory buffer ([`MemVfs`]), or the fault-injecting
+//! [`FailpointFs`](crate::failpoint::FailpointFs).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic header written at offset 0 of every log.
+pub const WAL_MAGIC: [u8; 8] = *b"XSBWAL01";
+
+/// Frame overhead per record: 4-byte length + 8-byte checksum.
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// FNV-1a 64-bit — the workspace's standard dependency-free checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends one framed record to `out`.
+pub fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One record recovered from a scan: its LSN and payload byte range.
+#[derive(Clone, Copy, Debug)]
+pub struct RecordSpan {
+    /// Byte offset of the frame start (the record's LSN).
+    pub lsn: u64,
+    /// Payload start offset within the scanned buffer.
+    pub start: usize,
+    /// Payload end offset within the scanned buffer.
+    pub end: usize,
+}
+
+/// Result of scanning a log image.
+#[derive(Debug)]
+pub struct Scan {
+    /// Valid records, in LSN order.
+    pub records: Vec<RecordSpan>,
+    /// Bytes of valid prefix (header + intact records). Everything past
+    /// this offset is torn or corrupt and must be discarded.
+    pub valid_len: u64,
+    /// True when the stream held bytes past `valid_len` (torn tail or a
+    /// checksum-corrupt record).
+    pub truncated: bool,
+    /// True when the stream was missing or had a bad magic header.
+    pub bad_header: bool,
+}
+
+/// Scans a log byte image, applying the truncate-at-corruption rule.
+pub fn scan_records(bytes: &[u8]) -> Scan {
+    if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Scan {
+            records: Vec::new(),
+            valid_len: 0,
+            truncated: !bytes.is_empty(),
+            bad_header: true,
+        };
+    }
+    let mut records = Vec::new();
+    let mut off = WAL_MAGIC.len();
+    loop {
+        if off + FRAME_OVERHEAD > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let crc = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
+        let start = off + FRAME_OVERHEAD;
+        let Some(end) = start.checked_add(len) else {
+            break;
+        };
+        if end > bytes.len() || fnv1a(&bytes[start..end]) != crc {
+            break;
+        }
+        records.push(RecordSpan {
+            lsn: off as u64,
+            start,
+            end,
+        });
+        off = end;
+    }
+    Scan {
+        records,
+        valid_len: off as u64,
+        truncated: off < bytes.len(),
+        bad_header: false,
+    }
+}
+
+/// Backing store for a WAL: an append-only byte stream with explicit
+/// durability points (`sync`) and atomic wholesale replacement
+/// (`rewrite`, used by checkpoint truncation).
+pub trait Vfs: Send {
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    fn sync(&mut self) -> io::Result<()>;
+    fn read_all(&self) -> io::Result<Vec<u8>>;
+    /// Atomically replaces the whole stream with `data` (durable once the
+    /// call returns). Checkpoints rely on this being all-or-nothing.
+    fn rewrite(&mut self, data: &[u8]) -> io::Result<()>;
+    fn len(&self) -> u64;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory backing store: `sync` is a no-op (everything written is
+/// considered durable). The deterministic default for tests and benches.
+#[derive(Default)]
+pub struct MemVfs {
+    data: Vec<u8>,
+}
+
+impl MemVfs {
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    /// A store pre-loaded with an existing log image (e.g. a crash image).
+    pub fn from_bytes(data: Vec<u8>) -> MemVfs {
+        MemVfs { data }
+    }
+}
+
+impl Vfs for MemVfs {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.data.extend_from_slice(data);
+        Ok(())
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    fn read_all(&self) -> io::Result<Vec<u8>> {
+        Ok(self.data.clone())
+    }
+    fn rewrite(&mut self, data: &[u8]) -> io::Result<()> {
+        self.data = data.to_vec();
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+/// File-backed store. `rewrite` goes through a temp file + rename so a
+/// crash mid-checkpoint leaves either the old or the new log, never a mix.
+pub struct FileVfs {
+    path: PathBuf,
+    file: File,
+    len: u64,
+}
+
+impl FileVfs {
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileVfs> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(FileVfs { path, file, len })
+    }
+}
+
+impl Vfs for FileVfs {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(data)?;
+        self.len += data.len() as u64;
+        Ok(())
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+    fn read_all(&self) -> io::Result<Vec<u8>> {
+        let mut f = File::open(&self.path)?;
+        let mut buf = Vec::with_capacity(self.len as usize);
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+    fn rewrite(&mut self, data: &[u8]) -> io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.len = data.len() as u64;
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+/// A write-ahead log over a [`Vfs`]: appends framed records, tracks the
+/// next LSN, and exposes sync/rewrite. Single-writer; callers serialize
+/// access (the engine wraps this in a mutex).
+pub struct Wal {
+    vfs: Box<dyn Vfs>,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens a log over `vfs`, writing the magic header if the store is
+    /// empty. Returns the log plus the scan of any pre-existing records
+    /// (recovery input). If the tail was torn/corrupt, the store is
+    /// truncated back to the valid prefix before new appends.
+    pub fn open(vfs: Box<dyn Vfs>) -> io::Result<(Wal, Scan)> {
+        let mut vfs = vfs;
+        if vfs.is_empty() {
+            vfs.append(&WAL_MAGIC)?;
+            vfs.sync()?;
+            let len = vfs.len();
+            return Ok((
+                Wal { vfs, len },
+                Scan {
+                    records: Vec::new(),
+                    valid_len: WAL_MAGIC.len() as u64,
+                    truncated: false,
+                    bad_header: false,
+                },
+            ));
+        }
+        let bytes = vfs.read_all()?;
+        let scan = scan_records(&bytes);
+        if scan.bad_header {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "WAL header missing or corrupt",
+            ));
+        }
+        if scan.truncated {
+            vfs.rewrite(&bytes[..scan.valid_len as usize])?;
+        }
+        let len = scan.valid_len;
+        Ok((Wal { vfs, len }, scan))
+    }
+
+    /// Appends one record; returns its LSN. Not durable until [`sync`].
+    ///
+    /// [`sync`]: Wal::sync
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let lsn = self.len;
+        let mut buf = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        frame_record(payload, &mut buf);
+        self.vfs.append(&buf)?;
+        self.len += buf.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.vfs.sync()
+    }
+
+    /// Atomically replaces the whole log with header + `payloads` (the
+    /// checkpoint-truncation primitive).
+    pub fn rewrite(&mut self, payloads: &[Vec<u8>]) -> io::Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WAL_MAGIC);
+        for p in payloads {
+            frame_record(p, &mut buf);
+        }
+        self.vfs.rewrite(&buf)?;
+        self.len = buf.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes in the log (== the next record's LSN).
+    pub fn size(&self) -> u64 {
+        self.len
+    }
+
+    /// Full current log image (recovery + tests).
+    pub fn bytes(&self) -> io::Result<Vec<u8>> {
+        self.vfs.read_all()
+    }
+
+    /// Access to the backing store (fault-injection tests downcast this).
+    pub fn vfs_mut(&mut self) -> &mut dyn Vfs {
+        &mut *self.vfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_records() {
+        let (mut wal, scan) = Wal::open(Box::new(MemVfs::new())).unwrap();
+        assert!(scan.records.is_empty());
+        let l1 = wal.append(b"first").unwrap();
+        let l2 = wal.append(b"second record").unwrap();
+        assert_eq!(l1, WAL_MAGIC.len() as u64);
+        assert!(l2 > l1);
+        let bytes = wal.bytes().unwrap();
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.truncated);
+        assert_eq!(&bytes[scan.records[0].start..scan.records[0].end], b"first");
+        assert_eq!(
+            &bytes[scan.records[1].start..scan.records[1].end],
+            b"second record"
+        );
+        assert_eq!(scan.records[0].lsn, l1);
+        assert_eq!(scan.records[1].lsn, l2);
+    }
+
+    #[test]
+    fn torn_tail_truncates() {
+        let (mut wal, _) = Wal::open(Box::new(MemVfs::new())).unwrap();
+        wal.append(b"keep me").unwrap();
+        let mut bytes = wal.bytes().unwrap();
+        let keep = bytes.len();
+        // simulate a torn final write: half a frame of a second record
+        let mut extra = Vec::new();
+        frame_record(b"torn away", &mut extra);
+        bytes.extend_from_slice(&extra[..extra.len() / 2]);
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len as usize, keep);
+    }
+
+    #[test]
+    fn corrupt_middle_record_truncates_at_corruption() {
+        let (mut wal, _) = Wal::open(Box::new(MemVfs::new())).unwrap();
+        wal.append(b"alpha").unwrap();
+        let l2 = wal.append(b"beta").unwrap();
+        wal.append(b"gamma").unwrap();
+        let mut bytes = wal.bytes().unwrap();
+        // flip a payload byte of the middle record
+        bytes[l2 as usize + FRAME_OVERHEAD] ^= 0xff;
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records.len(), 1); // only "alpha" survives
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, l2);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_in_store() {
+        let (mut wal, _) = Wal::open(Box::new(MemVfs::new())).unwrap();
+        wal.append(b"solid").unwrap();
+        let mut bytes = wal.bytes().unwrap();
+        bytes.extend_from_slice(&[0x55; 7]); // garbage tail
+        let (wal2, scan) = Wal::open(Box::new(MemVfs::from_bytes(bytes))).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated);
+        assert_eq!(wal2.size(), scan.valid_len);
+    }
+
+    #[test]
+    fn rewrite_replaces_stream() {
+        let (mut wal, _) = Wal::open(Box::new(MemVfs::new())).unwrap();
+        for i in 0..50u8 {
+            wal.append(&[i; 40]).unwrap();
+        }
+        let big = wal.size();
+        wal.rewrite(&[b"checkpoint".to_vec()]).unwrap();
+        assert!(wal.size() < big);
+        let scan = scan_records(&wal.bytes().unwrap());
+        assert_eq!(scan.records.len(), 1);
+        let bytes = wal.bytes().unwrap();
+        assert_eq!(
+            &bytes[scan.records[0].start..scan.records[0].end],
+            b"checkpoint"
+        );
+    }
+
+    #[test]
+    fn file_vfs_round_trip() {
+        let dir = std::env::temp_dir().join(format!("xsb_wal_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(Box::new(FileVfs::open(&path).unwrap())).unwrap();
+            wal.append(b"persist me").unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let (wal, scan) = Wal::open(Box::new(FileVfs::open(&path).unwrap())).unwrap();
+            assert_eq!(scan.records.len(), 1);
+            let bytes = wal.bytes().unwrap();
+            assert_eq!(
+                &bytes[scan.records[0].start..scan.records[0].end],
+                b"persist me"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

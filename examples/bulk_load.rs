@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 use xsb::core::Engine;
-use xsb::storage::bulkload::{generate_delimited, load_formatted, load_general, load_object};
+use xsb_bench::bulkload::{generate_delimited, load_formatted, load_general, load_object};
 
 fn main() {
     let n = 50_000;

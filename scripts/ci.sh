@@ -59,6 +59,11 @@ $WATCHDOG cargo test -q --offline -p xsb-core --test shared_tables
 $WATCHDOG cargo test -q --offline -p xsb-core --lib engine_pool
 $WATCHDOG cargo test -q --offline -p xsb-core --lib shared
 
+echo "== durability crash matrix under watchdog"
+# the crash matrix kills the WAL at every byte offset and recovers; a
+# recovery livelock would hang, so it also runs under the hard timeout
+$WATCHDOG cargo test -q --offline -p xsb-core --test durability
+
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
@@ -168,6 +173,34 @@ for r in rows:
         "%s: fusion did not reduce dispatches (%d vs %d)"
         % (r["workload"], r["fused_instructions"], r["work_instructions"]))
     assert r["instructions_per_sec"] > 0, "%s: zero throughput" % r["workload"]
+PY
+fi
+
+echo "== durability smoke run (E17: group commit, recovery, checkpoint)"
+cargo run --release --offline -p xsb-bench --bin harness -- \
+    durability --quick --json "$ARTIFACT_DIR/durability.json"
+validate_json "$ARTIFACT_DIR/durability.json" '"durability"'
+if [ "$HAVE_PYTHON3" = 1 ]; then
+python3 - "$ARTIFACT_DIR/durability.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))["durability"]
+for w in d["windows"]:
+    print("window=%-6dus commits=%d qps=%.0f fsyncs=%d p50=%dns p99=%dns"
+          % (w["window_us"], w["commits"], w["commit_qps"], w["fsyncs"],
+             w["commit_p50_ns"], w["commit_p99_ns"]))
+for r in d["recovery"]:
+    print("facts=%-6d log=%-8dB recovery=%.2fms replayed=%d"
+          % (r["facts"], r["log_bytes"], r["recovery_ms"], r["replayed"]))
+assert d["recovery_torn_facts"] == 0, (
+    "%d torn facts survived recovery" % d["recovery_torn_facts"])
+assert d["commit_qps"] > 0, "zero commit throughput"
+assert d["checkpoint_bytes_after"] < d["checkpoint_bytes_before"], (
+    "checkpoint did not truncate the log (%d -> %d)"
+    % (d["checkpoint_bytes_before"], d["checkpoint_bytes_after"]))
+# each recovery replays program + every committed assert exactly once
+for r in d["recovery"]:
+    assert r["replayed"] == r["facts"] + 1, (
+        "recovery replayed %d records for %d facts" % (r["replayed"], r["facts"]))
 PY
 fi
 

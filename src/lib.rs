@@ -7,4 +7,4 @@ pub use xsb_storage as storage;
 pub use xsb_syntax as syntax;
 pub use xsb_wfs as wfs;
 
-pub use xsb_core::{Engine, EngineError, Solution};
+pub use xsb_core::{DurableLog, Engine, EngineError, RecoveryReport, Solution};
