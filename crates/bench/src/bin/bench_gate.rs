@@ -194,6 +194,42 @@ const METRICS: &[Metric] = &[
         tol_mult: 0.0,
         extract: |r| num_at(r, &["durability", "recovery_torn_facts"]),
     },
+    // E18 network serving: closed-loop throughput and client-observed
+    // latency over loopback TCP. Real sockets and a real scheduler, so
+    // the timings get the wide multipliers; the health counters are
+    // deterministic and zero-tolerance.
+    Metric {
+        name: "serving_net.qps",
+        higher_is_better: true,
+        tol_mult: 2.5,
+        extract: |r| num_at(r, &["serving_net", "qps"]),
+    },
+    Metric {
+        name: "serving_net.p50_ns",
+        higher_is_better: false,
+        tol_mult: 5.5,
+        extract: |r| num_at(r, &["serving_net", "p50_ns"]),
+    },
+    Metric {
+        name: "serving_net.p99_ns",
+        higher_is_better: false,
+        tol_mult: 5.5,
+        extract: |r| num_at(r, &["serving_net", "p99_ns"]),
+    },
+    Metric {
+        // a baseline of 0 makes any framing error an infinite regression
+        name: "serving_net.protocol_errors",
+        higher_is_better: false,
+        tol_mult: 0.0,
+        extract: |r| num_at(r, &["serving_net", "protocol_errors"]),
+    },
+    Metric {
+        // ditto for connections leaked past shutdown
+        name: "serving_net.stuck_connections",
+        higher_is_better: false,
+        tol_mult: 0.0,
+        extract: |r| num_at(r, &["serving_net", "stuck_connections"]),
+    },
 ];
 
 /// Looks up `field` in the emulator row whose `workload` matches.
@@ -482,6 +518,16 @@ mod tests {
                     ("recovery_torn_facts", Json::Int(0)),
                 ]),
             ),
+            (
+                "serving_net",
+                Json::obj([
+                    ("qps", Json::Num(qps / 2.0)),
+                    ("p50_ns", Json::Int(300_000)),
+                    ("p99_ns", Json::Int(1_200_000)),
+                    ("protocol_errors", Json::Int(0)),
+                    ("stuck_connections", Json::Int(0)),
+                ]),
+            ),
         ])
     }
 
@@ -637,6 +683,52 @@ mod tests {
             .unwrap();
         assert_eq!(r.status, Status::Fail);
         assert!(r.regression.is_infinite());
+    }
+
+    #[test]
+    fn a_single_protocol_error_or_stuck_connection_fails_from_zero() {
+        for field in ["protocol_errors", "stuck_connections"] {
+            let mut cur = base();
+            if let Json::Obj(top) = &mut cur {
+                if let Some((_, Json::Obj(net))) = top.iter_mut().find(|(k, _)| k == "serving_net")
+                {
+                    for (k, v) in net.iter_mut() {
+                        if k == field {
+                            *v = Json::Int(1);
+                        }
+                    }
+                }
+            }
+            let rows = compare(&base(), &cur, 0.20);
+            assert!(!gate_passes(&rows), "{field}: {rows:?}");
+            let r = rows
+                .iter()
+                .find(|r| r.name == format!("serving_net.{field}"))
+                .unwrap();
+            assert_eq!(r.status, Status::Fail, "{field}");
+            assert!(r.regression.is_infinite(), "{field}");
+        }
+    }
+
+    #[test]
+    fn net_serving_latency_tracks_like_other_percentiles() {
+        // one log-bucket step of noise passes; a 4x tail regression fails
+        let mut cur = base();
+        if let Json::Obj(top) = &mut cur {
+            if let Some((_, Json::Obj(net))) = top.iter_mut().find(|(k, _)| k == "serving_net") {
+                for (k, v) in net.iter_mut() {
+                    if k == "p99_ns" {
+                        *v = Json::Int(5_000_000);
+                    }
+                }
+            }
+        }
+        let rows = compare(&base(), &cur, 0.20);
+        let r = rows
+            .iter()
+            .find(|r| r.name == "serving_net.p99_ns")
+            .unwrap();
+        assert_eq!(r.status, Status::Fail, "{rows:?}");
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //!
 //! Experiments: `table2 fig2 fig5-cycle fig5-fanout table3 slg-vs-sld
 //! append hilog dynamic-vs-static bulkload serving factoring concurrent
-//! emulator durability wfs all` (default `all`). `baseline` runs just the
-//! gate-tracked subset (`serving factoring concurrent emulator
-//! durability`) — it is
-//! what `scripts/ci.sh` compares against `BENCH_BASELINE.json`. `trace` runs the reference workload
+//! emulator durability serving_net wfs all` (default `all`). `baseline`
+//! runs just the gate-tracked subset (`serving factoring concurrent
+//! emulator durability serving_net`) — it is
+//! what `scripts/ci.sh` compares against `BENCH_BASELINE.json`, with the
+//! noisy experiments (`concurrent`, `serving_net`) taken best-of-3 and
+//! the rep count recorded as `noisy_reps` in the JSON. `trace` runs the reference workload
 //! with span tracing and opcode profiling on; its `--json` artifact is a
 //! Chrome trace-event object (load it at <https://ui.perfetto.dev>) with
 //! the opcode profile attached under the extra `profile` key.
@@ -50,6 +52,8 @@ fn main() {
     let mut factoring_rows: Option<Vec<FactoringRow>> = None;
     let mut concurrent_report: Option<ConcurrentReport> = None;
     let mut durability_report: Option<DurabilityReport> = None;
+    let mut net_report: Option<NetServingReport> = None;
+    let mut noisy_reps: Option<usize> = None;
     let mut trace_json: Option<Json> = None;
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
@@ -77,17 +81,32 @@ fn main() {
         "durability" => run("durability", &mut || {
             durability_report = Some(durability(quick))
         }),
+        "serving_net" => run("serving_net", &mut || net_report = Some(serving_net(quick))),
         "baseline" => {
             // the gate-tracked subset — ci.sh compares this run's JSON
-            // against the committed BENCH_BASELINE.json
+            // against the committed BENCH_BASELINE.json. The two noisy
+            // experiments (concurrent's shared_speedup is a ratio of two
+            // small timed phases; the net serving closed loop runs over
+            // real sockets) are taken best-of-N so one descheduled run
+            // cannot flake the gate; deterministic counters are
+            // unaffected by the repetition.
+            const NOISY_REPS: usize = 3;
+            noisy_reps = Some(NOISY_REPS);
             run("serving", &mut || serving_report = Some(serving(quick)));
             run("factoring", &mut || factoring_rows = Some(factoring(quick)));
             run("concurrent", &mut || {
-                concurrent_report = Some(concurrent(quick))
+                concurrent_report = (0..NOISY_REPS)
+                    .map(|_| concurrent(quick))
+                    .max_by(|a, b| a.shared_speedup.total_cmp(&b.shared_speedup))
             });
             run("emulator", &mut || emulator_rows = Some(emulator(quick)));
             run("durability", &mut || {
                 durability_report = Some(durability(quick))
+            });
+            run("serving_net", &mut || {
+                net_report = (0..NOISY_REPS)
+                    .map(|_| serving_net(quick))
+                    .max_by(|a, b| a.qps.total_cmp(&b.qps))
             });
         }
         "trace" => run("trace", &mut || trace_json = Some(trace_experiment())),
@@ -114,6 +133,7 @@ fn main() {
             run("durability", &mut || {
                 durability_report = Some(durability(quick))
             });
+            run("serving_net", &mut || net_report = Some(serving_net(quick)));
             run("ablation-tables", &mut || ablation_tables(quick));
             run("ablation-seminaive", &mut || ablation_seminaive(quick));
             run("wfs", &mut wfs);
@@ -130,12 +150,14 @@ fn main() {
             json_report(
                 &arg,
                 quick,
+                noisy_reps,
                 &timings,
                 serving_report.as_ref(),
                 factoring_rows.as_deref(),
                 concurrent_report.as_ref(),
                 emulator_rows.as_deref(),
                 durability_report.as_ref(),
+                net_report.as_ref(),
             )
         });
         if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
@@ -152,12 +174,14 @@ fn main() {
 fn json_report(
     experiment: &str,
     quick: bool,
+    noisy_reps: Option<usize>,
     timings: &[(String, f64)],
     serving: Option<&ServingReport>,
     factoring: Option<&[FactoringRow]>,
     concurrent: Option<&ConcurrentReport>,
     emulator: Option<&[EmulatorRow]>,
     durability: Option<&DurabilityReport>,
+    net: Option<&NetServingReport>,
 ) -> Json {
     let experiments = Json::Arr(
         timings
@@ -179,6 +203,10 @@ fn json_report(
         ("engine_counters", counters),
         ("opcode_profile", profile),
     ];
+    if let Some(reps) = noisy_reps {
+        // how many runs the noisy experiments were taken best-of
+        fields.insert(3, ("noisy_reps", Json::Int(reps as i64)));
+    }
     if let Some(s) = serving {
         fields.push((
             "serving",
@@ -343,6 +371,40 @@ fn json_report(
                                     ("log_bytes", Json::Int(r.log_bytes as i64)),
                                     ("recovery_ms", Json::Num(r.recovery_ms)),
                                     ("replayed", Json::Int(r.replayed as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    if let Some(s) = net {
+        fields.push((
+            "serving_net",
+            Json::obj([
+                ("n", Json::Int(s.n)),
+                ("qps", Json::Num(s.qps)),
+                ("p50_ns", Json::Int(s.p50_ns as i64)),
+                ("p99_ns", Json::Int(s.p99_ns as i64)),
+                ("rejection_rate", Json::Num(s.rejection_rate)),
+                ("stuck_connections", Json::Int(s.stuck_connections as i64)),
+                ("protocol_errors", Json::Int(s.protocol_errors as i64)),
+                (
+                    "rows",
+                    Json::Arr(
+                        s.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("connections", Json::Int(r.connections as i64)),
+                                    ("depth", Json::Int(r.depth as i64)),
+                                    ("requests", Json::Int(r.requests as i64)),
+                                    ("qps", Json::Num(r.qps)),
+                                    ("p50_ns", Json::Int(r.p50_ns as i64)),
+                                    ("p99_ns", Json::Int(r.p99_ns as i64)),
+                                    ("busy", Json::Int(r.busy as i64)),
+                                    ("errors", Json::Int(r.errors as i64)),
                                 ])
                             })
                             .collect(),
@@ -777,6 +839,38 @@ fn durability(quick: bool) -> DurabilityReport {
     println!(
         "checkpoint truncation: {} -> {} bytes   torn facts after recovery: {}",
         r.checkpoint_bytes_before, r.checkpoint_bytes_after, r.recovery_torn_facts
+    );
+    r
+}
+
+fn serving_net(quick: bool) -> NetServingReport {
+    header("E18 — network serving: closed-loop load over the TCP front-end");
+    println!("clients pipeline count queries over loopback TCP (port 0, kernel-");
+    println!("assigned); an overload burst against a tiny admission queue must be");
+    println!("shed with typed Busy — and zero stuck connections or protocol errors");
+    let r = run_serving_net(quick);
+    println!(
+        "{:>6} {:>7} {:>10} {:>12} {:>12} {:>12} {:>6} {:>7}",
+        "conns", "depth", "requests", "qps", "p50 (µs)", "p99 (µs)", "busy", "errors"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>6} {:>7} {:>10} {:>12.0} {:>12.1} {:>12.1} {:>6} {:>7}",
+            row.connections,
+            row.depth,
+            row.requests,
+            row.qps,
+            row.p50_ns as f64 / 1e3,
+            row.p99_ns as f64 / 1e3,
+            row.busy,
+            row.errors
+        );
+    }
+    println!(
+        "overload rejection rate {:.0}%   stuck connections {}   protocol errors {}",
+        r.rejection_rate * 100.0,
+        r.stuck_connections,
+        r.protocol_errors
     );
     r
 }

@@ -1467,3 +1467,267 @@ mod durability_tests {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// E18 — network serving: closed-loop load over the TCP front-end
+// ---------------------------------------------------------------------
+
+/// One load configuration of the E18 sweep: `connections` client
+/// connections, each keeping `depth` requests pipelined on the wire.
+#[derive(Debug, Clone)]
+pub struct NetServingRow {
+    pub connections: usize,
+    /// pipeline depth per connection (requests kept in flight)
+    pub depth: usize,
+    /// requests completed across all connections
+    pub requests: u64,
+    /// closed-loop throughput (completed requests per second)
+    pub qps: f64,
+    /// client-observed request latency (send → completion frame), exact
+    /// percentiles over every request in the row — not histogram buckets
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub busy: u64,
+    pub errors: u64,
+}
+
+/// E18 report: the closed-loop sweep, an overload row proving admission
+/// control sheds rather than queues, and the zero-tolerance health
+/// counters the CI gate pins (stuck connections, protocol errors).
+#[derive(Debug, Clone)]
+pub struct NetServingReport {
+    pub n: i64,
+    pub rows: Vec<NetServingRow>,
+    /// Headline closed-loop throughput: qps of the deepest
+    /// connections × depth configuration.
+    pub qps: f64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// From the overload row: share of requests shed with `Busy` when the
+    /// offered load exceeds the admission queue. Evidence the server
+    /// degrades by rejecting, not by queueing without bound.
+    pub rejection_rate: f64,
+    /// Connections still open after every client closed and the servers
+    /// shut down. Anything nonzero is a leak; the gate holds it at 0.
+    pub stuck_connections: u64,
+    /// Protocol errors across the whole run. The bench speaks the
+    /// protocol correctly, so anything nonzero is a framing bug; the
+    /// gate holds it at 0.
+    pub protocol_errors: u64,
+}
+
+/// Exact percentile over a sorted latency sample.
+fn exact_pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drives one closed-loop row: every connection keeps `depth` count
+/// queries in flight until it has completed its share of `total`.
+/// Returns (latencies ns, busy, errors, wall secs).
+fn drive_closed_loop(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    depth: usize,
+    per_conn: usize,
+    subgoals: usize,
+) -> (Vec<u64>, u64, u64, f64) {
+    use std::collections::VecDeque;
+    use xsb_server::{Outcome, RemoteConn};
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut conn = RemoteConn::connect(addr).expect("bench client connects");
+                let mut latencies = Vec::with_capacity(per_conn);
+                let mut busy = 0u64;
+                let mut errors = 0u64;
+                let mut sent = 0usize;
+                let mut inflight: VecDeque<(u64, Instant)> = VecDeque::new();
+                let goal = |i: usize| {
+                    // spread connections across subgoals so the pool
+                    // serves a mixed (but warm) working set
+                    format!("path({}, X)", 1 + (c + i) % subgoals)
+                };
+                while sent < per_conn.min(depth) {
+                    let id = conn.send_count(&goal(sent)).expect("send");
+                    inflight.push_back((id, Instant::now()));
+                    sent += 1;
+                }
+                while let Some((id, at)) = inflight.pop_front() {
+                    match conn.wait(id).expect("bench request completes") {
+                        Outcome::Complete { .. } => latencies.push(at.elapsed().as_nanos() as u64),
+                        Outcome::Busy => busy += 1,
+                        Outcome::Error(_) => errors += 1,
+                    }
+                    if sent < per_conn {
+                        let id = conn.send_count(&goal(sent)).expect("send");
+                        inflight.push_back((id, Instant::now()));
+                        sent += 1;
+                    }
+                }
+                conn.close();
+                (latencies, busy, errors)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut busy = 0;
+    let mut errors = 0;
+    for h in handles {
+        let (l, b, e) = h.join().expect("bench client thread");
+        latencies.extend(l);
+        busy += b;
+        errors += e;
+    }
+    (latencies, busy, errors, secs(t0.elapsed()))
+}
+
+pub fn run_serving_net(quick: bool) -> NetServingReport {
+    use xsb_core::PoolConfig;
+    use xsb_server::{Driver, Outcome, RemoteConn, Server, ServerConfig};
+
+    let n: i64 = if quick { 64 } else { 128 };
+    let subgoals = 4usize;
+    let per_conn = if quick { 40 } else { 200 };
+    // single-core CI containers serve everything through 1-2 workers;
+    // connection counts stay small so the sweep measures the wire and
+    // scheduler, not thread thrash
+    let configs: &[(usize, usize)] = if quick {
+        &[(1, 1), (2, 4)]
+    } else {
+        &[(1, 1), (2, 2), (4, 4)]
+    };
+
+    let src = pool_program(n);
+    let server = Server::start(
+        &src,
+        ServerConfig {
+            pool: PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server starts");
+    let addr = server.addr();
+
+    // warm every subgoal's table first: the sweep measures wire + serving
+    // overhead over completed tables, not first-call evaluation
+    {
+        let mut warm = RemoteConn::connect(addr).expect("warmup client connects");
+        for k in 1..=subgoals {
+            assert_eq!(
+                warm.count(&format!("path({k}, X)")).expect("warmup query"),
+                n as u64,
+                "cycle closure is total"
+            );
+        }
+        warm.close();
+    }
+
+    let mut rows = Vec::new();
+    for &(connections, depth) in configs {
+        let (mut latencies, busy, errors, wall) =
+            drive_closed_loop(addr, connections, depth, per_conn, subgoals);
+        latencies.sort_unstable();
+        rows.push(NetServingRow {
+            connections,
+            depth,
+            requests: latencies.len() as u64,
+            qps: latencies.len() as f64 / wall.max(1e-9),
+            p50_ns: exact_pct(&latencies, 0.50),
+            p99_ns: exact_pct(&latencies, 0.99),
+            busy,
+            errors,
+        });
+    }
+    let net_errors: u64 = rows.iter().map(|r| r.errors).sum();
+    let closed_loop_busy: u64 = rows.iter().map(|r| r.busy).sum();
+    assert_eq!(
+        closed_loop_busy, 0,
+        "unbounded-queue sweep must never see Busy"
+    );
+    let main_stats = server.stats();
+    let mut stuck = server.shutdown() as u64;
+    let mut protocol_errors = main_stats.protocol_errors;
+
+    // overload: a separate server with a tiny admission queue, hit with
+    // a burst far deeper than the queue — the surplus must come back as
+    // typed Busy (shed), not wait in an unbounded line
+    let overload_server = Server::start(
+        &src,
+        ServerConfig {
+            pool: PoolConfig {
+                workers: 1,
+                queue_depth: Some(2),
+                ..PoolConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("overload server starts");
+    let mut c = RemoteConn::connect(overload_server.addr()).expect("overload client");
+    let burst = 16;
+    let ids: Vec<u64> = (0..burst)
+        // cold heavy goal on the fresh pool keeps the worker busy while
+        // the rest of the burst lands
+        .map(|_| c.send_count("path(X, Y)").expect("overload send"))
+        .collect();
+    let mut shed = 0u64;
+    let mut ran = 0u64;
+    for id in ids {
+        match c.wait(id).expect("overload harvest") {
+            Outcome::Busy => shed += 1,
+            Outcome::Complete { .. } => ran += 1,
+            Outcome::Error(_) => protocol_errors += 1, // engine errors are bugs here too
+        }
+    }
+    c.close();
+    let overload_stats = overload_server.stats();
+    stuck += overload_server.shutdown() as u64;
+    protocol_errors += overload_stats.protocol_errors;
+    assert!(ran >= 1, "overload burst must still complete some work");
+    let rejection_rate = shed as f64 / burst as f64;
+
+    let last = rows.last().expect("at least one load configuration");
+    NetServingReport {
+        n,
+        qps: last.qps,
+        p50_ns: last.p50_ns,
+        p99_ns: last.p99_ns,
+        rejection_rate,
+        stuck_connections: stuck,
+        protocol_errors: protocol_errors + net_errors,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod serving_net_tests {
+    use super::*;
+
+    #[test]
+    fn serving_net_report_is_healthy_end_to_end() {
+        let r = run_serving_net(true);
+        assert_eq!(r.rows.len(), 2, "{r:?}");
+        for row in &r.rows {
+            assert_eq!(row.requests, (row.connections * 40) as u64, "{r:?}");
+            assert!(row.qps > 0.0, "{r:?}");
+            assert!(row.p50_ns > 0 && row.p50_ns <= row.p99_ns, "{r:?}");
+            assert_eq!(row.busy, 0, "{r:?}");
+            assert_eq!(row.errors, 0, "{r:?}");
+        }
+        assert!(r.qps > 0.0);
+        assert!(
+            r.rejection_rate > 0.0,
+            "overload burst must shed something: {r:?}"
+        );
+        assert_eq!(r.stuck_connections, 0, "{r:?}");
+        assert_eq!(r.protocol_errors, 0, "{r:?}");
+    }
+}

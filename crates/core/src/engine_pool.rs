@@ -58,6 +58,12 @@ pub struct PoolConfig {
     /// table budget in answer-store cells, applied to each worker *and*
     /// the shared store (None = unbounded)
     pub table_budget: Option<u64>,
+    /// admission control for [`ServerPool::try_submit_stream`]: maximum
+    /// streamed jobs queued-or-running pool-wide before submissions are
+    /// rejected with a typed [`PoolBusy`] (None = unbounded). The plain
+    /// `submit`/`query` APIs are not admission-controlled — they are the
+    /// embedded, trusted path.
+    pub queue_depth: Option<usize>,
 }
 
 impl Default for PoolConfig {
@@ -66,7 +72,54 @@ impl Default for PoolConfig {
             workers: 4,
             step_limit: None,
             table_budget: None,
+            queue_depth: None,
         }
+    }
+}
+
+/// One streamed answer: the query's named variables with their bindings
+/// rendered to canonical text by the worker that computed them (symbol
+/// ids are engine-local, so terms must be rendered before they cross an
+/// engine boundary — a wire, or another engine's symbol table).
+pub type WireAnswer = Vec<(String, String)>;
+
+/// What a streamed submission does with its goal text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Evaluate the goal and stream every solution's bindings.
+    Query,
+    /// Evaluate to exhaustion, report only the solution count (the
+    /// fail-loop fast path — no solutions are decoded or streamed).
+    Count,
+}
+
+/// One event in a streamed job's reply channel, tagged with the caller's
+/// request id. Per-job event order is `Answers* (Done | Error)`: answer
+/// batches (queries only), then exactly one terminal event.
+#[derive(Clone, Debug)]
+pub enum StreamItem {
+    /// A batch of rendered solutions, in solution order.
+    Answers(Vec<WireAnswer>),
+    /// Terminal: the job completed. `count` is the total solutions; the
+    /// two timings are the job's queue wait and on-engine run time.
+    Done {
+        count: u64,
+        queue_wait_ns: u64,
+        run_ns: u64,
+    },
+    /// Terminal: the engine rejected the goal/program.
+    Error(String),
+}
+
+/// Typed admission-control rejection from [`ServerPool::try_submit_stream`]:
+/// the pool's bounded queue is full. The caller should shed the request
+/// (e.g. answer `Busy` on the wire) rather than retry in a tight loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolBusy;
+
+impl std::fmt::Display for PoolBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool admission queue full")
     }
 }
 
@@ -81,6 +134,17 @@ enum Job {
     /// snapshot this worker's metrics (also the join barrier: a reply
     /// proves the worker drained everything submitted before it)
     Metrics(Sender<Box<Metrics>>),
+    /// run a streamed job: answers go back in batches of `batch` over the
+    /// shared `reply` channel, every event tagged with `tag` so many jobs
+    /// can share one channel (the serving front-end's pipelining)
+    Stream {
+        kind: StreamKind,
+        goal: String,
+        tag: u64,
+        batch: usize,
+        submitted: Instant,
+        reply: Sender<(u64, StreamItem)>,
+    },
 }
 
 impl Job {
@@ -91,6 +155,7 @@ impl Job {
     fn submitted(&self) -> Option<Instant> {
         match self {
             Job::Query(_, t, _) | Job::Count(_, t, _) | Job::Consult(_, t, _) => Some(*t),
+            Job::Stream { submitted, .. } => Some(*submitted),
             Job::Metrics(_) => None,
         }
     }
@@ -110,6 +175,12 @@ pub struct ServerPool {
     log: Option<Arc<DurableLog>>,
     /// round-robin cursor for [`ServerPool::submit`]
     next: std::sync::atomic::AtomicUsize,
+    /// streamed jobs currently queued or running pool-wide; workers
+    /// decrement after the terminal event, so the count is the admission
+    /// queue's occupancy
+    inflight: Arc<std::sync::atomic::AtomicUsize>,
+    /// admission bound on `inflight` (None = unbounded)
+    queue_depth: Option<usize>,
 }
 
 /// A pending result from [`ServerPool::submit`] / [`ServerPool::submit_count`].
@@ -196,6 +267,7 @@ impl ServerPool {
         }
         let nworkers = config.workers.max(1);
         let mut workers = Vec::with_capacity(nworkers);
+        let inflight = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let (ready_tx, ready_rx) = channel::<Result<(), EngineError>>();
         for wid in 0..nworkers {
             let (tx, rx) = channel::<Job>();
@@ -204,6 +276,7 @@ impl ServerPool {
             let config = config.clone();
             let store = store.clone();
             let ready = ready_tx.clone();
+            let inflight = inflight.clone();
             let handle = std::thread::spawn(move || {
                 // the engine lives entirely inside this thread: Engine is
                 // intentionally !Send (Rc/RefCell on the WAM hot paths)
@@ -243,8 +316,9 @@ impl ServerPool {
                 while let Ok(job) = rx.recv() {
                     // single queue-wait recording site: every timed job
                     // kind samples exactly once, the metrics barrier never
-                    if let Some(submitted) = job.submitted() {
-                        e.note_queue_wait(submitted.elapsed().as_nanos() as u64);
+                    let queue_ns = job.submitted().map(|s| s.elapsed().as_nanos() as u64);
+                    if let Some(ns) = queue_ns {
+                        e.note_queue_wait(ns);
                     }
                     match job {
                         Job::Query(q, _, reply) => {
@@ -269,6 +343,60 @@ impl ServerPool {
                             let r = e.consult_broadcast(&src);
                             e.note_run_time(sw.elapsed_nanos());
                             let _ = reply.send(r);
+                        }
+                        Job::Stream {
+                            kind,
+                            goal,
+                            tag,
+                            batch,
+                            reply,
+                            ..
+                        } => {
+                            let sw = Stopwatch::new();
+                            let terminal = match kind {
+                                StreamKind::Query => match e.query(&goal) {
+                                    Ok(sols) => {
+                                        let count = sols.len() as u64;
+                                        let batch = batch.max(1);
+                                        for chunk in sols.chunks(batch) {
+                                            let rendered = chunk
+                                                .iter()
+                                                .map(|s| {
+                                                    s.bindings
+                                                        .iter()
+                                                        .map(|(n, t)| {
+                                                            (
+                                                                n.clone(),
+                                                                t.display(&e.syms).to_string(),
+                                                            )
+                                                        })
+                                                        .collect()
+                                                })
+                                                .collect();
+                                            let _ =
+                                                reply.send((tag, StreamItem::Answers(rendered)));
+                                        }
+                                        Ok(count)
+                                    }
+                                    Err(err) => Err(err),
+                                },
+                                StreamKind::Count => e.count(&goal).map(|n| n as u64),
+                            };
+                            let run_ns = sw.elapsed_nanos();
+                            e.note_run_time(run_ns);
+                            let item = match terminal {
+                                Ok(count) => StreamItem::Done {
+                                    count,
+                                    queue_wait_ns: queue_ns.unwrap_or(0),
+                                    run_ns,
+                                },
+                                Err(err) => StreamItem::Error(err.to_string()),
+                            };
+                            // release the admission slot before the
+                            // terminal event: a caller that sees Done must
+                            // be able to submit again without a spurious Busy
+                            inflight.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                            let _ = reply.send((tag, item));
                         }
                         Job::Metrics(reply) => {
                             let _ = reply.send(Box::new(e.metrics().clone()));
@@ -295,6 +423,8 @@ impl ServerPool {
             store,
             log,
             next: std::sync::atomic::AtomicUsize::new(0),
+            inflight,
+            queue_depth: config.queue_depth,
         })
     }
 
@@ -348,6 +478,50 @@ impl ServerPool {
             .tx
             .send(Job::Count(q.to_string(), Instant::now(), reply));
         Ticket { rx }
+    }
+
+    /// Submits a streamed job under admission control: if accepted, the
+    /// job's events arrive on `reply` tagged with `tag` (many jobs may
+    /// share one channel — per-job order is `Answers* (Done | Error)`);
+    /// if the pool's bounded queue (`PoolConfig::queue_depth`) is full,
+    /// returns the typed [`PoolBusy`] rejection immediately and sends
+    /// nothing. This is the serving front-end's submission path: it never
+    /// blocks and never wedges the caller behind a deep queue.
+    pub fn try_submit_stream(
+        &self,
+        kind: StreamKind,
+        goal: &str,
+        tag: u64,
+        batch: usize,
+        reply: Sender<(u64, StreamItem)>,
+    ) -> Result<(), PoolBusy> {
+        use std::sync::atomic::Ordering;
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if let Some(depth) = self.queue_depth {
+            if prev >= depth {
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                return Err(PoolBusy);
+            }
+        }
+        let job = Job::Stream {
+            kind,
+            goal: goal.to_string(),
+            tag,
+            batch,
+            submitted: Instant::now(),
+            reply,
+        };
+        if self.pick(None).tx.send(job).is_err() {
+            // worker died: release the slot; the caller sees the closed
+            // reply channel (no terminal event will ever arrive)
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Streamed jobs currently queued or running (admission occupancy).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Convenience: run a query on one worker and wait for its solutions.
@@ -657,6 +831,116 @@ mod tests {
         // shared-store sync runs before (and publish after) each query
         assert_eq!(m.shared_sync.count(), 4);
         assert_eq!(m.shared_publish.count(), 4);
+    }
+
+    #[test]
+    fn streamed_query_batches_and_terminates_in_order() {
+        let p = pool(2);
+        let (tx, rx) = channel();
+        // 3 answers, batch 2 => two Answers frames then Done
+        p.try_submit_stream(StreamKind::Query, "path(1, X)", 7, 2, tx)
+            .unwrap();
+        let mut answers = Vec::new();
+        let mut done = None;
+        while done.is_none() {
+            let (tag, item) = rx.recv().unwrap();
+            assert_eq!(tag, 7);
+            match item {
+                StreamItem::Answers(batch) => {
+                    assert!(batch.len() <= 2, "batch bound respected");
+                    answers.extend(batch);
+                }
+                StreamItem::Done { count, .. } => done = Some(count),
+                StreamItem::Error(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(done, Some(3));
+        assert_eq!(answers.len(), 3);
+        // rendered bindings: the query variable X bound to each cycle node
+        let mut bound: Vec<String> = answers
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), 1);
+                assert_eq!(a[0].0, "X");
+                a[0].1.clone()
+            })
+            .collect();
+        bound.sort();
+        assert_eq!(bound, ["1", "2", "3"]);
+        assert_eq!(p.inflight(), 0, "terminal event released the slot");
+    }
+
+    #[test]
+    fn streamed_count_reports_total_without_answers() {
+        let p = pool(1);
+        let (tx, rx) = channel();
+        p.try_submit_stream(StreamKind::Count, "path(X, Y)", 1, 64, tx)
+            .unwrap();
+        match rx.recv().unwrap() {
+            (1, StreamItem::Done { count, .. }) => assert_eq!(count, 9),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(rx.recv().is_err(), "count streams no answer batches");
+    }
+
+    #[test]
+    fn streamed_error_is_terminal() {
+        let p = pool(1);
+        let (tx, rx) = channel();
+        p.try_submit_stream(StreamKind::Query, "no_such_pred(X)", 9, 8, tx)
+            .unwrap();
+        match rx.recv().unwrap() {
+            (9, StreamItem::Error(_)) => {}
+            other => panic!("expected Error, got {other:?}"),
+        }
+        assert_eq!(p.inflight(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_with_typed_busy() {
+        // a 64-node cycle: path(X,Y) computes/serves 4096 answers, so the
+        // wall of gate jobs below holds the single worker busy for
+        // milliseconds — submissions (microseconds) cannot race past it
+        let mut heavy = String::from(
+            ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n",
+        );
+        for i in 1..=64 {
+            heavy.push_str(&format!("edge({i},{}).\n", if i == 64 { 1 } else { i + 1 }));
+        }
+        let p = ServerPool::new(
+            &heavy,
+            PoolConfig {
+                workers: 1,
+                queue_depth: Some(2),
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        // stall the single worker so streamed submissions pile up
+        let gates: Vec<_> = (0..8)
+            .map(|_| p.submit_count("path(X, Y)", Some(0)))
+            .collect();
+        let (tx, rx) = channel();
+        let mut accepted = 0;
+        let mut busy = 0;
+        for tag in 0..6 {
+            match p.try_submit_stream(StreamKind::Count, "path(1, X)", tag, 8, tx.clone()) {
+                Ok(()) => accepted += 1,
+                Err(PoolBusy) => busy += 1,
+            }
+        }
+        assert_eq!(accepted, 2, "exactly queue_depth submissions admitted");
+        assert_eq!(busy, 4, "overflow rejected with typed Busy");
+        for g in gates {
+            assert_eq!(g.wait().unwrap(), 4096);
+        }
+        drop(tx);
+        let done = rx
+            .iter()
+            .filter(|(_, i)| matches!(i, StreamItem::Done { .. }))
+            .count();
+        assert_eq!(done, 2, "admitted jobs all complete");
+        assert_eq!(p.inflight(), 0, "slots all released");
     }
 
     #[test]

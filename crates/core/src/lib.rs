@@ -45,6 +45,6 @@ pub mod table_trie;
 
 pub use durable::{DurableLog, RecoveryReport};
 pub use engine::{Engine, Solution};
-pub use engine_pool::{PoolConfig, ServerPool};
+pub use engine_pool::{PoolBusy, PoolConfig, ServerPool, StreamItem, StreamKind, WireAnswer};
 pub use error::EngineError;
 pub use shared::SharedTableStore;

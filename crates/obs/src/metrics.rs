@@ -92,10 +92,19 @@ pub enum Counter {
     GroupCommitBatch,
     /// WAL records re-applied by crash recovery / restart replay.
     RecoveryReplayed,
+    /// TCP client connections accepted by the network server.
+    NetConnections,
+    /// Wire requests received (query/count/consult frames).
+    NetRequests,
+    /// Requests rejected with a typed `Busy` by admission control.
+    NetRejections,
+    /// Connections dropped for a wire-protocol violation (bad magic,
+    /// oversized frame, truncated payload, unknown opcode).
+    NetProtocolErrors,
 }
 
 impl Counter {
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 36;
 
     /// `statistics/2` keys, in report order.
     pub const NAMES: [&'static str; Counter::COUNT] = [
@@ -131,6 +140,10 @@ impl Counter {
         "wal_fsyncs",
         "group_commit_batch",
         "recovery_replayed",
+        "net_connections",
+        "net_requests",
+        "net_rejections",
+        "net_protocol_errors",
     ];
 
     pub fn name(self) -> &'static str {
@@ -241,6 +254,9 @@ pub struct Metrics {
     /// Durability: append+sync latency per commit point (nanoseconds) —
     /// auto-commit mutations and explicit `commit_transaction/0`.
     pub commit_latency: Histogram,
+    /// Network server: request wall time on the wire side — frame decode
+    /// to completion frame written (nanoseconds).
+    pub wire_latency: Histogram,
     /// Emulator opcode profiler (off by default; [`Metrics::reset`]
     /// preserves the toggle).
     pub profile: OpcodeProfile,
@@ -265,6 +281,7 @@ impl Default for Metrics {
             shared_sync: Histogram::default(),
             claim_wait: Histogram::default(),
             commit_latency: Histogram::default(),
+            wire_latency: Histogram::default(),
             profile: OpcodeProfile::default(),
             per_pred: Vec::new(),
         }
@@ -341,7 +358,7 @@ impl Metrics {
 
     /// The latency histograms with their `statistics/2` p50/p99 key
     /// names, in report order.
-    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 8] {
+    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 9] {
         [
             ("query_p50_ns", "query_p99_ns", &self.query_latency),
             ("queue_wait_p50_ns", "queue_wait_p99_ns", &self.queue_wait),
@@ -363,6 +380,7 @@ impl Metrics {
             ),
             ("claim_wait_p50_ns", "claim_wait_p99_ns", &self.claim_wait),
             ("commit_p50_ns", "commit_p99_ns", &self.commit_latency),
+            ("wire_p50_ns", "wire_p99_ns", &self.wire_latency),
         ]
     }
 
@@ -378,6 +396,7 @@ impl Metrics {
             ("shared_sync", self.shared_sync.to_json()),
             ("claim_wait", self.claim_wait.to_json()),
             ("commit_latency", self.commit_latency.to_json()),
+            ("wire_latency", self.wire_latency.to_json()),
         ])
     }
 
@@ -446,6 +465,7 @@ impl Metrics {
         self.shared_sync.merge(&other.shared_sync);
         self.claim_wait.merge(&other.claim_wait);
         self.commit_latency.merge(&other.commit_latency);
+        self.wire_latency.merge(&other.wire_latency);
         self.profile.merge(&other.profile);
         if other.per_pred.len() > self.per_pred.len() {
             self.per_pred
@@ -505,7 +525,7 @@ mod tests {
     #[test]
     fn counter_names_match_count() {
         assert_eq!(Counter::NAMES.len(), Counter::COUNT);
-        assert_eq!(Counter::RecoveryReplayed as usize, Counter::COUNT - 1);
+        assert_eq!(Counter::NetProtocolErrors as usize, Counter::COUNT - 1);
         assert_eq!(Counter::SubgoalsCreated.name(), "subgoals_created");
         assert_eq!(Counter::TableHits.name(), "table_hits");
         assert_eq!(Counter::AnswerCellsSaved.name(), "answer_cells_saved");
@@ -517,6 +537,10 @@ mod tests {
         assert_eq!(Counter::WalFsyncs.name(), "wal_fsyncs");
         assert_eq!(Counter::GroupCommitBatch.name(), "group_commit_batch");
         assert_eq!(Counter::RecoveryReplayed.name(), "recovery_replayed");
+        assert_eq!(Counter::NetConnections.name(), "net_connections");
+        assert_eq!(Counter::NetRequests.name(), "net_requests");
+        assert_eq!(Counter::NetRejections.name(), "net_rejections");
+        assert_eq!(Counter::NetProtocolErrors.name(), "net_protocol_errors");
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! The client driver: one API, two transports.
+//!
+//! [`Driver`] is the client-facing query interface — `query` (lazy
+//! answer iterator), `count`, `consult`. It has two implementations
+//! that return byte-identical answers for the same pool, because
+//! answer rendering happens worker-side in both cases:
+//!
+//! * [`EmbeddedDriver`] holds an `Arc<ServerPool>` and submits through
+//!   the pool's streaming API directly — no sockets, no frames. This
+//!   is the in-process path an application embedding the engine uses.
+//! * [`RemoteConn`] speaks the wire protocol over TCP. Beyond the
+//!   blocking [`Driver`] methods it exposes the pipelined face:
+//!   [`RemoteConn::send_query`] / [`send_count`](RemoteConn::send_count)
+//!   fire a request and return immediately with its id;
+//!   [`RemoteConn::wait`] collects any request's outcome, buffering
+//!   frames that belong to other in-flight ids — so one connection can
+//!   keep many requests in flight and harvest them in any order.
+//!
+//! Request ids are client-assigned (monotonic per connection here);
+//! the server echoes them on every response frame, which is the whole
+//! demultiplexing story.
+
+use crate::wire::{read_frame, write_frame, Answer, Frame, WireError, VERSION};
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use xsb_core::{PoolBusy, ServerPool, StreamItem, StreamKind};
+
+/// Client-side failure, typed so callers can tell backpressure from
+/// engine errors from transport death.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverError {
+    /// The server shed the request (admission queue full). Retry later.
+    Busy,
+    /// The engine rejected the goal or program (parse error, unknown
+    /// predicate, step limit…). The connection is still usable.
+    Engine(String),
+    /// Transport or framing failure; the connection is dead.
+    Wire(WireError),
+    /// The server closed us with a typed protocol error.
+    Protocol { code: u8, message: String },
+    /// Handshake did not complete as expected.
+    Handshake(String),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Busy => write!(f, "server busy (admission queue full)"),
+            DriverError::Engine(m) => write!(f, "engine error: {m}"),
+            DriverError::Wire(e) => write!(f, "wire error: {e}"),
+            DriverError::Protocol { code, message } => {
+                write!(f, "protocol error {code}: {message}")
+            }
+            DriverError::Handshake(m) => write!(f, "handshake failed: {m}"),
+        }
+    }
+}
+
+impl From<WireError> for DriverError {
+    fn from(e: WireError) -> Self {
+        DriverError::Wire(e)
+    }
+}
+
+impl From<PoolBusy> for DriverError {
+    fn from(_: PoolBusy) -> Self {
+        DriverError::Busy
+    }
+}
+
+/// Completion record for a finished request: total solutions plus the
+/// server-side queue wait and engine run time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Completion {
+    pub count: u64,
+    pub queue_wait_ns: u64,
+    pub run_ns: u64,
+}
+
+/// Outcome of one pipelined request, from [`RemoteConn::wait`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed; `answers` is empty for `Count` requests and consults.
+    Complete {
+        answers: Vec<Answer>,
+        completion: Completion,
+    },
+    /// Shed by admission control — never ran.
+    Busy,
+    /// Engine-level failure for this request only.
+    Error(String),
+}
+
+/// The unified client API. `query` returns a lazy [`AnswerStream`];
+/// `count` and `consult` block to completion.
+pub trait Driver {
+    /// Starts `goal` and returns an iterator over its solutions.
+    fn query(&mut self, goal: &str) -> Result<AnswerStream<'_>, DriverError>;
+    /// Evaluates `goal` to exhaustion, returns the solution count.
+    fn count(&mut self, goal: &str) -> Result<u64, DriverError>;
+    /// Loads `text` as program clauses on every worker.
+    fn consult(&mut self, text: &str) -> Result<(), DriverError>;
+}
+
+// ---------------------------------------------------------------------
+// answer stream
+
+enum StreamSource<'a> {
+    /// Direct pool reply channel; answers arrive as `StreamItem`s.
+    Embedded(Receiver<(u64, StreamItem)>),
+    /// Reads frames off the connection, demuxing by `id`.
+    Remote { conn: &'a mut RemoteConn, id: u64 },
+}
+
+/// Lazy iterator over one query's solutions. Yields
+/// `Result<Answer, DriverError>`; after the terminal event,
+/// [`AnswerStream::completion`] has the count and timings.
+pub struct AnswerStream<'a> {
+    source: StreamSource<'a>,
+    buf: VecDeque<Answer>,
+    completion: Option<Completion>,
+    failed: bool,
+}
+
+impl AnswerStream<'_> {
+    /// Completion stats, available once the iterator has returned `None`.
+    pub fn completion(&self) -> Option<Completion> {
+        self.completion
+    }
+
+    /// Drains the stream into a vector, failing on the first error.
+    pub fn collect_all(mut self) -> Result<Vec<Answer>, DriverError> {
+        let mut out = Vec::new();
+        for a in &mut self {
+            out.push(a?);
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for AnswerStream<'_> {
+    type Item = Result<Answer, DriverError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(a) = self.buf.pop_front() {
+                return Some(Ok(a));
+            }
+            if self.completion.is_some() || self.failed {
+                return None;
+            }
+            // pull the next event for this request
+            let event = match &mut self.source {
+                StreamSource::Embedded(rx) => match rx.recv() {
+                    Ok((_, item)) => Ok(item),
+                    Err(_) => Err(DriverError::Wire(WireError::Closed)),
+                },
+                StreamSource::Remote { conn, id } => conn.next_event(*id),
+            };
+            match event {
+                Ok(StreamItem::Answers(batch)) => self.buf.extend(batch),
+                Ok(StreamItem::Done {
+                    count,
+                    queue_wait_ns,
+                    run_ns,
+                }) => {
+                    self.completion = Some(Completion {
+                        count,
+                        queue_wait_ns,
+                        run_ns,
+                    });
+                }
+                Ok(StreamItem::Error(m)) => {
+                    self.failed = true;
+                    return Some(Err(DriverError::Engine(m)));
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// embedded driver
+
+/// In-process driver over a shared pool — the trusted, zero-copy-ish
+/// path. Sharing the `Arc<ServerPool>` with a [`crate::Server`] gives
+/// embedded and network clients one table store and one admission
+/// budget.
+pub struct EmbeddedDriver {
+    pool: Arc<ServerPool>,
+    batch: usize,
+    next_id: u64,
+}
+
+impl EmbeddedDriver {
+    pub fn new(pool: Arc<ServerPool>) -> EmbeddedDriver {
+        EmbeddedDriver {
+            pool,
+            batch: 64,
+            next_id: 0,
+        }
+    }
+
+    /// Answers per streamed batch (default 64).
+    pub fn with_batch(mut self, batch: usize) -> EmbeddedDriver {
+        self.batch = batch.max(1);
+        self
+    }
+
+    fn submit(
+        &mut self,
+        kind: StreamKind,
+        goal: &str,
+    ) -> Result<Receiver<(u64, StreamItem)>, DriverError> {
+        let (tx, rx) = channel();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pool
+            .try_submit_stream(kind, goal, id, self.batch, tx)?;
+        Ok(rx)
+    }
+}
+
+impl Driver for EmbeddedDriver {
+    fn query(&mut self, goal: &str) -> Result<AnswerStream<'_>, DriverError> {
+        let rx = self.submit(StreamKind::Query, goal)?;
+        Ok(AnswerStream {
+            source: StreamSource::Embedded(rx),
+            buf: VecDeque::new(),
+            completion: None,
+            failed: false,
+        })
+    }
+
+    fn count(&mut self, goal: &str) -> Result<u64, DriverError> {
+        let rx = self.submit(StreamKind::Count, goal)?;
+        loop {
+            match rx.recv() {
+                Ok((_, StreamItem::Answers(_))) => {}
+                Ok((_, StreamItem::Done { count, .. })) => return Ok(count),
+                Ok((_, StreamItem::Error(m))) => return Err(DriverError::Engine(m)),
+                Err(_) => return Err(DriverError::Wire(WireError::Closed)),
+            }
+        }
+    }
+
+    fn consult(&mut self, text: &str) -> Result<(), DriverError> {
+        self.pool
+            .consult_all(text)
+            .map_err(|e| DriverError::Engine(e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// remote driver
+
+/// Per-request reassembly buffer for responses that arrive while the
+/// client is waiting on a *different* id.
+#[derive(Default)]
+struct Pending {
+    batches: VecDeque<Vec<Answer>>,
+    terminal: Option<StreamItem>,
+    busy: bool,
+}
+
+/// A TCP connection speaking the wire protocol, with client-side
+/// pipelining: fire requests with `send_*`, harvest with [`wait`]
+/// (any order), or use the blocking [`Driver`] methods one at a time.
+pub struct RemoteConn {
+    stream: TcpStream,
+    /// worker count the server reported in its `HelloAck`
+    workers: u16,
+    next_id: u64,
+    pending: HashMap<u64, Pending>,
+}
+
+impl RemoteConn {
+    /// Connects and runs the handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteConn, DriverError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| DriverError::Handshake(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        write_frame(&mut stream, &Frame::Hello { version: VERSION })?;
+        match read_frame(&mut stream)? {
+            Frame::HelloAck { version, workers } if version == VERSION => Ok(RemoteConn {
+                stream,
+                workers,
+                next_id: 0,
+                pending: HashMap::new(),
+            }),
+            Frame::HelloAck { version, .. } => Err(DriverError::Handshake(format!(
+                "server speaks version {version}, client speaks {VERSION}"
+            ))),
+            Frame::ProtoError { code, message } => Err(DriverError::Protocol { code, message }),
+            other => Err(DriverError::Handshake(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Worker count the server advertised.
+    pub fn workers(&self) -> u16 {
+        self.workers
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), DriverError> {
+        write_frame(&mut self.stream, frame).map_err(DriverError::from)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.insert(id, Pending::default());
+        id
+    }
+
+    /// Fires a query; returns its request id immediately.
+    pub fn send_query(&mut self, goal: &str) -> Result<u64, DriverError> {
+        let id = self.fresh_id();
+        self.send(&Frame::Query {
+            id,
+            goal: goal.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Fires a count request; returns its request id immediately.
+    pub fn send_count(&mut self, goal: &str) -> Result<u64, DriverError> {
+        let id = self.fresh_id();
+        self.send(&Frame::Count {
+            id,
+            goal: goal.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Fires a consult; returns its request id immediately.
+    pub fn send_consult(&mut self, text: &str) -> Result<u64, DriverError> {
+        let id = self.fresh_id();
+        self.send(&Frame::Consult {
+            id,
+            text: text.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Graceful close: sends `Bye` and drops the connection.
+    pub fn close(mut self) {
+        let _ = self.send(&Frame::Bye);
+    }
+
+    /// Reads frames until request `id` produces its next event,
+    /// buffering frames that belong to other in-flight requests.
+    fn next_event(&mut self, id: u64) -> Result<StreamItem, DriverError> {
+        loop {
+            // anything already buffered for this id?
+            if let Some(p) = self.pending.get_mut(&id) {
+                if let Some(batch) = p.batches.pop_front() {
+                    return Ok(StreamItem::Answers(batch));
+                }
+                if p.busy {
+                    self.pending.remove(&id);
+                    return Err(DriverError::Busy);
+                }
+                if let Some(t) = p.terminal.take() {
+                    self.pending.remove(&id);
+                    return Ok(t);
+                }
+            } else {
+                return Err(DriverError::Wire(WireError::Malformed(
+                    "wait on unknown request id",
+                )));
+            }
+            let frame = read_frame(&mut self.stream)?;
+            match frame {
+                Frame::Answers { id: fid, answers } => {
+                    if fid == id {
+                        return Ok(StreamItem::Answers(answers));
+                    }
+                    self.pending
+                        .entry(fid)
+                        .or_default()
+                        .batches
+                        .push_back(answers);
+                }
+                Frame::Done {
+                    id: fid,
+                    count,
+                    queue_wait_ns,
+                    run_ns,
+                } => {
+                    let item = StreamItem::Done {
+                        count,
+                        queue_wait_ns,
+                        run_ns,
+                    };
+                    if fid == id && self.pending[&id].batches.is_empty() {
+                        self.pending.remove(&id);
+                        return Ok(item);
+                    }
+                    self.pending.entry(fid).or_default().terminal = Some(item);
+                }
+                Frame::Error { id: fid, message } => {
+                    let item = StreamItem::Error(message);
+                    if fid == id && self.pending[&id].batches.is_empty() {
+                        self.pending.remove(&id);
+                        return Ok(item);
+                    }
+                    self.pending.entry(fid).or_default().terminal = Some(item);
+                }
+                Frame::Busy { id: fid } => {
+                    if fid == id {
+                        self.pending.remove(&id);
+                        return Err(DriverError::Busy);
+                    }
+                    self.pending.entry(fid).or_default().busy = true;
+                }
+                Frame::ProtoError { code, message } => {
+                    return Err(DriverError::Protocol { code, message });
+                }
+                other => {
+                    return Err(DriverError::Wire(WireError::Malformed(match other {
+                        Frame::Hello { .. } => "client-side frame from server",
+                        _ => "unexpected frame from server",
+                    })));
+                }
+            }
+        }
+    }
+
+    /// Collects the full outcome of request `id` (blocking), demuxing
+    /// and buffering other requests' frames as they arrive. Requests
+    /// can be harvested in any order.
+    pub fn wait(&mut self, id: u64) -> Result<Outcome, DriverError> {
+        let mut answers = Vec::new();
+        loop {
+            match self.next_event(id) {
+                Ok(StreamItem::Answers(mut batch)) => answers.append(&mut batch),
+                Ok(StreamItem::Done {
+                    count,
+                    queue_wait_ns,
+                    run_ns,
+                }) => {
+                    return Ok(Outcome::Complete {
+                        answers,
+                        completion: Completion {
+                            count,
+                            queue_wait_ns,
+                            run_ns,
+                        },
+                    });
+                }
+                Ok(StreamItem::Error(m)) => return Ok(Outcome::Error(m)),
+                Err(DriverError::Busy) => return Ok(Outcome::Busy),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Driver for RemoteConn {
+    fn query(&mut self, goal: &str) -> Result<AnswerStream<'_>, DriverError> {
+        let id = self.send_query(goal)?;
+        Ok(AnswerStream {
+            source: StreamSource::Remote { conn: self, id },
+            buf: VecDeque::new(),
+            completion: None,
+            failed: false,
+        })
+    }
+
+    fn count(&mut self, goal: &str) -> Result<u64, DriverError> {
+        let id = self.send_count(goal)?;
+        match self.wait(id)? {
+            Outcome::Complete { completion, .. } => Ok(completion.count),
+            Outcome::Busy => Err(DriverError::Busy),
+            Outcome::Error(m) => Err(DriverError::Engine(m)),
+        }
+    }
+
+    fn consult(&mut self, text: &str) -> Result<(), DriverError> {
+        let id = self.send_consult(text)?;
+        match self.wait(id)? {
+            Outcome::Complete { .. } => Ok(()),
+            Outcome::Busy => Err(DriverError::Busy),
+            Outcome::Error(m) => Err(DriverError::Engine(m)),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # xsb-server — the network serving front-end
+//!
+//! The paper positions XSB as a deductive-database *server*; this crate
+//! is the serving surface over `xsb_core::ServerPool`: a TCP listener
+//! speaking a small length-prefixed binary protocol ([`wire`]), per-
+//! connection sessions with request pipelining and admission-control
+//! backpressure ([`server`]), and a client driver with an embedded /
+//! remote split ([`driver`]) — the same [`Driver`] trait backed either
+//! by a direct pool handle or by a socket, returning byte-identical
+//! answers because rendering happens worker-side in both cases.
+//!
+//! ```no_run
+//! use xsb_server::{Driver, RemoteConn, Server, ServerConfig};
+//!
+//! let server = Server::start(
+//!     ":- table path/2.
+//!      path(X,Y) :- edge(X,Y).
+//!      path(X,Y) :- path(X,Z), edge(Z,Y).
+//!      edge(1,2). edge(2,3). edge(3,1).",
+//!     ServerConfig::default(),
+//! ).unwrap();
+//!
+//! let mut client = RemoteConn::connect(server.addr()).unwrap();
+//! assert_eq!(client.count("path(1, X)").unwrap(), 3);
+//!
+//! // pipelined: three requests in flight, harvested out of order
+//! let a = client.send_count("path(1, X)").unwrap();
+//! let b = client.send_count("path(2, X)").unwrap();
+//! let c = client.send_count("path(3, X)").unwrap();
+//! for id in [c, a, b] {
+//!     client.wait(id).unwrap();
+//! }
+//! client.close();
+//! assert_eq!(server.shutdown(), 0);
+//! ```
+//!
+//! Protocol details, the session state machine, and the backpressure
+//! policy are specified in DESIGN.md §2.12.
+
+pub mod driver;
+pub mod server;
+pub mod wire;
+
+pub use driver::{
+    AnswerStream, Completion, Driver, DriverError, EmbeddedDriver, Outcome, RemoteConn,
+};
+pub use server::{Server, ServerConfig, StatsSnapshot};
+pub use wire::{Frame, WireError, MAGIC, MAX_FRAME, VERSION};

@@ -1,0 +1,470 @@
+//! The TCP front-end: accept loop, per-connection sessions, backpressure.
+//!
+//! A [`Server`] wraps a [`ServerPool`] and serves the wire protocol
+//! (DESIGN.md §2.12) on a TCP listener. It always binds port 0 — the
+//! kernel picks a free port and [`Server::addr`] reports it — so tests
+//! and benches never collide on a hardcoded port.
+//!
+//! Each accepted connection gets two threads:
+//!
+//! * a **reader** that runs the handshake, then decodes request frames
+//!   and submits them to the pool via the admission-controlled
+//!   streaming API. Control frames the reader itself produces
+//!   ([`Frame::HelloAck`], [`Frame::Busy`], [`Frame::ProtoError`],
+//!   consult replies) go out under a per-connection write mutex;
+//! * a **writer** that drains a channel of `(request id, StreamItem)`
+//!   events — the same channel every pool job for this connection
+//!   replies to — and encodes them as `Answers*/Done/Error` frames
+//!   under that same mutex.
+//!
+//! That split is what makes pipelining work without async machinery:
+//! the reader never blocks on a running query, so a client can keep
+//! many request ids in flight on one connection, and the writer
+//! interleaves their answer batches in completion order, demuxed
+//! client-side by id.
+//!
+//! Backpressure is the pool's bounded admission queue
+//! (`PoolConfig::queue_depth`): when it is full, `try_submit_stream`
+//! returns a typed rejection and the reader answers [`Frame::Busy`]
+//! immediately — the request is shed, never queued. Dead and idle
+//! connections are reaped by a socket read timeout
+//! ([`ServerConfig::read_timeout`]); a protocol violation gets a typed
+//! [`Frame::ProtoError`] and a close, never a panic.
+
+use crate::wire::{proto_code, read_frame, write_frame, Frame, WireError, VERSION};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xsb_core::{EngineError, PoolConfig, ServerPool, StreamItem, StreamKind};
+use xsb_obs::{Counter, Histogram, Metrics};
+
+/// Configuration for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Pool shape (workers, step limit, admission `queue_depth`).
+    pub pool: PoolConfig,
+    /// Maximum solutions per [`Frame::Answers`] batch.
+    pub batch: usize,
+    /// Socket read timeout for accepted connections. A connection that
+    /// sends nothing for this long is reaped (closed without a
+    /// protocol error). `None` waits forever — fine for trusted
+    /// clients, wrong for a public listener.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pool: PoolConfig::default(),
+            batch: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Shared serving counters, aggregated across all connections.
+#[derive(Default)]
+struct ServerStats {
+    /// connections accepted over the server's lifetime
+    connections: AtomicU64,
+    /// requests received (queries, counts, consults)
+    requests: AtomicU64,
+    /// requests shed by admission control (answered `Busy`)
+    rejections: AtomicU64,
+    /// connections closed for a protocol violation
+    protocol_errors: AtomicU64,
+    /// connections currently open
+    active: AtomicUsize,
+    /// frame-decode to completion-frame-written latency
+    wire_latency: Mutex<Histogram>,
+}
+
+/// Point-in-time copy of the serving counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsSnapshot {
+    pub connections: u64,
+    pub requests: u64,
+    pub rejections: u64,
+    pub protocol_errors: u64,
+    pub active: usize,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running TCP server over a worker-engine pool.
+pub struct Server {
+    pool: Arc<ServerPool>,
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Consults `program` into a fresh pool and starts serving it on a
+    /// kernel-assigned loopback port.
+    pub fn start(program: &str, config: ServerConfig) -> Result<Server, EngineError> {
+        let pool = Arc::new(ServerPool::new(program, config.pool.clone())?);
+        Self::start_on_pool(pool, config)
+    }
+
+    /// Starts serving an existing pool — the embedded/remote split: the
+    /// same pool can back an [`crate::driver::EmbeddedDriver`] and a
+    /// network listener at once, sharing tables and admission budget.
+    pub fn start_on_pool(
+        pool: Arc<ServerPool>,
+        config: ServerConfig,
+    ) -> Result<Server, EngineError> {
+        // Port 0: never hardcode a port. Explicit IPv4 loopback (not
+        // "localhost", which resolves to ::1 first on IPv6-less CI
+        // sandboxes and then fails).
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))
+            .map_err(|e| EngineError::Other(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| EngineError::Other(format!("local_addr failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| EngineError::Other(format!("set_nonblocking failed: {e}")))?;
+
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let pool = Arc::clone(&pool);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, pool, stats, stop, config))
+        };
+        Ok(Server {
+            pool,
+            addr,
+            stats,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (kernel-assigned port) — hand this to clients.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The pool behind this server.
+    pub fn pool(&self) -> &Arc<ServerPool> {
+        &self.pool
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Pool-wide engine metrics with the serving counters and wire
+    /// latency folded in — the `statistics/2` view of the server.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.pool.metrics();
+        let s = self.stats.snapshot();
+        m.add(Counter::NetConnections, s.connections);
+        m.add(Counter::NetRequests, s.requests);
+        m.add(Counter::NetRejections, s.rejections);
+        m.add(Counter::NetProtocolErrors, s.protocol_errors);
+        let wire = self.stats.wire_latency.lock().unwrap();
+        m.wire_latency.merge(&wire);
+        m
+    }
+
+    /// Stops accepting, then waits up to two seconds for open
+    /// connections to drain. Returns the number still open (0 on a
+    /// clean shutdown — the bench gates on this as "stuck
+    /// connections").
+    pub fn shutdown(mut self) -> usize {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let active = self.stats.active.load(Ordering::Acquire);
+            if active == 0 || Instant::now() >= deadline {
+                return active;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    pool: Arc<ServerPool>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                stats.active.fetch_add(1, Ordering::AcqRel);
+                let pool = Arc::clone(&pool);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    serve_connection(stream, pool, Arc::clone(&stats), stop, config);
+                    stats.active.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // nonblocking accept: poll the stop flag at 5ms
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Writes a `ProtoError` frame (best-effort) and counts the violation.
+/// The caller closes the connection after this.
+fn proto_error(wr: &Mutex<TcpStream>, stats: &ServerStats, code: u8, message: String) {
+    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    if let Ok(mut s) = wr.lock() {
+        let _ = write_frame(&mut *s, &Frame::ProtoError { code, message });
+    }
+}
+
+/// One connection, reader side: handshake, then the request loop.
+fn serve_connection(
+    mut stream: TcpStream,
+    pool: Arc<ServerPool>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let write_half = match stream.try_clone() {
+        Ok(s) => Arc::new(Mutex::new(s)),
+        Err(_) => return,
+    };
+
+    // Handshake: the first frame must be a well-formed Hello. decode()
+    // already types magic/version mismatches, so just map them to codes.
+    match read_frame(&mut stream) {
+        Ok(Frame::Hello { .. }) => {
+            let ack = Frame::HelloAck {
+                version: VERSION,
+                workers: pool.workers() as u16,
+            };
+            let mut w = write_half.lock().unwrap();
+            if write_frame(&mut *w, &ack).is_err() {
+                return;
+            }
+        }
+        Ok(_) => {
+            proto_error(
+                &write_half,
+                &stats,
+                proto_code::UNEXPECTED,
+                "first frame must be Hello".into(),
+            );
+            return;
+        }
+        Err(WireError::BadMagic(m)) => {
+            proto_error(
+                &write_half,
+                &stats,
+                proto_code::BAD_MAGIC,
+                format!("bad handshake magic {m:?}"),
+            );
+            return;
+        }
+        Err(WireError::BadVersion(v)) => {
+            proto_error(
+                &write_half,
+                &stats,
+                proto_code::BAD_VERSION,
+                format!("unsupported protocol version {v} (server speaks {VERSION})"),
+            );
+            return;
+        }
+        Err(WireError::Closed) | Err(WireError::TimedOut) => return,
+        Err(e) => {
+            proto_error(&write_half, &stats, proto_code::MALFORMED, e.to_string());
+            return;
+        }
+    }
+
+    // In-flight request arrival times, shared with the writer so the
+    // wire-latency histogram spans decode → completion frame written.
+    let arrivals: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    // The writer drains this channel; every pool job gets a clone of tx.
+    let (tx, rx) = channel::<(u64, StreamItem)>();
+    let writer = {
+        let write_half = Arc::clone(&write_half);
+        let arrivals = Arc::clone(&arrivals);
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || writer_loop(rx, write_half, arrivals, stats))
+    };
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // clean close, dead-peer reap, transport error: just close
+            Err(WireError::Closed) | Err(WireError::TimedOut) | Err(WireError::Io(_)) => break,
+            Err(e) => {
+                proto_error(&write_half, &stats, proto_code::MALFORMED, e.to_string());
+                break;
+            }
+        };
+        let kind = frame_kind(&frame);
+        match frame {
+            Frame::Query { id, goal } | Frame::Count { id, goal } => {
+                let kind = kind.expect("query/count frames have a stream kind");
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                arrivals.lock().unwrap().insert(id, Instant::now());
+                if pool
+                    .try_submit_stream(kind, &goal, id, config.batch, tx.clone())
+                    .is_err()
+                {
+                    stats.rejections.fetch_add(1, Ordering::Relaxed);
+                    arrivals.lock().unwrap().remove(&id);
+                    let mut w = write_half.lock().unwrap();
+                    if write_frame(&mut *w, &Frame::Busy { id }).is_err() {
+                        break;
+                    }
+                }
+            }
+            Frame::Consult { id, text } => {
+                // Broadcast consults run inline on the reader: they must
+                // hit *every* worker (pool coherence), so they don't go
+                // through the streaming path, and serializing them per
+                // connection is the semantics a client wants anyway.
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                let reply = match pool.consult_all(&text) {
+                    Ok(()) => Frame::Done {
+                        id,
+                        count: 0,
+                        queue_wait_ns: 0,
+                        run_ns: started.elapsed().as_nanos() as u64,
+                    },
+                    Err(e) => Frame::Error {
+                        id,
+                        message: e.to_string(),
+                    },
+                };
+                stats
+                    .wire_latency
+                    .lock()
+                    .unwrap()
+                    .record(started.elapsed().as_nanos() as u64);
+                let mut w = write_half.lock().unwrap();
+                if write_frame(&mut *w, &reply).is_err() {
+                    break;
+                }
+            }
+            Frame::Bye => break,
+            // server→client frames (or a second Hello) from a client are
+            // a protocol violation
+            _ => {
+                proto_error(
+                    &write_half,
+                    &stats,
+                    proto_code::UNEXPECTED,
+                    "unexpected frame direction".into(),
+                );
+                break;
+            }
+        }
+    }
+
+    // Dropping our tx lets the writer exit once in-flight jobs drain —
+    // answers already computed still reach a client that only half-closed.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn frame_kind(f: &Frame) -> Option<StreamKind> {
+    match f {
+        Frame::Query { .. } => Some(StreamKind::Query),
+        Frame::Count { .. } => Some(StreamKind::Count),
+        _ => None,
+    }
+}
+
+/// Connection writer: encodes pool stream events as response frames.
+/// Keeps draining even if the socket dies so arrival entries are
+/// released and job senders never block.
+fn writer_loop(
+    rx: Receiver<(u64, StreamItem)>,
+    write_half: Arc<Mutex<TcpStream>>,
+    arrivals: Arc<Mutex<HashMap<u64, Instant>>>,
+    stats: Arc<ServerStats>,
+) {
+    let mut sink_only = false;
+    for (id, item) in rx {
+        let frame = match item {
+            StreamItem::Answers(batch) => Frame::Answers { id, answers: batch },
+            StreamItem::Done {
+                count,
+                queue_wait_ns,
+                run_ns,
+            } => {
+                record_wire_latency(&arrivals, &stats, id);
+                Frame::Done {
+                    id,
+                    count,
+                    queue_wait_ns,
+                    run_ns,
+                }
+            }
+            StreamItem::Error(message) => {
+                record_wire_latency(&arrivals, &stats, id);
+                Frame::Error { id, message }
+            }
+        };
+        if !sink_only {
+            let mut w = write_half.lock().unwrap();
+            if write_frame(&mut *w, &frame).is_err() {
+                sink_only = true;
+            }
+        }
+    }
+}
+
+fn record_wire_latency(arrivals: &Mutex<HashMap<u64, Instant>>, stats: &ServerStats, id: u64) {
+    if let Some(t0) = arrivals.lock().unwrap().remove(&id) {
+        stats
+            .wire_latency
+            .lock()
+            .unwrap()
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+}

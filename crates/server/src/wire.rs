@@ -1,0 +1,553 @@
+//! The wire protocol: small length-prefixed binary frames over TCP.
+//!
+//! Every frame is `[len: u32 LE][opcode: u8][payload]` where `len` counts
+//! the opcode byte plus the payload. `len` is bounded by [`MAX_FRAME`];
+//! a larger prefix is rejected *before* any allocation, so a hostile
+//! 4-byte header cannot balloon server memory. Integers are
+//! little-endian; strings are `u32` byte length + UTF-8 bytes.
+//!
+//! A connection opens with a handshake: the client's first frame must be
+//! [`Frame::Hello`] carrying [`MAGIC`] and [`VERSION`]; the server
+//! answers [`Frame::HelloAck`] (echoing its version and worker count) or
+//! closes with a typed [`Frame::ProtoError`]. After the handshake the
+//! client pipelines requests — each carries a client-assigned request id,
+//! and response frames echo that id, so many requests can be in flight on
+//! one connection with answers demultiplexed by id. Per request the
+//! server emits `Answers* (Done | Error)`, or a single `Busy` when
+//! admission control sheds the request.
+//!
+//! Decoding never panics on hostile input: every malformed shape maps to
+//! a typed [`WireError`] ([`decode`] is total), which the server turns
+//! into a `ProtoError` frame and a closed connection.
+
+use std::io::{Read, Write};
+
+/// Protocol magic, first field of the client's `Hello`.
+pub const MAGIC: [u8; 4] = *b"XSBN";
+
+/// Protocol version, bumped on any incompatible frame-layout change.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on the length prefix (opcode + payload), 16 MiB. Chosen
+/// well above any real frame (answer batches are bounded by the server's
+/// batch size) while keeping a hostile prefix from allocating memory.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// One rendered solution: (variable name, canonical term text) pairs in
+/// the query's variable order. Mirrors `xsb_core::WireAnswer`.
+pub type Answer = Vec<(String, String)>;
+
+/// Every frame of the protocol, both directions. Client→server: `Hello`,
+/// `Query`, `Count`, `Consult`, `Bye`. Server→client: `HelloAck`,
+/// `Answers`, `Done`, `Busy`, `Error`, `ProtoError`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Handshake request: protocol magic + the client's version.
+    Hello { version: u16 },
+    /// Handshake accept: the server's version and worker count.
+    HelloAck { version: u16, workers: u16 },
+    /// Evaluate `goal`, stream every solution for request `id`.
+    Query { id: u64, goal: String },
+    /// Evaluate `goal` to exhaustion, return only the solution count.
+    Count { id: u64, goal: String },
+    /// Consult `text` as program text on every pool worker (broadcast).
+    Consult { id: u64, text: String },
+    /// Graceful client-side close.
+    Bye,
+    /// A batch of solutions for request `id`, in solution order.
+    Answers { id: u64, answers: Vec<Answer> },
+    /// Request `id` completed: total solution count plus the server-side
+    /// queue-wait and engine run time (nanoseconds) for this request.
+    Done {
+        id: u64,
+        count: u64,
+        queue_wait_ns: u64,
+        run_ns: u64,
+    },
+    /// Request `id` was shed by admission control (bounded pool queue
+    /// full). The request did not run; the client may retry later.
+    Busy { id: u64 },
+    /// Request `id` failed in the engine (parse error, unknown
+    /// predicate, step limit, …). The connection stays usable.
+    Error { id: u64, message: String },
+    /// Connection-fatal protocol violation; the sender closes the
+    /// connection after this frame.
+    ProtoError { code: u8, message: String },
+}
+
+/// `ProtoError` codes.
+pub mod proto_code {
+    /// Handshake magic mismatch.
+    pub const BAD_MAGIC: u8 = 1;
+    /// Handshake version mismatch.
+    pub const BAD_VERSION: u8 = 2;
+    /// Frame failed to decode (truncated, oversized, unknown opcode…).
+    pub const MALFORMED: u8 = 3;
+    /// First frame was not `Hello`, or a server-only frame arrived from
+    /// a client (or vice versa).
+    pub const UNEXPECTED: u8 = 4;
+}
+
+/// Typed decode failure. Every hostile byte sequence maps here — decode
+/// never panics and never allocates past [`MAX_FRAME`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+    /// EOF mid-frame: the length prefix promised more bytes than arrived.
+    Truncated,
+    /// Length prefix exceeds [`MAX_FRAME`].
+    Oversized { len: u32 },
+    /// Opcode byte not assigned by this protocol version.
+    UnknownOpcode(u8),
+    /// `Hello` carried the wrong magic.
+    BadMagic([u8; 4]),
+    /// `Hello` carried an unsupported version.
+    BadVersion(u16),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Payload shorter (or longer) than the opcode's field layout.
+    Malformed(&'static str),
+    /// A socket read timeout fired (only on sockets with a configured
+    /// read timeout). The server uses this to reap idle connections.
+    TimedOut,
+    /// Underlying transport error.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized { len } => {
+                write!(f, "length prefix {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadMagic(m) => write!(f, "bad handshake magic {m:?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::TimedOut => write!(f, "read timed out"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+// opcode bytes: client requests in 0x0_, server responses in 0x8_
+const OP_HELLO: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_COUNT: u8 = 0x03;
+const OP_CONSULT: u8 = 0x04;
+const OP_BYE: u8 = 0x05;
+const OP_HELLO_ACK: u8 = 0x81;
+const OP_ANSWERS: u8 = 0x82;
+const OP_DONE: u8 = 0x83;
+const OP_BUSY: u8 = 0x84;
+const OP_ERROR: u8 = 0x85;
+const OP_PROTO_ERROR: u8 = 0x8f;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential payload reader with typed exhaustion errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(self, what: &'static str) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            // trailing garbage means the sender and receiver disagree on
+            // the layout — fail loudly instead of desynchronizing
+            Err(WireError::Malformed(what))
+        }
+    }
+}
+
+impl Frame {
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            Frame::Hello { version } => {
+                body.push(OP_HELLO);
+                body.extend_from_slice(&MAGIC);
+                put_u16(&mut body, *version);
+            }
+            Frame::HelloAck { version, workers } => {
+                body.push(OP_HELLO_ACK);
+                put_u16(&mut body, *version);
+                put_u16(&mut body, *workers);
+            }
+            Frame::Query { id, goal } => {
+                body.push(OP_QUERY);
+                put_u64(&mut body, *id);
+                put_str(&mut body, goal);
+            }
+            Frame::Count { id, goal } => {
+                body.push(OP_COUNT);
+                put_u64(&mut body, *id);
+                put_str(&mut body, goal);
+            }
+            Frame::Consult { id, text } => {
+                body.push(OP_CONSULT);
+                put_u64(&mut body, *id);
+                put_str(&mut body, text);
+            }
+            Frame::Bye => body.push(OP_BYE),
+            Frame::Answers { id, answers } => {
+                body.push(OP_ANSWERS);
+                put_u64(&mut body, *id);
+                put_u32(&mut body, answers.len() as u32);
+                for a in answers {
+                    put_u32(&mut body, a.len() as u32);
+                    for (name, value) in a {
+                        put_str(&mut body, name);
+                        put_str(&mut body, value);
+                    }
+                }
+            }
+            Frame::Done {
+                id,
+                count,
+                queue_wait_ns,
+                run_ns,
+            } => {
+                body.push(OP_DONE);
+                put_u64(&mut body, *id);
+                put_u64(&mut body, *count);
+                put_u64(&mut body, *queue_wait_ns);
+                put_u64(&mut body, *run_ns);
+            }
+            Frame::Busy { id } => {
+                body.push(OP_BUSY);
+                put_u64(&mut body, *id);
+            }
+            Frame::Error { id, message } => {
+                body.push(OP_ERROR);
+                put_u64(&mut body, *id);
+                put_str(&mut body, message);
+            }
+            Frame::ProtoError { code, message } => {
+                body.push(OP_PROTO_ERROR);
+                body.push(*code);
+                put_str(&mut body, message);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame body (opcode + payload, the length prefix
+    /// already stripped). Total: every input maps to `Ok` or a typed
+    /// [`WireError`]; nothing panics.
+    pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
+        let mut c = Cursor { buf: body, pos: 0 };
+        let op = c.u8("empty frame")?;
+        let frame = match op {
+            OP_HELLO => {
+                let magic: [u8; 4] = c.take(4, "hello magic")?.try_into().unwrap();
+                if magic != MAGIC {
+                    return Err(WireError::BadMagic(magic));
+                }
+                let version = c.u16("hello version")?;
+                if version != VERSION {
+                    return Err(WireError::BadVersion(version));
+                }
+                Frame::Hello { version }
+            }
+            OP_HELLO_ACK => Frame::HelloAck {
+                version: c.u16("ack version")?,
+                workers: c.u16("ack workers")?,
+            },
+            OP_QUERY => Frame::Query {
+                id: c.u64("query id")?,
+                goal: c.str("query goal")?,
+            },
+            OP_COUNT => Frame::Count {
+                id: c.u64("count id")?,
+                goal: c.str("count goal")?,
+            },
+            OP_CONSULT => Frame::Consult {
+                id: c.u64("consult id")?,
+                text: c.str("consult text")?,
+            },
+            OP_BYE => Frame::Bye,
+            OP_ANSWERS => {
+                let id = c.u64("answers id")?;
+                let n = c.u32("answers count")? as usize;
+                // cap preallocation by what the payload could actually
+                // hold (≥ 4 bytes per answer), so a lying count cannot
+                // over-allocate
+                let mut answers = Vec::with_capacity(n.min(body.len() / 4 + 1));
+                for _ in 0..n {
+                    let vars = c.u32("binding count")? as usize;
+                    let mut a = Vec::with_capacity(vars.min(body.len() / 8 + 1));
+                    for _ in 0..vars {
+                        let name = c.str("binding name")?;
+                        let value = c.str("binding value")?;
+                        a.push((name, value));
+                    }
+                    answers.push(a);
+                }
+                Frame::Answers { id, answers }
+            }
+            OP_DONE => Frame::Done {
+                id: c.u64("done id")?,
+                count: c.u64("done count")?,
+                queue_wait_ns: c.u64("done queue wait")?,
+                run_ns: c.u64("done run time")?,
+            },
+            OP_BUSY => Frame::Busy {
+                id: c.u64("busy id")?,
+            },
+            OP_ERROR => Frame::Error {
+                id: c.u64("error id")?,
+                message: c.str("error message")?,
+            },
+            OP_PROTO_ERROR => Frame::ProtoError {
+                code: c.u8("proto-error code")?,
+                message: c.str("proto-error message")?,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        c.finish("trailing bytes after frame")?;
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to `w` (single `write_all` — frames are small, and
+/// callers serialize writes per connection).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.encode())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Reads one frame from `r`. Distinguishes a clean close at a frame
+/// boundary ([`WireError::Closed`]) from EOF mid-frame
+/// ([`WireError::Truncated`]). IO timeouts surface as [`WireError::Io`]
+/// with the underlying error text.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or(r, &mut len_buf, WireError::Closed)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len });
+    }
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length frame"));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_or(r, &mut body, WireError::Truncated)?;
+    Frame::decode(&body)
+}
+
+/// `read_exact` mapping a clean EOF *before the first byte* to `on_eof`
+/// and any partial read to [`WireError::Truncated`].
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], on_eof: WireError) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    on_eof
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(WireError::TimedOut);
+            }
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: Frame) {
+        let bytes = f.encode();
+        let mut r = &bytes[..];
+        let back = read_frame(&mut r).expect("round trip decodes");
+        assert_eq!(back, f);
+        assert!(r.is_empty(), "decode consumed the whole frame");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Frame::Hello { version: VERSION });
+        round_trip(Frame::HelloAck {
+            version: VERSION,
+            workers: 4,
+        });
+        round_trip(Frame::Query {
+            id: 42,
+            goal: "path(1, X)".into(),
+        });
+        round_trip(Frame::Count {
+            id: u64::MAX,
+            goal: String::new(),
+        });
+        round_trip(Frame::Consult {
+            id: 7,
+            text: "edge(1,2).\nedge(2,3).".into(),
+        });
+        round_trip(Frame::Bye);
+        round_trip(Frame::Answers {
+            id: 3,
+            answers: vec![
+                vec![("X".into(), "1".into()), ("Y".into(), "f(a,b)".into())],
+                vec![],
+                vec![("Z".into(), "'hello world'".into())],
+            ],
+        });
+        round_trip(Frame::Done {
+            id: 9,
+            count: 4096,
+            queue_wait_ns: 1234,
+            run_ns: 567_890,
+        });
+        round_trip(Frame::Busy { id: 8 });
+        round_trip(Frame::Error {
+            id: 5,
+            message: "unknown predicate foo/1".into(),
+        });
+        round_trip(Frame::ProtoError {
+            code: proto_code::MALFORMED,
+            message: "truncated frame".into(),
+        });
+    }
+
+    #[test]
+    fn unicode_survives_the_wire() {
+        round_trip(Frame::Error {
+            id: 1,
+            message: "überfüllt — 答案".into(),
+        });
+    }
+
+    #[test]
+    fn clean_close_and_truncation_are_distinguished() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut empty), Err(WireError::Closed));
+        let bytes = Frame::Bye.encode();
+        let mut cut = &bytes[..2]; // half the length prefix
+        assert_eq!(read_frame(&mut cut), Err(WireError::Truncated));
+        let mut cut = &bytes[..4]; // header only, body missing
+        assert_eq!(read_frame(&mut cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::Oversized { len: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut f = Frame::Hello { version: VERSION }.encode();
+        f[5] = b'Z'; // corrupt first magic byte (after len+opcode)
+        let mut r = &f[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::BadMagic(_))));
+        let mut f = Frame::Hello { version: VERSION }.encode();
+        f[9] = 0xff; // corrupt version low byte
+        let mut r = &f[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_garbage_are_typed() {
+        let body = [0x7fu8];
+        assert_eq!(Frame::decode(&body), Err(WireError::UnknownOpcode(0x7f)));
+        let mut bye = Frame::Bye.encode();
+        bye[0] += 3; // lie: 3 extra bytes in the length prefix
+        bye.extend_from_slice(&[1, 2, 3]);
+        let mut r = &bye[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut body = vec![OP_QUERY];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Frame::decode(&body), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn lying_answer_count_cannot_overallocate() {
+        // claims 2^32-1 answers but carries none: must error, not OOM
+        let mut body = vec![OP_ANSWERS];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Frame::decode(&body), Err(WireError::Malformed(_))));
+    }
+}

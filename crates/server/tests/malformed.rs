@@ -1,0 +1,326 @@
+//! Hostile-input suite: every malformed byte sequence must produce a
+//! typed `ProtoError` (or a silent close for dead peers) and never a
+//! server panic. Each test talks raw bytes over a fresh socket, then
+//! proves the server is still alive by running a clean client against
+//! the same listener.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use xsb_server::wire::{proto_code, read_frame, Frame, WireError, MAGIC, VERSION};
+use xsb_server::{Driver, RemoteConn, Server, ServerConfig};
+
+const PROGRAM: &str = r#"
+    :- table path/2.
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+    edge(1,2). edge(2,3). edge(3,1).
+"#;
+
+fn start_server() -> Server {
+    Server::start(PROGRAM, ServerConfig::default()).expect("server starts")
+}
+
+/// Opens a raw socket, writes `bytes`, and returns every frame the
+/// server sends back before closing (empty if it closed silently).
+fn poke(server: &Server, bytes: &[u8]) -> Vec<Frame> {
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(bytes).expect("write");
+    // half-close: the payload is complete, so a server waiting for more
+    // bytes should see EOF now rather than hold the connection open
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut s) {
+            Ok(f) => frames.push(f),
+            Err(_) => return frames, // closed / reset / timed out
+        }
+    }
+}
+
+/// The server must still answer real queries after hostile traffic.
+fn assert_still_serving(server: &Server) {
+    let mut c = RemoteConn::connect(server.addr()).expect("clean client connects");
+    assert_eq!(c.count("path(1, X)").expect("clean query runs"), 3);
+    c.close();
+}
+
+fn wait_protocol_errors(server: &Server, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if server.stats().protocol_errors >= want {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.stats().protocol_errors, want, "protocol error count");
+}
+
+fn hello_bytes() -> Vec<u8> {
+    Frame::Hello { version: VERSION }.encode()
+}
+
+#[test]
+fn bad_magic_gets_typed_error_and_close() {
+    let server = start_server();
+    let mut bad = hello_bytes();
+    bad[5] = b'Q'; // first magic byte, after the 4-byte length prefix + opcode
+    let frames = poke(&server, &bad);
+    assert_eq!(frames.len(), 1);
+    match &frames[0] {
+        Frame::ProtoError { code, .. } => assert_eq!(*code, proto_code::BAD_MAGIC),
+        f => panic!("expected ProtoError, got {f:?}"),
+    }
+    wait_protocol_errors(&server, 1);
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn wrong_version_gets_typed_error_and_close() {
+    let server = start_server();
+    let mut bad = hello_bytes();
+    bad[9] = 0xee; // version low byte
+    let frames = poke(&server, &bad);
+    assert_eq!(frames.len(), 1);
+    match &frames[0] {
+        Frame::ProtoError { code, message } => {
+            assert_eq!(*code, proto_code::BAD_VERSION);
+            assert!(message.contains("version"), "got {message:?}");
+        }
+        f => panic!("expected ProtoError, got {f:?}"),
+    }
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn request_before_hello_is_rejected() {
+    let server = start_server();
+    let frames = poke(
+        &server,
+        &Frame::Query {
+            id: 1,
+            goal: "path(1, X)".into(),
+        }
+        .encode(),
+    );
+    assert_eq!(frames.len(), 1, "no answers before a handshake");
+    match &frames[0] {
+        Frame::ProtoError { code, .. } => assert_eq!(*code, proto_code::UNEXPECTED),
+        f => panic!("expected ProtoError, got {f:?}"),
+    }
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocation() {
+    let server = start_server();
+    let mut bytes = hello_bytes();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB frame, allegedly
+    bytes.extend_from_slice(&[0u8; 32]);
+    let frames = poke(&server, &bytes);
+    // HelloAck for the valid handshake, then the typed rejection
+    assert!(matches!(frames[0], Frame::HelloAck { .. }));
+    match &frames[1] {
+        Frame::ProtoError { code, message } => {
+            assert_eq!(*code, proto_code::MALFORMED);
+            assert!(message.contains("exceeds"), "got {message:?}");
+        }
+        f => panic!("expected ProtoError, got {f:?}"),
+    }
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn unknown_opcode_is_rejected() {
+    let server = start_server();
+    let mut bytes = hello_bytes();
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.extend_from_slice(&[0x7f, 0x00]); // unassigned opcode
+    let frames = poke(&server, &bytes);
+    assert!(matches!(frames[0], Frame::HelloAck { .. }));
+    assert!(
+        matches!(&frames[1], Frame::ProtoError { code, .. } if *code == proto_code::MALFORMED),
+        "got {:?}",
+        frames[1]
+    );
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn zero_length_frame_is_rejected() {
+    let server = start_server();
+    let mut bytes = hello_bytes();
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    let frames = poke(&server, &bytes);
+    assert!(matches!(frames[0], Frame::HelloAck { .. }));
+    assert!(matches!(&frames[1], Frame::ProtoError { .. }));
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn truncated_frame_then_close_is_not_a_panic() {
+    let server = start_server();
+    let mut bytes = hello_bytes();
+    // promise an 80-byte frame, deliver 3 bytes, hang up
+    bytes.extend_from_slice(&80u32.to_le_bytes());
+    bytes.extend_from_slice(&[1, 2, 3]);
+    let frames = poke(&server, &bytes);
+    assert!(matches!(frames[0], Frame::HelloAck { .. }));
+    wait_protocol_errors(&server, 1);
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn garbage_mid_stream_after_valid_requests() {
+    let server = start_server();
+    let mut bytes = hello_bytes();
+    bytes.extend_from_slice(
+        &Frame::Count {
+            id: 9,
+            goal: "path(X, Y)".into(),
+        }
+        .encode(),
+    );
+    // then 64 bytes of garbage (with a plausible little length prefix so
+    // it decodes as a frame attempt, not an oversize)
+    bytes.extend_from_slice(&9u32.to_le_bytes());
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05]);
+    let frames = poke(&server, &bytes);
+    assert!(matches!(frames[0], Frame::HelloAck { .. }));
+    // the valid request completes; the garbage closes the connection
+    let done = frames.iter().find(|f| {
+        matches!(
+            f,
+            Frame::Done {
+                id: 9,
+                count: 9,
+                ..
+            }
+        )
+    });
+    assert!(
+        done.is_some(),
+        "valid request before garbage lost: {frames:?}"
+    );
+    let proto = frames
+        .iter()
+        .find(|f| matches!(f, Frame::ProtoError { .. }));
+    assert!(proto.is_some(), "garbage not rejected: {frames:?}");
+    assert_still_serving(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn hostile_barrage_leaves_server_standing() {
+    // a pile of adversarial payloads against ONE server; it must survive
+    // all of them with typed errors only, then serve a clean client
+    let server = start_server();
+    let barrage: Vec<Vec<u8>> = vec![
+        vec![],                          // connect + instant close
+        vec![0x00],                      // quarter of a length prefix
+        vec![0xff; 3],                   // most of a length prefix
+        u32::MAX.to_le_bytes().to_vec(), // oversized before handshake
+        {
+            let mut b = 1u32.to_le_bytes().to_vec();
+            b.push(0x44); // unknown opcode as the very first frame
+            b
+        },
+        {
+            let mut b = hello_bytes();
+            b.extend_from_slice(&hello_bytes()); // double handshake
+            b
+        },
+        {
+            // Query with a lying string length: claims 1000 goal bytes,
+            // carries 4
+            let mut b = hello_bytes();
+            let mut body = vec![0x02u8]; // OP_QUERY
+            body.extend_from_slice(&7u64.to_le_bytes());
+            body.extend_from_slice(&1000u32.to_le_bytes());
+            body.extend_from_slice(b"abcd");
+            b.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            b.extend_from_slice(&body);
+            b
+        },
+        {
+            // invalid UTF-8 in a goal
+            let mut b = hello_bytes();
+            let mut body = vec![0x02u8];
+            body.extend_from_slice(&8u64.to_le_bytes());
+            body.extend_from_slice(&2u32.to_le_bytes());
+            body.extend_from_slice(&[0xff, 0xfe]);
+            b.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            b.extend_from_slice(&body);
+            b
+        },
+    ];
+    for (i, payload) in barrage.iter().enumerate() {
+        let frames = poke(&server, payload);
+        // whatever came back decoded cleanly; no panic reached us, and
+        // any error the server sent was a typed ProtoError frame
+        for f in &frames {
+            assert!(
+                matches!(f, Frame::HelloAck { .. } | Frame::ProtoError { .. }),
+                "payload {i}: unexpected frame {f:?}"
+            );
+        }
+        assert_still_serving(&server);
+    }
+    assert!(server.stats().protocol_errors > 0);
+    assert_eq!(server.shutdown(), 0, "barrage left stuck connections");
+}
+
+#[test]
+fn half_closed_client_still_receives_computed_answers() {
+    // a client that shuts down its write side after sending a request
+    // must still get the answer: the writer drains in-flight jobs
+    let server = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(&hello_bytes()).unwrap();
+    s.write_all(
+        &Frame::Count {
+            id: 3,
+            goal: "path(1, X)".into(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // exiting the loop means the Done frame arrived; anything else panics
+    loop {
+        match read_frame(&mut s) {
+            Ok(Frame::HelloAck { .. }) => {}
+            Ok(Frame::Done {
+                id: 3, count: 3, ..
+            }) => break,
+            Ok(f) => panic!("unexpected frame {f:?}"),
+            Err(e) => panic!("connection died before the answer: {e}"),
+        }
+    }
+    // drain to EOF; reading past Done must end in a clean close
+    let mut rest = Vec::new();
+    let _ = s.read_to_end(&mut rest);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn wire_error_types_cover_the_taxonomy() {
+    // the typed decode errors named in the docs actually come out of the
+    // decoder (client-side check, no server needed)
+    let hello = Frame::Hello { version: VERSION }.encode();
+    let mut r: &[u8] = &[];
+    assert_eq!(read_frame(&mut r), Err(WireError::Closed));
+    let mut r = &hello[..3];
+    assert_eq!(read_frame(&mut r), Err(WireError::Truncated));
+    assert_eq!(&MAGIC, b"XSBN");
+}

@@ -1,0 +1,122 @@
+//! Property tests for the wire protocol, over the in-tree deterministic
+//! `proptest` stand-in. Run with:
+//!
+//! ```sh
+//! cargo test -p xsb-server --features proptest
+//! ```
+//!
+//! Three properties: (1) every frame the protocol can produce survives
+//! an encode → decode round trip bit-exactly; (2) truncating a valid
+//! frame at *any* byte boundary yields a typed error, never a panic;
+//! (3) arbitrary byte mutations and pure garbage either decode to a
+//! frame that re-encodes canonically or fail with a typed error —
+//! decode is total.
+#![cfg(feature = "proptest")]
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use xsb_server::wire::{read_frame, Frame, WireError, VERSION};
+
+/// Strings mixing ASCII, Greek, and an astral-plane emoji, so every
+/// UTF-8 sequence length crosses the wire.
+fn arb_string() -> impl Strategy<Value = String> {
+    vec(
+        prop_oneof![32u32..127, 0x3b1u32..0x3c9, Just(0x1F600u32)],
+        0..24,
+    )
+    .prop_map(|cps| cps.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_answers() -> impl Strategy<Value = Vec<Vec<(String, String)>>> {
+    vec(vec((arb_string(), arb_string()), 0..4), 0..5)
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        Just(Frame::Hello { version: VERSION }),
+        (0u32..u32::MAX, 0u32..256).prop_map(|(v, w)| Frame::HelloAck {
+            version: (v % 65536) as u16,
+            workers: w as u16,
+        }),
+        (0u64..u64::MAX, arb_string()).prop_map(|(id, goal)| Frame::Query { id, goal }),
+        (0u64..u64::MAX, arb_string()).prop_map(|(id, goal)| Frame::Count { id, goal }),
+        (0u64..u64::MAX, arb_string()).prop_map(|(id, text)| Frame::Consult { id, text }),
+        Just(Frame::Bye),
+        (0u64..u64::MAX, arb_answers()).prop_map(|(id, answers)| Frame::Answers { id, answers }),
+        (0u64..u64::MAX, 0u64..1 << 40, 0u64..1 << 40).prop_map(|(id, count, ns)| Frame::Done {
+            id,
+            count,
+            queue_wait_ns: ns,
+            run_ns: ns / 2,
+        }),
+        (0u64..u64::MAX).prop_map(|id| Frame::Busy { id }),
+        (0u64..u64::MAX, arb_string()).prop_map(|(id, message)| Frame::Error { id, message }),
+        (0u32..256, arb_string()).prop_map(|(code, message)| Frame::ProtoError {
+            code: code as u8,
+            message,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let mut r = &bytes[..];
+        let back = read_frame(&mut r);
+        prop_assert_eq!(back, Ok(frame));
+        prop_assert!(r.is_empty(), "decode left {} bytes unread", r.len());
+    }
+
+    #[test]
+    fn truncation_at_any_boundary_is_a_typed_error(
+        frame in arb_frame(),
+        cut_seed in 0u64..1 << 32,
+    ) {
+        let bytes = frame.encode();
+        // cut somewhere strictly inside the frame
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let mut r = &bytes[..cut];
+        match read_frame(&mut r) {
+            Err(WireError::Closed) => prop_assert_eq!(cut, 0),
+            Err(_) => {} // typed failure: the contract
+            Ok(f) => {
+                return Err(TestCaseError::fail(format!(
+                    "prefix of length {cut} decoded as {f:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(
+        frame in arb_frame(),
+        pos_seed in 0u64..1 << 32,
+        newbyte in 0u32..256,
+    ) {
+        let mut bytes = frame.encode();
+        // mutate past the length prefix so the frame is still one frame
+        // (length-prefix mutations are the truncation/oversize property)
+        let pos = 4 + (pos_seed % (bytes.len() as u64 - 4)) as usize;
+        bytes[pos] = newbyte as u8;
+        let mut r = &bytes[..];
+        // decode is total: either a typed error or a frame that
+        // re-encodes to exactly the bytes it was decoded from
+        if let Ok(f) = read_frame(&mut r) {
+            prop_assert_eq!(f.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn pure_garbage_never_panics(garbage in vec(0u32..256, 0..64)) {
+        let bytes: Vec<u8> = garbage.into_iter().map(|b| b as u8).collect();
+        let mut r = &bytes[..];
+        // same totality contract as above
+        if let Ok(f) = read_frame(&mut r) {
+            let reencoded = f.encode();
+            prop_assert_eq!(&reencoded[..], &bytes[..reencoded.len()]);
+        }
+    }
+}

@@ -64,12 +64,20 @@ echo "== durability crash matrix under watchdog"
 # recovery livelock would hang, so it also runs under the hard timeout
 $WATCHDOG cargo test -q --offline -p xsb-core --test durability
 
+echo "== network server tests under watchdog"
+# a pipelining or backpressure bug in the TCP front-end shows up as a
+# reader/writer thread waiting forever on a frame that never comes, so
+# the whole server suite (wire round-trips, integration, hostile-input
+# barrage) runs under the same hard timeout
+$WATCHDOG cargo test -q --offline -p xsb-server
+
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
 echo "== cargo test --features proptest (deterministic property tests)"
 cargo test -q --offline --features proptest
 cargo test -q --offline -p xsb-core --features proptest
+$WATCHDOG cargo test -q --offline -p xsb-server --features proptest
 
 if [ "$QUICK" = 1 ]; then
     echo "== bench runs skipped (--quick)"
@@ -201,6 +209,34 @@ assert d["checkpoint_bytes_after"] < d["checkpoint_bytes_before"], (
 for r in d["recovery"]:
     assert r["replayed"] == r["facts"] + 1, (
         "recovery replayed %d records for %d facts" % (r["replayed"], r["facts"]))
+PY
+fi
+
+echo "== network serving smoke run (E18: closed-loop load over TCP)"
+# a stuck connection or a protocol error under load would hang the bench
+# rather than fail it, so the smoke run sits under the watchdog too
+$WATCHDOG cargo run --release --offline -p xsb-bench --bin harness -- \
+    serving_net --quick --json "$ARTIFACT_DIR/serving_net.json"
+validate_json "$ARTIFACT_DIR/serving_net.json" '"serving_net"'
+if [ "$HAVE_PYTHON3" = 1 ]; then
+python3 - "$ARTIFACT_DIR/serving_net.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))["serving_net"]
+for r in s["rows"]:
+    print("conns=%-3d depth=%-3d requests=%-5d qps=%.0f p50=%dns p99=%dns "
+          "busy=%d errors=%d"
+          % (r["connections"], r["depth"], r["requests"], r["qps"],
+             r["p50_ns"], r["p99_ns"], r["busy"], r["errors"]))
+print("overload rejection_rate=%.2f stuck=%d protocol_errors=%d"
+      % (s["rejection_rate"], s["stuck_connections"], s["protocol_errors"]))
+assert s["stuck_connections"] == 0, (
+    "%d connections stuck at shutdown" % s["stuck_connections"])
+assert s["protocol_errors"] == 0, (
+    "%d protocol errors from well-formed clients" % s["protocol_errors"])
+assert s["rejection_rate"] > 0, "overload burst was never shed with Busy"
+assert s["qps"] > 0, "zero serving throughput"
+assert all(r["busy"] == 0 and r["errors"] == 0 for r in s["rows"]), (
+    "closed-loop sweep saw Busy or engine errors")
 PY
 fi
 

@@ -3,8 +3,10 @@
 //! See [`xsb_core::Engine`] for the main entry point.
 pub use xsb_core as core;
 pub use xsb_datalog as datalog;
+pub use xsb_server as server;
 pub use xsb_storage as storage;
 pub use xsb_syntax as syntax;
 pub use xsb_wfs as wfs;
 
 pub use xsb_core::{DurableLog, Engine, EngineError, RecoveryReport, Solution};
+pub use xsb_server::{Driver, RemoteConn, Server, ServerConfig};
